@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the analysis-side components that run
+//! over whole profile vectors and traces: the Section 4 metrics, decile
+//! histogram construction, profile-image merging and trace serialisation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vp_profile::{merge, ProfileCollector};
+use vp_sim::record::{read_trace, write_trace, TraceRecorder};
+use vp_sim::{run, RunLimits};
+use vp_stats::metrics::{average_distance, max_distance};
+use vp_stats::DecileHistogram;
+use vp_workloads::{InputSet, Workload, WorkloadKind};
+
+fn profile_images(n: u32) -> Vec<vp_profile::ProfileImage> {
+    let w = Workload::new(WorkloadKind::Gcc);
+    InputSet::train_set(n)
+        .iter()
+        .map(|input| {
+            let mut c = ProfileCollector::new("bench");
+            run(&w.program(input), &mut c, RunLimits::default()).unwrap();
+            c.into_image()
+        })
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    // 5 runs x 2000 coordinates, the realistic Section 4 shape.
+    let vectors: Vec<Vec<f64>> = (0..5)
+        .map(|r| {
+            (0..2000)
+                .map(|i| ((i * 37 + r * 11) % 101) as f64)
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("stats");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("max-distance", |b| b.iter(|| max_distance(&vectors)));
+    group.bench_function("average-distance", |b| {
+        b.iter(|| average_distance(&vectors))
+    });
+    group.bench_function("decile-histogram", |b| {
+        let values: Vec<f64> = (0..2000).map(|i| (i % 101) as f64).collect();
+        b.iter(|| DecileHistogram::from_values(&values))
+    });
+    group.finish();
+}
+
+fn bench_profile_merge(c: &mut Criterion) {
+    let images = profile_images(5);
+    let mut group = c.benchmark_group("profile");
+    group.sample_size(20);
+    group.bench_function("merge-5-runs", |b| {
+        b.iter(|| merge::intersect_and_sum(&images))
+    });
+    group.bench_function("format-round-trip", |b| {
+        b.iter(|| {
+            let text = vp_profile::format::to_text(&images[0]);
+            vp_profile::format::from_text(&text).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let w = Workload::new(WorkloadKind::Compress);
+    let program = w.program(&InputSet::train(0));
+    let mut rec = TraceRecorder::new();
+    let instructions = run(&program, &mut rec, RunLimits::default())
+        .unwrap()
+        .instructions();
+    let events = rec.into_events();
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &events).unwrap();
+
+    let mut group = c.benchmark_group("trace-io");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(instructions));
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bytes.len());
+            write_trace(&mut out, &events).unwrap();
+            out.len()
+        })
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| read_trace(bytes.as_slice()).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_profile_merge, bench_trace_io);
+criterion_main!(benches);

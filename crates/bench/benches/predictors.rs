@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the predictor structures: the cost of
+//! one `access` per predictor/classifier configuration, on strided,
+//! repeating and random value streams.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vp_isa::{Directive, InstrAddr};
+use vp_predictor::{ClassifierKind, PredictorConfig, TableGeometry};
+
+/// 64 static instructions x 1024 dynamic accesses each, interleaved.
+fn access_stream(pattern: &str) -> Vec<(InstrAddr, u64)> {
+    let mut out = Vec::with_capacity(64 * 1024);
+    for round in 0..1024u64 {
+        for addr in 0..64u32 {
+            let value = match pattern {
+                "stride" => u64::from(addr) * 1000 + round * 3,
+                "repeat" => u64::from(addr) * 7,
+                _ => (round * 2654435761 + u64::from(addr)).wrapping_mul(0x9e3779b97f4a7c15),
+            };
+            out.push((InstrAddr::new(addr), value));
+        }
+    }
+    out
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let configs = [
+        (
+            "infinite-stride-fsm",
+            PredictorConfig::InfiniteStride {
+                classifier: ClassifierKind::two_bit_counter(),
+            },
+        ),
+        ("table-stride-fsm", PredictorConfig::spec_table_stride_fsm()),
+        (
+            "table-stride-profile",
+            PredictorConfig::spec_table_stride_profile(),
+        ),
+        (
+            "hybrid",
+            PredictorConfig::Hybrid {
+                stride: TableGeometry::new(128, 2),
+                last_value: TableGeometry::SPEC_512_2WAY,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("predictor-access");
+    group.sample_size(20);
+    for pattern in ["stride", "repeat", "random"] {
+        let stream = access_stream(pattern);
+        for (name, config) in &configs {
+            group.bench_with_input(BenchmarkId::new(*name, pattern), &stream, |b, stream| {
+                b.iter(|| {
+                    let mut p = config.build();
+                    for &(addr, value) in stream {
+                        black_box(p.access(addr, Directive::Stride, value));
+                    }
+                    p.stats().speculated_correct
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

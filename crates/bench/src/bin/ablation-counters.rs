@@ -1,0 +1,14 @@
+//! Ablation: saturating-counter configurations for the hardware
+//! classifier.
+
+use provp_bench::Options;
+use provp_core::experiments::ablations;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    for &kind in &opts.kinds {
+        let rows = ablations::counters(&mut suite, kind);
+        println!("{}\n", ablations::render_counters(kind, &rows));
+    }
+}

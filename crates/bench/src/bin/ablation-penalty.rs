@@ -1,0 +1,13 @@
+//! Ablation: value-misprediction penalty sweep on the abstract machine.
+
+use provp_bench::Options;
+use provp_core::experiments::ablations;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    for &kind in &opts.kinds {
+        let rows = ablations::penalty(&mut suite, kind, &[0, 1, 2, 4, 8]);
+        println!("{}\n", ablations::render_penalty(kind, &rows));
+    }
+}

@@ -1,0 +1,12 @@
+//! Ablation: last-value vs stride vs two-delta stride predictors on the
+//! paper's table configuration.
+
+use provp_bench::Options;
+use provp_core::experiments::ablations;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    let rows = ablations::schemes(&mut suite, &opts.kinds);
+    println!("{}", ablations::render_schemes(&rows));
+}

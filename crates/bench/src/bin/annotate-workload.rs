@@ -1,0 +1,52 @@
+//! Phase 3 as a command-line tool: reads a profile image file from stdin,
+//! annotates the named workload's binary at the given threshold, and
+//! prints the annotated assembly.
+//!
+//! ```text
+//! profile-workload gcc 0 | annotate-workload gcc 0.9
+//! ```
+
+use std::io::Read;
+
+use vp_compiler::{annotate, ThresholdPolicy};
+use vp_profile::format;
+use vp_workloads::{InputSet, Workload, WorkloadKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(name), threshold) = (args.next(), args.next()) else {
+        eprintln!("usage: annotate-workload <workload> [threshold] < profile.txt");
+        std::process::exit(2);
+    };
+    let Some(kind) = WorkloadKind::from_name(&name) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(2);
+    };
+    let threshold: f64 = threshold
+        .as_deref()
+        .unwrap_or("0.9")
+        .parse()
+        .unwrap_or_else(|_| {
+            eprintln!("bad threshold");
+            std::process::exit(2);
+        });
+
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .expect("read stdin");
+    let image = match format::from_text(&text) {
+        Ok(img) => img,
+        Err(e) => {
+            eprintln!("bad profile image: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let program = Workload::new(kind)
+        .program(&InputSet::train(0))
+        .without_directives();
+    let out = annotate(&program, &image, &ThresholdPolicy::new(threshold));
+    eprintln!("{}", out.summary());
+    print!("{}", out.program());
+}

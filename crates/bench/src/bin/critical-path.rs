@@ -1,0 +1,14 @@
+//! Critical-path predictability report (the paper's future-work analysis):
+//! how much of each workload's dataflow critical path is value-predictable.
+
+use provp_bench::Options;
+use provp_core::experiments::critical_path;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!(
+        "{}",
+        critical_path::run_analysis(&mut suite, &opts.kinds).render()
+    );
+}

@@ -1,0 +1,38 @@
+//! Phase 2 as a command-line tool: profiles one workload under one input
+//! and writes the profile image file to stdout.
+//!
+//! ```text
+//! profile-workload <workload> [train-index|ref]
+//! ```
+
+use vp_profile::{format, ProfileCollector};
+use vp_sim::{run, RunLimits};
+use vp_workloads::{InputSet, Workload, WorkloadKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        eprintln!("usage: profile-workload <workload> [train-index|ref]");
+        std::process::exit(2);
+    };
+    let Some(kind) = WorkloadKind::from_name(&name) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(2);
+    };
+    let input = match args.next().as_deref() {
+        None => InputSet::train(0),
+        Some("ref") => InputSet::reference(),
+        Some(ix) => match ix.parse() {
+            Ok(i) => InputSet::train(i),
+            Err(_) => {
+                eprintln!("bad input selector `{ix}` (expected an index or `ref`)");
+                std::process::exit(2);
+            }
+        },
+    };
+    let workload = Workload::new(kind);
+    let program = workload.program(&input);
+    let mut collector = ProfileCollector::new(format!("{}/{input}", workload.name()));
+    run(&program, &mut collector, RunLimits::default()).expect("workload runs");
+    print!("{}", format::to_text(&collector.into_image()));
+}

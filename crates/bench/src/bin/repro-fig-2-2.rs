@@ -1,0 +1,10 @@
+//! Reproduces Figure 2.2: the spread of instructions by prediction accuracy.
+
+use provp_bench::Options;
+use provp_core::experiments::fig_2_2;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!("{}", fig_2_2::run(&mut suite, &opts.kinds).render());
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 2.3: the spread of instructions by stride efficiency.
+
+use provp_bench::Options;
+use provp_core::experiments::fig_2_3;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!("{}", fig_2_3::run(&mut suite, &opts.kinds).render());
+}

@@ -1,0 +1,13 @@
+//! Reproduces Figure 4.2: profile similarity across inputs.
+
+use provp_bench::Options;
+use provp_core::experiments::fig_4::{self, Which};
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!(
+        "{}",
+        fig_4::run(&mut suite, &opts.kinds).render(Which::VAverage)
+    );
+}

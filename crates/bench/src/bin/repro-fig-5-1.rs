@@ -1,0 +1,13 @@
+//! Reproduces Figure 5.1: mispredictions classified correctly.
+
+use provp_bench::Options;
+use provp_core::experiments::classification::{self, Which};
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!(
+        "{}",
+        classification::run(&mut suite, &opts.kinds).render(Which::Mispredictions)
+    );
+}

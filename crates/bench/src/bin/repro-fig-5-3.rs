@@ -1,0 +1,13 @@
+//! Reproduces Figure 5.3: change in correct predictions (finite table).
+
+use provp_bench::Options;
+use provp_core::experiments::finite_table::{self, Which};
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!(
+        "{}",
+        finite_table::run(&mut suite, &opts.kinds).render(Which::Correct)
+    );
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 2.1: predictor accuracy by instruction category.
+
+use provp_bench::Options;
+use provp_core::experiments::table_2_1;
+use vp_workloads::WorkloadKind;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    let int_kinds: Vec<WorkloadKind> = opts.kinds.iter().copied().filter(|k| !k.is_fp()).collect();
+    let fp_kinds: Vec<WorkloadKind> = opts.kinds.iter().copied().filter(|k| k.is_fp()).collect();
+    let table = table_2_1::run(&mut suite, &int_kinds, &fp_kinds);
+    println!("{}", table.render());
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table 5.1: admitted allocation-candidate fractions.
+
+use provp_bench::Options;
+use provp_core::experiments::table_5_1;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!("{}", table_5_1::run(&mut suite, &opts.kinds).render());
+}

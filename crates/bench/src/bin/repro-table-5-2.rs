@@ -1,0 +1,10 @@
+//! Reproduces Table 5.2: ILP increase under each classification mechanism.
+
+use provp_bench::Options;
+use provp_core::experiments::table_5_2;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut suite = opts.suite();
+    println!("{}", table_5_2::run(&mut suite, &opts.kinds).render());
+}

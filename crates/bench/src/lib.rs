@@ -1,0 +1,118 @@
+#![warn(missing_docs)]
+
+//! # provp-bench — reproduction binaries and micro-benchmarks
+//!
+//! One `repro-*` binary per table/figure of the paper (run with
+//! `cargo run --release -p provp-bench --bin repro-table-5-2`), a
+//! `repro-all` binary that regenerates the whole evaluation in one pass,
+//! `ablation-*` binaries for the extension studies, the `critical-path`
+//! and `store-values` analyses, the `workload-report` /
+//! `profile-workload` / `annotate-workload` utilities, and Criterion
+//! micro-benchmarks for the performance-critical components.
+//!
+//! All experiment binaries accept:
+//!
+//! ```text
+//! --workloads=gcc,go,swim    subset of workloads (default: the paper's
+//!                            nine; `swim`/`tomcatv`/`su2cor`/`hydro2d`
+//!                            are opt-in extras)
+//! --train-runs=N             training inputs per workload (default: 5)
+//! ```
+
+use provp_core::Suite;
+use vp_workloads::WorkloadKind;
+
+/// Options shared by every reproduction binary.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workloads to run.
+    pub kinds: Vec<WorkloadKind>,
+    /// Training runs per workload.
+    pub train_runs: u32,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            kinds: WorkloadKind::ALL.to_vec(),
+            train_runs: 5,
+        }
+    }
+}
+
+impl Options {
+    /// Parses command-line arguments (see the crate docs for the syntax).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or workload
+    /// names.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+        let mut opts = Options::default();
+        for arg in args {
+            if let Some(list) = arg.strip_prefix("--workloads=") {
+                opts.kinds = list
+                    .split(',')
+                    .map(|name| {
+                        WorkloadKind::from_name(name.trim())
+                            .ok_or_else(|| format!("unknown workload `{name}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            } else if let Some(n) = arg.strip_prefix("--train-runs=") {
+                opts.train_runs = n
+                    .parse()
+                    .map_err(|_| format!("bad --train-runs value `{n}`"))?;
+            } else {
+                return Err(format!(
+                    "unknown argument `{arg}` (try --workloads=, --train-runs=)"
+                ));
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process's real arguments, exiting with a usage message on
+    /// error.
+    #[must_use]
+    pub fn from_env() -> Options {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Builds the experiment suite for these options.
+    #[must_use]
+    pub fn suite(&self) -> Suite {
+        Suite::with_train_runs(self.train_runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_covers_all_workloads() {
+        let o = Options::default();
+        assert_eq!(o.kinds.len(), 9);
+        assert_eq!(o.train_runs, 5);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = Options::parse(["--workloads=gcc,mgrid".into(), "--train-runs=2".into()]).unwrap();
+        assert_eq!(o.kinds, vec![WorkloadKind::Gcc, WorkloadKind::Mgrid]);
+        assert_eq!(o.train_runs, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_input() {
+        assert!(Options::parse(["--workloads=nope".into()]).is_err());
+        assert!(Options::parse(["--frobnicate".into()]).is_err());
+        assert!(Options::parse(["--train-runs=x".into()]).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Figures 5.1 and 5.2 — classification accuracy with an infinite table.
+//!
+//! Isolates the classification decision from table pressure: both
+//! mechanisms see identical raw (unbounded stride) predictions on the
+//! reference input; only the *use it / suppress it* decision differs. The
+//! paper's trade-off appears directly: profile classification at tight
+//! thresholds eliminates more mispredictions (Figure 5.1), while the
+//! saturating counters admit slightly more of the correct predictions
+//! (Figure 5.2).
+
+use vp_compiler::ThresholdPolicy;
+use vp_predictor::{ClassifierKind, PredictorConfig, PredictorStats};
+use vp_stats::{table::percent, TextTable};
+use vp_workloads::WorkloadKind;
+
+use crate::Suite;
+
+/// One workload's classification-accuracy measurements.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The workload.
+    pub kind: WorkloadKind,
+    /// Hardware (saturating-counter) classification statistics.
+    pub fsm: PredictorStats,
+    /// Profile classification statistics, one per threshold of
+    /// [`ThresholdPolicy::PAPER_SWEEP`].
+    pub profile: Vec<PredictorStats>,
+}
+
+/// The reproduced Figures 5.1/5.2.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Per-workload rows.
+    pub rows: Vec<Row>,
+}
+
+/// Which of the two figures to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Figure 5.1: % of mispredictions classified correctly (suppressed).
+    Mispredictions,
+    /// Figure 5.2: % of correct predictions classified correctly (used).
+    CorrectPredictions,
+}
+
+/// Runs the experiment over the given workloads.
+pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Classification {
+    let rows = kinds
+        .iter()
+        .map(|&kind| {
+            let fsm = suite.predictor_stats(
+                kind,
+                PredictorConfig::InfiniteStride {
+                    classifier: ClassifierKind::two_bit_counter(),
+                },
+                None,
+            );
+            let profile = ThresholdPolicy::PAPER_SWEEP
+                .iter()
+                .map(|&th| {
+                    suite.predictor_stats(
+                        kind,
+                        PredictorConfig::InfiniteStride {
+                            classifier: ClassifierKind::Directive,
+                        },
+                        Some(th),
+                    )
+                })
+                .collect();
+            Row { kind, fsm, profile }
+        })
+        .collect();
+    Classification { rows }
+}
+
+/// Convenience: all nine workloads.
+pub fn run_all(suite: &mut Suite) -> Classification {
+    run(suite, &WorkloadKind::ALL)
+}
+
+fn metric(stats: &PredictorStats, which: Which) -> f64 {
+    match which {
+        Which::Mispredictions => stats.misprediction_classification_accuracy(),
+        Which::CorrectPredictions => stats.correct_classification_accuracy(),
+    }
+}
+
+impl Classification {
+    /// Column-wise averages `(fsm, per-threshold)` of the chosen metric.
+    #[must_use]
+    pub fn averages(&self, which: Which) -> (f64, Vec<f64>) {
+        let n = self.rows.len().max(1) as f64;
+        let fsm = self.rows.iter().map(|r| metric(&r.fsm, which)).sum::<f64>() / n;
+        let sweep = (0..ThresholdPolicy::PAPER_SWEEP.len())
+            .map(|i| {
+                self.rows
+                    .iter()
+                    .map(|r| metric(&r.profile[i], which))
+                    .sum::<f64>()
+                    / n
+            })
+            .collect();
+        (fsm, sweep)
+    }
+
+    /// Renders one of the two figures.
+    #[must_use]
+    pub fn render(&self, which: Which) -> String {
+        let title = match which {
+            Which::Mispredictions => "Figure 5.1 — % of mispredictions classified correctly",
+            Which::CorrectPredictions => {
+                "Figure 5.2 — % of correct predictions classified correctly"
+            }
+        };
+        let mut t = TextTable::new([
+            "benchmark",
+            "FSM",
+            "th=90%",
+            "th=80%",
+            "th=70%",
+            "th=60%",
+            "th=50%",
+        ]);
+        for row in &self.rows {
+            let mut cells = vec![row.kind.name().to_owned(), percent(metric(&row.fsm, which))];
+            cells.extend(row.profile.iter().map(|s| percent(metric(s, which))));
+            t.row(cells);
+        }
+        let (fsm, sweep) = self.averages(which);
+        let mut cells = vec!["average".to_owned(), percent(fsm)];
+        cells.extend(sweep.iter().map(|&v| percent(v)));
+        t.row(cells);
+        format!("{title} (infinite table, stride predictor)\n{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_papers_classification_tradeoff_appears() {
+        let mut suite = Suite::with_train_runs(2);
+        let c = run(&mut suite, &[WorkloadKind::Ijpeg, WorkloadKind::Compress]);
+
+        let (fsm_mis, prof_mis) = c.averages(Which::Mispredictions);
+        // Tight profiling beats the counters at eliminating mispredictions.
+        assert!(
+            prof_mis[0] > fsm_mis - 0.02,
+            "profile@90 {} vs fsm {fsm_mis}",
+            prof_mis[0]
+        );
+        // Loosening the threshold weakens misprediction elimination
+        // overall (paper: monotone decline from 90% to 50%).
+        assert!(
+            prof_mis[0] > prof_mis[4],
+            "90% {} should beat 50% {}",
+            prof_mis[0],
+            prof_mis[4]
+        );
+
+        let (_, prof_cor) = c.averages(Which::CorrectPredictions);
+        // Loosening the threshold admits more correct predictions.
+        assert!(
+            prof_cor[4] >= prof_cor[0],
+            "50% {} should admit at least as many corrects as 90% {}",
+            prof_cor[4],
+            prof_cor[0]
+        );
+        assert!(c.render(Which::Mispredictions).contains("Figure 5.1"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 2.2 — how static instructions spread across prediction-accuracy
+//! deciles.
+//!
+//! The paper's headline characterisation: predictability is *bimodal* —
+//! roughly 30% of instructions predict above 90% accuracy and roughly 40%
+//! below 10%, with little in between. This is what makes classification
+//! worthwhile at all.
+
+use vp_stats::{table::percent, DecileHistogram, TextTable};
+use vp_workloads::WorkloadKind;
+
+use crate::Suite;
+
+/// Instructions executed fewer times than this in the profiled run carry
+/// no statistical signal and are excluded (they would read as spurious 0%
+/// or 100% rows).
+pub const MIN_EXECS: u64 = 10;
+
+/// One workload's accuracy distribution.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The workload.
+    pub kind: WorkloadKind,
+    /// Decile histogram over static-instruction prediction accuracy.
+    pub histogram: DecileHistogram,
+}
+
+impl Row {
+    /// Fraction of instructions above 90% accuracy.
+    #[must_use]
+    pub fn highly_predictable(&self) -> f64 {
+        self.histogram.high_mass(1)
+    }
+
+    /// Fraction of instructions below (or at) 10% accuracy.
+    #[must_use]
+    pub fn highly_unpredictable(&self) -> f64 {
+        self.histogram.low_mass(1)
+    }
+}
+
+/// The reproduced Figure 2.2.
+#[derive(Debug, Clone)]
+pub struct Fig22 {
+    /// Per-workload distributions.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment: profiles each workload's reference run and bins
+/// its static value producers by stride-predictor accuracy.
+pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Fig22 {
+    let rows = kinds
+        .iter()
+        .map(|&kind| {
+            let mut img = suite.reference_image(kind);
+            img.retain_min_execs(MIN_EXECS);
+            let values: Vec<f64> = img
+                .iter()
+                .map(|(_, r)| 100.0 * r.stride_accuracy())
+                .collect();
+            Row {
+                kind,
+                histogram: DecileHistogram::from_values(&values),
+            }
+        })
+        .collect();
+    Fig22 { rows }
+}
+
+/// Convenience: all nine workloads.
+pub fn run_all(suite: &mut Suite) -> Fig22 {
+    run(suite, &WorkloadKind::ALL)
+}
+
+impl Fig22 {
+    /// Renders the per-bin fractions as a table plus the bimodality
+    /// summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut headers = vec!["benchmark".to_owned()];
+        headers.extend((0..10).map(DecileHistogram::label));
+        let mut t = TextTable::new(headers);
+        for row in &self.rows {
+            let mut cells = vec![row.kind.name().to_owned()];
+            cells.extend((0..10).map(|b| percent(row.histogram.fraction(b))));
+            t.row(cells);
+        }
+        let mut out = format!("Figure 2.2 — spread of instructions by prediction accuracy\n{t}\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<10} >90%: {:>6}   <=10%: {:>6}\n",
+                row.kind.name(),
+                percent(row.highly_predictable()),
+                percent(row.highly_unpredictable())
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_are_bimodal() {
+        let mut suite = Suite::with_train_runs(1);
+        let fig = run(&mut suite, &[WorkloadKind::Ijpeg, WorkloadKind::Compress]);
+        for row in &fig.rows {
+            assert!(
+                row.histogram.total() > 10,
+                "{}: too few instructions",
+                row.kind
+            );
+            // Both extremes are populated...
+            assert!(
+                row.highly_predictable() > 0.05,
+                "{}: {}",
+                row.kind,
+                row.highly_predictable()
+            );
+            assert!(
+                row.highly_unpredictable() > 0.10,
+                "{}: {}",
+                row.kind,
+                row.highly_unpredictable()
+            );
+            // ...and they dominate the middle (bimodality).
+            let extremes = row.highly_predictable() + row.highly_unpredictable();
+            assert!(extremes > 0.4, "{}: extremes only {extremes}", row.kind);
+        }
+        assert!(fig.render().contains("(90,100]"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 2.3 — how static instructions spread across stride-efficiency
+//! deciles.
+//!
+//! The paper's observation 2.5: value-predictable instructions split into a
+//! small subset with genuinely non-zero strides and a large subset that
+//! merely repeats its last value — the motivation for the hybrid predictor
+//! and for the two directive kinds.
+
+use vp_stats::{table::percent, DecileHistogram, TextTable};
+use vp_workloads::WorkloadKind;
+
+use crate::Suite;
+
+use super::fig_2_2::MIN_EXECS;
+
+/// One workload's stride-efficiency distribution.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The workload.
+    pub kind: WorkloadKind,
+    /// Decile histogram over per-instruction stride efficiency ratios
+    /// (among instructions with at least one correct prediction).
+    pub histogram: DecileHistogram,
+    /// The dynamic (execution-weighted) stride efficiency ratio, `[0, 1]`.
+    pub dynamic_ratio: f64,
+}
+
+/// The reproduced Figure 2.3.
+#[derive(Debug, Clone)]
+pub struct Fig23 {
+    /// Per-workload distributions.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment over the given workloads.
+pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Fig23 {
+    let rows = kinds
+        .iter()
+        .map(|&kind| {
+            let mut img = suite.reference_image(kind);
+            img.retain_min_execs(MIN_EXECS);
+            let values: Vec<f64> = img
+                .iter()
+                .filter(|(_, r)| r.stride_correct > 0)
+                .map(|(_, r)| 100.0 * r.stride_efficiency_ratio())
+                .collect();
+            Row {
+                kind,
+                histogram: DecileHistogram::from_values(&values),
+                dynamic_ratio: img.dynamic_stride_efficiency_ratio(),
+            }
+        })
+        .collect();
+    Fig23 { rows }
+}
+
+/// Convenience: all nine workloads.
+pub fn run_all(suite: &mut Suite) -> Fig23 {
+    run(suite, &WorkloadKind::ALL)
+}
+
+impl Fig23 {
+    /// Renders per-bin fractions plus the dynamic aggregate ratio.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut headers = vec!["benchmark".to_owned()];
+        headers.extend((0..10).map(DecileHistogram::label));
+        headers.push("dyn ratio".to_owned());
+        let mut t = TextTable::new(headers);
+        for row in &self.rows {
+            let mut cells = vec![row.kind.name().to_owned()];
+            cells.extend((0..10).map(|b| percent(row.histogram.fraction(b))));
+            cells.push(percent(row.dynamic_ratio));
+            t.row(cells);
+        }
+        format!("Figure 2.3 — spread of instructions by stride efficiency ratio\n{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_stride_populations_emerge() {
+        let mut suite = Suite::with_train_runs(1);
+        let fig = run(&mut suite, &[WorkloadKind::Ijpeg, WorkloadKind::Gcc]);
+        for row in &fig.rows {
+            assert!(row.histogram.total() > 0, "{}", row.kind);
+            // The paper's split: both extremes are populated (pure
+            // last-value reuse at the bottom, true strides at the top)
+            // and the middle is thin.
+            assert!(
+                row.histogram.low_mass(2) > 0.05,
+                "{}: {:?}",
+                row.kind,
+                row.histogram
+            );
+            assert!(
+                row.histogram.high_mass(2) > 0.05,
+                "{}: {:?}",
+                row.kind,
+                row.histogram
+            );
+            let middle = 1.0 - row.histogram.low_mass(2) - row.histogram.high_mass(2);
+            assert!(
+                middle < 0.5,
+                "{}: middle-heavy {:?}",
+                row.kind,
+                row.histogram
+            );
+            assert!((0.0..=1.0).contains(&row.dynamic_ratio));
+        }
+        // The dense transform kernel is far more stride-efficient than the
+        // constant-heavy compiler analogue (dynamic, execution-weighted).
+        assert!(fig.rows[0].dynamic_ratio > fig.rows[1].dynamic_ratio);
+        assert!(fig.render().contains("dyn ratio"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Figures 4.1, 4.2 and 4.3 — are profiles stable across inputs?
+//!
+//! Profiles each workload under `n` different training inputs, aligns the
+//! per-instruction accuracy vectors `V` (and stride-efficiency vectors
+//! `S`), computes the paper's maximum-distance and average-distance
+//! metrics, and bins the metric coordinates into deciles. Mass concentrated
+//! in the lowest intervals means the program's value predictability is an
+//! input-independent property — the finding the whole methodology rests
+//! on.
+
+use vp_profile::AlignedVectors;
+use vp_stats::{metrics, table::percent, DecileHistogram, TextTable};
+use vp_workloads::WorkloadKind;
+
+use crate::Suite;
+
+use super::fig_2_2::MIN_EXECS;
+
+/// One workload's three metric distributions.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The workload.
+    pub kind: WorkloadKind,
+    /// Number of aligned coordinates in the accuracy vectors `V`.
+    pub dim: usize,
+    /// Number of aligned coordinates in the stride-efficiency vectors `S`
+    /// (instructions with enough correct predictions for the ratio to be
+    /// meaningful).
+    pub s_dim: usize,
+    /// Spread of `M(V)max` coordinates (Figure 4.1).
+    pub v_max: DecileHistogram,
+    /// Spread of `M(V)average` coordinates (Figure 4.2).
+    pub v_avg: DecileHistogram,
+    /// Spread of `M(S)average` coordinates (Figure 4.3).
+    pub s_avg: DecileHistogram,
+}
+
+/// The reproduced Figures 4.1–4.3.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Number of runs `n`.
+    pub runs: usize,
+    /// Per-workload distributions.
+    pub rows: Vec<Row>,
+}
+
+/// Which of the three figures to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Figure 4.1: `M(V)max`.
+    VMax,
+    /// Figure 4.2: `M(V)average`.
+    VAverage,
+    /// Figure 4.3: `M(S)average`.
+    SAverage,
+}
+
+/// Runs the experiment over the given workloads.
+pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Fig4 {
+    let rows = kinds
+        .iter()
+        .map(|&kind| {
+            let images = suite.train_images(kind);
+            let vectors = AlignedVectors::from_images(&images, MIN_EXECS);
+            let v = vectors.accuracy_vectors();
+            let s = vectors.stride_ratio_vectors();
+            Row {
+                kind,
+                dim: vectors.dim(),
+                s_dim: vectors.s_addrs().len(),
+                v_max: DecileHistogram::from_values(&metrics::max_distance(v)),
+                v_avg: DecileHistogram::from_values(&metrics::average_distance(v)),
+                s_avg: DecileHistogram::from_values(&metrics::average_distance(s)),
+            }
+        })
+        .collect();
+    Fig4 {
+        runs: suite.train_runs() as usize,
+        rows,
+    }
+}
+
+/// Convenience: all nine workloads.
+pub fn run_all(suite: &mut Suite) -> Fig4 {
+    run(suite, &WorkloadKind::ALL)
+}
+
+impl Fig4 {
+    /// The histogram selected by `which` for one row.
+    #[must_use]
+    pub fn histogram_of<'a>(&self, row: &'a Row, which: Which) -> &'a DecileHistogram {
+        match which {
+            Which::VMax => &row.v_max,
+            Which::VAverage => &row.v_avg,
+            Which::SAverage => &row.s_avg,
+        }
+    }
+
+    /// Renders one of the three figures.
+    #[must_use]
+    pub fn render(&self, which: Which) -> String {
+        let title = match which {
+            Which::VMax => "Figure 4.1 — the spread of M(V)max",
+            Which::VAverage => "Figure 4.2 — the spread of M(V)average",
+            Which::SAverage => "Figure 4.3 — the spread of M(S)average",
+        };
+        let mut headers = vec!["benchmark".to_owned()];
+        headers.extend((0..10).map(DecileHistogram::label));
+        headers.push("coords".to_owned());
+        let mut t = TextTable::new(headers);
+        for row in &self.rows {
+            let h = self.histogram_of(row, which);
+            let mut cells = vec![row.kind.name().to_owned()];
+            cells.extend((0..10).map(|b| percent(h.fraction(b))));
+            cells.push(
+                if which == Which::SAverage {
+                    row.s_dim
+                } else {
+                    row.dim
+                }
+                .to_string(),
+            );
+            t.row(cells);
+        }
+        format!("{title} (n = {})\n{t}", self.runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_input_invariant() {
+        let mut suite = Suite::with_train_runs(3);
+        let fig = run(&mut suite, &[WorkloadKind::Compress, WorkloadKind::Ijpeg]);
+        assert_eq!(fig.runs, 3);
+        for row in &fig.rows {
+            assert!(
+                row.dim > 10,
+                "{}: only {} aligned coordinates",
+                row.kind,
+                row.dim
+            );
+            // The paper's conclusion: most coordinates in the lowest
+            // intervals, for every metric and benchmark.
+            assert!(
+                row.v_max.low_mass(2) > 0.6,
+                "{}: M(V)max {:?}",
+                row.kind,
+                row.v_max
+            );
+            assert!(
+                row.v_avg.low_mass(2) > 0.6,
+                "{}: M(V)avg {:?}",
+                row.kind,
+                row.v_avg
+            );
+            assert!(
+                row.s_avg.low_mass(2) > 0.6,
+                "{}: M(S)avg {:?}",
+                row.kind,
+                row.s_avg
+            );
+            // And M(V)average is never more spread than M(V)max.
+            assert!(row.v_avg.low_mass(3) >= row.v_max.low_mass(3) - 1e-9);
+        }
+        assert!(fig.render(Which::VMax).contains("Figure 4.1"));
+        assert!(fig.render(Which::SAverage).contains("M(S)average"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Figures 5.3 and 5.4 — correct and incorrect predictions with the finite
+//! 512-entry, 2-way stride table.
+//!
+//! The head-to-head that matters: with real table pressure, does admitting
+//! only directive-tagged instructions beat letting everything compete under
+//! saturating counters? The paper finds large-working-set benchmarks (go,
+//! gcc, li, perl, vortex) can gain correct predictions *and* shed
+//! mispredictions at the right threshold, while small-working-set ones
+//! (m88ksim, compress, ijpeg, mgrid) cannot.
+
+use vp_compiler::ThresholdPolicy;
+use vp_predictor::{PredictorConfig, PredictorStats};
+use vp_stats::{table::signed_percent, TextTable};
+use vp_workloads::WorkloadKind;
+
+use crate::Suite;
+
+/// One workload's finite-table comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The workload.
+    pub kind: WorkloadKind,
+    /// Hardware-classified predictor statistics.
+    pub fsm: PredictorStats,
+    /// Profile-classified statistics per threshold of
+    /// [`ThresholdPolicy::PAPER_SWEEP`].
+    pub profile: Vec<PredictorStats>,
+}
+
+impl Row {
+    /// Percentage change in *correct* predictions vs. the hardware scheme
+    /// at threshold index `i` (Figure 5.3's bars).
+    #[must_use]
+    pub fn correct_delta(&self, i: usize) -> f64 {
+        delta(
+            self.profile[i].speculated_correct,
+            self.fsm.speculated_correct,
+        )
+    }
+
+    /// Percentage change in *incorrect* predictions vs. the hardware scheme
+    /// at threshold index `i` (Figure 5.4's bars; negative is good).
+    #[must_use]
+    pub fn incorrect_delta(&self, i: usize) -> f64 {
+        delta(
+            self.profile[i].speculated_incorrect(),
+            self.fsm.speculated_incorrect(),
+        )
+    }
+
+    /// Whether some threshold achieves the paper's double win: more correct
+    /// predictions *and* fewer mispredictions than the hardware scheme.
+    #[must_use]
+    pub fn has_double_win(&self) -> bool {
+        (0..self.profile.len())
+            .any(|i| self.correct_delta(i) > 0.0 && self.incorrect_delta(i) < 0.0)
+    }
+}
+
+fn delta(ours: u64, theirs: u64) -> f64 {
+    if theirs == 0 {
+        if ours == 0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (ours as f64 / theirs as f64 - 1.0)
+    }
+}
+
+/// The reproduced Figures 5.3/5.4.
+#[derive(Debug, Clone)]
+pub struct FiniteTable {
+    /// Per-workload rows.
+    pub rows: Vec<Row>,
+}
+
+/// Which figure to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Figure 5.3: change in correct predictions.
+    Correct,
+    /// Figure 5.4: change in incorrect predictions.
+    Incorrect,
+}
+
+/// Runs the experiment over the given workloads.
+pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> FiniteTable {
+    let rows = kinds
+        .iter()
+        .map(|&kind| {
+            let fsm = suite.predictor_stats(kind, PredictorConfig::spec_table_stride_fsm(), None);
+            let profile = ThresholdPolicy::PAPER_SWEEP
+                .iter()
+                .map(|&th| {
+                    suite.predictor_stats(
+                        kind,
+                        PredictorConfig::spec_table_stride_profile(),
+                        Some(th),
+                    )
+                })
+                .collect();
+            Row { kind, fsm, profile }
+        })
+        .collect();
+    FiniteTable { rows }
+}
+
+/// Convenience: all nine workloads.
+pub fn run_all(suite: &mut Suite) -> FiniteTable {
+    run(suite, &WorkloadKind::ALL)
+}
+
+impl FiniteTable {
+    /// Renders one of the two figures.
+    #[must_use]
+    pub fn render(&self, which: Which) -> String {
+        let title = match which {
+            Which::Correct => "Figure 5.3 — increase in the number of correct predictions",
+            Which::Incorrect => "Figure 5.4 — increase in the number of incorrect predictions",
+        };
+        let mut t = TextTable::new([
+            "benchmark",
+            "th=90%",
+            "th=80%",
+            "th=70%",
+            "th=60%",
+            "th=50%",
+        ]);
+        for row in &self.rows {
+            let mut cells = vec![row.kind.name().to_owned()];
+            for i in 0..row.profile.len() {
+                let v = match which {
+                    Which::Correct => row.correct_delta(i),
+                    Which::Incorrect => row.incorrect_delta(i),
+                };
+                cells.push(signed_percent(v));
+            }
+            t.row(cells);
+        }
+        format!("{title}\n(profile-classified vs saturated counters, 512-entry 2-way stride table)\n{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_size_decides_who_wins() {
+        let mut suite = Suite::with_train_runs(2);
+        let ft = run(&mut suite, &[WorkloadKind::Gcc, WorkloadKind::M88ksim]);
+        let gcc = &ft.rows[0];
+        let m88k = &ft.rows[1];
+        // Large working set: the paper's double win exists at some
+        // threshold.
+        assert!(
+            gcc.has_double_win(),
+            "gcc correct {:?} / incorrect {:?}",
+            (0..5).map(|i| gcc.correct_delta(i)).collect::<Vec<_>>(),
+            (0..5).map(|i| gcc.incorrect_delta(i)).collect::<Vec<_>>()
+        );
+        // Small working set: no table pressure, so profiling cannot add
+        // correct predictions (the counters already capture everything).
+        assert!(
+            (0..5).all(|i| m88k.correct_delta(i) < 20.0),
+            "m88ksim should gain little: {:?}",
+            (0..5).map(|i| m88k.correct_delta(i)).collect::<Vec<_>>()
+        );
+        assert!(ft.render(Which::Correct).contains("Figure 5.3"));
+        assert!(ft.render(Which::Incorrect).contains("Figure 5.4"));
+    }
+}

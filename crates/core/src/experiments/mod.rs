@@ -1,0 +1,19 @@
+//! One runner per table/figure of the paper's evaluation.
+//!
+//! Every module follows the same pattern: a `run` function that drives a
+//! [`crate::Suite`] over a set of workloads and returns a plain result
+//! struct, plus `render*` methods producing the text table/histogram the
+//! matching `repro-*` binary prints. EXPERIMENTS.md records the measured
+//! output next to the paper's numbers.
+
+pub mod ablations;
+pub mod classification;
+pub mod critical_path;
+pub mod fig_2_2;
+pub mod fig_2_3;
+pub mod fig_4;
+pub mod finite_table;
+pub mod store_values;
+pub mod table_2_1;
+pub mod table_5_1;
+pub mod table_5_2;

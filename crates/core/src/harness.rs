@@ -1,0 +1,84 @@
+//! Glue between the simulator trace and the predictor models.
+
+use vp_predictor::{PredictorStats, ValuePredictor};
+use vp_sim::{Retirement, Tracer};
+
+/// A tracer that feeds every value-producing retirement to a predictor —
+/// the "emulate the value predictor while the program runs" step used by
+/// the Section 5 evaluations.
+///
+/// # Examples
+///
+/// ```
+/// use provp_core::PredictorTracer;
+/// use vp_predictor::PredictorConfig;
+/// use vp_sim::{run, RunLimits};
+/// use vp_isa::asm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("li r1, 0\nli r2, 99\ntop: addi r1, r1, 1\nbne r1, r2, top\nhalt\n")?;
+/// let mut t = PredictorTracer::new(PredictorConfig::spec_table_stride_fsm().build());
+/// run(&p, &mut t, RunLimits::default())?;
+/// assert!(t.stats().speculated_correct > 50);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PredictorTracer {
+    predictor: Box<dyn ValuePredictor>,
+}
+
+impl PredictorTracer {
+    /// Wraps a predictor.
+    #[must_use]
+    pub fn new(predictor: Box<dyn ValuePredictor>) -> Self {
+        PredictorTracer { predictor }
+    }
+
+    /// The predictor's cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &PredictorStats {
+        self.predictor.stats()
+    }
+
+    /// Finishes, returning the final statistics.
+    #[must_use]
+    pub fn into_stats(self) -> PredictorStats {
+        *self.predictor.stats()
+    }
+}
+
+impl Tracer for PredictorTracer {
+    fn retire(&mut self, ev: &Retirement<'_>) {
+        if let Some((_, _, value)) = ev.dest {
+            self.predictor.access(ev.addr, ev.instr.directive, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::asm::assemble;
+    use vp_predictor::PredictorConfig;
+    use vp_sim::{run, RunLimits};
+
+    #[test]
+    fn only_value_producers_reach_the_predictor() {
+        let p = assemble("li r1, 1\nsd r1, (r0)\nbeq r0, r0, e\ne: halt\n").unwrap();
+        let mut t = PredictorTracer::new(PredictorConfig::spec_table_stride_fsm().build());
+        run(&p, &mut t, RunLimits::default()).unwrap();
+        assert_eq!(t.stats().accesses, 1, "only the li produces a value");
+    }
+
+    #[test]
+    fn directive_annotated_program_steers_the_profile_predictor() {
+        let src = "li r1, 0\nli r2, 50\ntop: addi.st r1, r1, 1\nbne r1, r2, top\nhalt\n";
+        let p = assemble(src).unwrap();
+        let mut t = PredictorTracer::new(PredictorConfig::spec_table_stride_profile().build());
+        run(&p, &mut t, RunLimits::default()).unwrap();
+        let s = t.into_stats();
+        // Only the tagged addi is admitted; the li's are untagged.
+        assert_eq!(s.allocations, 1);
+        assert!(s.speculated_correct >= 47);
+    }
+}

@@ -1,0 +1,171 @@
+//! The three-phase methodology, end to end.
+
+use vp_compiler::{annotate, Annotated, ThresholdPolicy};
+use vp_profile::{merge, ProfileCollector, ProfileImage};
+use vp_sim::{run, RunLimits, SimError};
+use vp_workloads::Workload;
+
+/// Configuration of a [`ProfileGuidedPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Number of training runs (the paper uses 5).
+    pub train_runs: u32,
+    /// The phase-3 annotation thresholds.
+    pub policy: ThresholdPolicy,
+    /// Simulator budget per run.
+    pub limits: RunLimits,
+}
+
+impl Default for PipelineConfig {
+    /// Five training runs, 90% threshold, default budget.
+    fn default() -> Self {
+        PipelineConfig {
+            train_runs: Workload::PAPER_TRAIN_RUNS,
+            policy: ThresholdPolicy::new(0.9),
+            limits: RunLimits::default(),
+        }
+    }
+}
+
+/// Everything the three phases produced for one workload.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Per-training-run profile images (phase 2, one per input set).
+    pub images: Vec<ProfileImage>,
+    /// The merged (intersected) profile the compiler consumed.
+    pub merged: ProfileImage,
+    /// Static instructions dropped by the intersection rule.
+    pub omitted: usize,
+    /// The annotated binary and the pass report (phase 3).
+    pub annotated: Annotated,
+}
+
+/// Runs the paper's three phases for a workload:
+///
+/// 1. **compile** — generate the phase-1 binary (no directives);
+/// 2. **profile** — execute it under each training input on the tracing
+///    simulator, collecting a profile image per run, then merge them by
+///    intersection;
+/// 3. **annotate** — re-emit the binary with directives chosen by the
+///    threshold policy.
+///
+/// # Examples
+///
+/// ```
+/// use provp_core::pipeline::{PipelineConfig, ProfileGuidedPipeline};
+/// use vp_workloads::{Workload, WorkloadKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pipeline = ProfileGuidedPipeline::new(PipelineConfig {
+///     train_runs: 2, // abbreviated for the doc test
+///     ..PipelineConfig::default()
+/// });
+/// let out = pipeline.run(&Workload::new(WorkloadKind::Compress))?;
+/// assert!(out.annotated.summary().tagged() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProfileGuidedPipeline {
+    config: PipelineConfig,
+}
+
+impl ProfileGuidedPipeline {
+    /// Creates a pipeline with the given configuration.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        ProfileGuidedPipeline { config }
+    }
+
+    /// The pipeline's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs all three phases for `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults from the profiling runs (well-formed
+    /// workloads never fault; a fault indicates a generator bug).
+    pub fn run(&self, workload: &Workload) -> Result<PipelineOutcome, SimError> {
+        // Phase 1: the binary, directive-free.
+        let base = workload
+            .program(&vp_workloads::InputSet::train(0))
+            .without_directives();
+
+        // Phase 2: profile under each training input.
+        let mut images = Vec::with_capacity(self.config.train_runs as usize);
+        for input in vp_workloads::InputSet::train_set(self.config.train_runs) {
+            let program = workload.program(&input);
+            let mut collector = ProfileCollector::new(format!("{}/{input}", workload.name()));
+            run(&program, &mut collector, self.config.limits)?;
+            images.push(collector.into_image());
+        }
+        let merged = merge::intersect_and_sum(&images);
+
+        // Phase 3: insert directives.
+        let annotated = annotate(&base, &merged.image, &self.config.policy);
+
+        Ok(PipelineOutcome {
+            images,
+            merged: merged.image,
+            omitted: merged.omitted,
+            annotated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::encode::text_delta;
+    use vp_workloads::WorkloadKind;
+
+    fn quick(kind: WorkloadKind, threshold: f64) -> PipelineOutcome {
+        let pipeline = ProfileGuidedPipeline::new(PipelineConfig {
+            train_runs: 2,
+            policy: ThresholdPolicy::new(threshold),
+            limits: RunLimits::default(),
+        });
+        pipeline.run(&Workload::new(kind)).unwrap()
+    }
+
+    #[test]
+    fn pipeline_tags_ijpeg_loop_machinery() {
+        let out = quick(WorkloadKind::Ijpeg, 0.9);
+        let summary = out.annotated.summary();
+        assert!(summary.stride_tagged >= 5, "{summary}");
+        assert!(summary.below_threshold > 0, "{summary}");
+        // ijpeg's sample loads and accumulations must not qualify at 90%.
+        assert!(summary.tagged() < summary.producers());
+    }
+
+    #[test]
+    fn pipeline_output_differs_only_in_directive_bits() {
+        let out = quick(WorkloadKind::Compress, 0.8);
+        let base = Workload::new(WorkloadKind::Compress).program(&vp_workloads::InputSet::train(0));
+        let deltas = text_delta(&base, out.annotated.program()).unwrap();
+        assert!(!deltas.is_empty());
+        assert!(deltas.iter().all(|d| d.directive_only));
+    }
+
+    #[test]
+    fn merged_profile_covers_every_run() {
+        let out = quick(WorkloadKind::M88ksim, 0.9);
+        assert_eq!(out.images.len(), 2);
+        let total: u64 = out.images.iter().map(|i| i.total_execs()).sum();
+        assert_eq!(out.merged.total_execs() + omitted_execs(&out), total);
+    }
+
+    fn omitted_execs(out: &PipelineOutcome) -> u64 {
+        // Executions of instructions dropped by intersection.
+        out.images
+            .iter()
+            .flat_map(|img| img.iter())
+            .filter(|(a, _)| out.merged.get(*a).is_none())
+            .map(|(_, r)| r.execs)
+            .sum()
+    }
+}

@@ -1,0 +1,246 @@
+//! Memoised experiment context.
+//!
+//! The evaluation section re-uses the same expensive artifacts — five
+//! training-run profile images per workload, merged profiles, annotated
+//! binaries — across many tables and figures. A [`Suite`] computes each
+//! artifact once and hands out clones.
+
+use std::collections::HashMap;
+
+use vp_compiler::{annotate, AnnotationSummary, ThresholdPolicy};
+use vp_ilp::{IlpAnalyzer, IlpConfig, IlpResult};
+use vp_isa::Program;
+use vp_predictor::{PredictorConfig, PredictorStats};
+use vp_profile::{merge, ProfileCollector, ProfileImage};
+use vp_sim::{run, RunLimits};
+use vp_workloads::{InputSet, Workload, WorkloadKind};
+
+use crate::PredictorTracer;
+
+/// Threshold key with stable hashing (per-mille accuracy).
+fn th_key(threshold: f64) -> u32 {
+    (threshold * 1000.0).round() as u32
+}
+
+/// A memoising context for the whole evaluation.
+///
+/// All methods take `&mut self` (they may fill caches) and return owned
+/// values; profile images and programs are small enough that cloning is
+/// negligible next to simulation.
+pub struct Suite {
+    limits: RunLimits,
+    train_runs: u32,
+    train_images: HashMap<WorkloadKind, Vec<ProfileImage>>,
+    reference_images: HashMap<WorkloadKind, ProfileImage>,
+    phase_images: HashMap<WorkloadKind, (ProfileImage, ProfileImage)>,
+    annotated: HashMap<(WorkloadKind, u32), (Program, AnnotationSummary)>,
+}
+
+impl Suite {
+    /// A suite with the paper's parameters (5 training runs).
+    #[must_use]
+    pub fn new() -> Self {
+        Suite::with_train_runs(Workload::PAPER_TRAIN_RUNS)
+    }
+
+    /// A suite with an abbreviated number of training runs (for tests).
+    #[must_use]
+    pub fn with_train_runs(train_runs: u32) -> Self {
+        assert!(train_runs >= 1, "at least one training run required");
+        Suite {
+            limits: RunLimits::default(),
+            train_runs,
+            train_images: HashMap::new(),
+            reference_images: HashMap::new(),
+            phase_images: HashMap::new(),
+            annotated: HashMap::new(),
+        }
+    }
+
+    /// Number of training runs per workload.
+    #[must_use]
+    pub fn train_runs(&self) -> u32 {
+        self.train_runs
+    }
+
+    fn profile_once(limits: RunLimits, workload: &Workload, input: &InputSet) -> ProfileImage {
+        let program = workload.program(input);
+        let mut collector = ProfileCollector::new(format!("{}/{input}", workload.name()));
+        run(&program, &mut collector, limits)
+            .unwrap_or_else(|e| panic!("{} faulted while profiling: {e}", workload.name()));
+        collector.into_image()
+    }
+
+    /// Profile images of the training runs (phase 2), one per input.
+    pub fn train_images(&mut self, kind: WorkloadKind) -> Vec<ProfileImage> {
+        let limits = self.limits;
+        let runs = self.train_runs;
+        self.train_images
+            .entry(kind)
+            .or_insert_with(|| {
+                let w = Workload::new(kind);
+                InputSet::train_set(runs)
+                    .iter()
+                    .map(|input| Self::profile_once(limits, &w, input))
+                    .collect()
+            })
+            .clone()
+    }
+
+    /// The intersected-and-summed training profile the compiler consumes.
+    pub fn merged_image(&mut self, kind: WorkloadKind) -> ProfileImage {
+        let images = self.train_images(kind);
+        merge::intersect_and_sum(&images).image
+    }
+
+    /// A profile image of the held-out reference run (used by the
+    /// Section 2 characterisation tables/figures).
+    pub fn reference_image(&mut self, kind: WorkloadKind) -> ProfileImage {
+        let limits = self.limits;
+        self.reference_images
+            .entry(kind)
+            .or_insert_with(|| {
+                Self::profile_once(limits, &Workload::new(kind), &InputSet::reference())
+            })
+            .clone()
+    }
+
+    /// For FP workloads: `(init, computation)` phase images of the
+    /// reference run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no phase split (only `mgrid` does).
+    pub fn reference_phase_images(&mut self, kind: WorkloadKind) -> (ProfileImage, ProfileImage) {
+        let limits = self.limits;
+        self.phase_images
+            .entry(kind)
+            .or_insert_with(|| {
+                let w = Workload::new(kind);
+                let split = w
+                    .phase_split()
+                    .unwrap_or_else(|| panic!("{kind} has no phase split"));
+                let program = w.program(&InputSet::reference());
+                let mut collector = ProfileCollector::with_phase_split(w.name().to_owned(), split);
+                run(&program, &mut collector, limits)
+                    .unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
+                collector.into_phase_images()
+            })
+            .clone()
+    }
+
+    /// The phase-3 annotated binary (trained on the training inputs) plus
+    /// the annotation report, for one accuracy threshold.
+    pub fn annotated(
+        &mut self,
+        kind: WorkloadKind,
+        threshold: f64,
+    ) -> (Program, AnnotationSummary) {
+        if let Some(hit) = self.annotated.get(&(kind, th_key(threshold))) {
+            return hit.clone();
+        }
+        let merged = self.merged_image(kind);
+        let base = Workload::new(kind)
+            .program(&InputSet::train(0))
+            .without_directives();
+        let out = annotate(&base, &merged, &ThresholdPolicy::new(threshold));
+        let value = (out.program().clone(), *out.summary());
+        self.annotated
+            .insert((kind, th_key(threshold)), value.clone());
+        value
+    }
+
+    /// The reference-input program, carrying directives from the training
+    /// profile when `threshold` is given (the evaluation configuration:
+    /// train on training inputs, run on the reference input).
+    pub fn reference_program(&mut self, kind: WorkloadKind, threshold: Option<f64>) -> Program {
+        let fresh = Workload::new(kind).program(&InputSet::reference());
+        match threshold {
+            None => fresh,
+            Some(th) => {
+                let (tagged, _) = self.annotated(kind, th);
+                fresh.with_directives(|addr, _| tagged.text()[addr.index() as usize].directive)
+            }
+        }
+    }
+
+    /// Runs the reference input through a predictor configuration and
+    /// returns the predictor statistics. `threshold` selects the annotated
+    /// binary (profile-guided classification) or the bare one (hardware
+    /// classification).
+    pub fn predictor_stats(
+        &mut self,
+        kind: WorkloadKind,
+        config: PredictorConfig,
+        threshold: Option<f64>,
+    ) -> PredictorStats {
+        let program = self.reference_program(kind, threshold);
+        let mut tracer = PredictorTracer::new(config.build());
+        run(&program, &mut tracer, self.limits).unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
+        tracer.into_stats()
+    }
+
+    /// Replays the reference input through the abstract ILP machine.
+    pub fn ilp(
+        &mut self,
+        kind: WorkloadKind,
+        config: IlpConfig,
+        threshold: Option<f64>,
+    ) -> IlpResult {
+        let program = self.reference_program(kind, threshold);
+        let mut analyzer = IlpAnalyzer::new(config);
+        run(&program, &mut analyzer, self.limits).unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
+        analyzer.finish()
+    }
+}
+
+impl Default for Suite {
+    fn default() -> Self {
+        Suite::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_images_are_memoised() {
+        let mut s = Suite::with_train_runs(2);
+        let a = s.train_images(WorkloadKind::Compress);
+        let b = s.train_images(WorkloadKind::Compress);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn annotated_threshold_monotonicity() {
+        let mut s = Suite::with_train_runs(2);
+        let (_, strict) = s.annotated(WorkloadKind::Ijpeg, 0.9);
+        let (_, lax) = s.annotated(WorkloadKind::Ijpeg, 0.5);
+        assert!(lax.tagged() >= strict.tagged());
+    }
+
+    #[test]
+    fn reference_program_carries_directives_only_when_asked() {
+        let mut s = Suite::with_train_runs(2);
+        let bare = s.reference_program(WorkloadKind::M88ksim, None);
+        let tagged = s.reference_program(WorkloadKind::M88ksim, Some(0.9));
+        assert_eq!(bare.directive_counts().1 + bare.directive_counts().2, 0);
+        let (_, lv, st) = tagged.directive_counts();
+        assert!(lv + st > 0, "m88ksim must have predictable instructions");
+        // Same text modulo directives, reference data.
+        assert_eq!(bare.len(), tagged.len());
+        assert_eq!(bare.data(), tagged.data());
+    }
+
+    #[test]
+    fn mgrid_phase_images_are_disjoint() {
+        let mut s = Suite::with_train_runs(1);
+        let (init, comp) = s.reference_phase_images(WorkloadKind::Mgrid);
+        assert!(!init.is_empty() && !comp.is_empty());
+        for (addr, _) in init.iter() {
+            assert!(comp.get(addr).is_none(), "{addr} in both phases");
+        }
+    }
+}

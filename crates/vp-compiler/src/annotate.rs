@@ -1,0 +1,314 @@
+//! The annotation pass itself.
+
+use std::fmt;
+
+use vp_isa::{Directive, Program};
+use vp_profile::ProfileImage;
+
+use crate::ThresholdPolicy;
+
+/// Counts of what the pass did, per directive outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnotationSummary {
+    /// Value producers tagged `stride`.
+    pub stride_tagged: usize,
+    /// Value producers tagged `last-value`.
+    pub last_value_tagged: usize,
+    /// Value producers left untagged because their profiled accuracy was
+    /// below the threshold (or they failed the execution floor).
+    pub below_threshold: usize,
+    /// Value producers never observed in the training runs.
+    pub unprofiled: usize,
+    /// Dynamic training executions of tagged instructions.
+    pub tagged_execs: u64,
+    /// Dynamic training executions of all profiled value producers.
+    pub total_execs: u64,
+}
+
+impl AnnotationSummary {
+    /// Total tagged instructions.
+    #[must_use]
+    pub fn tagged(&self) -> usize {
+        self.stride_tagged + self.last_value_tagged
+    }
+
+    /// Total static value producers considered.
+    #[must_use]
+    pub fn producers(&self) -> usize {
+        self.tagged() + self.below_threshold + self.unprofiled
+    }
+
+    /// The *dynamic candidate fraction*: the share of dynamic
+    /// value-producing executions that remain prediction-table allocation
+    /// candidates after tagging (estimated from the training profile).
+    ///
+    /// The hardware-only classifier admits every producer, so this is
+    /// directly comparable to the paper's Table 5.1 ("the fraction of
+    /// potential candidates to be allocated relative to those in the
+    /// saturated counters").
+    #[must_use]
+    pub fn dynamic_candidate_fraction(&self) -> f64 {
+        if self.total_execs == 0 {
+            0.0
+        } else {
+            self.tagged_execs as f64 / self.total_execs as f64
+        }
+    }
+}
+
+impl fmt::Display for AnnotationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stride + {} last-value tagged of {} producers ({} below threshold, {} unprofiled); dynamic candidate fraction {:.1}%",
+            self.stride_tagged,
+            self.last_value_tagged,
+            self.producers(),
+            self.below_threshold,
+            self.unprofiled,
+            100.0 * self.dynamic_candidate_fraction()
+        )
+    }
+}
+
+/// An annotated binary plus the pass report.
+#[derive(Debug, Clone)]
+pub struct Annotated {
+    program: Program,
+    summary: AnnotationSummary,
+    policy: ThresholdPolicy,
+}
+
+impl Annotated {
+    /// The phase-3 binary (directive bits set, nothing else changed).
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Consumes self, returning the annotated program.
+    #[must_use]
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// What the pass did.
+    #[must_use]
+    pub fn summary(&self) -> &AnnotationSummary {
+        &self.summary
+    }
+
+    /// The policy the pass ran with.
+    #[must_use]
+    pub fn policy(&self) -> ThresholdPolicy {
+        self.policy
+    }
+}
+
+/// Runs the phase-3 pass: tags every value-producing instruction of
+/// `program` according to `image` and `policy`.
+///
+/// The output program is identical to the input except for directive bits —
+/// a property checked by `vp_isa::encode::text_delta` in this crate's tests.
+#[must_use]
+pub fn annotate(program: &Program, image: &ProfileImage, policy: &ThresholdPolicy) -> Annotated {
+    let mut summary = AnnotationSummary::default();
+    let annotated = program.with_directives(|addr, _| match image.get(addr) {
+        None => {
+            summary.unprofiled += 1;
+            Directive::None
+        }
+        Some(rec) => {
+            summary.total_execs += rec.execs;
+            if rec.execs >= policy.min_execs().max(1)
+                && rec.stride_accuracy() >= policy.accuracy_threshold()
+            {
+                summary.tagged_execs += rec.execs;
+                if rec.stride_efficiency_ratio() > policy.stride_ratio_threshold() {
+                    summary.stride_tagged += 1;
+                    Directive::Stride
+                } else {
+                    summary.last_value_tagged += 1;
+                    Directive::LastValue
+                }
+            } else {
+                summary.below_threshold += 1;
+                Directive::None
+            }
+        }
+    });
+    Annotated {
+        program: annotated,
+        summary,
+        policy: *policy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::asm::assemble;
+    use vp_isa::encode::text_delta;
+    use vp_isa::InstrAddr;
+    use vp_profile::{InstrProfile, VpCategory};
+
+    /// The paper's running example: the A[x] = B[x] + C[x] loop of §3.2.
+    fn paper_example() -> Program {
+        assemble(
+            "\
+.name paper_example
+.zero 48
+  li   r1, 0          ; i (B index)
+  li   r2, 16         ; j (C index)
+  li   r3, 32         ; k (A index)
+  li   r4, 48         ; loop bound on i
+top:
+  ld   r5, (r1)       ; load B[i]            @4
+  ld   r6, (r2)       ; load C[j]            @5
+  addi r2, r2, 1      ; increment j          @6
+  add  r7, r5, r6     ; A[k] = B[i] + C[j]   @7
+  sd   r7, (r3)       ; store A[k]           @8
+  addi r3, r3, 1      ; increment k          @9
+  addi r1, r1, 1      ; increment i          @10
+  bne  r1, r4, top
+  halt
+",
+        )
+        .unwrap()
+    }
+
+    fn synthetic_image(program: &Program) -> ProfileImage {
+        // Hand-built profile shaped like the paper's Table 3.1: the three
+        // index increments are ~100% stride-predictable; loads and the sum
+        // are poorly predictable.
+        let mut img = ProfileImage::new("synthetic");
+        let rows: &[(u32, u64, u64, u64)] = &[
+            (4, 16, 2, 0),    // ld B[i]: 12.5% accuracy
+            (5, 16, 6, 1),    // ld C[j]: 37.5%
+            (6, 16, 15, 15),  // addi j:  93.75%, stride
+            (7, 16, 3, 0),    // add sum: 18.75%
+            (9, 16, 15, 15),  // addi k
+            (10, 16, 15, 15), // addi i
+        ];
+        for &(addr, execs, correct, nonzero) in rows {
+            img.insert(
+                InstrAddr::new(addr),
+                InstrProfile {
+                    category: VpCategory::IntAlu,
+                    execs,
+                    stride_correct: correct,
+                    nonzero_stride_correct: nonzero,
+                    last_value_correct: 0,
+                },
+            );
+        }
+        let _ = program;
+        img
+    }
+
+    #[test]
+    fn reproduces_the_papers_example_tagging() {
+        let program = paper_example();
+        let image = synthetic_image(&program);
+        let out = annotate(&program, &image, &ThresholdPolicy::new(0.9));
+        let text = out.program().text();
+        // "the compiler would modify the opcodes of the add operations in
+        // addresses 3, 7, and 9 and insert ... the stride directive. All
+        // other instructions are unaffected." (our addresses 6, 9, 10)
+        assert_eq!(text[6].directive, Directive::Stride);
+        assert_eq!(text[9].directive, Directive::Stride);
+        assert_eq!(text[10].directive, Directive::Stride);
+        for addr in [4usize, 5, 7, 8, 11] {
+            assert_eq!(text[addr].directive, Directive::None, "@{addr}");
+        }
+        assert_eq!(out.summary().stride_tagged, 3);
+        assert_eq!(out.summary().below_threshold, 3);
+    }
+
+    #[test]
+    fn lowering_the_threshold_admits_more() {
+        let program = paper_example();
+        let image = synthetic_image(&program);
+        let mut last = 0;
+        for th in ThresholdPolicy::PAPER_SWEEP {
+            let out = annotate(&program, &image, &ThresholdPolicy::new(th));
+            assert!(
+                out.summary().tagged() >= last,
+                "tagging must widen as th drops"
+            );
+            last = out.summary().tagged();
+        }
+        // At 10% even the C[j] load qualifies.
+        let out = annotate(&program, &image, &ThresholdPolicy::new(0.1));
+        assert_eq!(out.program().text()[5].directive, Directive::LastValue);
+    }
+
+    #[test]
+    fn pass_changes_only_directive_bits() {
+        let program = paper_example();
+        let image = synthetic_image(&program);
+        let out = annotate(&program, &image, &ThresholdPolicy::new(0.5));
+        let deltas = text_delta(&program, out.program()).unwrap();
+        assert!(!deltas.is_empty());
+        assert!(deltas.iter().all(|d| d.directive_only));
+        // And the data segment is untouched.
+        assert_eq!(program.data(), out.program().data());
+    }
+
+    #[test]
+    fn stride_ratio_picks_directive_kind() {
+        let program = assemble("li r1, 1\nhalt\n").unwrap();
+        let mut image = ProfileImage::new("t");
+        image.insert(
+            InstrAddr::new(0),
+            InstrProfile {
+                category: VpCategory::IntAlu,
+                execs: 100,
+                stride_correct: 95,
+                nonzero_stride_correct: 10, // mostly zero-stride repeats
+                last_value_correct: 90,
+            },
+        );
+        let out = annotate(&program, &image, &ThresholdPolicy::new(0.9));
+        assert_eq!(out.program().text()[0].directive, Directive::LastValue);
+        assert_eq!(out.summary().last_value_tagged, 1);
+    }
+
+    #[test]
+    fn unprofiled_producers_stay_untagged() {
+        let program = assemble("li r1, 1\nli r2, 2\nhalt\n").unwrap();
+        let image = ProfileImage::new("empty");
+        let out = annotate(&program, &image, &ThresholdPolicy::new(0.5));
+        assert_eq!(out.summary().unprofiled, 2);
+        assert_eq!(out.summary().tagged(), 0);
+    }
+
+    #[test]
+    fn min_execs_floor_blocks_rare_instructions() {
+        let program = assemble("li r1, 1\nhalt\n").unwrap();
+        let mut image = ProfileImage::new("t");
+        image.insert(
+            InstrAddr::new(0),
+            InstrProfile {
+                category: VpCategory::IntAlu,
+                execs: 3,
+                stride_correct: 3,
+                nonzero_stride_correct: 3,
+                last_value_correct: 0,
+            },
+        );
+        let strict = ThresholdPolicy::new(0.9).with_min_execs(10);
+        assert_eq!(annotate(&program, &image, &strict).summary().tagged(), 0);
+        let lax = ThresholdPolicy::new(0.9);
+        assert_eq!(annotate(&program, &image, &lax).summary().tagged(), 1);
+    }
+
+    #[test]
+    fn dynamic_candidate_fraction_reflects_tagged_execs() {
+        let program = paper_example();
+        let image = synthetic_image(&program);
+        let out = annotate(&program, &image, &ThresholdPolicy::new(0.9));
+        // 3 of 6 producers tagged, all with equal exec counts.
+        assert!((out.summary().dynamic_candidate_fraction() - 0.5).abs() < 1e-12);
+    }
+}

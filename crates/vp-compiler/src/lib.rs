@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # vp-compiler — the phase-3 directive annotation pass
+//!
+//! The paper's final phase: "the compiler only inserts directives in the
+//! opcode of instructions. It does not perform instruction scheduling or any
+//! form of code movement." Given a phase-1 binary and a phase-2
+//! [`vp_profile::ProfileImage`], this crate re-emits the binary with
+//! [`vp_isa::Directive`] bits chosen by a user-controlled
+//! [`ThresholdPolicy`]:
+//!
+//! - instructions whose profiled prediction accuracy is **at or above** the
+//!   accuracy threshold are tagged;
+//! - the *kind* of tag follows the stride efficiency ratio — above the
+//!   stride threshold (the paper's heuristic uses 50%) means `stride`,
+//!   otherwise `last-value`;
+//! - everything else (including instructions never seen in training) stays
+//!   untagged and will never be allocated in the prediction table.
+//!
+//! ## Example
+//!
+//! ```
+//! use vp_isa::asm::assemble;
+//! use vp_sim::{run, RunLimits};
+//! use vp_profile::ProfileCollector;
+//! use vp_compiler::{annotate, ThresholdPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("li r1, 0\nli r2, 100\ntop: addi r1, r1, 1\nbne r1, r2, top\nhalt\n")?;
+//! let mut c = ProfileCollector::new("train");
+//! run(&program, &mut c, RunLimits::default())?;
+//! let image = c.into_image();
+//!
+//! let annotated = annotate(&program, &image, &ThresholdPolicy::new(0.9));
+//! // The loop-index increment becomes `addi.st`.
+//! assert_eq!(annotated.program().text()[2].directive, vp_isa::Directive::Stride);
+//! assert_eq!(annotated.summary().stride_tagged, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod annotate;
+pub mod policy;
+
+pub use annotate::{annotate, Annotated, AnnotationSummary};
+pub use policy::ThresholdPolicy;

@@ -1,0 +1,126 @@
+//! The user-supplied classification thresholds.
+
+use std::fmt;
+
+/// Thresholds steering the annotation pass.
+///
+/// The paper's §3.2: "the compiler can determine which instructions are
+/// inserted with the special directives according to the profile image file
+/// and a threshold value supplied by the user", with a second (typically
+/// 50%) threshold on the stride efficiency ratio selecting between the
+/// `stride` and `last-value` directive kinds.
+///
+/// # Examples
+///
+/// ```
+/// use vp_compiler::ThresholdPolicy;
+/// let p = ThresholdPolicy::new(0.9);
+/// assert_eq!(p.accuracy_threshold(), 0.9);
+/// assert_eq!(p.stride_ratio_threshold(), 0.5);
+/// let strict = ThresholdPolicy::new(0.8).with_min_execs(100);
+/// assert_eq!(strict.min_execs(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdPolicy {
+    accuracy_threshold: f64,
+    stride_ratio_threshold: f64,
+    min_execs: u64,
+}
+
+impl ThresholdPolicy {
+    /// The threshold sweep the paper evaluates: 90%, 80%, 70%, 60%, 50%.
+    pub const PAPER_SWEEP: [f64; 5] = [0.9, 0.8, 0.7, 0.6, 0.5];
+
+    /// Creates a policy with the given accuracy threshold (in `[0, 1]`),
+    /// the paper's 50% stride-ratio heuristic and no execution floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy_threshold` is outside `[0, 1]` or NaN.
+    #[must_use]
+    pub fn new(accuracy_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&accuracy_threshold),
+            "accuracy threshold {accuracy_threshold} outside [0, 1]"
+        );
+        ThresholdPolicy {
+            accuracy_threshold,
+            stride_ratio_threshold: 0.5,
+            min_execs: 0,
+        }
+    }
+
+    /// Overrides the stride-ratio threshold used to pick the directive kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]` or NaN.
+    #[must_use]
+    pub fn with_stride_ratio_threshold(mut self, t: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&t),
+            "stride ratio threshold {t} outside [0, 1]"
+        );
+        self.stride_ratio_threshold = t;
+        self
+    }
+
+    /// Requires at least `min_execs` training executions before an
+    /// instruction may be tagged.
+    #[must_use]
+    pub fn with_min_execs(mut self, min_execs: u64) -> Self {
+        self.min_execs = min_execs;
+        self
+    }
+
+    /// The accuracy threshold, in `[0, 1]`.
+    #[must_use]
+    pub fn accuracy_threshold(&self) -> f64 {
+        self.accuracy_threshold
+    }
+
+    /// The stride-ratio threshold, in `[0, 1]`.
+    #[must_use]
+    pub fn stride_ratio_threshold(&self) -> f64 {
+        self.stride_ratio_threshold
+    }
+
+    /// The training-execution floor.
+    #[must_use]
+    pub fn min_execs(&self) -> u64 {
+        self.min_execs
+    }
+}
+
+impl fmt::Display for ThresholdPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "th={:.0}%", 100.0 * self.accuracy_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_is_descending() {
+        assert!(ThresholdPolicy::PAPER_SWEEP.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_accuracy_panics() {
+        let _ = ThresholdPolicy::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_stride_ratio_panics() {
+        let _ = ThresholdPolicy::new(0.9).with_stride_ratio_threshold(-0.1);
+    }
+
+    #[test]
+    fn display_shows_percent() {
+        assert_eq!(ThresholdPolicy::new(0.7).to_string(), "th=70%");
+    }
+}

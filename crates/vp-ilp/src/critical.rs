@@ -1,0 +1,244 @@
+//! Critical-path analysis: *which* instructions bind the schedule.
+//!
+//! The paper's conclusions name this as ongoing work: "the effect of the
+//! profiling information on the scheduling of instructions within a basic
+//! block and the analysis of the critical path". This module performs that
+//! analysis on the abstract machine: for every dynamic instruction it
+//! determines the *binding constraint* of its issue — the window, a
+//! register operand, or a memory dependence — and charges the constraint
+//! to the static instruction that produced it.
+//!
+//! Joining the result against a profile image answers the question Table
+//! 5.2 leaves implicit: a workload gains from value prediction exactly to
+//! the extent that its critical producers are value-predictable.
+
+use std::collections::HashMap;
+
+use vp_isa::{InstrAddr, Reg, RegClass};
+use vp_sim::{Retirement, Tracer};
+
+use crate::SlidingWindow;
+
+/// What bound an instruction's issue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// Nothing bound it (all operands ready at dispatch, empty window).
+    Free,
+    /// The finite instruction window (fetch could not run further ahead).
+    Window,
+    /// A register operand produced by the given static instruction.
+    Producer(InstrAddr),
+    /// A store-to-load memory dependence on the given static store.
+    Memory(InstrAddr),
+}
+
+/// Accumulated criticality statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalityReport {
+    /// Dynamic instructions analysed.
+    pub instructions: u64,
+    /// Issues bound by the window (or free).
+    pub structural: u64,
+    /// Issues bound per producing static instruction (register or memory).
+    pub by_producer: HashMap<InstrAddr, u64>,
+}
+
+impl CriticalityReport {
+    /// Issues bound by a data dependence (any producer).
+    #[must_use]
+    pub fn data_bound(&self) -> u64 {
+        self.by_producer.values().sum()
+    }
+
+    /// The producers ranked by how often they bound an issue, descending.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<(InstrAddr, u64)> {
+        let mut v: Vec<(InstrAddr, u64)> = self.by_producer.iter().map(|(&a, &n)| (a, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The fraction of data-bound issues charged to producers accepted by
+    /// `predictable` — with a profile-image closure this is "how much of
+    /// the critical path is value-predictable".
+    #[must_use]
+    pub fn predictable_fraction(&self, mut predictable: impl FnMut(InstrAddr) -> bool) -> f64 {
+        let data = self.data_bound();
+        if data == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .by_producer
+            .iter()
+            .filter(|(&a, _)| predictable(a))
+            .map(|(_, &n)| n)
+            .sum();
+        hits as f64 / data as f64
+    }
+}
+
+/// A tracer running the §5.3 dataflow schedule (no value prediction) while
+/// attributing every issue's binding constraint.
+///
+/// # Examples
+///
+/// ```
+/// use vp_isa::asm::assemble;
+/// use vp_sim::{run, RunLimits};
+/// use vp_ilp::critical::CriticalPathAnalyzer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("li r1, 0\nli r2, 500\ntop: addi r1, r1, 1\nbne r1, r2, top\nhalt\n")?;
+/// let mut a = CriticalPathAnalyzer::new(40);
+/// run(&p, &mut a, RunLimits::default())?;
+/// let report = a.finish();
+/// // The loop-index increment at @2 binds almost every issue.
+/// assert_eq!(report.ranked()[0].0, vp_isa::InstrAddr::new(2));
+/// # Ok(())
+/// # }
+/// ```
+pub struct CriticalPathAnalyzer {
+    window: SlidingWindow,
+    int_ready: [(u64, Option<InstrAddr>); vp_isa::reg::NUM_REGS],
+    fp_ready: [(u64, Option<InstrAddr>); vp_isa::reg::NUM_REGS],
+    mem_ready: HashMap<u64, (u64, InstrAddr)>,
+    report: CriticalityReport,
+}
+
+impl CriticalPathAnalyzer {
+    /// Creates an analyzer with the given window size.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        CriticalPathAnalyzer {
+            window: SlidingWindow::new(window),
+            int_ready: [(0, None); vp_isa::reg::NUM_REGS],
+            fp_ready: [(0, None); vp_isa::reg::NUM_REGS],
+            mem_ready: HashMap::new(),
+            report: CriticalityReport::default(),
+        }
+    }
+
+    /// Finishes, returning the criticality report.
+    #[must_use]
+    pub fn finish(self) -> CriticalityReport {
+        self.report
+    }
+
+    fn reg_state(&self, class: RegClass, reg: Reg) -> (u64, Option<InstrAddr>) {
+        match class {
+            RegClass::Int if reg.is_zero() => (0, None),
+            RegClass::Int => self.int_ready[usize::from(reg)],
+            RegClass::Fp => self.fp_ready[usize::from(reg)],
+        }
+    }
+}
+
+impl Tracer for CriticalPathAnalyzer {
+    fn retire(&mut self, ev: &Retirement<'_>) {
+        self.report.instructions += 1;
+        let dispatch = self.window.dispatch_bound();
+
+        // Find the binding constraint: the latest-ready input.
+        let mut bound_at = dispatch;
+        let mut constraint = if dispatch == 0 {
+            Constraint::Free
+        } else {
+            Constraint::Window
+        };
+        for src in ev.instr.sources().into_iter().flatten() {
+            let (ready, producer) = self.reg_state(src.0, src.1);
+            if ready > bound_at {
+                bound_at = ready;
+                constraint = match producer {
+                    Some(addr) => Constraint::Producer(addr),
+                    None => Constraint::Free,
+                };
+            }
+        }
+        if let Some(mem) = ev.mem {
+            if !mem.store {
+                if let Some(&(ready, store)) = self.mem_ready.get(&mem.addr) {
+                    if ready > bound_at {
+                        bound_at = ready;
+                        constraint = Constraint::Memory(store);
+                    }
+                }
+            }
+        }
+        match constraint {
+            Constraint::Producer(addr) | Constraint::Memory(addr) => {
+                *self.report.by_producer.entry(addr).or_insert(0) += 1;
+            }
+            Constraint::Window | Constraint::Free => self.report.structural += 1,
+        }
+
+        let completion = bound_at + 1;
+        if let Some((class, reg, _)) = ev.dest {
+            match class {
+                RegClass::Int if reg.is_zero() => {}
+                RegClass::Int => self.int_ready[usize::from(reg)] = (completion, Some(ev.addr)),
+                RegClass::Fp => self.fp_ready[usize::from(reg)] = (completion, Some(ev.addr)),
+            }
+        }
+        if let Some(mem) = ev.mem {
+            if mem.store {
+                self.mem_ready.insert(mem.addr, (completion, ev.addr));
+            }
+        }
+        self.window.push_completion(completion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::asm::assemble;
+    use vp_sim::{run, RunLimits};
+
+    fn analyse(src: &str) -> CriticalityReport {
+        let p = assemble(src).unwrap();
+        let mut a = CriticalPathAnalyzer::new(40);
+        run(&p, &mut a, RunLimits::default()).unwrap();
+        a.finish()
+    }
+
+    #[test]
+    fn serial_chain_charges_its_producer() {
+        let r = analyse("li r1, 0\nli r2, 1000\ntop: addi r1, r1, 1\nbne r1, r2, top\nhalt\n");
+        let ranked = r.ranked();
+        assert_eq!(ranked[0].0, InstrAddr::new(2), "{ranked:?}");
+        // The addi binds both its own next iteration and the bne.
+        assert!(ranked[0].1 > 1500);
+    }
+
+    #[test]
+    fn memory_dependences_charge_the_store() {
+        let r = analyse(
+            "li r1, 0\nli r2, 400\ntop: sd r1, 100(r0)\nld r3, 100(r0)\naddi r1, r1, 1\nbne r1, r2, top\nhalt\n",
+        );
+        // The load at @3 is bound by the store at @2.
+        assert!(
+            r.by_producer.get(&InstrAddr::new(2)).copied().unwrap_or(0) >= 399,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn independent_code_is_structurally_bound() {
+        let mut src = String::new();
+        for i in 0..200 {
+            src.push_str(&format!("li r{}, {i}\n", 1 + i % 31));
+        }
+        src.push_str("halt\n");
+        let r = analyse(&src);
+        assert_eq!(r.data_bound(), 0);
+        assert_eq!(r.structural, r.instructions);
+    }
+
+    #[test]
+    fn predictable_fraction_uses_the_filter() {
+        let r = analyse("li r1, 0\nli r2, 500\ntop: addi r1, r1, 1\nbne r1, r2, top\nhalt\n");
+        assert!(r.predictable_fraction(|a| a == InstrAddr::new(2)) > 0.99);
+        assert_eq!(r.predictable_fraction(|_| false), 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! A small text assembler and disassembler.
+//!
+//! The syntax is what [`crate::Program`]'s `Display` impl prints, so
+//! `assemble(program.to_string())` round-trips. It exists for tests,
+//! examples and for inspecting the workload generators' output; workloads
+//! themselves are built with [`crate::ProgramBuilder`].
+//!
+//! ```text
+//! ; comments run to end of line (also '#')
+//! .name loop_kernel
+//! .data 1 2 3 0x10 -5        ; 64-bit words at address 0
+//! .zero 8                    ; eight zero words
+//! .f64 3.25 -1.0             ; doubles stored as raw bits
+//!         li   r1, 0
+//! top:    addi.st r1, r1, 1  ; '.st'/'.lv' suffix = value-pred directive
+//!         ld   r2, 0(r1)
+//!         bne  r1, r3, top   ; branch targets: label or numeric offset
+//!         halt
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! let p = vp_isa::asm::assemble("li r1, 7\nhalt\n").unwrap();
+//! assert_eq!(p.len(), 2);
+//! let round = vp_isa::asm::assemble(&p.to_string()).unwrap();
+//! assert_eq!(round.text(), p.text());
+//! ```
+
+use std::collections::HashMap;
+
+use crate::opcode::Format;
+use crate::{Directive, Instr, IsaError, Opcode, Program, Reg};
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// [`IsaError::Parse`] with a 1-based line number on any syntax error, and
+/// [`IsaError::UnboundLabel`] for references to labels that are never
+/// defined. Unlike [`crate::ProgramBuilder::build`], a missing `halt` is
+/// *not* an error here: the assembler is also used for fragments.
+pub fn assemble(src: &str) -> Result<Program, IsaError> {
+    Assembler::default().run(src)
+}
+
+/// Renders a program in assembler syntax. Equivalent to `program.to_string()`.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    program.to_string()
+}
+
+#[derive(Default)]
+struct Assembler {
+    name: String,
+    text: Vec<Instr>,
+    data: Vec<u64>,
+    labels: HashMap<String, u32>,
+    // (site, label-name, source-line)
+    fixups: Vec<(u32, String, usize)>,
+}
+
+impl Assembler {
+    fn run(mut self, src: &str) -> Result<Program, IsaError> {
+        self.name = "asm".to_owned();
+        for (lineno, raw) in src.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.line(line, lineno)?;
+        }
+        for (site, label, line) in std::mem::take(&mut self.fixups) {
+            let target = *self.labels.get(&label).ok_or(IsaError::Parse {
+                line,
+                message: format!("undefined label `{label}`"),
+            })?;
+            self.text[site as usize].imm = i64::from(target) - i64::from(site);
+        }
+        Ok(Program::new(self.name, self.text, self.data))
+    }
+
+    fn line(&mut self, mut line: &str, lineno: usize) -> Result<(), IsaError> {
+        // Leading `label:` (possibly followed by an instruction).
+        if let Some(colon) = line.find(':') {
+            let (head, rest) = line.split_at(colon);
+            if is_ident(head.trim()) {
+                let label = head.trim().to_owned();
+                if self
+                    .labels
+                    .insert(label.clone(), self.text.len() as u32)
+                    .is_some()
+                {
+                    return Err(err(lineno, format!("label `{label}` defined twice")));
+                }
+                line = rest[1..].trim();
+                if line.is_empty() {
+                    return Ok(());
+                }
+            }
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            return self.dot_directive(rest, lineno);
+        }
+        self.instruction(line, lineno)
+    }
+
+    fn dot_directive(&mut self, rest: &str, lineno: usize) -> Result<(), IsaError> {
+        let mut parts = rest.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        match kind {
+            "name" => {
+                self.name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, ".name needs an identifier".into()))?
+                    .to_owned();
+                Ok(())
+            }
+            "data" => {
+                for tok in parts {
+                    self.data.push(parse_word(tok, lineno)?);
+                }
+                Ok(())
+            }
+            "zero" => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, ".zero needs a count".into()))?;
+                self.data.extend(std::iter::repeat_n(0, n));
+                Ok(())
+            }
+            "f64" => {
+                for tok in parts {
+                    let v: f64 = tok
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad f64 literal `{tok}`")))?;
+                    self.data.push(v.to_bits());
+                }
+                Ok(())
+            }
+            other => Err(err(lineno, format!("unknown directive `.{other}`"))),
+        }
+    }
+
+    fn instruction(&mut self, line: &str, lineno: usize) -> Result<(), IsaError> {
+        let (head, operands) = match line.find(char::is_whitespace) {
+            Some(i) => (&line[..i], line[i..].trim()),
+            None => (line, ""),
+        };
+        let (mnemonic, directive) = split_directive(head);
+        let op = Opcode::from_mnemonic(mnemonic)
+            .ok_or_else(|| err(lineno, format!("unknown mnemonic `{mnemonic}`")))?;
+        if directive.is_predictable() && !op.writes_dest() {
+            return Err(err(
+                lineno,
+                format!("`{mnemonic}` cannot carry a value-prediction directive"),
+            ));
+        }
+        let ops: Vec<&str> = if operands.is_empty() {
+            Vec::new()
+        } else {
+            operands.split(',').map(str::trim).collect()
+        };
+        let site = self.text.len() as u32;
+        let instr = match op.format() {
+            Format::R3 => {
+                let [a, b, c] = expect::<3>(&ops, lineno)?;
+                Instr::alu_rr(op, reg(a, lineno)?, reg(b, lineno)?, reg(c, lineno)?)
+            }
+            Format::R2Imm => {
+                let [a, b, c] = expect::<3>(&ops, lineno)?;
+                Instr::alu_ri(op, reg(a, lineno)?, reg(b, lineno)?, imm(c, lineno)?)
+            }
+            Format::R2 => {
+                let [a, b] = expect::<2>(&ops, lineno)?;
+                Instr::unary(op, reg(a, lineno)?, reg(b, lineno)?)
+            }
+            Format::RdImm => {
+                let [a, b] = expect::<2>(&ops, lineno)?;
+                let rd = reg(a, lineno)?;
+                if op == Opcode::Jal && is_ident(b) {
+                    self.fixups.push((site, b.to_owned(), lineno));
+                    Instr::rd_imm(op, rd, 0)
+                } else {
+                    Instr::rd_imm(op, rd, imm(b, lineno)?)
+                }
+            }
+            Format::Mem | Format::MemStore => {
+                let [a, b] = expect::<2>(&ops, lineno)?;
+                let r = reg(a, lineno)?;
+                let (off, base) = mem_operand(b, lineno)?;
+                if op.format() == Format::Mem {
+                    Instr::load(op, r, base, off)
+                } else {
+                    Instr::store(op, r, base, off)
+                }
+            }
+            Format::BranchFmt => {
+                let [a, b, c] = expect::<3>(&ops, lineno)?;
+                let (r1, r2) = (reg(a, lineno)?, reg(b, lineno)?);
+                if is_ident(c) {
+                    self.fixups.push((site, c.to_owned(), lineno));
+                    Instr::branch(op, r1, r2, 0)
+                } else {
+                    Instr::branch(op, r1, r2, imm(c, lineno)?)
+                }
+            }
+            Format::NoOperands => {
+                let [] = expect::<0>(&ops, lineno)?;
+                Instr::new(op, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+            }
+        };
+        self.text.push(instr.with_directive(directive));
+        Ok(())
+    }
+}
+
+fn err(line: usize, message: String) -> IsaError {
+    IsaError::Parse { line, message }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        // A bare register name is not a label.
+        && parse_reg(s).is_none()
+}
+
+fn split_directive(head: &str) -> (&str, Directive) {
+    // Careful: `cvt.i.f` contains dots; match known suffixes only.
+    if let Some(m) = head.strip_suffix(".lv") {
+        (m, Directive::LastValue)
+    } else if let Some(m) = head.strip_suffix(".st") {
+        (m, Directive::Stride)
+    } else {
+        (head, Directive::None)
+    }
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    let rest = tok.strip_prefix(['r', 'f'])?;
+    let idx: u8 = rest.parse().ok()?;
+    Reg::try_new(idx)
+}
+
+fn reg(tok: &str, line: usize) -> Result<Reg, IsaError> {
+    parse_reg(tok).ok_or_else(|| err(line, format!("expected register, found `{tok}`")))
+}
+
+fn imm(tok: &str, line: usize) -> Result<i64, IsaError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        tok.parse().ok()
+    };
+    parsed.ok_or_else(|| err(line, format!("expected immediate, found `{tok}`")))
+}
+
+fn parse_word(tok: &str, line: usize) -> Result<u64, IsaError> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad data word `{tok}`")))
+    } else if tok.starts_with('-') {
+        tok.parse::<i64>()
+            .map(|v| v as u64)
+            .map_err(|_| err(line, format!("bad data word `{tok}`")))
+    } else {
+        tok.parse()
+            .map_err(|_| err(line, format!("bad data word `{tok}`")))
+    }
+}
+
+fn mem_operand(tok: &str, line: usize) -> Result<(i64, Reg), IsaError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `imm(reg)`, found `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| err(line, format!("unclosed `(` in `{tok}`")))?;
+    let off = if open == 0 {
+        0
+    } else {
+        imm(&tok[..open], line)?
+    };
+    let base = reg(&tok[open + 1..close], line)?;
+    Ok((off, base))
+}
+
+fn expect<'a, const N: usize>(ops: &[&'a str], line: usize) -> Result<[&'a str; N], IsaError> {
+    <[&'a str; N]>::try_from(ops.to_vec()).map_err(|_| {
+        err(
+            line,
+            format!("expected {N} operand(s), found {}", ops.len()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_every_operand_format() {
+        let src = "\
+.name demo
+.data 5 0x10 -1
+.zero 2
+.f64 2.5
+start:
+  li   r1, 0
+  add  r2, r1, r1
+  addi r2, r2, 7
+  mv   r3, r2
+  ld   r4, 3(r2)
+  sd   r4, (r2)
+  fld  f5, 1(r0)
+  fsd  f5, 0(r0)
+  fadd f6, f5, f5
+  fneg f7, f6
+  cvt.i.f f8, r2
+  cvt.f.i r9, f8
+  beq  r1, r0, start
+  jal  r31, start
+  jalr r0, r31, 0
+  halt
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.name(), "demo");
+        assert_eq!(p.data().len(), 6);
+        assert_eq!(p.data()[2], (-1i64) as u64);
+        assert_eq!(p.data()[5], 2.5f64.to_bits());
+        assert_eq!(p.len(), 16);
+        // Backward label from beq at index 12 to start at 0: -12.
+        assert_eq!(p.text()[12].imm, -12);
+        assert_eq!(p.text()[13].imm, -13);
+    }
+
+    #[test]
+    fn directive_suffixes_parse() {
+        let p = assemble("addi.st r1, r1, 1\nld.lv r2, (r1)\nhalt\n").unwrap();
+        assert_eq!(p.text()[0].directive, Directive::Stride);
+        assert_eq!(p.text()[1].directive, Directive::LastValue);
+        assert_eq!(p.text()[2].directive, Directive::None);
+    }
+
+    #[test]
+    fn directive_on_non_producer_is_rejected() {
+        let e = assemble("sd.st r1, (r2)\n").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn undefined_label_is_reported_with_line() {
+        let e = assemble("beq r0, r0, nowhere\n").unwrap_err();
+        match e {
+            IsaError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("nowhere"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected() {
+        let e = assemble("x:\nx:\nhalt\n").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_rejected() {
+        assert!(assemble("add r1, r2\n").is_err());
+        assert!(assemble("halt r1\n").is_err());
+        assert!(assemble("li r1\n").is_err());
+    }
+
+    #[test]
+    fn numeric_branch_offsets_are_accepted() {
+        let p = assemble("bne r1, r2, -3\n").unwrap();
+        assert_eq!(p.text()[0].imm, -3);
+    }
+
+    #[test]
+    fn display_round_trips_through_assembler() {
+        let src = "\
+.data 9 8 7
+  li r1, 3
+top:
+  addi.st r1, r1, -1
+  ld.lv r2, 1(r1)
+  fadd f3, f3, f3
+  bne r1, r0, top
+  sd r2, (r0)
+  halt
+";
+        let p = assemble(src).unwrap();
+        let round = assemble(&p.to_string()).unwrap();
+        assert_eq!(round.text(), p.text());
+        assert_eq!(round.data(), p.data());
+    }
+
+    #[test]
+    fn label_and_instruction_on_one_line() {
+        let p = assemble("top: addi r1, r1, 1\nbne r1, r0, top\nhalt\n").unwrap();
+        assert_eq!(p.text()[1].imm, -1);
+    }
+}

@@ -1,0 +1,317 @@
+//! An ergonomic program builder with forward-reference labels.
+//!
+//! Workload generators in `vp-workloads` construct their programs through
+//! [`ProgramBuilder`], which plays the role of the paper's phase-1 compiler
+//! back end: it emits straight-line RISC code with resolved branch offsets
+//! and a data image.
+
+use std::collections::HashMap;
+
+use crate::{Instr, InstrAddr, IsaError, Opcode, Program, Reg};
+
+/// A forward-referenceable branch target.
+///
+/// Create with [`ProgramBuilder::new_label`], bind with
+/// [`ProgramBuilder::bind`], reference from branch/jump emitters. Unbound
+/// labels are reported by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s.
+///
+/// # Examples
+///
+/// A count-down loop:
+///
+/// ```
+/// use vp_isa::{ProgramBuilder, Reg, Opcode};
+///
+/// let mut b = ProgramBuilder::new();
+/// let i = Reg::new(1);
+/// b.li(i, 10);
+/// let top = b.bind_new_label();
+/// b.alu_ri(Opcode::Addi, i, i, -1);
+/// b.br(Opcode::Bne, i, Reg::ZERO, top);
+/// b.halt();
+/// let p = b.build().unwrap();
+/// assert_eq!(p.len(), 4);
+/// // The backward branch offset resolved to -1.
+/// assert_eq!(p.text()[2].imm, -1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    text: Vec<Instr>,
+    data: Vec<u64>,
+    bound: HashMap<usize, InstrAddr>,
+    // (site, label) pairs whose imm must become `label - site`.
+    fixups: Vec<(InstrAddr, usize)>,
+    next_label: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the default program name `"anon"`.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder {
+            name: "anon".to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Creates an empty builder with a program name.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Address the next emitted instruction will receive.
+    #[must_use]
+    pub fn here(&self) -> InstrAddr {
+        InstrAddr::new(self.text.len() as u32)
+    }
+
+    /// Emits a raw instruction and returns its address.
+    pub fn emit(&mut self, instr: Instr) -> InstrAddr {
+        let at = self.here();
+        self.text.push(instr);
+        at
+    }
+
+    // ----- labels ---------------------------------------------------------
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a builder bug, not an input
+    /// error).
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.bound.insert(label.0, self.here());
+        assert!(prev.is_none(), "label L{} bound more than once", label.0);
+    }
+
+    /// Convenience: creates a label and binds it here.
+    pub fn bind_new_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    // ----- data segment ---------------------------------------------------
+
+    /// Appends one word to the data image; returns its word address.
+    pub fn data_word(&mut self, w: u64) -> u64 {
+        self.data.push(w);
+        (self.data.len() - 1) as u64
+    }
+
+    /// Appends a block of words; returns the base word address.
+    pub fn data_block(&mut self, words: impl IntoIterator<Item = u64>) -> u64 {
+        let base = self.data.len() as u64;
+        self.data.extend(words);
+        base
+    }
+
+    /// Appends `len` zero words; returns the base word address.
+    pub fn data_zeroed(&mut self, len: usize) -> u64 {
+        self.data_block(std::iter::repeat_n(0, len))
+    }
+
+    /// Appends a block of doubles (stored as raw bits); returns the base.
+    pub fn data_f64(&mut self, values: impl IntoIterator<Item = f64>) -> u64 {
+        self.data_block(values.into_iter().map(f64::to_bits))
+    }
+
+    /// Current length of the data image in words.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    // ----- instruction emitters --------------------------------------------
+
+    /// `li rd, imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) -> InstrAddr {
+        self.emit(Instr::rd_imm(Opcode::Li, rd, imm))
+    }
+
+    /// `mv rd, rs`
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> InstrAddr {
+        self.emit(Instr::unary(Opcode::Mv, rd, rs))
+    }
+
+    /// Register-register ALU / FP arithmetic: `op rd, rs1, rs2`.
+    pub fn alu_rr(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> InstrAddr {
+        self.emit(Instr::alu_rr(op, rd, rs1, rs2))
+    }
+
+    /// Register-immediate ALU: `op rd, rs1, imm`.
+    pub fn alu_ri(&mut self, op: Opcode, rd: Reg, rs1: Reg, imm: i64) -> InstrAddr {
+        self.emit(Instr::alu_ri(op, rd, rs1, imm))
+    }
+
+    /// Unary register ops (`mv`, `fneg`, `fmv`, conversions).
+    pub fn unary(&mut self, op: Opcode, rd: Reg, rs: Reg) -> InstrAddr {
+        self.emit(Instr::unary(op, rd, rs))
+    }
+
+    /// `ld rd, imm(base)`
+    pub fn ld(&mut self, rd: Reg, base: Reg, imm: i64) -> InstrAddr {
+        self.emit(Instr::load(Opcode::Ld, rd, base, imm))
+    }
+
+    /// `sd value, imm(base)`
+    pub fn sd(&mut self, value: Reg, base: Reg, imm: i64) -> InstrAddr {
+        self.emit(Instr::store(Opcode::Sd, value, base, imm))
+    }
+
+    /// `fld rd, imm(base)`
+    pub fn fld(&mut self, rd: Reg, base: Reg, imm: i64) -> InstrAddr {
+        self.emit(Instr::load(Opcode::Fld, rd, base, imm))
+    }
+
+    /// `fsd value, imm(base)`
+    pub fn fsd(&mut self, value: Reg, base: Reg, imm: i64) -> InstrAddr {
+        self.emit(Instr::store(Opcode::Fsd, value, base, imm))
+    }
+
+    /// Conditional branch to a label: `op rs1, rs2, label`.
+    pub fn br(&mut self, op: Opcode, rs1: Reg, rs2: Reg, target: Label) -> InstrAddr {
+        debug_assert!(op.is_branch(), "{op} is not a branch");
+        let at = self.emit(Instr::branch(op, rs1, rs2, 0));
+        self.fixups.push((at, target.0));
+        at
+    }
+
+    /// `jal rd, label`
+    pub fn jal(&mut self, rd: Reg, target: Label) -> InstrAddr {
+        let at = self.emit(Instr::rd_imm(Opcode::Jal, rd, 0));
+        self.fixups.push((at, target.0));
+        at
+    }
+
+    /// `jalr rd, rs1, imm` — indirect jump to the address in `rs1 + imm`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i64) -> InstrAddr {
+        self.emit(Instr::alu_ri(Opcode::Jalr, rd, rs1, imm))
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) -> InstrAddr {
+        self.emit(Instr::nop())
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> InstrAddr {
+        self.emit(Instr::halt())
+    }
+
+    // ----- finalisation -----------------------------------------------------
+
+    /// Resolves label fixups and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// - [`IsaError::UnboundLabel`] if a referenced label was never bound.
+    /// - [`IsaError::MissingHalt`] if the program contains no `halt`
+    ///   instruction anywhere (such a program cannot terminate).
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        for &(site, label) in &self.fixups {
+            let target = *self
+                .bound
+                .get(&label)
+                .ok_or(IsaError::UnboundLabel { label, at: site })?;
+            let delta = i64::from(target.index()) - i64::from(site.index());
+            self.text[site.index() as usize].imm = delta;
+        }
+        if !self.text.iter().any(|i| i.op == Opcode::Halt) {
+            return Err(IsaError::MissingHalt);
+        }
+        Ok(Program::new(self.name, self.text, self.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        let r1 = Reg::new(1);
+        b.li(r1, 3);
+        let top = b.bind_new_label(); // @1
+        b.alu_ri(Opcode::Addi, r1, r1, -1); // @1
+        b.br(Opcode::Beq, r1, Reg::ZERO, end); // @2 -> @4 : +2
+        b.br(Opcode::Bne, r1, Reg::ZERO, top); // @3 -> @1 : -2
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.text()[2].imm, 2);
+        assert_eq!(p.text()[3].imm, -2);
+    }
+
+    #[test]
+    fn unbound_label_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.br(Opcode::Beq, Reg::ZERO, Reg::ZERO, l);
+        b.halt();
+        match b.build() {
+            Err(IsaError::UnboundLabel { at, .. }) => assert_eq!(at, InstrAddr::new(0)),
+            other => panic!("expected UnboundLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_halt_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::new(1), 1);
+        assert_eq!(b.build().unwrap_err(), IsaError::MissingHalt);
+    }
+
+    #[test]
+    fn data_helpers_return_addresses() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.data_word(42), 0);
+        assert_eq!(b.data_block([1, 2, 3]), 1);
+        assert_eq!(b.data_zeroed(2), 4);
+        assert_eq!(b.data_f64([1.5]), 6);
+        assert_eq!(b.data_len(), 7);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.data()[6], 1.5f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound more than once")]
+    fn rebinding_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn jal_fixup_resolves() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label();
+        b.jal(Reg::new(31), f); // @0 -> @2 : +2
+        b.halt(); // @1
+        b.bind(f);
+        b.halt(); // @2
+        let p = b.build().unwrap();
+        assert_eq!(p.text()[0].imm, 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Value-prediction opcode directives.
+//!
+//! Section 3.2 of the paper: the phase-3 compiler "only inserts directives in
+//! the opcode of instructions … The inserted directives act as hints about
+//! the value predictability of instructions that are supplied to the
+//! hardware." Two directive kinds exist — `stride` and `last-value` — and the
+//! absence of both means the instruction is *not recommended* for value
+//! prediction.
+
+use std::fmt;
+
+/// A per-instruction value-predictability hint carried in the opcode.
+///
+/// The default ([`Directive::None`]) marks the instruction as unlikely to be
+/// correctly predicted; the hardware must not allocate it in a prediction
+/// table. The two tagged forms both admit the instruction and additionally
+/// steer it to the matching side of a hybrid predictor.
+///
+/// # Examples
+///
+/// ```
+/// use vp_isa::Directive;
+/// assert!(!Directive::None.is_predictable());
+/// assert!(Directive::Stride.is_predictable());
+/// assert_eq!(Directive::LastValue.to_string(), "lv");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Directive {
+    /// No hint: the instruction is not recommended for value prediction.
+    #[default]
+    None,
+    /// The instruction tends to repeat its most recently produced value.
+    LastValue,
+    /// The instruction tends to produce values separated by a constant,
+    /// non-zero stride.
+    Stride,
+}
+
+impl Directive {
+    /// All directive values, in encoding order.
+    pub const ALL: [Directive; 3] = [Directive::None, Directive::LastValue, Directive::Stride];
+
+    /// Whether the directive recommends the instruction for value prediction.
+    #[must_use]
+    pub fn is_predictable(self) -> bool {
+        self != Directive::None
+    }
+
+    /// The 2-bit field used in the binary instruction encoding.
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        match self {
+            Directive::None => 0,
+            Directive::LastValue => 1,
+            Directive::Stride => 2,
+        }
+    }
+
+    /// Decodes the 2-bit encoding field.
+    ///
+    /// Returns `None` for the reserved pattern `3` (and anything wider than
+    /// two bits).
+    #[must_use]
+    pub fn decode(bits: u8) -> Option<Self> {
+        match bits {
+            0 => Some(Directive::None),
+            1 => Some(Directive::LastValue),
+            2 => Some(Directive::Stride),
+            _ => None,
+        }
+    }
+
+    /// The assembly-syntax suffix for this directive (empty for
+    /// [`Directive::None`]).
+    ///
+    /// The text assembler writes a `stride`-tagged `add` as `add.st` and a
+    /// `last-value`-tagged one as `add.lv`.
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Directive::None => "",
+            Directive::LastValue => ".lv",
+            Directive::Stride => ".st",
+        }
+    }
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Directive::None => "none",
+            Directive::LastValue => "lv",
+            Directive::Stride => "st",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for d in Directive::ALL {
+            assert_eq!(Directive::decode(d.encode()), Some(d));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_reserved_pattern() {
+        assert_eq!(Directive::decode(3), None);
+        assert_eq!(Directive::decode(255), None);
+    }
+
+    #[test]
+    fn predictability() {
+        assert!(!Directive::None.is_predictable());
+        assert!(Directive::LastValue.is_predictable());
+        assert!(Directive::Stride.is_predictable());
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(Directive::default(), Directive::None);
+    }
+
+    #[test]
+    fn suffixes_are_distinct() {
+        assert_eq!(Directive::None.suffix(), "");
+        assert_eq!(Directive::LastValue.suffix(), ".lv");
+        assert_eq!(Directive::Stride.suffix(), ".st");
+    }
+}

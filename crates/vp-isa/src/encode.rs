@@ -1,0 +1,256 @@
+//! Binary instruction encoding.
+//!
+//! Every instruction packs into one 64-bit word:
+//!
+//! ```text
+//!  63        32 31    28 27  26 25   20 19   14 13    8 7      0
+//! +------------+--------+------+-------+-------+-------+--------+
+//! |   imm:i32  | resv=0 | dir  |  rs2  |  rs1  |  rd   | opcode |
+//! +------------+--------+------+-------+-------+-------+--------+
+//! ```
+//!
+//! The two `dir` bits are the **value-prediction directive** field — the
+//! architectural mechanism of the paper's phase 3, analogous to the PowerPC
+//! 601's branch-hint opcode bits. A phase-3 "recompile" therefore changes
+//! only these two bits of each tagged word; `text_delta` in this module
+//! verifies exactly that.
+//!
+//! Encoding canonicalises unused operand fields to zero
+//! ([`crate::Instr::canonical`]), so decode∘encode is the identity on
+//! canonical instructions.
+
+use crate::{Directive, Instr, IsaError, Opcode, Program, Reg};
+
+const OPCODE_SHIFT: u32 = 0;
+const RD_SHIFT: u32 = 8;
+const RS1_SHIFT: u32 = 14;
+const RS2_SHIFT: u32 = 20;
+const DIR_SHIFT: u32 = 26;
+const RESERVED_SHIFT: u32 = 28;
+const IMM_SHIFT: u32 = 32;
+
+const REG_MASK: u64 = 0x3f;
+const DIR_MASK: u64 = 0x3;
+const RESERVED_MASK: u64 = 0xf;
+
+/// Encodes one instruction into a 64-bit word.
+///
+/// The instruction is canonicalised first, so unused operand fields never
+/// leak into the encoding.
+///
+/// # Errors
+///
+/// [`IsaError::ImmOutOfRange`] if the immediate does not fit in 32 signed
+/// bits.
+pub fn encode(instr: &Instr) -> Result<u64, IsaError> {
+    let instr = instr.canonical();
+    let imm32 =
+        i32::try_from(instr.imm).map_err(|_| IsaError::ImmOutOfRange { value: instr.imm })?;
+    let word = u64::from(instr.op as u8) << OPCODE_SHIFT
+        | u64::from(instr.rd.index()) << RD_SHIFT
+        | u64::from(instr.rs1.index()) << RS1_SHIFT
+        | u64::from(instr.rs2.index()) << RS2_SHIFT
+        | u64::from(instr.directive.encode()) << DIR_SHIFT
+        | u64::from(imm32 as u32) << IMM_SHIFT;
+    Ok(word)
+}
+
+/// Decodes one 64-bit word into an instruction.
+///
+/// # Errors
+///
+/// [`IsaError::BadEncoding`] when the opcode byte is unknown, a register
+/// field exceeds 31, the directive field holds the reserved pattern, or the
+/// reserved bits are non-zero.
+pub fn decode(word: u64) -> Result<Instr, IsaError> {
+    let bad = |reason| IsaError::BadEncoding { word, reason };
+    let op = Opcode::from_u8((word >> OPCODE_SHIFT) as u8).ok_or_else(|| bad("unknown opcode"))?;
+    let reg = |shift: u32, what: &'static str| -> Result<Reg, IsaError> {
+        Reg::try_new(((word >> shift) & REG_MASK) as u8)
+            .ok_or(IsaError::BadEncoding { word, reason: what })
+    };
+    let rd = reg(RD_SHIFT, "rd field out of range")?;
+    let rs1 = reg(RS1_SHIFT, "rs1 field out of range")?;
+    let rs2 = reg(RS2_SHIFT, "rs2 field out of range")?;
+    let directive = Directive::decode(((word >> DIR_SHIFT) & DIR_MASK) as u8)
+        .ok_or_else(|| bad("reserved directive pattern"))?;
+    if (word >> RESERVED_SHIFT) & RESERVED_MASK != 0 {
+        return Err(bad("reserved bits set"));
+    }
+    let imm = i64::from((word >> IMM_SHIFT) as u32 as i32);
+    Ok(Instr {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+        directive,
+    }
+    .canonical())
+}
+
+/// Encodes a whole text segment.
+///
+/// # Errors
+///
+/// Propagates the first per-instruction encoding error.
+pub fn encode_text(text: &[Instr]) -> Result<Vec<u64>, IsaError> {
+    text.iter().map(encode).collect()
+}
+
+/// Decodes a whole text segment.
+///
+/// # Errors
+///
+/// Propagates the first per-word decoding error.
+pub fn decode_text(words: &[u64]) -> Result<Vec<Instr>, IsaError> {
+    words.iter().map(|&w| decode(w)).collect()
+}
+
+/// Describes one word that differs between two equal-length binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordDelta {
+    /// Text index of the differing word.
+    pub index: usize,
+    /// XOR of the two encodings.
+    pub xor: u64,
+    /// Whether the difference is confined to the 2-bit directive field.
+    pub directive_only: bool,
+}
+
+/// Diffs two programs' encoded text segments.
+///
+/// Used to demonstrate (and test) that the phase-3 annotation pass rewrites
+/// *only* directive bits: every returned delta from a directive pass has
+/// `directive_only == true`.
+///
+/// # Errors
+///
+/// Propagates encoding errors from either program. Returns
+/// [`IsaError::BadEncoding`] if the text lengths differ (the pass must not
+/// move code).
+pub fn text_delta(before: &Program, after: &Program) -> Result<Vec<WordDelta>, IsaError> {
+    if before.len() != after.len() {
+        return Err(IsaError::BadEncoding {
+            word: 0,
+            reason: "text segments differ in length",
+        });
+    }
+    let a = encode_text(before.text())?;
+    let b = encode_text(after.text())?;
+    Ok(a.iter()
+        .zip(&b)
+        .enumerate()
+        .filter(|(_, (x, y))| x != y)
+        .map(|(index, (x, y))| {
+            let xor = x ^ y;
+            WordDelta {
+                index,
+                xor,
+                directive_only: xor & !(DIR_MASK << DIR_SHIFT) == 0,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_identity_on_samples() {
+        let samples = [
+            Instr::alu_rr(Opcode::Add, Reg::new(1), Reg::new(2), Reg::new(3)),
+            Instr::alu_ri(Opcode::Addi, Reg::new(31), Reg::new(30), -123456),
+            Instr::rd_imm(Opcode::Li, Reg::new(9), i64::from(i32::MIN)),
+            Instr::load(Opcode::Fld, Reg::new(0), Reg::new(7), 88),
+            Instr::store(Opcode::Sd, Reg::new(3), Reg::new(4), -8),
+            Instr::branch(Opcode::Bgeu, Reg::new(11), Reg::new(12), -2048),
+            Instr::halt(),
+            Instr::alu_ri(Opcode::Addi, Reg::new(3), Reg::new(3), 1)
+                .with_directive(Directive::Stride),
+            Instr::unary(Opcode::CvtIf, Reg::new(5), Reg::new(6))
+                .with_directive(Directive::LastValue),
+        ];
+        for ins in samples {
+            let word = encode(&ins).unwrap();
+            assert_eq!(decode(word).unwrap(), ins.canonical(), "instr {ins}");
+        }
+    }
+
+    #[test]
+    fn imm_out_of_range_is_rejected() {
+        let ins = Instr::rd_imm(Opcode::Li, Reg::new(1), i64::from(i32::MAX) + 1);
+        assert_eq!(
+            encode(&ins),
+            Err(IsaError::ImmOutOfRange {
+                value: i64::from(i32::MAX) + 1
+            })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed_words() {
+        // Unknown opcode byte.
+        assert!(matches!(decode(0xff), Err(IsaError::BadEncoding { .. })));
+        // Reserved directive pattern (3).
+        let word = encode(&Instr::nop()).unwrap() | (3 << DIR_SHIFT);
+        assert!(matches!(decode(word), Err(IsaError::BadEncoding { .. })));
+        // Reserved bits set.
+        let word = encode(&Instr::nop()).unwrap() | (1 << RESERVED_SHIFT);
+        assert!(matches!(decode(word), Err(IsaError::BadEncoding { .. })));
+        // Register field out of range (rd = 32).
+        let word = encode(&Instr::nop()).unwrap() | (32 << RD_SHIFT);
+        assert!(matches!(decode(word), Err(IsaError::BadEncoding { .. })));
+    }
+
+    #[test]
+    fn directive_pass_changes_only_directive_bits() {
+        use crate::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(1);
+        b.li(r, 0);
+        let top = b.bind_new_label();
+        b.alu_ri(Opcode::Addi, r, r, 1);
+        b.ld(Reg::new(2), r, 0);
+        b.br(Opcode::Bne, r, Reg::ZERO, top);
+        b.halt();
+        let before = b.build().unwrap();
+        let after = before.with_directives(|_, _| Directive::Stride);
+        let deltas = text_delta(&before, &after).unwrap();
+        assert!(!deltas.is_empty());
+        assert!(deltas.iter().all(|d| d.directive_only), "{deltas:?}");
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        let ops = prop::sample::select(Opcode::ALL.to_vec());
+        (ops, 0u8..32, 0u8..32, 0u8..32, any::<i32>(), 0u8..3).prop_map(
+            |(op, rd, rs1, rs2, imm, dir)| {
+                Instr {
+                    op,
+                    rd: Reg::new(rd),
+                    rs1: Reg::new(rs1),
+                    rs2: Reg::new(rs2),
+                    imm: i64::from(imm),
+                    directive: Directive::decode(dir).unwrap(),
+                }
+                .canonical()
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_round_trip(ins in arb_instr()) {
+            let word = encode(&ins).unwrap();
+            prop_assert_eq!(decode(word).unwrap(), ins);
+        }
+
+        #[test]
+        fn prop_text_round_trip(instrs in prop::collection::vec(arb_instr(), 0..64)) {
+            let words = encode_text(&instrs).unwrap();
+            prop_assert_eq!(decode_text(&words).unwrap(), instrs);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for program construction, assembly and encoding.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::InstrAddr;
+
+/// Errors produced while building, assembling, encoding or decoding programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A label was referenced but never bound to an address.
+    UnboundLabel {
+        /// Index of the offending label.
+        label: usize,
+        /// Site of the reference.
+        at: InstrAddr,
+    },
+    /// A label was bound twice.
+    RebindLabel {
+        /// Index of the offending label.
+        label: usize,
+    },
+    /// An immediate operand does not fit the 32-bit encoded field.
+    ImmOutOfRange {
+        /// The out-of-range value.
+        value: i64,
+    },
+    /// A binary word failed to decode.
+    BadEncoding {
+        /// The word that failed to decode.
+        word: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A text-assembly parse error.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The program has no `halt` on any path (detected: no halt at all).
+    MissingHalt,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnboundLabel { label, at } => {
+                write!(f, "label L{label} referenced at {at} was never bound")
+            }
+            IsaError::RebindLabel { label } => write!(f, "label L{label} bound more than once"),
+            IsaError::ImmOutOfRange { value } => {
+                write!(f, "immediate {value} does not fit the 32-bit encoded field")
+            }
+            IsaError::BadEncoding { word, reason } => {
+                write!(f, "cannot decode word {word:#018x}: {reason}")
+            }
+            IsaError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IsaError::MissingHalt => write!(f, "program contains no halt instruction"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IsaError::UnboundLabel {
+            label: 3,
+            at: InstrAddr::new(7),
+        };
+        assert!(e.to_string().contains("L3"));
+        assert!(e.to_string().contains("@7"));
+        let e = IsaError::ImmOutOfRange { value: 1 << 40 };
+        assert!(e.to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,345 @@
+//! Instructions and static instruction addresses.
+
+use std::fmt;
+
+use crate::opcode::Format;
+use crate::{Directive, Opcode, Reg, RegClass};
+
+/// The static address of an instruction: its index in the program text.
+///
+/// Profile images are keyed by `InstrAddr`, mirroring the paper's profile
+/// file whose rows are `(instruction address, prediction accuracy, stride
+/// efficiency ratio)`.
+///
+/// ```
+/// use vp_isa::InstrAddr;
+/// let a = InstrAddr::new(7);
+/// assert_eq!(a.index(), 7);
+/// assert_eq!(a.next(), InstrAddr::new(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstrAddr(u32);
+
+impl InstrAddr {
+    /// Creates an instruction address from a text index.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        InstrAddr(index)
+    }
+
+    /// The raw text index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The address of the sequentially following instruction.
+    #[must_use]
+    pub fn next(self) -> Self {
+        InstrAddr(self.0 + 1)
+    }
+
+    /// Applies a signed branch offset.
+    ///
+    /// Returns `None` on under/overflow, which the simulator reports as a
+    /// control-flow fault.
+    #[must_use]
+    pub fn offset(self, delta: i32) -> Option<Self> {
+        let idx = i64::from(self.0) + i64::from(delta);
+        u32::try_from(idx).ok().map(InstrAddr)
+    }
+}
+
+impl fmt::Display for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<InstrAddr> for usize {
+    fn from(a: InstrAddr) -> usize {
+        a.0 as usize
+    }
+}
+
+/// A decoded instruction.
+///
+/// Operand fields that the opcode's [`Format`] does not use are ignored by
+/// the semantics and canonicalised to zero by the encoder; two instructions
+/// that differ only in unused fields behave identically.
+///
+/// # Examples
+///
+/// ```
+/// use vp_isa::{Instr, Opcode, Reg, Directive};
+/// let i = Instr::alu_ri(Opcode::Addi, Reg::new(3), Reg::new(3), 1)
+///     .with_directive(Directive::Stride);
+/// assert!(i.writes_dest());
+/// assert_eq!(i.directive, Directive::Stride);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// Operation code.
+    pub op: Opcode,
+    /// Destination register (when the format has one).
+    pub rd: Reg,
+    /// First source register (when the format has one).
+    pub rs1: Reg,
+    /// Second source register (when the format has one).
+    pub rs2: Reg,
+    /// Immediate operand (branch offsets are PC-relative instruction counts).
+    pub imm: i64,
+    /// Value-prediction directive carried in the opcode.
+    pub directive: Directive,
+}
+
+impl Instr {
+    /// Creates an instruction with every operand field given explicitly and
+    /// no directive.
+    #[must_use]
+    pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Self {
+        Instr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+            directive: Directive::None,
+        }
+    }
+
+    /// `op rd, rs1, rs2` (register-register ALU / FP arithmetic).
+    #[must_use]
+    pub fn alu_rr(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::R3);
+        Instr::new(op, rd, rs1, rs2, 0)
+    }
+
+    /// `op rd, rs1, imm` (register-immediate ALU, `jalr`).
+    #[must_use]
+    pub fn alu_ri(op: Opcode, rd: Reg, rs1: Reg, imm: i64) -> Self {
+        debug_assert_eq!(op.format(), Format::R2Imm);
+        Instr::new(op, rd, rs1, Reg::ZERO, imm)
+    }
+
+    /// `op rd, rs1` (moves, conversions, negation).
+    #[must_use]
+    pub fn unary(op: Opcode, rd: Reg, rs1: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::R2);
+        Instr::new(op, rd, rs1, Reg::ZERO, 0)
+    }
+
+    /// `li rd, imm` / `jal rd, target`.
+    #[must_use]
+    pub fn rd_imm(op: Opcode, rd: Reg, imm: i64) -> Self {
+        debug_assert_eq!(op.format(), Format::RdImm);
+        Instr::new(op, rd, Reg::ZERO, Reg::ZERO, imm)
+    }
+
+    /// `ld/fld rd, imm(rs1)`.
+    #[must_use]
+    pub fn load(op: Opcode, rd: Reg, base: Reg, imm: i64) -> Self {
+        debug_assert_eq!(op.format(), Format::Mem);
+        Instr::new(op, rd, base, Reg::ZERO, imm)
+    }
+
+    /// `sd/fsd rs2, imm(rs1)`.
+    #[must_use]
+    pub fn store(op: Opcode, value: Reg, base: Reg, imm: i64) -> Self {
+        debug_assert_eq!(op.format(), Format::MemStore);
+        Instr::new(op, Reg::ZERO, base, value, imm)
+    }
+
+    /// `beq/bne/... rs1, rs2, offset` with a PC-relative offset.
+    #[must_use]
+    pub fn branch(op: Opcode, rs1: Reg, rs2: Reg, offset: i64) -> Self {
+        debug_assert_eq!(op.format(), Format::BranchFmt);
+        Instr::new(op, Reg::ZERO, rs1, rs2, offset)
+    }
+
+    /// A `nop`.
+    #[must_use]
+    pub fn nop() -> Self {
+        Instr::new(Opcode::Nop, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// A `halt`.
+    #[must_use]
+    pub fn halt() -> Self {
+        Instr::new(Opcode::Halt, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// Returns a copy carrying the given value-prediction directive.
+    #[must_use]
+    pub fn with_directive(mut self, directive: Directive) -> Self {
+        self.directive = directive;
+        self
+    }
+
+    /// The destination register and its class, if this instruction produces
+    /// an architecturally visible value.
+    ///
+    /// Writes to the hardwired integer zero register are discarded, so an
+    /// integer-destination instruction with `rd == r0` returns `None` — such
+    /// an instruction is *not* a value-prediction candidate.
+    #[must_use]
+    pub fn dest(&self) -> Option<(RegClass, Reg)> {
+        let class = self.op.dest_class()?;
+        if class == RegClass::Int && self.rd.is_zero() {
+            return None;
+        }
+        Some((class, self.rd))
+    }
+
+    /// Whether this instruction produces an architecturally visible value —
+    /// the paper's criterion for value-prediction candidacy.
+    #[must_use]
+    pub fn writes_dest(&self) -> bool {
+        self.dest().is_some()
+    }
+
+    /// Source registers actually read by this instruction, with classes.
+    ///
+    /// At most two. Reads of the integer zero register are still reported
+    /// (they carry no dependency; the ILP analyser filters them).
+    #[must_use]
+    pub fn sources(&self) -> [Option<(RegClass, Reg)>; 2] {
+        [
+            self.op.src1_class().map(|c| (c, self.rs1)),
+            self.op.src2_class().map(|c| (c, self.rs2)),
+        ]
+    }
+
+    /// Canonicalises unused operand fields to zero.
+    ///
+    /// The binary encoder emits canonical instructions; the assembler and
+    /// builder already produce them. Useful when comparing instructions for
+    /// semantic equality.
+    #[must_use]
+    pub fn canonical(mut self) -> Self {
+        match self.op.format() {
+            Format::R3 => self.imm = 0,
+            Format::R2Imm => self.rs2 = Reg::ZERO,
+            Format::R2 => {
+                self.rs2 = Reg::ZERO;
+                self.imm = 0;
+            }
+            Format::RdImm => {
+                self.rs1 = Reg::ZERO;
+                self.rs2 = Reg::ZERO;
+            }
+            Format::Mem => self.rs2 = Reg::ZERO,
+            Format::MemStore | Format::BranchFmt => self.rd = Reg::ZERO,
+            Format::NoOperands => {
+                self.rd = Reg::ZERO;
+                self.rs1 = Reg::ZERO;
+                self.rs2 = Reg::ZERO;
+                self.imm = 0;
+            }
+        }
+        self
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        let d = self.directive.suffix();
+        match self.op.format() {
+            Format::R3 => write!(f, "{m}{d} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            Format::R2Imm => write!(f, "{m}{d} {}, {}, {}", self.rd, self.rs1, self.imm),
+            Format::R2 => write!(f, "{m}{d} {}, {}", self.rd, self.rs1),
+            Format::RdImm => write!(f, "{m}{d} {}, {}", self.rd, self.imm),
+            Format::Mem => write!(f, "{m}{d} {}, {}({})", self.rd, self.imm, self.rs1),
+            Format::MemStore => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            Format::BranchFmt => write!(f, "{m} {}, {}, {}", self.rs1, self.rs2, self.imm),
+            Format::NoOperands => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_next_and_offset() {
+        let a = InstrAddr::new(10);
+        assert_eq!(a.next().index(), 11);
+        assert_eq!(a.offset(-10), Some(InstrAddr::new(0)));
+        assert_eq!(a.offset(-11), None);
+        assert_eq!(a.offset(5), Some(InstrAddr::new(15)));
+    }
+
+    #[test]
+    fn dest_of_zero_reg_int_write_is_discarded() {
+        let i = Instr::alu_rr(Opcode::Add, Reg::ZERO, Reg::new(1), Reg::new(2));
+        assert_eq!(i.dest(), None);
+        assert!(!i.writes_dest());
+    }
+
+    #[test]
+    fn fp_zero_register_is_a_real_register() {
+        // Only the *integer* r0 is hardwired; f0 is ordinary.
+        let i = Instr::alu_rr(Opcode::Fadd, Reg::ZERO, Reg::new(1), Reg::new(2));
+        assert_eq!(i.dest(), Some((RegClass::Fp, Reg::ZERO)));
+    }
+
+    #[test]
+    fn sources_match_format() {
+        let ld = Instr::load(Opcode::Ld, Reg::new(4), Reg::new(2), 8);
+        let srcs = ld.sources();
+        assert_eq!(srcs[0], Some((RegClass::Int, Reg::new(2))));
+        assert_eq!(srcs[1], None);
+
+        let sd = Instr::store(Opcode::Fsd, Reg::new(7), Reg::new(2), 0);
+        let srcs = sd.sources();
+        assert_eq!(srcs[0], Some((RegClass::Int, Reg::new(2))));
+        assert_eq!(srcs[1], Some((RegClass::Fp, Reg::new(7))));
+    }
+
+    #[test]
+    fn canonical_zeroes_unused_fields() {
+        let messy = Instr {
+            imm: 99,
+            ..Instr::alu_rr(Opcode::Add, Reg::new(1), Reg::new(2), Reg::new(3))
+        };
+        assert_eq!(messy.canonical().imm, 0);
+        let messy = Instr {
+            rd: Reg::new(9),
+            ..Instr::branch(Opcode::Beq, Reg::new(1), Reg::new(2), -4)
+        };
+        assert_eq!(messy.canonical().rd, Reg::ZERO);
+    }
+
+    #[test]
+    fn display_covers_each_format() {
+        assert_eq!(
+            Instr::alu_rr(Opcode::Add, Reg::new(1), Reg::new(2), Reg::new(3)).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Instr::alu_ri(Opcode::Addi, Reg::new(1), Reg::new(1), -2).to_string(),
+            "addi r1, r1, -2"
+        );
+        assert_eq!(
+            Instr::load(Opcode::Ld, Reg::new(4), Reg::new(5), 16).to_string(),
+            "ld r4, 16(r5)"
+        );
+        assert_eq!(
+            Instr::store(Opcode::Sd, Reg::new(4), Reg::new(5), 0).to_string(),
+            "sd r4, 0(r5)"
+        );
+        assert_eq!(
+            Instr::branch(Opcode::Bne, Reg::new(1), Reg::new(0), -3).to_string(),
+            "bne r1, r0, -3"
+        );
+        assert_eq!(Instr::halt().to_string(), "halt");
+        assert_eq!(
+            Instr::alu_ri(Opcode::Addi, Reg::new(3), Reg::new(3), 1)
+                .with_directive(Directive::Stride)
+                .to_string(),
+            "addi.st r3, r3, 1"
+        );
+    }
+}

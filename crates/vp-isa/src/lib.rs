@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # vp-isa — a RISC instruction set with value-prediction directive bits
+//!
+//! This crate defines the instruction set used throughout the `provp`
+//! workspace: a small 64-bit load/store RISC architecture whose encoding
+//! reserves two **value-prediction directive** bits per instruction, in the
+//! spirit of the PowerPC 601 branch-hint bits the paper points to as the
+//! enabling mechanism ([`Directive`]).
+//!
+//! The paper (Gabbay & Mendelson, MICRO-30 1997) profiles SPARC binaries
+//! produced by `gcc -O2` and traced under SHADE. Everything the methodology
+//! needs from the ISA is provided here:
+//!
+//! - a deterministic semantics executed by `vp-sim`,
+//! - a notion of *value-producing instruction* (one that writes a destination
+//!   register — see [`Opcode::writes_dest`]), the candidates for value
+//!   prediction,
+//! - statically addressable instructions ([`InstrAddr`]) so a profile image
+//!   can name them,
+//! - spare opcode bits so a compiler pass can tag instructions as
+//!   `stride` / `last-value` predictable without moving any code.
+//!
+//! ## Example
+//!
+//! Build the skeleton of the paper's running example
+//! (`for (x=0; x<N; x++) A[x]=B[x]+C[x];`) with the [`ProgramBuilder`]:
+//!
+//! ```
+//! use vp_isa::{ProgramBuilder, Reg, Opcode};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let (x, n) = (Reg::new(1), Reg::new(2));
+//! b.li(x, 0);
+//! b.li(n, 16);
+//! let top = b.bind_new_label();
+//! b.alu_ri(Opcode::Addi, x, x, 1);
+//! b.br(Opcode::Bne, x, n, top);
+//! b.halt();
+//! let program = b.build().unwrap();
+//! assert_eq!(program.text().len(), 5);
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod directive;
+pub mod encode;
+pub mod error;
+pub mod instr;
+pub mod opcode;
+pub mod program;
+pub mod reg;
+
+pub use builder::{Label, ProgramBuilder};
+pub use directive::Directive;
+pub use error::IsaError;
+pub use instr::{Instr, InstrAddr};
+pub use opcode::{OpCategory, Opcode, RegClass};
+pub use program::Program;
+pub use reg::Reg;

@@ -1,0 +1,390 @@
+//! Opcodes, operand formats and instruction categories.
+//!
+//! The opcode set is a conventional 64-bit load/store RISC: integer ALU
+//! (register-register and register-immediate), loads/stores for both register
+//! files, IEEE-754 double arithmetic, compare-and-branch, and jump-and-link.
+//! Each opcode knows its operand [`Format`] (used by the assembler and the
+//! binary encoder), its [`OpCategory`] (used by the profiler to produce the
+//! paper's Table 2.1 breakdown), and the register class of each operand.
+
+use std::fmt;
+
+/// Register class of an operand: the integer file or the floating-point file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// General-purpose 64-bit integer registers (`r0` hardwired to zero).
+    Int,
+    /// IEEE-754 double-precision registers (stored as raw `u64` bits).
+    Fp,
+}
+
+/// Coarse instruction category.
+///
+/// The profiler buckets value-prediction statistics by these categories to
+/// reproduce the paper's Table 2.1 split (integer ALU vs. loads vs. FP
+/// computation vs. FP loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCategory {
+    /// Integer computation writing an integer register.
+    IntAlu,
+    /// Load from memory into an integer register.
+    IntLoad,
+    /// Floating-point computation (including FP compares and conversions).
+    FpAlu,
+    /// Load from memory into a floating-point register.
+    FpLoad,
+    /// Store to memory (no destination register).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (and-link).
+    Jump,
+    /// `nop` / `halt`.
+    System,
+}
+
+/// Operand encoding format of an opcode.
+///
+/// Drives both the text assembler syntax and the binary encoding layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// `op rd, rs1, rs2`
+    R3,
+    /// `op rd, rs1, imm`
+    R2Imm,
+    /// `op rd, rs1`
+    R2,
+    /// `op rd, imm`
+    RdImm,
+    /// `op rd, imm(rs1)` — loads.
+    Mem,
+    /// `op rs2, imm(rs1)` — stores.
+    MemStore,
+    /// `op rs1, rs2, target` — conditional branches (PC-relative immediate).
+    BranchFmt,
+    /// `op` — no operands.
+    NoOperands,
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident = $code:literal, $mnemonic:literal, $cat:ident, $fmt:ident ; )+) => {
+        /// An operation code.
+        ///
+        /// Discriminants are stable and form the 8-bit opcode field of the
+        /// binary encoding (see [`crate::encode`]).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $(
+                #[doc = concat!("`", $mnemonic, "`")]
+                $variant = $code,
+            )+
+        }
+
+        impl Opcode {
+            /// Every opcode, in discriminant order.
+            pub const ALL: &'static [Opcode] = &[ $(Opcode::$variant,)+ ];
+
+            /// The assembler mnemonic.
+            #[must_use]
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $mnemonic,)+
+                }
+            }
+
+            /// The coarse category used for statistics bucketing.
+            #[must_use]
+            pub fn category(self) -> OpCategory {
+                match self {
+                    $(Opcode::$variant => OpCategory::$cat,)+
+                }
+            }
+
+            /// The operand format.
+            #[must_use]
+            pub fn format(self) -> Format {
+                match self {
+                    $(Opcode::$variant => Format::$fmt,)+
+                }
+            }
+
+            /// Decodes an 8-bit opcode field.
+            #[must_use]
+            pub fn from_u8(code: u8) -> Option<Opcode> {
+                match code {
+                    $($code => Some(Opcode::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// Looks an opcode up by its assembler mnemonic.
+            #[must_use]
+            pub fn from_mnemonic(m: &str) -> Option<Opcode> {
+                match m {
+                    $($mnemonic => Some(Opcode::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // Integer register-register ALU.
+    Add  = 0x00, "add",  IntAlu, R3;
+    Sub  = 0x01, "sub",  IntAlu, R3;
+    Mul  = 0x02, "mul",  IntAlu, R3;
+    Div  = 0x03, "div",  IntAlu, R3;
+    Rem  = 0x04, "rem",  IntAlu, R3;
+    And  = 0x05, "and",  IntAlu, R3;
+    Or   = 0x06, "or",   IntAlu, R3;
+    Xor  = 0x07, "xor",  IntAlu, R3;
+    Sll  = 0x08, "sll",  IntAlu, R3;
+    Srl  = 0x09, "srl",  IntAlu, R3;
+    Sra  = 0x0a, "sra",  IntAlu, R3;
+    Slt  = 0x0b, "slt",  IntAlu, R3;
+    Sltu = 0x0c, "sltu", IntAlu, R3;
+
+    // Integer register-immediate ALU.
+    Addi = 0x10, "addi", IntAlu, R2Imm;
+    Andi = 0x11, "andi", IntAlu, R2Imm;
+    Ori  = 0x12, "ori",  IntAlu, R2Imm;
+    Xori = 0x13, "xori", IntAlu, R2Imm;
+    Slli = 0x14, "slli", IntAlu, R2Imm;
+    Srli = 0x15, "srli", IntAlu, R2Imm;
+    Srai = 0x16, "srai", IntAlu, R2Imm;
+    Slti = 0x17, "slti", IntAlu, R2Imm;
+    Muli = 0x18, "muli", IntAlu, R2Imm;
+
+    // Constants and moves.
+    Li   = 0x20, "li",   IntAlu, RdImm;
+    Mv   = 0x21, "mv",   IntAlu, R2;
+
+    // Memory.
+    Ld   = 0x28, "ld",   IntLoad, Mem;
+    Sd   = 0x29, "sd",   Store,   MemStore;
+    Fld  = 0x2a, "fld",  FpLoad,  Mem;
+    Fsd  = 0x2b, "fsd",  Store,   MemStore;
+
+    // Floating point (double precision).
+    Fadd = 0x30, "fadd", FpAlu, R3;
+    Fsub = 0x31, "fsub", FpAlu, R3;
+    Fmul = 0x32, "fmul", FpAlu, R3;
+    Fdiv = 0x33, "fdiv", FpAlu, R3;
+    Fmin = 0x34, "fmin", FpAlu, R3;
+    Fmax = 0x35, "fmax", FpAlu, R3;
+    Fneg = 0x36, "fneg", FpAlu, R2;
+    Fmv  = 0x37, "fmv",  FpAlu, R2;
+    CvtIf = 0x38, "cvt.i.f", FpAlu, R2;
+    CvtFi = 0x39, "cvt.f.i", FpAlu, R2;
+    Feq  = 0x3a, "feq",  FpAlu, R3;
+    Flt  = 0x3b, "flt",  FpAlu, R3;
+    Fle  = 0x3c, "fle",  FpAlu, R3;
+
+    // Control flow.
+    Beq  = 0x40, "beq",  Branch, BranchFmt;
+    Bne  = 0x41, "bne",  Branch, BranchFmt;
+    Blt  = 0x42, "blt",  Branch, BranchFmt;
+    Bge  = 0x43, "bge",  Branch, BranchFmt;
+    Bltu = 0x44, "bltu", Branch, BranchFmt;
+    Bgeu = 0x45, "bgeu", Branch, BranchFmt;
+    Jal  = 0x46, "jal",  Jump,   RdImm;
+    Jalr = 0x47, "jalr", Jump,   R2Imm;
+
+    // System.
+    Nop  = 0x50, "nop",  System, NoOperands;
+    Halt = 0x51, "halt", System, NoOperands;
+}
+
+impl Opcode {
+    /// Whether the instruction writes a destination register at all.
+    ///
+    /// This is the gate for *value-prediction candidacy*: the paper considers
+    /// "instructions which write a computed value to a destination register".
+    /// Stores, branches, `nop` and `halt` do not.
+    #[must_use]
+    pub fn writes_dest(self) -> bool {
+        self.dest_class().is_some()
+    }
+
+    /// Register class of the destination operand, if any.
+    #[must_use]
+    pub fn dest_class(self) -> Option<RegClass> {
+        use OpCategory::*;
+        match self.category() {
+            IntAlu | IntLoad => Some(RegClass::Int),
+            FpAlu => match self {
+                // FP compares and fp->int conversion write an integer register.
+                Opcode::Feq | Opcode::Flt | Opcode::Fle | Opcode::CvtFi => Some(RegClass::Int),
+                _ => Some(RegClass::Fp),
+            },
+            FpLoad => Some(RegClass::Fp),
+            Jump => Some(RegClass::Int),
+            Store | Branch | System => None,
+        }
+    }
+
+    /// Register class of the first source operand, if the format has one.
+    #[must_use]
+    pub fn src1_class(self) -> Option<RegClass> {
+        match self.format() {
+            Format::RdImm | Format::NoOperands => None,
+            // Address base registers are always integer.
+            Format::Mem | Format::MemStore | Format::R2Imm => Some(RegClass::Int),
+            Format::BranchFmt => Some(RegClass::Int),
+            Format::R3 | Format::R2 => match self.category() {
+                OpCategory::FpAlu => match self {
+                    // int -> fp conversion reads an integer source.
+                    Opcode::CvtIf => Some(RegClass::Int),
+                    _ => Some(RegClass::Fp),
+                },
+                _ => Some(RegClass::Int),
+            },
+        }
+    }
+
+    /// Register class of the second source operand, if the format has one.
+    #[must_use]
+    pub fn src2_class(self) -> Option<RegClass> {
+        match self.format() {
+            Format::R3 => match self.category() {
+                OpCategory::FpAlu => Some(RegClass::Fp),
+                _ => Some(RegClass::Int),
+            },
+            // The stored value: integer for `sd`, FP for `fsd`.
+            Format::MemStore => match self {
+                Opcode::Fsd => Some(RegClass::Fp),
+                _ => Some(RegClass::Int),
+            },
+            Format::BranchFmt => Some(RegClass::Int),
+            _ => None,
+        }
+    }
+
+    /// Whether this opcode is a conditional branch.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        self.category() == OpCategory::Branch
+    }
+
+    /// Whether this opcode reads memory.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self.category(), OpCategory::IntLoad | OpCategory::FpLoad)
+    }
+
+    /// Whether this opcode writes memory.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        self.category() == OpCategory::Store
+    }
+
+    /// Whether this opcode can redirect control flow.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(self.category(), OpCategory::Branch | OpCategory::Jump) || self == Opcode::Halt
+    }
+
+    /// Whether the operand format carries an immediate field.
+    #[must_use]
+    pub fn has_imm(self) -> bool {
+        !matches!(self.format(), Format::R3 | Format::R2 | Format::NoOperands)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn discriminants_round_trip_through_from_u8() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+    }
+
+    #[test]
+    fn from_u8_rejects_unknown() {
+        assert_eq!(Opcode::from_u8(0xff), None);
+        assert_eq!(Opcode::from_u8(0x0d), None);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let set: HashSet<&str> = Opcode::ALL.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), Opcode::ALL.len());
+    }
+
+    #[test]
+    fn mnemonic_lookup_round_trips() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn value_producers_have_dest_class() {
+        assert_eq!(Opcode::Add.dest_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::Ld.dest_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::Fld.dest_class(), Some(RegClass::Fp));
+        assert_eq!(Opcode::Fadd.dest_class(), Some(RegClass::Fp));
+        assert_eq!(Opcode::Jal.dest_class(), Some(RegClass::Int));
+    }
+
+    #[test]
+    fn non_producers_have_no_dest() {
+        for op in [
+            Opcode::Sd,
+            Opcode::Fsd,
+            Opcode::Beq,
+            Opcode::Nop,
+            Opcode::Halt,
+        ] {
+            assert!(!op.writes_dest(), "{op} must not write a destination");
+        }
+    }
+
+    #[test]
+    fn fp_compares_write_integer_registers() {
+        for op in [Opcode::Feq, Opcode::Flt, Opcode::Fle, Opcode::CvtFi] {
+            assert_eq!(op.dest_class(), Some(RegClass::Int));
+        }
+        assert_eq!(Opcode::CvtIf.dest_class(), Some(RegClass::Fp));
+        assert_eq!(Opcode::CvtIf.src1_class(), Some(RegClass::Int));
+    }
+
+    #[test]
+    fn store_value_classes() {
+        assert_eq!(Opcode::Sd.src2_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::Fsd.src2_class(), Some(RegClass::Fp));
+        // Base address registers are integer for both.
+        assert_eq!(Opcode::Sd.src1_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::Fsd.src1_class(), Some(RegClass::Int));
+    }
+
+    #[test]
+    fn control_flow_predicates() {
+        assert!(Opcode::Beq.is_branch());
+        assert!(Opcode::Jal.is_control());
+        assert!(Opcode::Halt.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn imm_presence_matches_format() {
+        assert!(Opcode::Addi.has_imm());
+        assert!(Opcode::Ld.has_imm());
+        assert!(Opcode::Beq.has_imm());
+        assert!(!Opcode::Add.has_imm());
+        assert!(!Opcode::Halt.has_imm());
+    }
+}

@@ -1,0 +1,211 @@
+//! Executable programs: a text segment, an initial data image and a name.
+
+use std::fmt;
+
+use crate::{Directive, Instr, InstrAddr};
+
+/// An executable program.
+///
+/// - The **text** segment is a vector of instructions addressed by
+///   [`InstrAddr`] (instruction index, starting at 0, which is also the entry
+///   point).
+/// - The **data** image is a vector of 64-bit words loaded at memory address
+///   0 before execution. The machine's memory is *word*-addressed.
+///
+/// Programs are immutable once built; the phase-3 annotation pass produces a
+/// new program via [`Program::with_directives`], mirroring the paper's
+/// compiler which "only inserts directives in the opcode of instructions"
+/// without moving any code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    text: Vec<Instr>,
+    data: Vec<u64>,
+}
+
+impl Program {
+    /// Creates a program from raw segments.
+    #[must_use]
+    pub fn new(name: impl Into<String>, text: Vec<Instr>, data: Vec<u64>) -> Self {
+        Program {
+            name: name.into(),
+            text,
+            data,
+        }
+    }
+
+    /// The program name (used to label experiment output).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The text segment.
+    #[must_use]
+    pub fn text(&self) -> &[Instr] {
+        &self.text
+    }
+
+    /// The initial data image, loaded at word address 0.
+    #[must_use]
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Fetches the instruction at `addr`, if in range.
+    #[must_use]
+    pub fn fetch(&self, addr: InstrAddr) -> Option<&Instr> {
+        self.text.get(addr.index() as usize)
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the text segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Iterates over `(address, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrAddr, &Instr)> {
+        self.text
+            .iter()
+            .enumerate()
+            .map(|(i, ins)| (InstrAddr::new(i as u32), ins))
+    }
+
+    /// Iterates over the static instructions that produce a register value —
+    /// the value-prediction candidates the profile image describes.
+    pub fn value_producers(&self) -> impl Iterator<Item = (InstrAddr, &Instr)> {
+        self.iter().filter(|(_, ins)| ins.writes_dest())
+    }
+
+    /// Returns a copy of this program whose instructions carry the
+    /// directives given by `assign`.
+    ///
+    /// `assign` is consulted for every *value-producing* static instruction;
+    /// other instructions keep [`Directive::None`]. This is the mechanical
+    /// half of the paper's phase 3.
+    #[must_use]
+    pub fn with_directives(&self, mut assign: impl FnMut(InstrAddr, &Instr) -> Directive) -> Self {
+        let text = self
+            .text
+            .iter()
+            .enumerate()
+            .map(|(i, ins)| {
+                if ins.writes_dest() {
+                    ins.with_directive(assign(InstrAddr::new(i as u32), ins))
+                } else {
+                    ins.with_directive(Directive::None)
+                }
+            })
+            .collect();
+        Program {
+            name: self.name.clone(),
+            text,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Strips every directive, returning the phase-1 (unannotated) binary.
+    #[must_use]
+    pub fn without_directives(&self) -> Self {
+        self.with_directives(|_, _| Directive::None)
+    }
+
+    /// Counts instructions carrying each directive: `(none, last_value,
+    /// stride)`.
+    #[must_use]
+    pub fn directive_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for ins in &self.text {
+            match ins.directive {
+                Directive::None => counts.0 += 1,
+                Directive::LastValue => counts.1 += 1,
+                Directive::Stride => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+impl fmt::Display for Program {
+    /// Renders the program in (dis)assembler syntax accepted by
+    /// [`crate::asm::assemble`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program: {}", self.name)?;
+        if !self.data.is_empty() {
+            write!(f, ".data")?;
+            for w in &self.data {
+                write!(f, " {w}")?;
+            }
+            writeln!(f)?;
+        }
+        for (addr, ins) in self.iter() {
+            writeln!(f, "  {ins:<32} ; {addr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Reg};
+
+    fn sample() -> Program {
+        Program::new(
+            "sample",
+            vec![
+                Instr::rd_imm(Opcode::Li, Reg::new(1), 5),
+                Instr::alu_rr(Opcode::Add, Reg::new(2), Reg::new(1), Reg::new(1)),
+                Instr::store(Opcode::Sd, Reg::new(2), Reg::ZERO, 0),
+                Instr::halt(),
+            ],
+            vec![1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = sample();
+        assert!(p.fetch(InstrAddr::new(0)).is_some());
+        assert!(p.fetch(InstrAddr::new(4)).is_none());
+    }
+
+    #[test]
+    fn value_producers_excludes_stores_and_halt() {
+        let p = sample();
+        let producers: Vec<_> = p.value_producers().map(|(a, _)| a.index()).collect();
+        assert_eq!(producers, vec![0, 1]);
+    }
+
+    #[test]
+    fn with_directives_tags_only_producers() {
+        let p = sample();
+        let tagged = p.with_directives(|_, _| Directive::Stride);
+        assert_eq!(tagged.directive_counts(), (2, 0, 2));
+        // The store and halt keep Directive::None.
+        assert_eq!(tagged.text()[2].directive, Directive::None);
+        assert_eq!(tagged.text()[3].directive, Directive::None);
+    }
+
+    #[test]
+    fn without_directives_round_trips() {
+        let p = sample();
+        let tagged = p.with_directives(|_, _| Directive::LastValue);
+        assert_eq!(tagged.without_directives(), p);
+    }
+
+    #[test]
+    fn display_includes_data_and_text() {
+        let rendered = sample().to_string();
+        assert!(rendered.contains(".data 1 2 3"));
+        assert!(rendered.contains("li r1, 5"));
+        assert!(rendered.contains("halt"));
+    }
+}

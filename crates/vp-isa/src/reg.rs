@@ -1,0 +1,132 @@
+//! Architectural register names.
+//!
+//! The machine has 32 integer registers and 32 floating-point registers.
+//! A [`Reg`] is a bare index 0..=31; whether it names an integer or an FP
+//! register is decided by the opcode that uses it (see
+//! [`crate::Opcode::dest_class`]). Integer register 0 is hardwired to zero,
+//! as on MIPS/RISC-V: writes to it are discarded and reads always return 0.
+
+use std::fmt;
+
+/// Number of registers in each register file.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register index (0..=31).
+///
+/// The register *class* (integer or floating-point) is a property of the
+/// instruction, not of the index — exactly like the shared 5-bit register
+/// fields of a classic RISC encoding.
+///
+/// # Examples
+///
+/// ```
+/// use vp_isa::Reg;
+/// let r5 = Reg::new(5);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(r5.to_string(), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero integer register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range (0..{NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// Fallible constructor; returns `None` if `index >= 32`.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The raw index, 0..=31.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register `r0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+/// Iterator over every register index, `r0` through `r31`.
+///
+/// ```
+/// assert_eq!(vp_isa::reg::all().count(), 32);
+/// ```
+pub fn all() -> impl Iterator<Item = Reg> {
+    (0..NUM_REGS as u8).map(Reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_boundary() {
+        assert_eq!(Reg::try_new(31), Some(Reg::new(31)));
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::default(), Reg::ZERO);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = all().collect();
+        assert_eq!(regs.len(), NUM_REGS);
+        assert_eq!(regs[0], Reg::ZERO);
+        assert_eq!(regs[31], Reg::new(31));
+    }
+}

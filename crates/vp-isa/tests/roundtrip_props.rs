@@ -1,0 +1,77 @@
+//! Property tests spanning the assembler, disassembler and binary encoder:
+//! any well-formed program survives both text and binary round-trips.
+
+use proptest::prelude::*;
+use vp_isa::asm::{assemble, disassemble};
+use vp_isa::encode::{decode_text, encode_text};
+use vp_isa::{Directive, Instr, Opcode, Program, Reg};
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let ops = prop::sample::select(Opcode::ALL.to_vec());
+    (ops, 0u8..32, 1u8..32, 0u8..32, -5000i64..5000, 0u8..3).prop_map(
+        |(op, rd, rs1, rs2, imm, dir)| {
+            let instr = Instr {
+                op,
+                rd: Reg::new(rd),
+                rs1: Reg::new(rs1),
+                rs2: Reg::new(rs2),
+                imm,
+                directive: Directive::None,
+            }
+            .canonical();
+            // Directives are only legal on value producers; branch offsets
+            // must stay numeric-renderable (they always are).
+            if instr.writes_dest() {
+                instr.with_directive(Directive::decode(dir).unwrap())
+            } else {
+                instr
+            }
+        },
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_instr(), 1..60),
+        prop::collection::vec(any::<u64>(), 0..16),
+    )
+        .prop_map(|(text, data)| Program::new("prop", text, data))
+}
+
+proptest! {
+    /// dis(asm) is the identity on text and data.
+    #[test]
+    fn prop_text_round_trip(program in arb_program()) {
+        let source = disassemble(&program);
+        let round = assemble(&source).unwrap_or_else(|e| panic!("{e}\n{source}"));
+        prop_assert_eq!(round.text(), program.text());
+        prop_assert_eq!(round.data(), program.data());
+    }
+
+    /// decode(encode) is the identity, and encoding is injective on
+    /// canonical instructions.
+    #[test]
+    fn prop_binary_round_trip_and_injective(program in arb_program()) {
+        let words = encode_text(program.text()).unwrap();
+        let decoded = decode_text(&words).unwrap();
+        prop_assert_eq!(&decoded[..], program.text());
+        for (i, a) in program.text().iter().enumerate() {
+            for (j, b) in program.text().iter().enumerate() {
+                if words[i] == words[j] {
+                    prop_assert_eq!(a, b, "distinct instrs {},{} share an encoding", i, j);
+                }
+            }
+        }
+    }
+
+    /// Directive stripping commutes with both round-trips.
+    #[test]
+    fn prop_directives_orthogonal_to_roundtrip(program in arb_program()) {
+        let stripped = program.without_directives();
+        let via_text = assemble(&disassemble(&stripped)).unwrap();
+        prop_assert_eq!(via_text.text(), stripped.text());
+        let (none, lv, st) = via_text.directive_counts();
+        prop_assert_eq!(lv + st, 0);
+        prop_assert_eq!(none, stripped.len());
+    }
+}

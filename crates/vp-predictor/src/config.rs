@@ -1,0 +1,197 @@
+//! Declarative predictor configurations.
+//!
+//! Experiment code describes a predictor as data ([`PredictorConfig`]) and
+//! builds it with [`PredictorConfig::build`]; this keeps sweep harnesses
+//! (threshold sweeps, geometry ablations) free of generics.
+
+use crate::entry::TwoDeltaStrideEntry;
+use crate::{
+    ClassifierKind, HybridPredictor, InfinitePredictor, LastValueEntry, StrideEntry, TableGeometry,
+    TablePredictor, ValuePredictor,
+};
+
+/// A predictor + classifier configuration, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PredictorConfig {
+    /// Unbounded stride predictor (§5.1's idealisation).
+    InfiniteStride {
+        /// Classification mechanism.
+        classifier: ClassifierKind,
+    },
+    /// Unbounded last-value predictor.
+    InfiniteLastValue {
+        /// Classification mechanism.
+        classifier: ClassifierKind,
+    },
+    /// Finite set-associative stride predictor (§5.2's machine).
+    TableStride {
+        /// Table geometry.
+        geometry: TableGeometry,
+        /// Classification mechanism.
+        classifier: ClassifierKind,
+    },
+    /// Finite set-associative last-value predictor.
+    TableLastValue {
+        /// Table geometry.
+        geometry: TableGeometry,
+        /// Classification mechanism.
+        classifier: ClassifierKind,
+    },
+    /// Finite set-associative two-delta stride predictor (an extension
+    /// ablation; not part of the paper's evaluation).
+    TableTwoDelta {
+        /// Table geometry.
+        geometry: TableGeometry,
+        /// Classification mechanism.
+        classifier: ClassifierKind,
+    },
+    /// Directive-routed stride + last-value hybrid (§3.1 / conclusions).
+    Hybrid {
+        /// Geometry of the stride-side table.
+        stride: TableGeometry,
+        /// Geometry of the last-value-side table.
+        last_value: TableGeometry,
+    },
+}
+
+impl PredictorConfig {
+    /// The paper's §5.2 hardware baseline: 512-entry 2-way stride table with
+    /// 2-bit saturating counters.
+    #[must_use]
+    pub fn spec_table_stride_fsm() -> Self {
+        PredictorConfig::TableStride {
+            geometry: TableGeometry::SPEC_512_2WAY,
+            classifier: ClassifierKind::two_bit_counter(),
+        }
+    }
+
+    /// The paper's §5.2 profile-guided configuration: the same 512-entry
+    /// 2-way stride table, admission and use controlled by directives.
+    #[must_use]
+    pub fn spec_table_stride_profile() -> Self {
+        PredictorConfig::TableStride {
+            geometry: TableGeometry::SPEC_512_2WAY,
+            classifier: ClassifierKind::Directive,
+        }
+    }
+
+    /// Instantiates the configured predictor.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn ValuePredictor> {
+        match *self {
+            PredictorConfig::InfiniteStride { classifier } => {
+                Box::new(InfinitePredictor::<StrideEntry>::new(classifier))
+            }
+            PredictorConfig::InfiniteLastValue { classifier } => {
+                Box::new(InfinitePredictor::<LastValueEntry>::new(classifier))
+            }
+            PredictorConfig::TableStride {
+                geometry,
+                classifier,
+            } => Box::new(TablePredictor::<StrideEntry>::new(geometry, classifier)),
+            PredictorConfig::TableLastValue {
+                geometry,
+                classifier,
+            } => Box::new(TablePredictor::<LastValueEntry>::new(geometry, classifier)),
+            PredictorConfig::TableTwoDelta {
+                geometry,
+                classifier,
+            } => Box::new(TablePredictor::<TwoDeltaStrideEntry>::new(
+                geometry, classifier,
+            )),
+            PredictorConfig::Hybrid { stride, last_value } => {
+                Box::new(HybridPredictor::new(stride, last_value))
+            }
+        }
+    }
+
+    /// A short human-readable label for experiment output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PredictorConfig::InfiniteStride { classifier } => {
+                format!("infinite-stride/{}", classifier_label(*classifier))
+            }
+            PredictorConfig::InfiniteLastValue { classifier } => {
+                format!("infinite-lv/{}", classifier_label(*classifier))
+            }
+            PredictorConfig::TableStride {
+                geometry,
+                classifier,
+            } => {
+                format!("stride[{geometry}]/{}", classifier_label(*classifier))
+            }
+            PredictorConfig::TableLastValue {
+                geometry,
+                classifier,
+            } => {
+                format!("lv[{geometry}]/{}", classifier_label(*classifier))
+            }
+            PredictorConfig::TableTwoDelta {
+                geometry,
+                classifier,
+            } => {
+                format!("2delta[{geometry}]/{}", classifier_label(*classifier))
+            }
+            PredictorConfig::Hybrid { stride, last_value } => {
+                format!("hybrid[st {stride} + lv {last_value}]")
+            }
+        }
+    }
+}
+
+fn classifier_label(c: ClassifierKind) -> &'static str {
+    match c {
+        ClassifierKind::SatCounter { .. } => "fsm",
+        ClassifierKind::Directive => "profile",
+        ClassifierKind::Always => "always",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::{Directive, InstrAddr};
+
+    #[test]
+    fn every_config_builds_and_accepts_accesses() {
+        let configs = [
+            PredictorConfig::InfiniteStride {
+                classifier: ClassifierKind::two_bit_counter(),
+            },
+            PredictorConfig::InfiniteLastValue {
+                classifier: ClassifierKind::Always,
+            },
+            PredictorConfig::spec_table_stride_fsm(),
+            PredictorConfig::spec_table_stride_profile(),
+            PredictorConfig::TableLastValue {
+                geometry: TableGeometry::new(64, 4),
+                classifier: ClassifierKind::Directive,
+            },
+            PredictorConfig::Hybrid {
+                stride: TableGeometry::new(64, 2),
+                last_value: TableGeometry::new(128, 2),
+            },
+        ];
+        for cfg in configs {
+            let mut p = cfg.build();
+            for i in 0..10u64 {
+                p.access(InstrAddr::new(0), Directive::Stride, i);
+            }
+            assert_eq!(p.stats().accesses, 10, "{}", cfg.label());
+            assert!(!cfg.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn spec_configs_match_paper_geometry() {
+        if let PredictorConfig::TableStride { geometry, .. } =
+            PredictorConfig::spec_table_stride_fsm()
+        {
+            assert_eq!(geometry, TableGeometry::SPEC_512_2WAY);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

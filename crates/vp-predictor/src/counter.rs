@@ -1,0 +1,123 @@
+//! Saturating confidence counters.
+
+/// An n-state saturating counter used as the hardware classification
+/// mechanism (§2.2 of the paper): incremented on a correct prediction,
+/// decremented on an incorrect one, consulted before using a prediction.
+///
+/// The conventional configuration is 2-bit (`max = 3`) with predictions
+/// taken at state ≥ 2 and new entries starting at 1.
+///
+/// # Examples
+///
+/// ```
+/// use vp_predictor::SatCounter;
+/// let mut c = SatCounter::two_bit();
+/// assert!(!c.predicts());
+/// c.record(true);
+/// assert!(c.predicts());
+/// c.record(false);
+/// c.record(false);
+/// assert!(!c.predicts());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+    threshold: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter saturating at `max`, predicting at
+    /// `value >= threshold`, starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial > max` or `threshold > max + 1` (a threshold of
+    /// `max + 1` would never predict, which is allowed for experiments but
+    /// anything above is a configuration bug).
+    #[must_use]
+    pub fn new(initial: u8, max: u8, threshold: u8) -> Self {
+        assert!(initial <= max, "initial {initial} exceeds max {max}");
+        assert!(threshold <= max + 1, "threshold {threshold} exceeds max+1");
+        SatCounter {
+            value: initial,
+            max,
+            threshold,
+        }
+    }
+
+    /// The classic 2-bit counter: states 0–3, start 1, predict at ≥ 2.
+    #[must_use]
+    pub fn two_bit() -> Self {
+        SatCounter::new(1, 3, 2)
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Whether the classifier currently recommends using the prediction.
+    #[must_use]
+    pub fn predicts(&self) -> bool {
+        self.value >= self.threshold
+    }
+
+    /// Records a prediction outcome: saturating increment on `correct`,
+    /// saturating decrement otherwise.
+    pub fn record(&mut self, correct: bool) {
+        if correct {
+            self.value = (self.value + 1).min(self.max);
+        } else {
+            self.value = self.value.saturating_sub(1);
+        }
+    }
+}
+
+impl Default for SatCounter {
+    fn default() -> Self {
+        SatCounter::two_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SatCounter::two_bit();
+        for _ in 0..10 {
+            c.record(true);
+        }
+        assert_eq!(c.value(), 3);
+        for _ in 0..10 {
+            c.record(false);
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn two_bit_hysteresis() {
+        let mut c = SatCounter::two_bit();
+        c.record(true); // 2
+        c.record(true); // 3
+        c.record(false); // 2 — still predicting after one miss
+        assert!(c.predicts());
+        c.record(false); // 1
+        assert!(!c.predicts());
+    }
+
+    #[test]
+    fn never_predict_threshold_is_allowed() {
+        let c = SatCounter::new(3, 3, 4);
+        assert!(!c.predicts());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn bad_initial_panics() {
+        let _ = SatCounter::new(4, 3, 2);
+    }
+}

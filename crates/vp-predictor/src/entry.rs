@@ -1,0 +1,263 @@
+//! Predictor cell types: the paper's Figure 2.1.
+
+/// A prediction-table cell.
+///
+/// Both of the paper's predictors store per-instruction state in a tagged
+/// table entry; this trait abstracts the cell so the table, the infinite
+/// predictor and the hybrid predictor are generic over the prediction
+/// scheme. The trait is implemented by [`LastValueEntry`] and
+/// [`StrideEntry`]; it is not intended for exotic downstream predictors but
+/// is left open deliberately (e.g. two-delta stride is a natural extension).
+pub trait PredEntry: Clone + std::fmt::Debug {
+    /// Creates a cell from the first observed value of an instruction.
+    fn allocate(initial: u64) -> Self;
+
+    /// The value the cell currently predicts.
+    fn predict(&self) -> u64;
+
+    /// Whether the current prediction is driven by a non-zero stride.
+    ///
+    /// The paper's *stride efficiency ratio* counts correct predictions for
+    /// which this is true; a last-value cell always returns `false`.
+    fn nonzero_stride(&self) -> bool;
+
+    /// Trains the cell with the actual outcome value.
+    fn train(&mut self, actual: u64);
+}
+
+/// Last-value prediction: "the destination value of an individual
+/// instruction is predicted based on the last previously seen value it has
+/// generated" (§2.1).
+///
+/// ```
+/// use vp_predictor::{LastValueEntry, PredEntry};
+/// let mut e = LastValueEntry::allocate(7);
+/// assert_eq!(e.predict(), 7);
+/// e.train(9);
+/// assert_eq!(e.predict(), 9);
+/// assert!(!e.nonzero_stride());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LastValueEntry {
+    last: u64,
+}
+
+impl PredEntry for LastValueEntry {
+    fn allocate(initial: u64) -> Self {
+        LastValueEntry { last: initial }
+    }
+
+    fn predict(&self) -> u64 {
+        self.last
+    }
+
+    fn nonzero_stride(&self) -> bool {
+        false
+    }
+
+    fn train(&mut self, actual: u64) {
+        self.last = actual;
+    }
+}
+
+/// Stride prediction: "the predicted value is the sum of the last value and
+/// the stride", where "the stride field value is always determined upon the
+/// subtraction of two recent consecutive destination values" (§2.1).
+///
+/// A fresh cell starts with stride 0, so it behaves like last-value until
+/// the second training.
+///
+/// ```
+/// use vp_predictor::{StrideEntry, PredEntry};
+/// let mut e = StrideEntry::allocate(10);
+/// e.train(14); // stride becomes 4
+/// assert_eq!(e.predict(), 18);
+/// assert!(e.nonzero_stride());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideEntry {
+    last: u64,
+    stride: u64,
+}
+
+impl StrideEntry {
+    /// The current stride (wrapping difference of the last two values).
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The most recently trained value.
+    #[must_use]
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+}
+
+impl PredEntry for StrideEntry {
+    fn allocate(initial: u64) -> Self {
+        StrideEntry {
+            last: initial,
+            stride: 0,
+        }
+    }
+
+    fn predict(&self) -> u64 {
+        self.last.wrapping_add(self.stride)
+    }
+
+    fn nonzero_stride(&self) -> bool {
+        self.stride != 0
+    }
+
+    fn train(&mut self, actual: u64) {
+        self.stride = actual.wrapping_sub(self.last);
+        self.last = actual;
+    }
+}
+
+/// Two-delta stride prediction: the committed stride is replaced only when
+/// the *same* new delta has been observed twice in a row.
+///
+/// A well-known refinement of the stride predictor (used throughout the
+/// later value-prediction literature): one irregular value perturbs a
+/// plain stride cell for two predictions, but a two-delta cell keeps
+/// predicting with the established stride through the glitch. Included
+/// here as an extension ablation; the paper itself evaluates the plain
+/// stride predictor.
+///
+/// ```
+/// use vp_predictor::{PredEntry, TwoDeltaStrideEntry};
+/// let mut e = TwoDeltaStrideEntry::allocate(0);
+/// e.train(4);
+/// e.train(8);   // delta 4 seen twice: stride commits to 4
+/// e.train(100); // a glitch...
+/// assert_eq!(e.predict(), 104); // ...but the committed stride survives
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoDeltaStrideEntry {
+    last: u64,
+    stride: u64,
+    last_delta: u64,
+}
+
+impl PredEntry for TwoDeltaStrideEntry {
+    fn allocate(initial: u64) -> Self {
+        TwoDeltaStrideEntry {
+            last: initial,
+            stride: 0,
+            last_delta: 0,
+        }
+    }
+
+    fn predict(&self) -> u64 {
+        self.last.wrapping_add(self.stride)
+    }
+
+    fn nonzero_stride(&self) -> bool {
+        self.stride != 0
+    }
+
+    fn train(&mut self, actual: u64) {
+        let delta = actual.wrapping_sub(self.last);
+        if delta == self.last_delta {
+            self.stride = delta;
+        }
+        self.last_delta = delta;
+        self.last = actual;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks_most_recent() {
+        let mut e = LastValueEntry::allocate(5);
+        for v in [5, 5, 8, 8] {
+            e.train(v);
+        }
+        assert_eq!(e.predict(), 8);
+    }
+
+    #[test]
+    fn stride_locks_onto_arithmetic_sequence() {
+        let mut e = StrideEntry::allocate(100);
+        let mut correct = 0;
+        for v in (1..50u64).map(|i| 100 + 3 * i) {
+            if e.predict() == v {
+                correct += 1;
+            }
+            e.train(v);
+        }
+        // Misses only the very first step (stride still 0).
+        assert_eq!(correct, 48);
+    }
+
+    #[test]
+    fn stride_handles_negative_and_wrapping() {
+        let mut e = StrideEntry::allocate(10);
+        e.train(7);
+        assert_eq!(e.stride() as i64, -3);
+        assert_eq!(e.predict(), 4);
+        let mut e = StrideEntry::allocate(u64::MAX);
+        e.train(1); // stride wraps to +2
+        assert_eq!(e.stride(), 2);
+        assert_eq!(e.predict(), 3);
+    }
+
+    #[test]
+    fn zero_stride_behaves_like_last_value() {
+        let mut e = StrideEntry::allocate(42);
+        e.train(42);
+        assert_eq!(e.predict(), 42);
+        assert!(!e.nonzero_stride());
+    }
+
+    #[test]
+    fn stride_reacts_to_pattern_change() {
+        let mut e = StrideEntry::allocate(0);
+        e.train(4); // stride 4
+        e.train(8); // stride 4
+        e.train(100); // stride 92
+        assert_eq!(e.predict(), 192);
+    }
+
+    #[test]
+    fn two_delta_survives_a_single_glitch() {
+        let (mut plain, mut twod) = (StrideEntry::allocate(0), TwoDeltaStrideEntry::allocate(0));
+        for v in [3u64, 6, 9, 12] {
+            plain.train(v);
+            twod.train(v);
+        }
+        // One irregular value...
+        plain.train(500);
+        twod.train(500);
+        // ...then the pattern resumes at 503.
+        assert_ne!(plain.predict(), 503, "plain stride is perturbed");
+        assert_eq!(twod.predict(), 503, "two-delta holds the committed stride");
+    }
+
+    #[test]
+    fn two_delta_commits_only_after_confirmation() {
+        let mut e = TwoDeltaStrideEntry::allocate(0);
+        e.train(7); // delta 7 seen once: stride still 0
+        assert_eq!(e.predict(), 7);
+        e.train(14); // delta 7 confirmed
+        assert_eq!(e.predict(), 21);
+        assert!(e.nonzero_stride());
+    }
+
+    #[test]
+    fn two_delta_eventually_adopts_a_new_pattern() {
+        let mut e = TwoDeltaStrideEntry::allocate(0);
+        for v in [5u64, 10, 15] {
+            e.train(v);
+        }
+        for v in [115u64, 215, 315] {
+            e.train(v);
+        }
+        assert_eq!(e.predict(), 415);
+    }
+}

@@ -1,0 +1,123 @@
+//! Prediction-table geometry.
+
+use std::fmt;
+
+/// Size and associativity of a prediction table.
+///
+/// The paper's finite-table experiments (§5.2, §5.3) use 512 entries,
+/// 2-way set associative — available as [`TableGeometry::SPEC_512_2WAY`].
+///
+/// # Examples
+///
+/// ```
+/// use vp_predictor::TableGeometry;
+/// let g = TableGeometry::new(512, 2);
+/// assert_eq!(g.sets(), 256);
+/// assert_eq!(g.set_of(513), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableGeometry {
+    entries: usize,
+    ways: usize,
+}
+
+impl TableGeometry {
+    /// The paper's evaluation geometry: 512 entries, 2-way.
+    pub const SPEC_512_2WAY: TableGeometry = TableGeometry {
+        entries: 512,
+        ways: 2,
+    };
+
+    /// Creates a geometry of `entries` total entries with `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or `entries` is not a multiple of
+    /// `ways`.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0 && ways > 0, "geometry must be non-empty");
+        assert!(
+            entries.is_multiple_of(ways),
+            "{entries} entries not divisible into {ways}-way sets"
+        );
+        TableGeometry { entries, ways }
+    }
+
+    /// A direct-mapped geometry.
+    #[must_use]
+    pub fn direct_mapped(entries: usize) -> Self {
+        TableGeometry::new(entries, 1)
+    }
+
+    /// A fully-associative geometry.
+    #[must_use]
+    pub fn fully_associative(entries: usize) -> Self {
+        TableGeometry::new(entries, entries)
+    }
+
+    /// Total entries.
+    #[must_use]
+    pub fn entries(self) -> usize {
+        self.entries
+    }
+
+    /// Ways per set.
+    #[must_use]
+    pub fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// The set a key maps to (modulo indexing, as in the paper's Figure 2.1
+    /// "index = low-order instruction address bits").
+    #[must_use]
+    pub fn set_of(self, key: u64) -> usize {
+        (key % self.sets() as u64) as usize
+    }
+}
+
+impl fmt::Display for TableGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-entry {}-way", self.entries, self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_geometry_matches_paper() {
+        let g = TableGeometry::SPEC_512_2WAY;
+        assert_eq!(g.entries(), 512);
+        assert_eq!(g.ways(), 2);
+        assert_eq!(g.sets(), 256);
+    }
+
+    #[test]
+    fn set_mapping_is_modulo() {
+        let g = TableGeometry::new(8, 2);
+        assert_eq!(g.sets(), 4);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(5), 1);
+        assert_eq!(g.set_of(7), 3);
+    }
+
+    #[test]
+    fn degenerate_geometries() {
+        assert_eq!(TableGeometry::direct_mapped(16).sets(), 16);
+        assert_eq!(TableGeometry::fully_associative(16).sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_geometry_panics() {
+        let _ = TableGeometry::new(10, 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Profile file-format errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing a profile image file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A malformed line in the profile text.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The header magic was missing or wrong.
+    BadHeader,
+    /// A record's counts are inconsistent (e.g. more correct predictions
+    /// than executions).
+    Inconsistent {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Parse { line, message } => {
+                write!(f, "profile parse error on line {line}: {message}")
+            }
+            ProfileError::BadHeader => write!(f, "missing or unrecognised profile header"),
+            ProfileError::Inconsistent { line, message } => {
+                write!(f, "inconsistent profile record on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = ProfileError::Parse {
+            line: 4,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

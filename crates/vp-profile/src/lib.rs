@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # vp-profile — value-predictability profiling (the paper's phase 2)
+//!
+//! This crate implements the profile side of the methodology:
+//!
+//! 1. [`ProfileCollector`] is a `vp-sim` tracer that emulates **both** value
+//!    predictors (last-value and stride) with an unbounded
+//!    per-static-instruction table while the program runs on a training
+//!    input — exactly the SHADE pass the paper describes — and produces a
+//!    [`ProfileImage`];
+//! 2. a [`ProfileImage`] maps each value-producing static instruction to its
+//!    execution count, prediction accuracy (under either predictor) and
+//!    *stride efficiency ratio* — the paper's three-column profile file,
+//!    plus the raw counts needed to merge runs losslessly
+//!    ([`format::to_text`] / [`format::from_text`]);
+//! 3. [`merge::intersect_and_sum`] combines the images of `n` runs under
+//!    different inputs, keeping only instructions that appear in every run
+//!    (the paper's vector-alignment rule);
+//! 4. [`vector::AlignedVectors`] extracts the paper's `V` (accuracy) and `S`
+//!    (stride efficiency) vector sets for the Section 4 similarity metrics.
+//!
+//! ## Example
+//!
+//! ```
+//! use vp_isa::asm::assemble;
+//! use vp_sim::{run, RunLimits};
+//! use vp_profile::ProfileCollector;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = assemble("li r1, 0\nli r2, 50\ntop: addi r1, r1, 1\nbne r1, r2, top\nhalt\n")?;
+//! let mut collector = ProfileCollector::new("demo");
+//! run(&p, &mut collector, RunLimits::default())?;
+//! let image = collector.into_image();
+//! // The loop-index increment at address 2 is almost perfectly
+//! // stride-predictable, as in the paper's Table 3.1 example.
+//! let rec = image.get(vp_isa::InstrAddr::new(2)).unwrap();
+//! assert!(rec.stride_accuracy() > 0.9);
+//! assert!(rec.stride_efficiency_ratio() > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod collector;
+pub mod error;
+pub mod format;
+pub mod image;
+pub mod merge;
+pub mod record;
+pub mod store;
+pub mod vector;
+
+pub use collector::ProfileCollector;
+pub use error::ProfileError;
+pub use image::ProfileImage;
+pub use record::{InstrProfile, VpCategory};
+pub use store::StoreValueCollector;
+pub use vector::AlignedVectors;

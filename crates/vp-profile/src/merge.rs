@@ -1,0 +1,117 @@
+//! Combining the profile images of multiple training runs.
+
+use std::collections::BTreeSet;
+
+use vp_isa::InstrAddr;
+
+use crate::ProfileImage;
+
+/// Result of merging several run images.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The merged image (counts summed over the common instructions).
+    pub image: ProfileImage,
+    /// Instructions dropped because they did not appear in every run.
+    pub omitted: usize,
+}
+
+/// Merges run images by **intersection**: only instructions that appear in
+/// every run are kept (their raw counts are summed), matching the paper's
+/// rule that "we only consider the instructions that appear in all the
+/// different runs of the program; instructions which only appear in certain
+/// runs are omitted".
+///
+/// # Panics
+///
+/// Panics if `images` is empty.
+#[must_use]
+pub fn intersect_and_sum(images: &[ProfileImage]) -> MergeOutcome {
+    assert!(!images.is_empty(), "cannot merge zero profile images");
+    let common = common_addrs(images);
+    let union: BTreeSet<InstrAddr> = images.iter().flat_map(|img| img.addrs()).collect();
+    let omitted = union.len() - common.len();
+
+    let mut merged = ProfileImage::new(format!("merge({})", images.len()));
+    for &addr in &common {
+        let mut acc = *images[0].get(addr).expect("addr common to all images");
+        for img in &images[1..] {
+            acc.merge(img.get(addr).expect("addr common to all images"));
+        }
+        merged.insert(addr, acc);
+    }
+    MergeOutcome {
+        image: merged,
+        omitted,
+    }
+}
+
+/// The set of instruction addresses present in every image, in order.
+#[must_use]
+pub fn common_addrs(images: &[ProfileImage]) -> Vec<InstrAddr> {
+    match images.split_first() {
+        None => Vec::new(),
+        Some((first, rest)) => first
+            .addrs()
+            .filter(|&a| rest.iter().all(|img| img.get(a).is_some()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstrProfile, VpCategory};
+
+    fn image(name: &str, rows: &[(u32, u64, u64)]) -> ProfileImage {
+        let mut img = ProfileImage::new(name);
+        for &(addr, execs, correct) in rows {
+            img.insert(
+                InstrAddr::new(addr),
+                InstrProfile {
+                    category: VpCategory::IntAlu,
+                    execs,
+                    stride_correct: correct,
+                    nonzero_stride_correct: correct,
+                    last_value_correct: 0,
+                },
+            );
+        }
+        img
+    }
+
+    #[test]
+    fn intersection_drops_run_specific_instructions() {
+        let a = image("a", &[(1, 10, 5), (2, 10, 9), (3, 4, 0)]);
+        let b = image("b", &[(1, 20, 10), (2, 30, 27)]);
+        let out = intersect_and_sum(&[a, b]);
+        assert_eq!(out.image.len(), 2);
+        assert_eq!(out.omitted, 1);
+        let r1 = out.image.get(InstrAddr::new(1)).unwrap();
+        assert_eq!(r1.execs, 30);
+        assert_eq!(r1.stride_correct, 15);
+        assert!((r1.stride_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_image_merges_to_itself() {
+        let a = image("a", &[(1, 10, 5)]);
+        let out = intersect_and_sum(std::slice::from_ref(&a));
+        assert_eq!(out.omitted, 0);
+        assert_eq!(out.image.get(InstrAddr::new(1)), a.get(InstrAddr::new(1)));
+    }
+
+    #[test]
+    fn common_addrs_ordering() {
+        let a = image("a", &[(5, 1, 0), (1, 1, 0), (9, 1, 0)]);
+        let b = image("b", &[(9, 1, 0), (5, 1, 0)]);
+        let addrs: Vec<u32> = common_addrs(&[a, b]).iter().map(|a| a.index()).collect();
+        assert_eq!(addrs, vec![5, 9]);
+        assert!(common_addrs(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero profile images")]
+    fn merging_nothing_panics() {
+        let _ = intersect_and_sum(&[]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Profile vectors for the paper's Section 4 similarity analysis.
+//!
+//! Running a program `n` times with different inputs yields a set of vectors
+//! `V = {V1 … Vn}` whose coordinate `l` is the prediction accuracy of static
+//! instruction `l` (and a parallel set `S` of stride efficiency ratios).
+//! Only instructions present in **all** runs contribute coordinates.
+
+use vp_isa::InstrAddr;
+
+use crate::merge::common_addrs;
+use crate::ProfileImage;
+
+/// The aligned per-run profile vectors of one workload.
+///
+/// Coordinates are percentages in `[0, 100]`, matching the paper's
+/// histogram axes.
+///
+/// The accuracy vectors `V` cover every instruction executed at least
+/// `min_execs` times in all runs. The stride-efficiency vectors `S`
+/// additionally require `min_execs` *correct* stride predictions in all
+/// runs: the ratio is a quotient of correct-prediction counts, so an
+/// instruction with a handful of corrects has a ratio that is sampling
+/// noise rather than behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignedVectors {
+    addrs: Vec<InstrAddr>,
+    s_addrs: Vec<InstrAddr>,
+    accuracy: Vec<Vec<f64>>,
+    stride_ratio: Vec<Vec<f64>>,
+}
+
+impl AlignedVectors {
+    /// Builds aligned vectors from `n` run images.
+    ///
+    /// Instructions executed fewer than `min_execs` times *in any run* are
+    /// excluded — a rarely-executed instruction's "accuracy" is sampling
+    /// noise, not program behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty.
+    #[must_use]
+    pub fn from_images(images: &[ProfileImage], min_execs: u64) -> Self {
+        assert!(!images.is_empty(), "need at least one profile image");
+        let addrs: Vec<InstrAddr> = common_addrs(images)
+            .into_iter()
+            .filter(|&a| {
+                images
+                    .iter()
+                    .all(|img| img.get(a).expect("common").execs >= min_execs)
+            })
+            .collect();
+        let s_addrs: Vec<InstrAddr> = addrs
+            .iter()
+            .copied()
+            .filter(|&a| {
+                images
+                    .iter()
+                    .all(|img| img.get(a).expect("common").stride_correct >= min_execs)
+            })
+            .collect();
+        let accuracy = images
+            .iter()
+            .map(|img| {
+                addrs
+                    .iter()
+                    .map(|&a| 100.0 * img.get(a).expect("common").stride_accuracy())
+                    .collect()
+            })
+            .collect();
+        let stride_ratio = images
+            .iter()
+            .map(|img| {
+                s_addrs
+                    .iter()
+                    .map(|&a| 100.0 * img.get(a).expect("common").stride_efficiency_ratio())
+                    .collect()
+            })
+            .collect();
+        AlignedVectors {
+            addrs,
+            s_addrs,
+            accuracy,
+            stride_ratio,
+        }
+    }
+
+    /// Number of runs `n`.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.accuracy.len()
+    }
+
+    /// Vector dimension `k` (common instructions).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The aligned instruction addresses.
+    #[must_use]
+    pub fn addrs(&self) -> &[InstrAddr] {
+        &self.addrs
+    }
+
+    /// The accuracy vector set `V` — one vector per run, percentages.
+    #[must_use]
+    pub fn accuracy_vectors(&self) -> &[Vec<f64>] {
+        &self.accuracy
+    }
+
+    /// The stride-efficiency vector set `S` — one vector per run,
+    /// percentages, over [`AlignedVectors::s_addrs`].
+    #[must_use]
+    pub fn stride_ratio_vectors(&self) -> &[Vec<f64>] {
+        &self.stride_ratio
+    }
+
+    /// The instruction addresses behind the `S` vectors (a subset of
+    /// [`AlignedVectors::addrs`]).
+    #[must_use]
+    pub fn s_addrs(&self) -> &[InstrAddr] {
+        &self.s_addrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstrProfile, VpCategory};
+
+    fn image(rows: &[(u32, u64, u64, u64)]) -> ProfileImage {
+        let mut img = ProfileImage::new("t");
+        for &(addr, execs, correct, nonzero) in rows {
+            img.insert(
+                InstrAddr::new(addr),
+                InstrProfile {
+                    category: VpCategory::IntAlu,
+                    execs,
+                    stride_correct: correct,
+                    nonzero_stride_correct: nonzero,
+                    last_value_correct: 0,
+                },
+            );
+        }
+        img
+    }
+
+    #[test]
+    fn coordinates_align_across_runs() {
+        let a = image(&[(1, 100, 90, 90), (2, 100, 10, 0)]);
+        let b = image(&[(1, 200, 160, 160), (2, 50, 10, 5)]);
+        let v = AlignedVectors::from_images(&[a, b], 1);
+        assert_eq!(v.runs(), 2);
+        assert_eq!(v.dim(), 2);
+        assert_eq!(v.accuracy_vectors()[0], vec![90.0, 10.0]);
+        assert_eq!(v.accuracy_vectors()[1], vec![80.0, 20.0]);
+        assert_eq!(v.stride_ratio_vectors()[0][1], 0.0);
+        assert_eq!(v.stride_ratio_vectors()[1][1], 50.0);
+    }
+
+    #[test]
+    fn min_execs_filters_in_every_run() {
+        let a = image(&[(1, 100, 90, 90), (2, 100, 10, 0)]);
+        let b = image(&[(1, 3, 1, 1), (2, 50, 10, 5)]);
+        let v = AlignedVectors::from_images(&[a, b], 10);
+        // Instruction 1 has only 3 execs in run b: excluded.
+        assert_eq!(v.dim(), 1);
+        assert_eq!(v.addrs()[0], InstrAddr::new(2));
+    }
+
+    #[test]
+    fn non_common_instructions_are_excluded() {
+        let a = image(&[(1, 100, 90, 90), (3, 100, 10, 0)]);
+        let b = image(&[(1, 100, 90, 90)]);
+        let v = AlignedVectors::from_images(&[a, b], 1);
+        assert_eq!(v.dim(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulator fault conditions.
+
+use std::error::Error;
+use std::fmt;
+
+use vp_isa::InstrAddr;
+
+/// A fault raised during simulation.
+///
+/// The ISA semantics are deliberately trap-free for arithmetic (division by
+/// zero is defined, shifts mask their amount), so faults only arise from
+/// control flow leaving the text segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The program counter left the text segment without reaching `halt`.
+    PcOutOfRange {
+        /// The faulting program counter.
+        pc: InstrAddr,
+        /// Length of the text segment.
+        text_len: usize,
+    },
+    /// A branch or jump computed a target outside the 32-bit address space.
+    TargetOverflow {
+        /// Address of the branch instruction.
+        at: InstrAddr,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { pc, text_len } => {
+                write!(
+                    f,
+                    "program counter {pc} outside text segment of {text_len} instructions"
+                )
+            }
+            SimError::TargetOverflow { at } => {
+                write!(f, "branch target overflow at {at}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_pc() {
+        let e = SimError::PcOutOfRange {
+            pc: InstrAddr::new(9),
+            text_len: 4,
+        };
+        assert!(e.to_string().contains("@9"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,378 @@
+//! Single-step instruction semantics.
+//!
+//! Arithmetic is trap-free by definition (like most simulators' functional
+//! mode): integer division by zero yields 0, remainder by zero yields the
+//! dividend, shift amounts are masked to 6 bits, and overflow wraps. This
+//! keeps every workload deterministic without fault handling.
+
+use vp_isa::{Instr, InstrAddr, Opcode, Program, Reg, RegClass};
+
+use crate::{Machine, SimError};
+
+/// A retired instruction delivered to a [`crate::Tracer`].
+///
+/// This is the unit of the SHADE-style trace: the paper's profile phase
+/// consumes exactly `(static address, destination value)` pairs, and the ILP
+/// machine additionally uses sources and memory effects.
+#[derive(Debug, Clone, Copy)]
+pub struct Retirement<'a> {
+    /// Static address of the retired instruction.
+    pub addr: InstrAddr,
+    /// The instruction itself.
+    pub instr: &'a Instr,
+    /// Destination write, if the instruction produced a value:
+    /// `(class, register, value)`. FP values are raw `f64` bits.
+    pub dest: Option<(RegClass, Reg, u64)>,
+    /// Memory effect, if any.
+    pub mem: Option<MemAccess>,
+    /// For stores: the value written to memory (the paper's §2.1 notes the
+    /// prediction schemes "could be generalized and applied to memory
+    /// storage operands"; this field lets the profiler measure that).
+    pub stored: Option<u64>,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// Program counter after this instruction.
+    pub next_pc: InstrAddr,
+}
+
+/// A memory access performed by a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Word address accessed.
+    pub addr: u64,
+    /// `true` for stores, `false` for loads.
+    pub store: bool,
+}
+
+/// Result of one [`step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Execution continues at `machine.pc()`.
+    Continue,
+    /// A `halt` retired; the machine is stopped.
+    Halted,
+}
+
+/// Executes the instruction at the machine's current PC and invokes
+/// `on_retire` with the retirement record.
+///
+/// # Errors
+///
+/// - [`SimError::PcOutOfRange`] when the PC does not name a text-segment
+///   instruction.
+/// - [`SimError::TargetOverflow`] when a branch target leaves the 32-bit
+///   instruction address space.
+pub fn step<'a>(
+    machine: &mut Machine,
+    program: &'a Program,
+    mut on_retire: impl FnMut(&Retirement<'a>),
+) -> Result<StepOutcome, SimError> {
+    let pc = machine.pc();
+    let instr = program.fetch(pc).ok_or(SimError::PcOutOfRange {
+        pc,
+        text_len: program.len(),
+    })?;
+
+    let ir = |r: Reg| machine.read_reg(RegClass::Int, r);
+    let fr = |r: Reg| machine.read_f64(r);
+    let i = |v: u64| v as i64;
+
+    let mut dest: Option<u64> = None;
+    let mut mem: Option<MemAccess> = None;
+    let mut stored: Option<u64> = None;
+    let mut taken: Option<bool> = None;
+    let mut next_pc = pc.next();
+    let mut halted = false;
+
+    use Opcode::*;
+    match instr.op {
+        // ----- integer register-register -----
+        Add => dest = Some(ir(instr.rs1).wrapping_add(ir(instr.rs2))),
+        Sub => dest = Some(ir(instr.rs1).wrapping_sub(ir(instr.rs2))),
+        Mul => dest = Some(ir(instr.rs1).wrapping_mul(ir(instr.rs2))),
+        Div => {
+            let (a, b) = (i(ir(instr.rs1)), i(ir(instr.rs2)));
+            dest = Some(if b == 0 { 0 } else { a.wrapping_div(b) } as u64);
+        }
+        Rem => {
+            let (a, b) = (i(ir(instr.rs1)), i(ir(instr.rs2)));
+            dest = Some(if b == 0 { a } else { a.wrapping_rem(b) } as u64);
+        }
+        And => dest = Some(ir(instr.rs1) & ir(instr.rs2)),
+        Or => dest = Some(ir(instr.rs1) | ir(instr.rs2)),
+        Xor => dest = Some(ir(instr.rs1) ^ ir(instr.rs2)),
+        Sll => dest = Some(ir(instr.rs1) << (ir(instr.rs2) & 63)),
+        Srl => dest = Some(ir(instr.rs1) >> (ir(instr.rs2) & 63)),
+        Sra => dest = Some((i(ir(instr.rs1)) >> (ir(instr.rs2) & 63)) as u64),
+        Slt => dest = Some(u64::from(i(ir(instr.rs1)) < i(ir(instr.rs2)))),
+        Sltu => dest = Some(u64::from(ir(instr.rs1) < ir(instr.rs2))),
+
+        // ----- integer register-immediate -----
+        Addi => dest = Some(ir(instr.rs1).wrapping_add(instr.imm as u64)),
+        Andi => dest = Some(ir(instr.rs1) & instr.imm as u64),
+        Ori => dest = Some(ir(instr.rs1) | instr.imm as u64),
+        Xori => dest = Some(ir(instr.rs1) ^ instr.imm as u64),
+        Slli => dest = Some(ir(instr.rs1) << (instr.imm as u64 & 63)),
+        Srli => dest = Some(ir(instr.rs1) >> (instr.imm as u64 & 63)),
+        Srai => dest = Some((i(ir(instr.rs1)) >> (instr.imm as u64 & 63)) as u64),
+        Slti => dest = Some(u64::from(i(ir(instr.rs1)) < instr.imm)),
+        Muli => dest = Some(ir(instr.rs1).wrapping_mul(instr.imm as u64)),
+
+        // ----- constants & moves -----
+        Li => dest = Some(instr.imm as u64),
+        Mv => dest = Some(ir(instr.rs1)),
+
+        // ----- memory -----
+        Ld | Fld => {
+            let addr = ir(instr.rs1).wrapping_add(instr.imm as u64);
+            dest = Some(machine.memory_mut().read(addr));
+            mem = Some(MemAccess { addr, store: false });
+        }
+        Sd | Fsd => {
+            let addr = ir(instr.rs1).wrapping_add(instr.imm as u64);
+            let class = if instr.op == Fsd {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            };
+            let value = machine.read_reg(class, instr.rs2);
+            machine.memory_mut().write(addr, value);
+            mem = Some(MemAccess { addr, store: true });
+            stored = Some(value);
+        }
+
+        // ----- floating point -----
+        Fadd => dest = Some((fr(instr.rs1) + fr(instr.rs2)).to_bits()),
+        Fsub => dest = Some((fr(instr.rs1) - fr(instr.rs2)).to_bits()),
+        Fmul => dest = Some((fr(instr.rs1) * fr(instr.rs2)).to_bits()),
+        Fdiv => dest = Some((fr(instr.rs1) / fr(instr.rs2)).to_bits()),
+        Fmin => dest = Some(fr(instr.rs1).min(fr(instr.rs2)).to_bits()),
+        Fmax => dest = Some(fr(instr.rs1).max(fr(instr.rs2)).to_bits()),
+        Fneg => dest = Some((-fr(instr.rs1)).to_bits()),
+        Fmv => dest = Some(fr(instr.rs1).to_bits()),
+        CvtIf => dest = Some((i(ir(instr.rs1)) as f64).to_bits()),
+        CvtFi => {
+            let v = fr(instr.rs1);
+            let t = if v.is_nan() { 0 } else { v as i64 };
+            dest = Some(t as u64);
+        }
+        Feq => dest = Some(u64::from(fr(instr.rs1) == fr(instr.rs2))),
+        Flt => dest = Some(u64::from(fr(instr.rs1) < fr(instr.rs2))),
+        Fle => dest = Some(u64::from(fr(instr.rs1) <= fr(instr.rs2))),
+
+        // ----- control flow -----
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let (a, b) = (ir(instr.rs1), ir(instr.rs2));
+            let t = match instr.op {
+                Beq => a == b,
+                Bne => a != b,
+                Blt => i(a) < i(b),
+                Bge => i(a) >= i(b),
+                Bltu => a < b,
+                Bgeu => a >= b,
+                _ => unreachable!(),
+            };
+            taken = Some(t);
+            if t {
+                next_pc =
+                    branch_target(pc, instr.imm).ok_or(SimError::TargetOverflow { at: pc })?;
+            }
+        }
+        Jal => {
+            dest = Some(u64::from(pc.next().index()));
+            next_pc = branch_target(pc, instr.imm).ok_or(SimError::TargetOverflow { at: pc })?;
+        }
+        Jalr => {
+            dest = Some(u64::from(pc.next().index()));
+            let target = ir(instr.rs1).wrapping_add(instr.imm as u64);
+            next_pc = u32::try_from(target)
+                .map(InstrAddr::new)
+                .map_err(|_| SimError::TargetOverflow { at: pc })?;
+        }
+
+        // ----- system -----
+        Nop => {}
+        Halt => halted = true,
+    }
+
+    // Commit the destination (honouring the hardwired integer zero register)
+    // and report the *architecturally visible* write only.
+    let dest = match (instr.dest(), dest) {
+        (Some((class, rd)), Some(value)) => {
+            machine.write_reg(class, rd, value);
+            Some((class, rd, value))
+        }
+        _ => None,
+    };
+
+    machine.set_pc(next_pc);
+    let retirement = Retirement {
+        addr: pc,
+        instr,
+        dest,
+        mem,
+        stored,
+        taken,
+        next_pc,
+    };
+    on_retire(&retirement);
+    Ok(if halted {
+        StepOutcome::Halted
+    } else {
+        StepOutcome::Continue
+    })
+}
+
+fn branch_target(pc: InstrAddr, imm: i64) -> Option<InstrAddr> {
+    i32::try_from(imm).ok().and_then(|d| pc.offset(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::asm::assemble;
+
+    fn exec(src: &str) -> (Machine, Vec<(u32, Option<u64>)>) {
+        let p = assemble(src).unwrap();
+        let mut m = Machine::for_program(&p);
+        let mut log = Vec::new();
+        for _ in 0..10_000 {
+            let out = step(&mut m, &p, |ev| {
+                log.push((ev.addr.index(), ev.dest.map(|(_, _, v)| v)));
+            })
+            .unwrap();
+            if out == StepOutcome::Halted {
+                return (m, log);
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let (m, _) = exec(
+            "li r1, 7\nli r2, 3\nadd r3, r1, r2\nsub r4, r1, r2\nmul r5, r1, r2\ndiv r6, r1, r2\nrem r7, r1, r2\nhalt\n",
+        );
+        let v = |r| m.read_reg(RegClass::Int, Reg::new(r));
+        assert_eq!((v(3), v(4), v(5), v(6), v(7)), (10, 4, 21, 2, 1));
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let (m, _) = exec("li r1, 9\ndiv r2, r1, r0\nrem r3, r1, r0\nhalt\n");
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(2)), 0);
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(3)), 9);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compares() {
+        let (m, _) = exec("li r1, -1\nli r2, 1\nslt r3, r1, r2\nsltu r4, r1, r2\nhalt\n");
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(3)), 1);
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(4)), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        let (m, _) = exec("li r1, 1\nli r2, 65\nsll r3, r1, r2\nli r4, -8\nsra r5, r4, r1\nhalt\n");
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(3)), 2); // 65 & 63 == 1
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(5)) as i64, -4);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let (mut m, log) =
+            exec(".data 100 200\nld r1, 1(r0)\naddi r2, r1, 1\nsd r2, 5(r0)\nld r3, 5(r0)\nhalt\n");
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(3)), 201);
+        assert_eq!(m.memory_mut().read(5), 201);
+        // The store produces no dest value.
+        assert_eq!(log[2].1, None);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let (m, _) = exec(
+            ".f64 1.5 2.5\nfld f1, (r0)\nfld f2, 1(r0)\nfadd f3, f1, f2\nfmul f4, f3, f3\nflt r5, f1, f2\ncvt.f.i r6, f4\nhalt\n",
+        );
+        assert_eq!(m.read_f64(Reg::new(3)), 4.0);
+        assert_eq!(m.read_f64(Reg::new(4)), 16.0);
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(5)), 1);
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(6)), 16);
+    }
+
+    #[test]
+    fn loop_retires_expected_stream() {
+        let (_, log) = exec("li r1, 2\ntop: addi r1, r1, -1\nbne r1, r0, top\nhalt\n");
+        let addrs: Vec<u32> = log.iter().map(|(a, _)| *a).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 1, 2, 3]);
+    }
+
+    #[test]
+    fn jal_links_and_jalr_returns() {
+        let (_, log) = exec("jal r31, fun\nhalt\nfun: li r1, 1\njalr r0, r31, 0\n");
+        let addrs: Vec<u32> = log.iter().map(|(a, _)| *a).collect();
+        assert_eq!(addrs, vec![0, 2, 3, 1]);
+        // jal wrote the link value 1.
+        assert_eq!(log[0].1, Some(1));
+    }
+
+    #[test]
+    fn writes_to_r0_are_not_reported_as_dest() {
+        let (_, log) = exec("add r0, r0, r0\nhalt\n");
+        assert_eq!(log[0].1, None);
+    }
+
+    #[test]
+    fn pc_out_of_range_faults() {
+        let p = assemble("nop\n").unwrap(); // no halt: falls off the end
+        let mut m = Machine::for_program(&p);
+        assert!(step(&mut m, &p, |_| {}).is_ok());
+        let e = step(&mut m, &p, |_| {}).unwrap_err();
+        assert!(matches!(e, SimError::PcOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unsigned_branches_differ_from_signed() {
+        // r1 = -1 (huge unsigned), r2 = 1.
+        let (_, log) = exec(
+            "li r1, -1\nli r2, 1\nbltu r1, r2, never\nbgeu r1, r2, taken\nnever: li r3, 99\ntaken: halt\n",
+        );
+        let addrs: Vec<u32> = log.iter().map(|(a, _)| *a).collect();
+        // bltu not taken (unsigned -1 is max), bgeu taken, skipping @4.
+        assert_eq!(addrs, vec![0, 1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn fmin_fmax_follow_ieee_total_order_for_ordinary_values() {
+        let (m, _) = exec(
+            ".f64 2.5 -3.0\nfld f1, (r0)\nfld f2, 1(r0)\nfmin f3, f1, f2\nfmax f4, f1, f2\nhalt\n",
+        );
+        assert_eq!(m.read_f64(Reg::new(3)), -3.0);
+        assert_eq!(m.read_f64(Reg::new(4)), 2.5);
+    }
+
+    #[test]
+    fn jalr_faults_on_unrepresentable_target() {
+        let p = assemble("li r1, -5\njalr r0, r1, 0\nhalt\n").unwrap();
+        let mut m = Machine::for_program(&p);
+        step(&mut m, &p, |_| {}).unwrap();
+        let e = step(&mut m, &p, |_| {}).unwrap_err();
+        assert!(matches!(e, SimError::TargetOverflow { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn branch_retirement_reports_taken_flag() {
+        let p = assemble("li r1, 1\nbne r1, r0, t\nt: beq r1, r0, t\nhalt\n").unwrap();
+        let mut m = Machine::for_program(&p);
+        let mut taken_flags = Vec::new();
+        for _ in 0..4 {
+            let _ = step(&mut m, &p, |ev| taken_flags.push(ev.taken)).unwrap();
+        }
+        assert_eq!(taken_flags, vec![None, Some(true), Some(false), None]);
+    }
+
+    #[test]
+    fn nan_conversion_is_defined() {
+        let (m, _) = exec(".f64 0.0\nfld f1, (r0)\nfdiv f2, f1, f1\ncvt.f.i r3, f2\nhalt\n");
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(3)), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Architectural machine state.
+
+use vp_isa::{InstrAddr, Program, Reg, RegClass};
+
+use crate::Memory;
+
+/// Architectural state: both register files, the program counter and memory.
+///
+/// The integer register `r0` is hardwired to zero: writes are discarded and
+/// reads return 0. The floating-point file has no such register.
+///
+/// # Examples
+///
+/// ```
+/// use vp_sim::Machine;
+/// use vp_isa::{asm::assemble, Reg, RegClass};
+///
+/// let p = assemble("halt\n").unwrap();
+/// let mut m = Machine::for_program(&p);
+/// m.write_reg(RegClass::Int, Reg::new(4), 42);
+/// assert_eq!(m.read_reg(RegClass::Int, Reg::new(4)), 42);
+/// m.write_reg(RegClass::Int, Reg::ZERO, 9);
+/// assert_eq!(m.read_reg(RegClass::Int, Reg::ZERO), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    int_regs: [u64; vp_isa::reg::NUM_REGS],
+    fp_regs: [u64; vp_isa::reg::NUM_REGS],
+    pc: InstrAddr,
+    mem: Memory,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed registers, `pc = 0` and memory
+    /// initialised from the program's data image.
+    #[must_use]
+    pub fn for_program(program: &Program) -> Self {
+        Machine {
+            int_regs: [0; vp_isa::reg::NUM_REGS],
+            fp_regs: [0; vp_isa::reg::NUM_REGS],
+            pc: InstrAddr::new(0),
+            mem: Memory::with_image(program.data()),
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> InstrAddr {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: InstrAddr) {
+        self.pc = pc;
+    }
+
+    /// Reads a register from the given file.
+    #[must_use]
+    pub fn read_reg(&self, class: RegClass, reg: Reg) -> u64 {
+        match class {
+            RegClass::Int => {
+                if reg.is_zero() {
+                    0
+                } else {
+                    self.int_regs[usize::from(reg)]
+                }
+            }
+            RegClass::Fp => self.fp_regs[usize::from(reg)],
+        }
+    }
+
+    /// Reads an FP register as a double.
+    #[must_use]
+    pub fn read_f64(&self, reg: Reg) -> f64 {
+        f64::from_bits(self.fp_regs[usize::from(reg)])
+    }
+
+    /// Writes a register in the given file. Writes to integer `r0` are
+    /// discarded.
+    pub fn write_reg(&mut self, class: RegClass, reg: Reg, value: u64) {
+        match class {
+            RegClass::Int => {
+                if !reg.is_zero() {
+                    self.int_regs[usize::from(reg)] = value;
+                }
+            }
+            RegClass::Fp => self.fp_regs[usize::from(reg)] = value,
+        }
+    }
+
+    /// Writes an FP register from a double.
+    pub fn write_f64(&mut self, reg: Reg, value: f64) {
+        self.fp_regs[usize::from(reg)] = value.to_bits();
+    }
+
+    /// The machine's memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the machine's memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::asm::assemble;
+
+    fn machine() -> Machine {
+        Machine::for_program(&assemble(".data 11 22\nhalt\n").unwrap())
+    }
+
+    #[test]
+    fn data_image_is_loaded() {
+        let mut m = machine();
+        assert_eq!(m.memory_mut().read(0), 11);
+        assert_eq!(m.memory_mut().read(1), 22);
+    }
+
+    #[test]
+    fn int_zero_register_discards_writes() {
+        let mut m = machine();
+        m.write_reg(RegClass::Int, Reg::ZERO, 5);
+        assert_eq!(m.read_reg(RegClass::Int, Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn fp_register_zero_is_writable() {
+        let mut m = machine();
+        m.write_f64(Reg::ZERO, 1.5);
+        assert_eq!(m.read_f64(Reg::ZERO), 1.5);
+        // The files are independent.
+        assert_eq!(m.read_reg(RegClass::Int, Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let mut m = machine();
+        m.write_reg(RegClass::Int, Reg::new(3), 10);
+        m.write_reg(RegClass::Fp, Reg::new(3), 20);
+        assert_eq!(m.read_reg(RegClass::Int, Reg::new(3)), 10);
+        assert_eq!(m.read_reg(RegClass::Fp, Reg::new(3)), 20);
+    }
+}

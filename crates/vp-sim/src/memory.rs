@@ -1,0 +1,157 @@
+//! Sparse, word-addressed memory.
+//!
+//! The machine's memory is an array of 64-bit words indexed by `u64` word
+//! addresses. It is backed by lazily allocated fixed-size pages, so workloads
+//! can scatter data across a large address space without cost. Unwritten
+//! words read as zero, like a zero-filled address space.
+
+use std::collections::HashMap;
+
+/// Words per page. A power of two so address splitting is a shift/mask.
+const PAGE_WORDS: usize = 1 << 12;
+
+/// Sparse word-addressed memory with zero-fill semantics.
+///
+/// # Examples
+///
+/// ```
+/// use vp_sim::Memory;
+/// let mut m = Memory::new();
+/// assert_eq!(m.read(123), 0);
+/// m.write(123, 7);
+/// assert_eq!(m.read(123), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Creates a memory whose low words hold `image` (the program's data
+    /// segment), starting at word address 0.
+    #[must_use]
+    pub fn with_image(image: &[u64]) -> Self {
+        let mut m = Memory::new();
+        for (i, &w) in image.iter().enumerate() {
+            if w != 0 {
+                m.write(i as u64, w);
+            }
+        }
+        m.reads = 0;
+        m.writes = 0;
+        m
+    }
+
+    /// Reads the word at `addr` (zero if never written).
+    pub fn read(&mut self, addr: u64) -> u64 {
+        self.reads += 1;
+        let (page, offset) = split(addr);
+        self.pages.get(&page).map_or(0, |p| p[offset])
+    }
+
+    /// Reads without counting as an access (for debugging / assertions).
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> u64 {
+        let (page, offset) = split(addr);
+        self.pages.get(&page).map_or(0, |p| p[offset])
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.writes += 1;
+        let (page, offset) = split(addr);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[offset] = value;
+    }
+
+    /// Number of pages that have been materialised.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total counted read accesses.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total counted write accesses.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+fn split(addr: u64) -> (u64, usize) {
+    (
+        addr / PAGE_WORDS as u64,
+        (addr % PAGE_WORDS as u64) as usize,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(u64::MAX), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip_across_pages() {
+        let mut m = Memory::new();
+        let addrs = [
+            0u64,
+            1,
+            PAGE_WORDS as u64 - 1,
+            PAGE_WORDS as u64,
+            10 * PAGE_WORDS as u64 + 17,
+        ];
+        for (i, &a) in addrs.iter().enumerate() {
+            m.write(a, i as u64 + 100);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(m.read(a), i as u64 + 100);
+        }
+        assert_eq!(m.resident_pages(), 3);
+    }
+
+    #[test]
+    fn image_loads_at_zero_and_resets_counters() {
+        let mut m = Memory::with_image(&[5, 0, 7]);
+        assert_eq!(m.read(0), 5);
+        assert_eq!(m.read(1), 0);
+        assert_eq!(m.read(2), 7);
+        assert_eq!(m.writes(), 0);
+        assert_eq!(m.reads(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let m = Memory::with_image(&[9]);
+        assert_eq!(m.peek(0), 9);
+        assert_eq!(m.reads(), 0);
+    }
+
+    #[test]
+    fn access_counters_track() {
+        let mut m = Memory::new();
+        m.write(1, 1);
+        m.write(2, 2);
+        m.read(1);
+        assert_eq!((m.reads(), m.writes()), (1, 2));
+    }
+}

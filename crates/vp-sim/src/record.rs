@@ -1,0 +1,332 @@
+//! Trace recording and replay.
+//!
+//! SHADE could emit trace files that analyzers consumed offline; this
+//! module is that capability for `vp-sim`: capture a retirement trace once
+//! ([`TraceRecorder`]), then [`replay`] it into any number of tracers
+//! (profilers, predictors, the ILP machine) without re-simulating, or ship
+//! it through any `std::io` stream with [`write_trace`] / [`read_trace`].
+
+use std::io::{self, Read, Write};
+
+use vp_isa::{InstrAddr, Program, Reg, RegClass};
+
+use crate::exec::{MemAccess, Retirement};
+use crate::Tracer;
+
+/// One retired instruction, in owned form (no borrow of the program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static address of the retired instruction.
+    pub addr: InstrAddr,
+    /// Destination write `(class, register, value)`, if any.
+    pub dest: Option<(RegClass, Reg, u64)>,
+    /// Memory effect, if any.
+    pub mem: Option<MemAccess>,
+    /// For stores: the value written.
+    pub stored: Option<u64>,
+    /// Branch outcome, if the instruction was a conditional branch.
+    pub taken: Option<bool>,
+    /// Program counter after the instruction.
+    pub next_pc: InstrAddr,
+}
+
+impl TraceEvent {
+    /// Captures a retirement into owned form.
+    #[must_use]
+    pub fn from_retirement(ev: &Retirement<'_>) -> Self {
+        TraceEvent {
+            addr: ev.addr,
+            dest: ev.dest,
+            mem: ev.mem,
+            stored: ev.stored,
+            taken: ev.taken,
+            next_pc: ev.next_pc,
+        }
+    }
+}
+
+/// A tracer that stores the whole trace in memory.
+///
+/// # Examples
+///
+/// ```
+/// use vp_isa::asm::assemble;
+/// use vp_sim::record::{replay, TraceRecorder};
+/// use vp_sim::{run, InstrMix, RunLimits};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("li r1, 3\ntop: addi r1, r1, -1\nbne r1, r0, top\nhalt\n")?;
+/// let mut rec = TraceRecorder::new();
+/// run(&p, &mut rec, RunLimits::default())?;
+/// // Replay into a different consumer without re-simulating.
+/// let mut mix = InstrMix::new();
+/// replay(&p, rec.events(), &mut mix)?;
+/// assert_eq!(mix.total() as usize, rec.events().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the trace.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl Tracer for TraceRecorder {
+    fn retire(&mut self, ev: &Retirement<'_>) {
+        self.events.push(TraceEvent::from_retirement(ev));
+    }
+}
+
+/// Replays a recorded trace into `tracer`, reconstructing full
+/// [`Retirement`] records against `program` (which must be the program the
+/// trace was recorded from, or at least one with the same text length).
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` when an event's address does not
+/// name an instruction of `program`.
+pub fn replay(
+    program: &Program,
+    events: &[TraceEvent],
+    tracer: &mut impl Tracer,
+) -> io::Result<()> {
+    for ev in events {
+        let instr = program.fetch(ev.addr).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace event at {} outside program text", ev.addr),
+            )
+        })?;
+        tracer.retire(&Retirement {
+            addr: ev.addr,
+            instr,
+            dest: ev.dest,
+            mem: ev.mem,
+            stored: ev.stored,
+            taken: ev.taken,
+            next_pc: ev.next_pc,
+        });
+    }
+    Ok(())
+}
+
+const MAGIC: &[u8; 8] = b"provptr1";
+
+// Flag bits of the per-event header byte.
+const F_DEST: u8 = 1 << 0;
+const F_DEST_FP: u8 = 1 << 1;
+const F_MEM: u8 = 1 << 2;
+const F_MEM_STORE: u8 = 1 << 3;
+const F_BRANCH: u8 = 1 << 4;
+const F_TAKEN: u8 = 1 << 5;
+
+/// Serialises a trace to a writer (pass `&mut writer` to keep it).
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_trace<W: Write>(mut w: W, events: &[TraceEvent]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(events.len() as u64).to_le_bytes())?;
+    for ev in events {
+        let mut flags = 0u8;
+        if let Some((class, _, _)) = ev.dest {
+            flags |= F_DEST;
+            if class == RegClass::Fp {
+                flags |= F_DEST_FP;
+            }
+        }
+        if let Some(mem) = ev.mem {
+            flags |= F_MEM;
+            if mem.store {
+                flags |= F_MEM_STORE;
+            }
+        }
+        if let Some(taken) = ev.taken {
+            flags |= F_BRANCH;
+            if taken {
+                flags |= F_TAKEN;
+            }
+        }
+        w.write_all(&[flags])?;
+        w.write_all(&ev.addr.index().to_le_bytes())?;
+        w.write_all(&ev.next_pc.index().to_le_bytes())?;
+        if let Some((_, reg, value)) = ev.dest {
+            w.write_all(&[reg.index()])?;
+            w.write_all(&value.to_le_bytes())?;
+        }
+        if let Some(mem) = ev.mem {
+            w.write_all(&mem.addr.to_le_bytes())?;
+            if mem.store {
+                w.write_all(&ev.stored.unwrap_or(0).to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialises a trace from a reader (pass `&mut reader` to keep it).
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` for a bad magic or malformed event;
+/// reader errors are propagated.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<TraceEvent>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
+    }
+    let mut count = [0u8; 8];
+    r.read_exact(&mut count)?;
+    let count = u64::from_le_bytes(count);
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let mut header = [0u8; 9];
+        r.read_exact(&mut header)?;
+        let flags = header[0];
+        let addr = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
+        let next_pc = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes"));
+        let dest = if flags & F_DEST != 0 {
+            let mut buf = [0u8; 9];
+            r.read_exact(&mut buf)?;
+            let reg = Reg::try_new(buf[0]).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "register out of range in trace")
+            })?;
+            let value = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+            let class = if flags & F_DEST_FP != 0 {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            };
+            Some((class, reg, value))
+        } else {
+            None
+        };
+        let (mem, stored) = if flags & F_MEM != 0 {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            let store = flags & F_MEM_STORE != 0;
+            let stored = if store {
+                let mut v = [0u8; 8];
+                r.read_exact(&mut v)?;
+                Some(u64::from_le_bytes(v))
+            } else {
+                None
+            };
+            (
+                Some(MemAccess {
+                    addr: u64::from_le_bytes(buf),
+                    store,
+                }),
+                stored,
+            )
+        } else {
+            (None, None)
+        };
+        let taken = (flags & F_BRANCH != 0).then_some(flags & F_TAKEN != 0);
+        events.push(TraceEvent {
+            addr: InstrAddr::new(addr),
+            dest,
+            mem,
+            stored,
+            taken,
+            next_pc: InstrAddr::new(next_pc),
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, InstrMix, RunLimits};
+    use vp_isa::asm::assemble;
+
+    fn record(src: &str) -> (Program, Vec<TraceEvent>) {
+        let p = assemble(src).unwrap();
+        let mut rec = TraceRecorder::new();
+        run(&p, &mut rec, RunLimits::default()).unwrap();
+        (p, rec.into_events())
+    }
+
+    const SAMPLE: &str = ".f64 1.5\nli r1, 0\nli r2, 20\n\
+top: fld f1, (r0)\nfadd f2, f2, f1\nsd r1, 5(r1)\naddi r1, r1, 1\nbne r1, r2, top\nhalt\n";
+
+    #[test]
+    fn serialisation_round_trips() {
+        let (_, events) = record(SAMPLE);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &events).unwrap();
+        let back = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn replay_matches_live_tracing() {
+        let (p, events) = record(SAMPLE);
+        let mut live = InstrMix::new();
+        run(&p, &mut live, RunLimits::default()).unwrap();
+        let mut replayed = InstrMix::new();
+        replay(&p, &events, &mut replayed).unwrap();
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn replay_rejects_foreign_traces() {
+        let (_, events) = record(SAMPLE);
+        let other = assemble("halt\n").unwrap();
+        let e = replay(&other, &events, &mut crate::NullTracer).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let e = read_trace(&b"notatrace........"[..]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let (_, events) = record(SAMPLE);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &events).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(read_trace(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn event_kinds_are_preserved() {
+        let (_, events) = record(SAMPLE);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.dest, Some((RegClass::Fp, _, _)))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.mem, Some(MemAccess { store: true, .. }))));
+        assert!(events.iter().any(|e| e.taken == Some(true)));
+        assert!(events.iter().any(|e| e.taken == Some(false)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Differential property test: the simulator's integer ALU semantics match
+//! an independent host-side model for arbitrary straight-line programs.
+
+use proptest::prelude::*;
+use vp_isa::{Instr, Opcode, Program, Reg, RegClass};
+use vp_sim::{Machine, NullTracer, RunLimits};
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    code: u8, // selects the opcode
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    imm: i32,
+}
+
+const RR_OPS: [Opcode; 13] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Rem,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Sll,
+    Opcode::Srl,
+    Opcode::Sra,
+    Opcode::Slt,
+    Opcode::Sltu,
+];
+
+const RI_OPS: [Opcode; 9] = [
+    Opcode::Addi,
+    Opcode::Andi,
+    Opcode::Ori,
+    Opcode::Xori,
+    Opcode::Slli,
+    Opcode::Srli,
+    Opcode::Srai,
+    Opcode::Slti,
+    Opcode::Muli,
+];
+
+fn lower(op: Op) -> Instr {
+    let rd = Reg::new(op.rd % 32);
+    let rs1 = Reg::new(op.rs1 % 32);
+    let rs2 = Reg::new(op.rs2 % 32);
+    if op.code.is_multiple_of(3) {
+        Instr::rd_imm(Opcode::Li, rd, i64::from(op.imm))
+    } else if op.code % 3 == 1 {
+        Instr::alu_rr(RR_OPS[(op.code as usize / 3) % RR_OPS.len()], rd, rs1, rs2)
+    } else {
+        Instr::alu_ri(
+            RI_OPS[(op.code as usize / 3) % RI_OPS.len()],
+            rd,
+            rs1,
+            i64::from(op.imm),
+        )
+    }
+}
+
+/// Independent interpretation of the same instruction on a host register
+/// file (written from the ISA documentation, not from the simulator code).
+fn model(regs: &mut [u64; 32], instr: &Instr) {
+    let r = |reg: Reg| {
+        if reg.is_zero() {
+            0
+        } else {
+            regs[usize::from(reg)]
+        }
+    };
+    let (a, b) = (r(instr.rs1), r(instr.rs2));
+    let (sa, sb) = (a as i64, b as i64);
+    let imm = instr.imm;
+    let v = match instr.op {
+        Opcode::Li => imm as u64,
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => {
+            if sb == 0 {
+                0
+            } else {
+                sa.wrapping_div(sb) as u64
+            }
+        }
+        Opcode::Rem => {
+            if sb == 0 {
+                sa as u64
+            } else {
+                sa.wrapping_rem(sb) as u64
+            }
+        }
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Sll => a << (b & 63),
+        Opcode::Srl => a >> (b & 63),
+        Opcode::Sra => (sa >> (b & 63)) as u64,
+        Opcode::Slt => u64::from(sa < sb),
+        Opcode::Sltu => u64::from(a < b),
+        Opcode::Addi => a.wrapping_add(imm as u64),
+        Opcode::Andi => a & imm as u64,
+        Opcode::Ori => a | imm as u64,
+        Opcode::Xori => a ^ imm as u64,
+        Opcode::Slli => a << (imm as u64 & 63),
+        Opcode::Srli => a >> (imm as u64 & 63),
+        Opcode::Srai => (sa >> (imm as u64 & 63)) as u64,
+        Opcode::Slti => u64::from(sa < imm),
+        Opcode::Muli => a.wrapping_mul(imm as u64),
+        other => unreachable!("not generated: {other}"),
+    };
+    if !instr.rd.is_zero() {
+        regs[usize::from(instr.rd)] = v;
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<i32>(),
+    )
+        .prop_map(|(code, rd, rs1, rs2, imm)| Op {
+            code,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_simulator_matches_independent_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut text: Vec<Instr> = ops.iter().map(|&op| lower(op)).collect();
+        text.push(Instr::halt());
+        let program = Program::new("diff", text.clone(), vec![]);
+
+        // Simulator execution.
+        let mut machine = Machine::for_program(&program);
+        vp_sim::runner::run_on(&mut machine, &program, &mut NullTracer, RunLimits::default())
+            .unwrap();
+
+        // Host model.
+        let mut regs = [0u64; 32];
+        for instr in &text[..text.len() - 1] {
+            model(&mut regs, instr);
+        }
+
+        for i in 0..32u8 {
+            prop_assert_eq!(
+                machine.read_reg(RegClass::Int, Reg::new(i)),
+                regs[i as usize],
+                "register r{} diverged",
+                i
+            );
+        }
+    }
+}

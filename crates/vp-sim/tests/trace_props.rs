@@ -1,0 +1,82 @@
+//! Property tests for the trace file format: round-trip fidelity and
+//! robustness against corrupted inputs (a malformed trace must error, never
+//! panic or hang).
+
+use proptest::prelude::*;
+use vp_isa::{InstrAddr, Reg, RegClass};
+use vp_sim::record::{read_trace, write_trace, TraceEvent};
+use vp_sim::MemAccess;
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u32>(),
+        prop::option::of((any::<bool>(), 0u8..32, any::<u64>())),
+        prop::option::of((any::<u64>(), any::<bool>())),
+        prop::option::of(any::<bool>()),
+        any::<u32>(),
+    )
+        .prop_map(|(addr, dest, mem, taken, next_pc)| {
+            let mem = mem.map(|(addr, store)| MemAccess { addr, store });
+            let stored = match mem {
+                Some(MemAccess { store: true, .. }) => Some(0xabcd),
+                _ => None,
+            };
+            TraceEvent {
+                addr: InstrAddr::new(addr),
+                dest: dest.map(|(fp, reg, value)| {
+                    (
+                        if fp { RegClass::Fp } else { RegClass::Int },
+                        Reg::new(reg),
+                        value,
+                    )
+                }),
+                mem,
+                stored,
+                taken,
+                next_pc: InstrAddr::new(next_pc),
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn prop_round_trip(events in prop::collection::vec(arb_event(), 0..200)) {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &events).unwrap();
+        let back = read_trace(bytes.as_slice()).unwrap();
+        prop_assert_eq!(back, events);
+    }
+
+    /// Truncating a valid trace anywhere must produce an error, not a
+    /// panic (and certainly not a silently short parse that claims
+    /// success with the original event count).
+    #[test]
+    fn prop_truncation_is_detected(
+        events in prop::collection::vec(arb_event(), 1..50),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &events).unwrap();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            bytes.truncate(cut);
+            prop_assert!(read_trace(bytes.as_slice()).is_err());
+        }
+    }
+
+    /// Flipping bytes after the header may change events or error, but
+    /// must never panic.
+    #[test]
+    fn prop_corruption_never_panics(
+        events in prop::collection::vec(arb_event(), 1..30),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &events).unwrap();
+        for (idx, value) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= value;
+        }
+        let _ = read_trace(bytes.as_slice()); // Ok or Err, both fine.
+    }
+}

@@ -1,0 +1,222 @@
+//! Decile histograms over percentage values.
+
+use std::fmt;
+
+/// Number of bins: the paper's intervals `[0,10], (10,20], …, (90,100]`.
+pub const BINS: usize = 10;
+
+/// A histogram over `[0, 100]` with the paper's ten intervals.
+///
+/// Used for Figure 2.2 (instructions by prediction accuracy), Figure 2.3
+/// (instructions by stride efficiency ratio) and Figures 4.1–4.3 (metric
+/// coordinates).
+///
+/// # Examples
+///
+/// ```
+/// use vp_stats::DecileHistogram;
+/// let h = DecileHistogram::from_values(&[0.0, 5.0, 10.0, 10.1, 95.0]);
+/// assert_eq!(h.count(0), 3);  // 0, 5 and 10 land in [0,10]
+/// assert_eq!(h.count(1), 1);  // 10.1 lands in (10,20]
+/// assert_eq!(h.count(9), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecileHistogram {
+    counts: [u64; BINS],
+}
+
+impl DecileHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        DecileHistogram::default()
+    }
+
+    /// Builds a histogram from values in `[0, 100]`.
+    ///
+    /// Values are clamped to the range (floating-point ratios occasionally
+    /// land at `100.00000001`).
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut h = DecileHistogram::new();
+        for &v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds one value.
+    pub fn add(&mut self, value: f64) {
+        self.counts[Self::bin_of(value)] += 1;
+    }
+
+    /// The bin a value lands in: `[0,10]` is bin 0, `(10,20]` bin 1, …
+    #[must_use]
+    pub fn bin_of(value: f64) -> usize {
+        let v = value.clamp(0.0, 100.0);
+        if v <= 10.0 {
+            0
+        } else {
+            ((v / 10.0).ceil() as usize - 1).min(BINS - 1)
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 10`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All bin counts.
+    #[must_use]
+    pub fn counts(&self) -> [u64; BINS] {
+        self.counts
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of mass in bin `i`, in `[0, 1]` (0 for an empty histogram).
+    #[must_use]
+    pub fn fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+
+    /// Fraction of mass in the lowest `n` bins — the quantity the paper
+    /// eyeballs in Figures 4.1–4.3 ("most of the coordinates are spread
+    /// across the lower intervals").
+    #[must_use]
+    pub fn low_mass(&self, n: usize) -> f64 {
+        (0..n.min(BINS)).map(|i| self.fraction(i)).sum()
+    }
+
+    /// Fraction of mass in the highest `n` bins (e.g. the >90% accuracy
+    /// population of Figure 2.2).
+    #[must_use]
+    pub fn high_mass(&self, n: usize) -> f64 {
+        ((BINS - n.min(BINS))..BINS).map(|i| self.fraction(i)).sum()
+    }
+
+    /// The label of bin `i`, paper-style.
+    #[must_use]
+    pub fn label(i: usize) -> String {
+        if i == 0 {
+            "[0,10]".to_owned()
+        } else {
+            format!("({},{}]", i * 10, (i + 1) * 10)
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DecileHistogram) {
+        for i in 0..BINS {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+impl fmt::Display for DecileHistogram {
+    /// Renders an ASCII bar chart, one row per bin.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        for i in 0..BINS {
+            let frac = self.counts[i] as f64 / total as f64;
+            let bar = "#".repeat((frac * 50.0).round() as usize);
+            writeln!(f, "{:>9} {:>6.1}% |{}", Self::label(i), 100.0 * frac, bar)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interval_boundaries_match_paper() {
+        // [0,10] closed on both ends, then half-open-below.
+        assert_eq!(DecileHistogram::bin_of(0.0), 0);
+        assert_eq!(DecileHistogram::bin_of(10.0), 0);
+        assert_eq!(DecileHistogram::bin_of(10.000001), 1);
+        assert_eq!(DecileHistogram::bin_of(20.0), 1);
+        assert_eq!(DecileHistogram::bin_of(90.0), 8);
+        assert_eq!(DecileHistogram::bin_of(90.1), 9);
+        assert_eq!(DecileHistogram::bin_of(100.0), 9);
+    }
+
+    #[test]
+    fn clamping_of_out_of_range_values() {
+        assert_eq!(DecileHistogram::bin_of(-5.0), 0);
+        assert_eq!(DecileHistogram::bin_of(140.0), 9);
+    }
+
+    #[test]
+    fn low_and_high_mass() {
+        let h = DecileHistogram::from_values(&[1.0, 2.0, 3.0, 95.0]);
+        assert!((h.low_mass(1) - 0.75).abs() < 1e-12);
+        assert!((h.high_mass(1) - 0.25).abs() < 1e-12);
+        assert!((h.low_mass(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = DecileHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(0), 0.0);
+        assert_eq!(h.low_mass(10), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = DecileHistogram::from_values(&[5.0]);
+        let b = DecileHistogram::from_values(&[95.0, 96.0]);
+        a.merge(&b);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(9), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        assert_eq!(DecileHistogram::label(0), "[0,10]");
+        assert_eq!(DecileHistogram::label(9), "(90,100]");
+    }
+
+    #[test]
+    fn display_renders_ten_rows() {
+        let h = DecileHistogram::from_values(&[50.0]);
+        assert_eq!(h.to_string().lines().count(), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_value_lands_in_exactly_one_bin(v in 0.0f64..100.0) {
+            let h = DecileHistogram::from_values(&[v]);
+            prop_assert_eq!(h.total(), 1);
+            let bin = DecileHistogram::bin_of(v);
+            prop_assert_eq!(h.count(bin), 1);
+        }
+
+        #[test]
+        fn prop_mass_partitions(values in prop::collection::vec(0.0f64..100.0, 1..100)) {
+            let h = DecileHistogram::from_values(&values);
+            prop_assert_eq!(h.total() as usize, values.len());
+            let sum: f64 = (0..BINS).map(|i| h.fraction(i)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!((h.low_mass(3) + h.high_mass(7) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # vp-stats — the paper's metrics, histograms and report rendering
+//!
+//! Shared measurement utilities:
+//!
+//! - [`metrics`] — the Section 4 similarity metrics: the per-coordinate
+//!   **maximum-distance** metric `M(V)max` (equation 4.1) and
+//!   **average-distance** metric `M(V)average` (equation 4.2) over a set of
+//!   profile vectors;
+//! - [`histogram`] — decile histograms over `[0, 100]` percentages, the
+//!   presentation device of Figures 2.2, 2.3 and 4.1–4.3;
+//! - [`table`] — plain-text table rendering used by every `repro-*` binary;
+//! - [`summary`] — small numeric helpers (means, extrema).
+//!
+//! ## Example
+//!
+//! ```
+//! use vp_stats::metrics::{max_distance, average_distance};
+//! use vp_stats::histogram::DecileHistogram;
+//!
+//! let runs = vec![vec![99.0, 5.0], vec![97.0, 8.0], vec![98.0, 4.0]];
+//! let m = max_distance(&runs);
+//! assert!(m.iter().all(|&d| d <= 4.0));       // runs agree closely...
+//! let h = DecileHistogram::from_values(&m);
+//! assert!(h.low_mass(1) > 0.99);              // ...so M(V)max mass is in [0,10]
+//! let avg = average_distance(&runs);
+//! assert!(avg[0] < m[0] + 1e-12);
+//! ```
+
+pub mod histogram;
+pub mod metrics;
+pub mod summary;
+pub mod table;
+
+pub use histogram::DecileHistogram;
+pub use table::TextTable;

@@ -1,0 +1,143 @@
+//! The Section 4 vector-similarity metrics.
+//!
+//! Given `n` profile vectors `V = {V1 … Vn}` (one per training run, each
+//! coordinate the prediction accuracy of one static instruction, in
+//! percent), the paper measures their resemblance coordinate-wise:
+//!
+//! - **maximum distance** (equation 4.1): coordinate `i` of `M(V)max` is the
+//!   largest `|v_a,i − v_b,i|` over all run pairs `(a, b)`;
+//! - **average distance** (equation 4.2): the arithmetic mean of the same
+//!   pairwise distances.
+//!
+//! Small coordinates mean the instruction behaves the same under every
+//! input — the property that makes profiling trustworthy.
+
+/// Computes `M(V)max` (equation 4.1) for a set of aligned vectors.
+///
+/// # Panics
+///
+/// Panics if fewer than two vectors are supplied or their dimensions
+/// disagree.
+#[must_use]
+pub fn max_distance(vectors: &[Vec<f64>]) -> Vec<f64> {
+    pairwise(vectors, |distances| {
+        distances.iter().copied().fold(0.0_f64, f64::max)
+    })
+}
+
+/// Computes `M(V)average` (equation 4.2) for a set of aligned vectors.
+///
+/// # Panics
+///
+/// Panics if fewer than two vectors are supplied or their dimensions
+/// disagree.
+#[must_use]
+pub fn average_distance(vectors: &[Vec<f64>]) -> Vec<f64> {
+    pairwise(vectors, |distances| {
+        distances.iter().sum::<f64>() / distances.len() as f64
+    })
+}
+
+/// Shared pairwise machinery: for each coordinate, collects the
+/// `n·(n−1)/2` pairwise absolute differences and reduces them with `fold`.
+#[allow(clippy::needless_range_loop)] // `i` indexes into all n vectors at once
+fn pairwise(vectors: &[Vec<f64>], fold: impl Fn(&[f64]) -> f64) -> Vec<f64> {
+    let n = vectors.len();
+    assert!(n >= 2, "similarity metrics need at least two runs, got {n}");
+    let k = vectors[0].len();
+    for (j, v) in vectors.iter().enumerate() {
+        assert_eq!(
+            v.len(),
+            k,
+            "vector {j} has dimension {} (expected {k})",
+            v.len()
+        );
+    }
+    let mut out = Vec::with_capacity(k);
+    let mut distances = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..k {
+        distances.clear();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                distances.push((vectors[a][i] - vectors[b][i]).abs());
+            }
+        }
+        out.push(fold(&distances));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_runs_have_zero_distance() {
+        let v = vec![vec![10.0, 90.0, 45.0]; 4];
+        assert_eq!(max_distance(&v), vec![0.0, 0.0, 0.0]);
+        assert_eq!(average_distance(&v), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hand_computed_three_run_example() {
+        // Coordinate values across runs: 0, 6, 10.
+        // Pairwise distances: |0-6|=6, |0-10|=10, |6-10|=4.
+        let v = vec![vec![0.0], vec![6.0], vec![10.0]];
+        assert_eq!(max_distance(&v), vec![10.0]);
+        let avg = average_distance(&v)[0];
+        assert!((avg - 20.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_runs_reduce_to_plain_difference() {
+        let v = vec![vec![30.0, 80.0], vec![50.0, 70.0]];
+        assert_eq!(max_distance(&v), vec![20.0, 10.0]);
+        assert_eq!(average_distance(&v), vec![20.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two runs")]
+    fn one_run_panics() {
+        let _ = max_distance(&[vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn mismatched_dimensions_panic() {
+        let _ = average_distance(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    proptest! {
+        /// The average distance never exceeds the maximum distance, and
+        /// both are bounded by the coordinate range.
+        #[test]
+        fn prop_average_below_max(
+            runs in prop::collection::vec(
+                prop::collection::vec(0.0f64..100.0, 5), 2..6)
+        ) {
+            let mx = max_distance(&runs);
+            let avg = average_distance(&runs);
+            for i in 0..5 {
+                prop_assert!(avg[i] <= mx[i] + 1e-9);
+                prop_assert!(mx[i] <= 100.0);
+                prop_assert!(avg[i] >= 0.0);
+            }
+        }
+
+        /// Metrics are permutation-invariant over runs.
+        #[test]
+        fn prop_run_order_irrelevant(
+            mut runs in prop::collection::vec(
+                prop::collection::vec(0.0f64..100.0, 3), 3..5)
+        ) {
+            let before = (max_distance(&runs), average_distance(&runs));
+            runs.reverse();
+            let after = (max_distance(&runs), average_distance(&runs));
+            for i in 0..3 {
+                prop_assert!((before.0[i] - after.0[i]).abs() < 1e-9);
+                prop_assert!((before.1[i] - after.1[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

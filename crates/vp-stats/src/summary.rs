@@ -1,0 +1,93 @@
+//! Small numeric helpers shared by experiment reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+///
+/// ```
+/// assert_eq!(vp_stats::summary::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(vp_stats::summary::mean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of positive values; 0 for an empty slice.
+///
+/// Benchmark-suite aggregates conventionally use the geometric mean.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Minimum and maximum; `None` for an empty slice.
+#[must_use]
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    values.iter().fold(None, |acc, &v| match acc {
+        None => Some((v, v)),
+        Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constants() {
+        assert_eq!(mean(&[5.0; 8]), 5.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn std_dev_of_constants_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_handles_empty_and_order() {
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+    }
+}

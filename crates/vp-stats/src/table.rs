@@ -1,0 +1,155 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// Every `repro-*` binary prints its paper table/figure through this type so
+/// output formatting is uniform and diff-able.
+///
+/// # Examples
+///
+/// ```
+/// use vp_stats::TextTable;
+/// let mut t = TextTable::new(["bench", "ILP"]);
+/// t.row(["go", "1.10"]);
+/// t.row(["mgrid", "2.59"]);
+/// let s = t.to_string();
+/// assert!(s.contains("bench"));
+/// assert!(s.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                // First column left-aligned, the rest right-aligned
+                // (labels left, numbers right).
+                if i == 0 {
+                    write!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "{cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a `[0, 1]` ratio as a percentage with one decimal, e.g. `"93.7%"`.
+#[must_use]
+pub fn percent(ratio: f64) -> String {
+    format!("{:.1}%", 100.0 * ratio)
+}
+
+/// Formats a signed percentage delta, e.g. `"+12.3%"` / `"-4.0%"`.
+#[must_use]
+pub fn signed_percent(value: f64) -> String {
+    format!("{value:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]).row(["longer-name", "123456"]);
+        let rendered = t.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        // All lines equal width (trailing alignment).
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.937), "93.7%");
+        assert_eq!(percent(0.0), "0.0%");
+        assert_eq!(signed_percent(12.34), "+12.3%");
+        assert_eq!(signed_percent(-4.0), "-4.0%");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

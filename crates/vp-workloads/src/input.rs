@@ -1,0 +1,144 @@
+//! Deterministic workload input sets.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One input set for a workload run: the analogue of a SPEC input file.
+///
+/// Carries only an identity and a seed; each workload generator derives its
+/// input data (array contents, data-carried loop bounds) deterministically
+/// from the seed, so every experiment in the workspace is reproducible
+/// bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use vp_workloads::InputSet;
+/// let train: Vec<InputSet> = InputSet::train_set(5);
+/// assert_eq!(train.len(), 5);
+/// assert_ne!(train[0].seed(), train[1].seed());
+/// let r = InputSet::reference();
+/// assert!(train.iter().all(|t| t.seed() != r.seed()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputSet {
+    id: u32,
+    seed: u64,
+}
+
+const TRAIN_SEED_BASE: u64 = 0x5eed_0000_0000_0000;
+const REFERENCE_SEED: u64 = 0xdead_beef_cafe_f00d;
+
+impl InputSet {
+    /// The `i`-th training input (the paper profiles with n = 5 of these).
+    #[must_use]
+    pub fn train(i: u32) -> Self {
+        InputSet {
+            id: i,
+            seed: TRAIN_SEED_BASE ^ (u64::from(i) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// `n` training inputs, `train(0) … train(n-1)`.
+    #[must_use]
+    pub fn train_set(n: u32) -> Vec<Self> {
+        (0..n).map(InputSet::train).collect()
+    }
+
+    /// The held-out *reference* input: used for evaluation runs, never for
+    /// profiling — the paper's "real input files (provided by the user)".
+    #[must_use]
+    pub fn reference() -> Self {
+        InputSet {
+            id: u32::MAX,
+            seed: REFERENCE_SEED,
+        }
+    }
+
+    /// The input's identity (training index, or `u32::MAX` for reference).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The raw seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A deterministic RNG for one aspect of data generation; different
+    /// `salt`s give independent streams.
+    #[must_use]
+    pub fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0xa076_1d64_78bd_642f))
+    }
+
+    /// A small deterministic size variation in `lo..=hi`, so inputs differ
+    /// in problem size the way different SPEC input files do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn size_in(&self, salt: u64, lo: u64, hi: u64) -> u64 {
+        use rand::Rng;
+        assert!(lo <= hi, "empty size range");
+        self.rng(salt).gen_range(lo..=hi)
+    }
+}
+
+impl fmt::Display for InputSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.id == u32::MAX {
+            write!(f, "ref")
+        } else {
+            write!(f, "train{}", self.id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_deterministic_per_salt() {
+        let a: u64 = InputSet::train(0).rng(1).gen();
+        let b: u64 = InputSet::train(0).rng(1).gen();
+        let c: u64 = InputSet::train(0).rng(2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn train_inputs_are_distinct() {
+        let seeds: Vec<u64> = InputSet::train_set(8).iter().map(InputSet::seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn size_in_respects_bounds_and_varies() {
+        let sizes: Vec<u64> = InputSet::train_set(5)
+            .iter()
+            .map(|i| i.size_in(7, 10, 20))
+            .collect();
+        assert!(sizes.iter().all(|&s| (10..=20).contains(&s)));
+        assert!(
+            sizes.windows(2).any(|w| w[0] != w[1]),
+            "sizes should vary across inputs"
+        );
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(InputSet::train(3).to_string(), "train3");
+        assert_eq!(InputSet::reference().to_string(), "ref");
+    }
+}

@@ -1,0 +1,190 @@
+//! Workload identities.
+
+use std::fmt;
+
+/// The nine workloads, named for the SPEC95 benchmarks they stand in for
+/// (the paper's Table 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorkloadKind {
+    /// 099.go — game playing.
+    Go,
+    /// 124.m88ksim — a processor simulator.
+    M88ksim,
+    /// 126.gcc — a C compiler.
+    Gcc,
+    /// 129.compress — adaptive Lempel-Ziv data compression.
+    Compress,
+    /// 130.li — a Lisp interpreter.
+    Li,
+    /// 132.ijpeg — a JPEG encoder.
+    Ijpeg,
+    /// 134.perl — a Perl interpreter.
+    Perl,
+    /// 147.vortex — an object-oriented database.
+    Vortex,
+    /// 107.mgrid — a multigrid solver (SPEC-fp).
+    Mgrid,
+    /// 102.swim — shallow-water equations (SPEC-fp; appears in the paper's
+    /// Figure 2.2 characterisation, not in its Table 4.1 experiments).
+    Swim,
+    /// 101.tomcatv — mesh generation (SPEC-fp; Figure 2.2 only, like swim).
+    Tomcatv,
+    /// 103.su2cor — SU(2) lattice gauge theory (SPEC-fp; Figure 2.2 only).
+    Su2cor,
+    /// 104.hydro2d — hydrodynamical equations (SPEC-fp; Figure 2.2 only).
+    Hydro2d,
+}
+
+impl WorkloadKind {
+    /// The paper's Table 4.1 workloads, in its presentation order.
+    pub const ALL: [WorkloadKind; 9] = [
+        WorkloadKind::Go,
+        WorkloadKind::M88ksim,
+        WorkloadKind::Gcc,
+        WorkloadKind::Compress,
+        WorkloadKind::Li,
+        WorkloadKind::Ijpeg,
+        WorkloadKind::Perl,
+        WorkloadKind::Vortex,
+        WorkloadKind::Mgrid,
+    ];
+
+    /// Every workload, including the four Figure-2.2-only FP codes.
+    pub const ALL_EXTENDED: [WorkloadKind; 13] = [
+        WorkloadKind::Go,
+        WorkloadKind::M88ksim,
+        WorkloadKind::Gcc,
+        WorkloadKind::Compress,
+        WorkloadKind::Li,
+        WorkloadKind::Ijpeg,
+        WorkloadKind::Perl,
+        WorkloadKind::Vortex,
+        WorkloadKind::Mgrid,
+        WorkloadKind::Swim,
+        WorkloadKind::Tomcatv,
+        WorkloadKind::Su2cor,
+        WorkloadKind::Hydro2d,
+    ];
+
+    /// The floating-point subset (the five FP codes of the paper's
+    /// Figure 2.2).
+    pub const FP: [WorkloadKind; 5] = [
+        WorkloadKind::Mgrid,
+        WorkloadKind::Swim,
+        WorkloadKind::Tomcatv,
+        WorkloadKind::Su2cor,
+        WorkloadKind::Hydro2d,
+    ];
+
+    /// The integer subset (everything except `mgrid`).
+    pub const INT: [WorkloadKind; 8] = [
+        WorkloadKind::Go,
+        WorkloadKind::M88ksim,
+        WorkloadKind::Gcc,
+        WorkloadKind::Compress,
+        WorkloadKind::Li,
+        WorkloadKind::Ijpeg,
+        WorkloadKind::Perl,
+        WorkloadKind::Vortex,
+    ];
+
+    /// The short benchmark name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Go => "go",
+            WorkloadKind::M88ksim => "m88ksim",
+            WorkloadKind::Gcc => "gcc",
+            WorkloadKind::Compress => "compress",
+            WorkloadKind::Li => "li",
+            WorkloadKind::Ijpeg => "ijpeg",
+            WorkloadKind::Perl => "perl",
+            WorkloadKind::Vortex => "vortex",
+            WorkloadKind::Mgrid => "mgrid",
+            WorkloadKind::Swim => "swim",
+            WorkloadKind::Tomcatv => "tomcatv",
+            WorkloadKind::Su2cor => "su2cor",
+            WorkloadKind::Hydro2d => "hydro2d",
+        }
+    }
+
+    /// Parses a short name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        WorkloadKind::ALL_EXTENDED
+            .into_iter()
+            .find(|k| k.name() == name)
+    }
+
+    /// Whether this is a floating-point (SPEC-fp) workload.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        WorkloadKind::FP.contains(&self)
+    }
+
+    /// Whether the analogue has a *large* static working set of
+    /// value-producing instructions — the property §5.2 of the paper ties
+    /// to profiting from profile-guided table admission (go, gcc, li, perl,
+    /// vortex) versus not (m88ksim, compress, ijpeg, mgrid).
+    #[must_use]
+    pub fn large_working_set(self) -> bool {
+        matches!(
+            self,
+            WorkloadKind::Go
+                | WorkloadKind::Gcc
+                | WorkloadKind::Li
+                | WorkloadKind::Perl
+                | WorkloadKind::Vortex
+        )
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in WorkloadKind::ALL_EXTENDED {
+            assert_eq!(WorkloadKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(WorkloadKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn sets_partition_correctly() {
+        assert_eq!(
+            WorkloadKind::ALL.len(),
+            9,
+            "the paper's Table 4.1 has nine benchmarks"
+        );
+        assert_eq!(WorkloadKind::INT.len(), 8);
+        assert!(!WorkloadKind::INT.contains(&WorkloadKind::Mgrid));
+        assert!(WorkloadKind::INT.iter().all(|k| !k.is_fp()));
+        assert!(WorkloadKind::FP.iter().all(|k| k.is_fp()));
+        for k in WorkloadKind::ALL {
+            assert!(WorkloadKind::ALL_EXTENDED.contains(&k));
+        }
+        assert!(!WorkloadKind::ALL.contains(&WorkloadKind::Swim));
+        assert!(!WorkloadKind::ALL.contains(&WorkloadKind::Tomcatv));
+    }
+
+    #[test]
+    fn working_set_split_matches_paper_observation() {
+        use WorkloadKind::*;
+        for k in [Go, Gcc, Li, Perl, Vortex] {
+            assert!(k.large_working_set());
+        }
+        for k in [
+            M88ksim, Compress, Ijpeg, Mgrid, Swim, Tomcatv, Su2cor, Hydro2d,
+        ] {
+            assert!(!k.large_working_set());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # vp-workloads — nine SPEC95-analogue synthetic workloads
+//!
+//! The paper evaluates on nine SPEC95 programs (Table 4.1). SPEC sources,
+//! binaries and input files cannot be redistributed — and this workspace
+//! targets its own ISA anyway — so each benchmark is replaced by a synthetic
+//! **algorithmic analogue**, written in `vp-isa` assembly via the program
+//! builder, that reproduces the *structural* properties the paper's
+//! phenomena rest on:
+//!
+//! | SPEC95        | analogue here                 | key structure |
+//! |---------------|-------------------------------|---------------|
+//! | 099.go        | [`programs::go`] — game-tree position evaluator | pattern-table lookups, data-dependent scores, large code |
+//! | 124.m88ksim   | [`programs::m88ksim`] — guest-CPU interpreter | small hot loop, highly predictable chains |
+//! | 126.gcc       | [`programs::gcc`] — lexer + symbol-table + constant folder | very large static working set |
+//! | 129.compress  | [`programs::compress`] — LZW-style hasher | data-dependent hashing, poor predictability |
+//! | 130.li        | [`programs::li`] — cons-cell list interpreter | pointer chasing, last-value reuse |
+//! | 132.ijpeg     | [`programs::ijpeg`] — blocked DCT + quantiser | dense strided loops |
+//! | 134.perl      | [`programs::perl`] — string hash + opcode dispatcher | mixed, medium code |
+//! | 147.vortex    | [`programs::vortex`] — OO record store transactions | large code, predictable field access |
+//! | 107.mgrid     | [`programs::mgrid`] — FP stencil relaxation | FP init vs computation phases |
+//! | 102.swim¹     | [`programs::swim`] — shallow-water stepping | three coupled FP fields, per-step constants |
+//! | 101.tomcatv¹  | [`programs::tomcatv`] — mesh relaxation + residual reduction | two-pass FP structure |
+//! | 103.su2cor¹   | [`programs::su2cor`] — SU(2) lattice link products | dense quaternion FP chains |
+//! | 104.hydro2d¹  | [`programs::hydro2d`] — two-pass hydrodynamic stepping | periodic Lax scheme |
+//!
+//! ¹ Figure-2.2-only FP codes (not in the paper's Table 4.1 experiment
+//! set): in [`WorkloadKind::ALL_EXTENDED`] but not [`WorkloadKind::ALL`].
+//!
+//! Every workload is parameterised by an [`InputSet`]: the *text segment is
+//! byte-identical across inputs* (only data contents and data-carried loop
+//! bounds change), so profile images from different training runs align by
+//! instruction address exactly as the paper's Section 4 requires.
+//!
+//! ## Example
+//!
+//! ```
+//! use vp_workloads::{Workload, WorkloadKind, InputSet};
+//! use vp_sim::{run, NullTracer, RunLimits};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = Workload::new(WorkloadKind::Ijpeg);
+//! let program = w.program(&InputSet::train(0));
+//! let summary = run(&program, &mut NullTracer, RunLimits::default())?;
+//! assert!(summary.halted());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod input;
+pub mod kind;
+pub mod programs;
+pub mod workload;
+
+pub use input::InputSet;
+pub use kind::WorkloadKind;
+pub use workload::Workload;

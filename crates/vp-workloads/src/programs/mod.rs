@@ -1,0 +1,107 @@
+//! The nine workload program generators.
+//!
+//! Every generator follows the same contract:
+//!
+//! - `build(&InputSet) -> Program` produces a runnable `vp-isa` program;
+//! - the **text segment is identical across inputs** — only data-segment
+//!   contents (array values, data-carried loop bounds) vary — so profile
+//!   images from different training runs align address-by-address;
+//! - all randomness comes from the input's seeded RNG: builds are
+//!   deterministic.
+//!
+//! Shared code-generation idioms live in [`util`].
+
+pub mod compress;
+pub mod gcc;
+pub mod go;
+pub mod hydro2d;
+pub mod ijpeg;
+pub mod li;
+pub mod m88ksim;
+pub mod mgrid;
+pub mod perl;
+pub mod su2cor;
+pub mod swim;
+pub mod tomcatv;
+pub mod util;
+pub mod vortex;
+
+#[cfg(test)]
+mod contract_tests {
+    use crate::{InputSet, Workload, WorkloadKind};
+    use vp_sim::{run, InstrMix, RunLimits, RunStatus};
+
+    /// Every workload must halt, retire a non-trivial instruction stream,
+    /// and keep its text identical across inputs.
+    #[test]
+    fn all_workloads_honour_the_generator_contract() {
+        for kind in WorkloadKind::ALL_EXTENDED {
+            let w = Workload::new(kind);
+            let p0 = w.program(&InputSet::train(0));
+            let p1 = w.program(&InputSet::train(1));
+            let pr = w.program(&InputSet::reference());
+            assert_eq!(
+                p0.text(),
+                p1.text(),
+                "{kind}: text differs across train inputs"
+            );
+            assert_eq!(
+                p0.text(),
+                pr.text(),
+                "{kind}: text differs on reference input"
+            );
+            assert_ne!(
+                p0.data(),
+                p1.data(),
+                "{kind}: data should differ across inputs"
+            );
+
+            let mut mix = InstrMix::new();
+            let limits = RunLimits::with_max(5_000_000);
+            let summary = run(&p0, &mut mix, limits).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(summary.status(), RunStatus::Halted, "{kind} must halt");
+            assert!(
+                summary.instructions() >= 50_000,
+                "{kind} retired only {} instructions",
+                summary.instructions()
+            );
+            assert!(
+                summary.instructions() <= 3_000_000,
+                "{kind} is too long for the experiment budget ({})",
+                summary.instructions()
+            );
+            if kind.is_fp() {
+                assert!(
+                    mix.count(vp_isa::OpCategory::FpAlu) > 1000,
+                    "{kind} must exercise FP ({mix})"
+                );
+            }
+        }
+    }
+
+    /// Different inputs must change dynamic behaviour (instruction counts),
+    /// like different SPEC input files do.
+    #[test]
+    fn inputs_change_dynamic_length() {
+        use vp_sim::NullTracer;
+        for kind in WorkloadKind::ALL_EXTENDED {
+            let w = Workload::new(kind);
+            let lens: Vec<u64> = InputSet::train_set(3)
+                .iter()
+                .map(|i| {
+                    run(
+                        &w.program(i),
+                        &mut NullTracer,
+                        RunLimits::with_max(5_000_000),
+                    )
+                    .unwrap()
+                    .instructions()
+                })
+                .collect();
+            assert!(
+                lens.windows(2).any(|w| w[0] != w[1]),
+                "{kind}: all inputs ran identically long ({lens:?})"
+            );
+        }
+    }
+}

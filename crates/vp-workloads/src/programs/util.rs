@@ -1,0 +1,155 @@
+//! Shared code-generation idioms for the workload generators.
+
+use rand::Rng;
+use vp_isa::{Label, Opcode, ProgramBuilder, Reg};
+
+use crate::InputSet;
+
+/// Emits the head of a counted loop `for (r = 0; r < bound; …)`; returns the
+/// loop-top label. Pair with [`count_loop_end`].
+pub fn count_loop_begin(b: &mut ProgramBuilder, counter: Reg) -> Label {
+    b.li(counter, 0);
+    b.bind_new_label()
+}
+
+/// Emits the tail of a counted loop: increment + branch back while
+/// `counter < bound`.
+pub fn count_loop_end(b: &mut ProgramBuilder, counter: Reg, bound: Reg, top: Label) {
+    b.alu_ri(Opcode::Addi, counter, counter, 1);
+    b.br(Opcode::Blt, counter, bound, top);
+}
+
+/// Generates `len` pseudo-random words in `lo..hi` from the input's RNG.
+pub fn random_words(input: &InputSet, salt: u64, len: usize, lo: u64, hi: u64) -> Vec<u64> {
+    let mut rng = input.rng(salt);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Generates `len` words with a *skewed* distribution over `0..alphabet`
+/// (roughly Zipf-ish: low symbols much more frequent), modelling realistic
+/// token/character streams.
+pub fn skewed_words(input: &InputSet, salt: u64, len: usize, alphabet: u64) -> Vec<u64> {
+    let mut rng = input.rng(salt);
+    (0..len)
+        .map(|_| {
+            // min of two uniforms skews mass toward 0.
+            let a = rng.gen_range(0..alphabet);
+            let b = rng.gen_range(0..alphabet);
+            a.min(b)
+        })
+        .collect()
+}
+
+/// Emits a chain of `len` *dependent* integer operations starting and
+/// ending at `reg`, each with input-invariant, stride-friendly values
+/// (constant increments). Models per-iteration bookkeeping (simulator
+/// clocks, statistics counters) whose serial chain value prediction can
+/// collapse.
+///
+/// Uses `scratch` as an intermediate; both registers end up holding values
+/// on the chain.
+pub fn predictable_chain(b: &mut ProgramBuilder, reg: Reg, scratch: Reg, len: usize) {
+    for k in 0..len {
+        if k % 2 == 0 {
+            b.alu_ri(Opcode::Addi, scratch, reg, 3 + k as i64);
+        } else {
+            b.alu_ri(Opcode::Addi, reg, scratch, 1);
+        }
+    }
+    if len % 2 == 1 {
+        b.mv(reg, scratch);
+    }
+}
+
+/// Emits a dispatch ladder: compares `selector` against `0..arms` and
+/// branches to the matching label (the classic interpreter `switch`).
+/// Falls through to the instruction after the ladder when nothing matches.
+///
+/// `scratch` is clobbered.
+pub fn dispatch_ladder(b: &mut ProgramBuilder, selector: Reg, scratch: Reg, arms: &[Label]) {
+    for (k, &arm) in arms.iter().enumerate() {
+        b.li(scratch, k as i64);
+        b.br(Opcode::Beq, selector, scratch, arm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::Program;
+    use vp_sim::{NullTracer, RunLimits};
+
+    fn exec(p: &Program) -> vp_sim::Machine {
+        let mut m = vp_sim::Machine::for_program(p);
+        let mut t = NullTracer;
+        vp_sim::runner::run_on(&mut m, p, &mut t, RunLimits::default()).unwrap();
+        m
+    }
+
+    #[test]
+    fn count_loop_iterates_bound_times() {
+        let mut b = ProgramBuilder::new();
+        let (i, n, acc) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.li(n, 7);
+        b.li(acc, 0);
+        let top = count_loop_begin(&mut b, i);
+        b.alu_ri(Opcode::Addi, acc, acc, 1);
+        count_loop_end(&mut b, i, n, top);
+        b.halt();
+        let m = exec(&b.build().unwrap());
+        assert_eq!(m.read_reg(vp_isa::RegClass::Int, Reg::new(3)), 7);
+    }
+
+    #[test]
+    fn dispatch_ladder_selects_each_arm() {
+        for sel in 0..3i64 {
+            let mut b = ProgramBuilder::new();
+            let (s, t, out) = (Reg::new(1), Reg::new(2), Reg::new(3));
+            b.li(s, sel);
+            let arms: Vec<Label> = (0..3).map(|_| b.new_label()).collect();
+            dispatch_ladder(&mut b, s, t, &arms);
+            let done = b.new_label();
+            b.li(out, -1); // fallthrough marker
+            b.jal(Reg::ZERO, done);
+            for (k, &arm) in arms.iter().enumerate() {
+                b.bind(arm);
+                b.li(out, 100 + k as i64);
+                b.jal(Reg::ZERO, done);
+            }
+            b.bind(done);
+            b.halt();
+            let m = exec(&b.build().unwrap());
+            assert_eq!(m.read_reg(vp_isa::RegClass::Int, out) as i64, 100 + sel);
+        }
+    }
+
+    #[test]
+    fn predictable_chain_is_deterministic_and_dependent() {
+        let mut b = ProgramBuilder::new();
+        let (r, s) = (Reg::new(1), Reg::new(2));
+        b.li(r, 10);
+        predictable_chain(&mut b, r, s, 5);
+        b.halt();
+        let m = exec(&b.build().unwrap());
+        // Chain: s=r+3, r=s+1, s=r+5, r=s+1, s=r+7 then mv r,s.
+        assert_eq!(m.read_reg(vp_isa::RegClass::Int, r), 10 + 3 + 1 + 5 + 1 + 7);
+    }
+
+    #[test]
+    fn skewed_words_prefer_low_symbols() {
+        let words = skewed_words(&InputSet::train(0), 1, 4000, 16);
+        let low = words.iter().filter(|&&w| w < 8).count();
+        assert!(low > 2400, "skew too weak: {low}/4000");
+        assert!(words.iter().all(|&w| w < 16));
+    }
+
+    #[test]
+    fn random_words_respect_range_and_seed() {
+        let a = random_words(&InputSet::train(0), 9, 100, 5, 50);
+        let b2 = random_words(&InputSet::train(0), 9, 100, 5, 50);
+        let c = random_words(&InputSet::train(1), 9, 100, 5, 50);
+        assert_eq!(a, b2);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&w| (5..50).contains(&w)));
+    }
+}

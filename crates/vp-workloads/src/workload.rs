@@ -1,0 +1,142 @@
+//! The workload façade.
+
+use vp_isa::{InstrAddr, Program};
+
+use crate::programs;
+use crate::{InputSet, WorkloadKind};
+
+/// A benchmark workload: a program generator plus its experiment metadata.
+///
+/// # Examples
+///
+/// ```
+/// use vp_workloads::{Workload, WorkloadKind, InputSet};
+/// let w = Workload::new(WorkloadKind::Compress);
+/// let p = w.program(&InputSet::train(0));
+/// assert_eq!(p.name(), "compress");
+/// assert!(w.phase_split().is_none()); // only FP workloads have phases
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    kind: WorkloadKind,
+}
+
+impl Workload {
+    /// Number of training inputs the paper's Section 4 experiments use.
+    pub const PAPER_TRAIN_RUNS: u32 = 5;
+
+    /// Creates the workload of the given kind.
+    #[must_use]
+    pub fn new(kind: WorkloadKind) -> Self {
+        Workload { kind }
+    }
+
+    /// The paper's nine Table 4.1 workloads.
+    #[must_use]
+    pub fn all() -> Vec<Workload> {
+        WorkloadKind::ALL.into_iter().map(Workload::new).collect()
+    }
+
+    /// All thirteen workloads, including the Figure-2.2-only FP codes.
+    #[must_use]
+    pub fn all_extended() -> Vec<Workload> {
+        WorkloadKind::ALL_EXTENDED
+            .into_iter()
+            .map(Workload::new)
+            .collect()
+    }
+
+    /// The workload's identity.
+    #[must_use]
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// The workload's short name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Generates the program for one input set.
+    ///
+    /// The text segment is identical for every input; only data contents
+    /// change (verified by the generator contract tests).
+    #[must_use]
+    pub fn program(&self, input: &InputSet) -> Program {
+        match self.kind {
+            WorkloadKind::Go => programs::go::build(input),
+            WorkloadKind::M88ksim => programs::m88ksim::build(input),
+            WorkloadKind::Gcc => programs::gcc::build(input),
+            WorkloadKind::Compress => programs::compress::build(input),
+            WorkloadKind::Li => programs::li::build(input),
+            WorkloadKind::Ijpeg => programs::ijpeg::build(input),
+            WorkloadKind::Perl => programs::perl::build(input),
+            WorkloadKind::Vortex => programs::vortex::build(input),
+            WorkloadKind::Mgrid => programs::mgrid::build(input),
+            WorkloadKind::Swim => programs::swim::build(input),
+            WorkloadKind::Tomcatv => programs::tomcatv::build(input),
+            WorkloadKind::Su2cor => programs::su2cor::build(input),
+            WorkloadKind::Hydro2d => programs::hydro2d::build(input),
+        }
+    }
+
+    /// The default five training inputs.
+    #[must_use]
+    pub fn train_inputs(&self) -> Vec<InputSet> {
+        InputSet::train_set(Self::PAPER_TRAIN_RUNS)
+    }
+
+    /// For FP workloads, the static address where the computation phase
+    /// begins (the paper profiles FP init and computation separately).
+    #[must_use]
+    pub fn phase_split(&self) -> Option<InstrAddr> {
+        match self.kind {
+            WorkloadKind::Mgrid => Some(programs::mgrid::phase_split()),
+            WorkloadKind::Swim => Some(programs::swim::phase_split()),
+            WorkloadKind::Tomcatv => Some(programs::tomcatv::phase_split()),
+            WorkloadKind::Su2cor => Some(programs::su2cor::phase_split()),
+            WorkloadKind::Hydro2d => Some(programs::hydro2d::phase_split()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_kind() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 9);
+        for kind in WorkloadKind::ALL {
+            assert!(all.iter().any(|w| w.kind() == kind));
+        }
+    }
+
+    #[test]
+    fn exactly_the_fp_workloads_have_phase_splits() {
+        for w in Workload::all_extended() {
+            assert_eq!(w.phase_split().is_some(), w.kind().is_fp(), "{w}");
+        }
+    }
+
+    #[test]
+    fn program_names_match_kind() {
+        for w in Workload::all_extended() {
+            assert_eq!(w.program(&InputSet::train(0)).name(), w.name());
+        }
+    }
+
+    #[test]
+    fn train_inputs_are_five() {
+        assert_eq!(Workload::new(WorkloadKind::Go).train_inputs().len(), 5);
+    }
+}

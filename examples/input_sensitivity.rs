@@ -1,0 +1,59 @@
+//! Reproduces the paper's Section 4 question interactively: do different
+//! inputs change which instructions are value predictable?
+//!
+//! ```text
+//! cargo run --release --example input_sensitivity [workload]
+//! ```
+//!
+//! Profiles the chosen workload under five training inputs, aligns the
+//! per-instruction accuracy vectors, and prints the M(V)max and M(V)average
+//! coordinate histograms — plus the per-instruction worst disagreement.
+
+use provp::core::Suite;
+use provp::profile::AlignedVectors;
+use provp::stats::metrics::{average_distance, max_distance};
+use provp::stats::DecileHistogram;
+use provp::workloads::WorkloadKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = std::env::args()
+        .nth(1)
+        .map(|name| WorkloadKind::from_name(&name).ok_or(format!("unknown workload `{name}`")))
+        .transpose()?
+        .unwrap_or(WorkloadKind::Compress);
+
+    let mut suite = Suite::new();
+    let images = suite.train_images(kind);
+    let vectors = AlignedVectors::from_images(&images, 10);
+    println!(
+        "{kind}: {} aligned static instructions across {} runs\n",
+        vectors.dim(),
+        vectors.runs()
+    );
+
+    let mmax = max_distance(vectors.accuracy_vectors());
+    let mavg = average_distance(vectors.accuracy_vectors());
+
+    println!("M(V)max coordinate spread:");
+    print!("{}", DecileHistogram::from_values(&mmax));
+    println!("\nM(V)average coordinate spread:");
+    print!("{}", DecileHistogram::from_values(&mavg));
+
+    let (worst_idx, worst) = mmax
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty vectors");
+    println!(
+        "\nleast input-stable instruction: {} (max accuracy disagreement {:.1} points)",
+        vectors.addrs()[worst_idx],
+        worst
+    );
+    let stable = mmax.iter().filter(|&&d| d <= 10.0).count();
+    println!(
+        "{stable}/{} instructions ({:.1}%) stay within 10 accuracy points across all inputs",
+        mmax.len(),
+        100.0 * stable as f64 / mmax.len() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The paper's own worked example (§3.2): `for (x=0; x<N; x++) A[x] = B[x] + C[x];`
+//!
+//! ```text
+//! cargo run --release --example loop_kernel
+//! ```
+//!
+//! We write the kernel in assembly, profile it, print the profile image in
+//! the paper's three-column format (its Table 3.1), run the phase-3 pass at
+//! a 90% threshold, and show that exactly the three index increments come
+//! back tagged `.st` — matching the paper's walkthrough.
+
+use provp::compiler::{annotate, ThresholdPolicy};
+use provp::isa::asm::{assemble, disassemble};
+use provp::profile::{format, ProfileCollector};
+use provp::sim::{run, RunLimits};
+
+const KERNEL: &str = "\
+.name loop_kernel
+.zero 192                  ; A, B, C: 64 words each
+  li   r1, 0               ; x       (B index)
+  li   r2, 64              ; C base offset index
+  li   r3, 128             ; A base offset index
+  li   r4, 64              ; loop bound
+top:
+  ld   r5, 0(r1)           ; load B[x]
+  ld   r6, 0(r2)           ; load C[x]
+  addi r2, r2, 1           ; increment C cursor
+  add  r7, r5, r6          ; A[x] = B[x] + C[x]
+  sd   r7, 0(r3)           ; store A[x]
+  addi r3, r3, 1           ; increment A cursor
+  addi r1, r1, 1           ; increment x
+  bne  r1, r4, top
+  halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let skeleton = assemble(KERNEL)?;
+    // Fill B (words 0..64) and C (64..128) with varied data so the loads
+    // behave like the paper's: poorly predictable. A is left zero.
+    let mut data = skeleton.data().to_vec();
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    for w in data.iter_mut().take(128) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *w = x % 10_000;
+    }
+    let program = provp::isa::Program::new("loop_kernel", skeleton.text().to_vec(), data);
+
+    // Phase 2: profile on the tracing simulator.
+    let mut collector = ProfileCollector::new("loop_kernel");
+    run(&program, &mut collector, RunLimits::default())?;
+    let image = collector.into_image();
+
+    println!("--- profile image (the paper's Table 3.1 format) ---");
+    print!("{}", format::to_paper_table(&image));
+
+    // Phase 3: threshold 90%, stride-ratio heuristic 50%.
+    let annotated = annotate(&program, &image, &ThresholdPolicy::new(0.9));
+    println!("\n--- annotated binary ({}) ---", annotated.summary());
+    print!("{}", disassemble(annotated.program()));
+
+    // The paper: "the compiler would modify the opcodes of the add
+    // operations [the three index increments] and insert the stride
+    // directive. All other instructions are unaffected."
+    let stride_tagged = annotated.summary().stride_tagged;
+    assert_eq!(
+        stride_tagged, 3,
+        "expected exactly the three index increments"
+    );
+    println!("\n=> exactly the three index increments were tagged `.st`, as in the paper");
+    Ok(())
+}

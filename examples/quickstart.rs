@@ -1,0 +1,56 @@
+//! Quickstart: the paper's three-phase methodology on one workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Phase 1 compiles the `ijpeg` analogue, phase 2 profiles it under five
+//! training inputs on the tracing simulator, phase 3 re-emits the binary
+//! with value-prediction directives — then we evaluate on a held-out
+//! reference input and compare ILP with and without value prediction.
+
+use provp::compiler::ThresholdPolicy;
+use provp::core::pipeline::{PipelineConfig, ProfileGuidedPipeline};
+use provp::ilp::{IlpAnalyzer, IlpConfig};
+use provp::sim::{run, RunLimits};
+use provp::workloads::{InputSet, Workload, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::new(WorkloadKind::Ijpeg);
+
+    // Phases 1-3: compile, profile (n = 5 training inputs), annotate.
+    let pipeline = ProfileGuidedPipeline::new(PipelineConfig {
+        policy: ThresholdPolicy::new(0.9),
+        ..PipelineConfig::default()
+    });
+    let outcome = pipeline.run(&workload)?;
+    println!(
+        "profiled {} static value producers over {} runs",
+        outcome.merged.len(),
+        outcome.images.len()
+    );
+    println!("annotation report: {}", outcome.annotated.summary());
+
+    // Evaluation: a *reference* input the profiler never saw, carrying the
+    // training-derived directives.
+    let tagged = outcome.annotated.program();
+    let reference = workload
+        .program(&InputSet::reference())
+        .with_directives(|addr, _| tagged.text()[addr.index() as usize].directive);
+
+    let mut base = IlpAnalyzer::new(IlpConfig::paper_no_vp());
+    run(&reference, &mut base, RunLimits::default())?;
+    let base = base.finish();
+
+    let mut vp = IlpAnalyzer::new(IlpConfig::paper_vp_profile());
+    run(&reference, &mut vp, RunLimits::default())?;
+    let vp = vp.finish();
+
+    println!("no value prediction:          {base}");
+    println!("profile-guided value pred.:   {vp}");
+    println!(
+        "ILP increase:                 {:+.1}%",
+        vp.ilp_increase_over(&base)
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Record once, analyze many times: the SHADE-style trace workflow.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [workload]
+//! ```
+//!
+//! Simulates one workload a single time while recording its retirement
+//! trace, serialises the trace to bytes, then replays it into three
+//! different consumers — the profiler, a predictor, and the ILP machine —
+//! without touching the simulator again.
+
+use provp::core::PredictorTracer;
+use provp::ilp::{IlpAnalyzer, IlpConfig};
+use provp::predictor::PredictorConfig;
+use provp::profile::ProfileCollector;
+use provp::sim::{read_trace, replay, run, write_trace, RunLimits, TraceRecorder};
+use provp::workloads::{InputSet, Workload, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = std::env::args()
+        .nth(1)
+        .map(|name| WorkloadKind::from_name(&name).ok_or(format!("unknown workload `{name}`")))
+        .transpose()?
+        .unwrap_or(WorkloadKind::Compress);
+    let program = Workload::new(kind).program(&InputSet::reference());
+
+    // Simulate once, recording the trace.
+    let mut recorder = TraceRecorder::new();
+    let summary = run(&program, &mut recorder, RunLimits::default())?;
+    println!("recorded {kind}: {summary}");
+
+    // Ship it through a byte stream (a file, a pipe, ...).
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, recorder.events())?;
+    println!(
+        "trace size: {} bytes ({:.1} B/instr)",
+        bytes.len(),
+        bytes.len() as f64 / summary.instructions() as f64
+    );
+    let events = read_trace(bytes.as_slice())?;
+
+    // Consumer 1: the phase-2 profiler.
+    let mut profiler = ProfileCollector::new(kind.name());
+    replay(&program, &events, &mut profiler)?;
+    let image = profiler.into_image();
+    println!("profiler:  {} static value producers", image.len());
+
+    // Consumer 2: the finite-table predictor.
+    let mut predictor = PredictorTracer::new(PredictorConfig::spec_table_stride_fsm().build());
+    replay(&program, &events, &mut predictor)?;
+    println!("predictor: {}", predictor.stats());
+
+    // Consumer 3: the abstract ILP machine.
+    let mut ilp = IlpAnalyzer::new(IlpConfig::paper_no_vp());
+    replay(&program, &events, &mut ilp)?;
+    println!("ilp:       {}", ilp.finish());
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Integration: workload programs survive binary encoding, and the decoded
+//! binary behaves identically under simulation.
+
+use provp::isa::encode::{decode_text, encode_text};
+use provp::isa::Program;
+use provp::sim::{run, InstrMix, RunLimits};
+use provp::workloads::{InputSet, Workload, WorkloadKind};
+
+#[test]
+fn every_workload_encodes_and_decodes_losslessly() {
+    for kind in WorkloadKind::ALL {
+        let program = Workload::new(kind).program(&InputSet::train(0));
+        let words =
+            encode_text(program.text()).unwrap_or_else(|e| panic!("{kind}: encode failed: {e}"));
+        let decoded = decode_text(&words).unwrap_or_else(|e| panic!("{kind}: decode failed: {e}"));
+        assert_eq!(decoded, program.text(), "{kind}");
+    }
+}
+
+#[test]
+fn decoded_binary_executes_identically() {
+    let kind = WorkloadKind::M88ksim;
+    let original = Workload::new(kind).program(&InputSet::train(1));
+    let words = encode_text(original.text()).unwrap();
+    let reloaded = Program::new(
+        original.name(),
+        decode_text(&words).unwrap(),
+        original.data().to_vec(),
+    );
+
+    let mut mix_a = InstrMix::new();
+    let mut mix_b = InstrMix::new();
+    let a = run(&original, &mut mix_a, RunLimits::default()).unwrap();
+    let b = run(&reloaded, &mut mix_b, RunLimits::default()).unwrap();
+    assert_eq!(a.instructions(), b.instructions());
+    assert_eq!(mix_a, mix_b);
+}
+
+#[test]
+fn annotated_binaries_round_trip_their_directives() {
+    use provp::compiler::{annotate, ThresholdPolicy};
+    use provp::profile::ProfileCollector;
+
+    let program = Workload::new(WorkloadKind::Compress).program(&InputSet::train(0));
+    let mut collector = ProfileCollector::new("t");
+    run(&program, &mut collector, RunLimits::default()).unwrap();
+    let annotated = annotate(
+        &program,
+        &collector.into_image(),
+        &ThresholdPolicy::new(0.6),
+    );
+
+    let words = encode_text(annotated.program().text()).unwrap();
+    let decoded = decode_text(&words).unwrap();
+    let (none, lv, st) = annotated.program().directive_counts();
+    let decoded_counts = Program::new("x", decoded, vec![]).directive_counts();
+    assert_eq!((none, lv, st), decoded_counts);
+    assert!(lv + st > 0, "something must be tagged at 60%");
+}

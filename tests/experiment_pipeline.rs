@@ -1,0 +1,78 @@
+//! Integration: every experiment runner executes end-to-end through the
+//! public API and produces the paper's qualitative shapes on a compact
+//! workload subset.
+
+use provp::core::experiments::{
+    classification, fig_2_2, fig_2_3, fig_4, finite_table, table_2_1, table_5_1, table_5_2,
+};
+use provp::core::Suite;
+use provp::workloads::WorkloadKind;
+
+const KINDS: [WorkloadKind; 3] = [
+    WorkloadKind::M88ksim,
+    WorkloadKind::Compress,
+    WorkloadKind::Ijpeg,
+];
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    let mut suite = Suite::with_train_runs(2);
+
+    let t21 = table_2_1::run(&mut suite, &KINDS, &[WorkloadKind::Mgrid]);
+    assert!(t21.render().contains("Table 2.1"));
+
+    let f22 = fig_2_2::run(&mut suite, &KINDS);
+    assert!(f22.render().contains("Figure 2.2"));
+    assert_eq!(f22.rows.len(), KINDS.len());
+
+    let f23 = fig_2_3::run(&mut suite, &KINDS);
+    assert!(f23.render().contains("Figure 2.3"));
+
+    let f4 = fig_4::run(&mut suite, &KINDS);
+    for which in [
+        fig_4::Which::VMax,
+        fig_4::Which::VAverage,
+        fig_4::Which::SAverage,
+    ] {
+        assert!(!f4.render(which).is_empty());
+    }
+
+    let cls = classification::run(&mut suite, &KINDS);
+    assert!(cls
+        .render(classification::Which::Mispredictions)
+        .contains("FSM"));
+
+    let t51 = table_5_1::run(&mut suite, &KINDS);
+    assert_eq!(t51.averages().len(), 5);
+
+    let ft = finite_table::run(&mut suite, &KINDS);
+    assert!(ft.render(finite_table::Which::Correct).contains("th=90%"));
+
+    let t52 = table_5_2::run(&mut suite, &KINDS);
+    assert!(t52.render().contains("VP+SC"));
+}
+
+#[test]
+fn headline_shapes_hold_on_the_subset() {
+    let mut suite = Suite::with_train_runs(2);
+
+    // Figure 4: profiling information transfers across inputs.
+    let f4 = fig_4::run(&mut suite, &KINDS);
+    for row in &f4.rows {
+        assert!(
+            row.v_avg.low_mass(2) > 0.6,
+            "{}: M(V)avg not concentrated low: {:?}",
+            row.kind,
+            row.v_avg
+        );
+    }
+
+    // Table 5.1: admission tightens with the threshold.
+    let t51 = table_5_1::run(&mut suite, &KINDS);
+    let avg = t51.averages();
+    assert!(avg[0] <= avg[4] + 1e-9, "{avg:?}");
+
+    // Table 5.2: the predictable-chain interpreter dwarfs the hash loop.
+    let t52 = table_5_2::run(&mut suite, &[WorkloadKind::M88ksim, WorkloadKind::Compress]);
+    assert!(t52.rows[0].fsm_increase() > 5.0 * t52.rows[1].fsm_increase().max(1.0));
+}

@@ -1,0 +1,56 @@
+//! Integration: the profile-image file format carries real profiles
+//! losslessly between the phases, and multi-run merging follows the
+//! paper's intersection rule.
+
+use provp::profile::{format, merge, ProfileCollector};
+use provp::sim::{run, RunLimits};
+use provp::workloads::{InputSet, Workload, WorkloadKind};
+
+fn image_of(kind: WorkloadKind, input: &InputSet) -> provp::profile::ProfileImage {
+    let w = Workload::new(kind);
+    let mut c = ProfileCollector::new(format!("{}/{input}", w.name()));
+    run(&w.program(input), &mut c, RunLimits::default()).unwrap();
+    c.into_image()
+}
+
+#[test]
+fn real_profiles_survive_the_text_format() {
+    for kind in [WorkloadKind::Gcc, WorkloadKind::Mgrid] {
+        let image = image_of(kind, &InputSet::train(0));
+        let text = format::to_text(&image);
+        let parsed = format::from_text(&text).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(parsed, image, "{kind}");
+        // And the paper-style rendering mentions every address.
+        let table = format::to_paper_table(&image);
+        assert_eq!(table.lines().count(), image.len() + 1, "{kind}");
+    }
+}
+
+#[test]
+fn multi_run_merge_intersects_and_sums() {
+    let images: Vec<_> = InputSet::train_set(3)
+        .iter()
+        .map(|i| image_of(WorkloadKind::Li, i))
+        .collect();
+    let merged = merge::intersect_and_sum(&images);
+    // Every merged record's executions are the sum over runs.
+    for (addr, rec) in merged.image.iter().take(50) {
+        let expected: u64 = images.iter().map(|img| img.get(addr).unwrap().execs).sum();
+        assert_eq!(rec.execs, expected, "{addr}");
+    }
+    // The intersection loses at most a few input-dependent instructions.
+    let max_len = images.iter().map(|i| i.len()).max().unwrap();
+    assert!(
+        merged.image.len() + 10 >= max_len,
+        "{} vs {max_len}",
+        merged.image.len()
+    );
+}
+
+#[test]
+fn accuracy_is_consistent_between_runs_of_the_same_input() {
+    // Determinism end-to-end: identical input -> identical image.
+    let a = image_of(WorkloadKind::Vortex, &InputSet::train(2));
+    let b = image_of(WorkloadKind::Vortex, &InputSet::train(2));
+    assert_eq!(a, b);
+}
