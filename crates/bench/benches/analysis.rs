@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the analysis-side components that run
-//! over whole profile vectors and traces: the Section 4 metrics, decile
-//! histogram construction, profile-image merging and trace serialisation.
+//! Micro-benchmarks for the analysis-side components that run over whole
+//! profile vectors and traces: the Section 4 metrics, decile histogram
+//! construction, profile-image merging and trace serialisation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use provp_bench::micro::Group;
 use vp_profile::{merge, ProfileCollector};
 use vp_sim::record::{read_trace, write_trace, TraceRecorder};
 use vp_sim::{run, RunLimits};
@@ -22,7 +22,7 @@ fn profile_images(n: u32) -> Vec<vp_profile::ProfileImage> {
         .collect()
 }
 
-fn bench_metrics(c: &mut Criterion) {
+fn bench_metrics() {
     // 5 runs x 2000 coordinates, the realistic Section 4 shape.
     let vectors: Vec<Vec<f64>> = (0..5)
         .map(|r| {
@@ -31,37 +31,24 @@ fn bench_metrics(c: &mut Criterion) {
                 .collect()
         })
         .collect();
-    let mut group = c.benchmark_group("stats");
-    group.sample_size(30);
-    group.throughput(Throughput::Elements(2000));
-    group.bench_function("max-distance", |b| b.iter(|| max_distance(&vectors)));
-    group.bench_function("average-distance", |b| {
-        b.iter(|| average_distance(&vectors))
-    });
-    group.bench_function("decile-histogram", |b| {
-        let values: Vec<f64> = (0..2000).map(|i| (i % 101) as f64).collect();
-        b.iter(|| DecileHistogram::from_values(&values))
-    });
-    group.finish();
+    let mut group = Group::new("stats").samples(30);
+    group.bench("max-distance", || max_distance(&vectors));
+    group.bench("average-distance", || average_distance(&vectors));
+    let values: Vec<f64> = (0..2000).map(|i| (i % 101) as f64).collect();
+    group.bench("decile-histogram", || DecileHistogram::from_values(&values));
 }
 
-fn bench_profile_merge(c: &mut Criterion) {
+fn bench_profile_merge() {
     let images = profile_images(5);
-    let mut group = c.benchmark_group("profile");
-    group.sample_size(20);
-    group.bench_function("merge-5-runs", |b| {
-        b.iter(|| merge::intersect_and_sum(&images))
+    let mut group = Group::new("profile").samples(20);
+    group.bench("merge-5-runs", || merge::intersect_and_sum(&images));
+    group.bench("format-round-trip", || {
+        let text = vp_profile::format::to_text(&images[0]);
+        vp_profile::format::from_text(&text).unwrap().len()
     });
-    group.bench_function("format-round-trip", |b| {
-        b.iter(|| {
-            let text = vp_profile::format::to_text(&images[0]);
-            vp_profile::format::from_text(&text).unwrap().len()
-        })
-    });
-    group.finish();
 }
 
-fn bench_trace_io(c: &mut Criterion) {
+fn bench_trace_io() {
     let w = Workload::new(WorkloadKind::Compress);
     let program = w.program(&InputSet::train(0));
     let mut rec = TraceRecorder::new();
@@ -71,22 +58,22 @@ fn bench_trace_io(c: &mut Criterion) {
     let events = rec.into_events();
     let mut bytes = Vec::new();
     write_trace(&mut bytes, &events).unwrap();
+    println!(
+        "trace-io: {instructions} events, {} bytes on disk",
+        bytes.len()
+    );
 
-    let mut group = c.benchmark_group("trace-io");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(instructions));
-    group.bench_function("write", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(bytes.len());
-            write_trace(&mut out, &events).unwrap();
-            out.len()
-        })
+    let mut group = Group::new("trace-io").samples(10);
+    group.bench("write", || {
+        let mut out = Vec::with_capacity(bytes.len());
+        write_trace(&mut out, &events).unwrap();
+        out.len()
     });
-    group.bench_function("read", |b| {
-        b.iter(|| read_trace(bytes.as_slice()).unwrap().len())
-    });
-    group.finish();
+    group.bench("read", || read_trace(bytes.as_slice()).unwrap().len());
 }
 
-criterion_group!(benches, bench_metrics, bench_profile_merge, bench_trace_io);
-criterion_main!(benches);
+fn main() {
+    bench_metrics();
+    bench_profile_merge();
+    bench_trace_io();
+}

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the predictor structures: the cost of
-//! one `access` per predictor/classifier configuration, on strided,
-//! repeating and random value streams.
+//! Micro-benchmarks for the predictor structures: the cost of one `access`
+//! per predictor/classifier configuration, on strided, repeating and random
+//! value streams.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use provp_bench::micro::{black_box, Group};
 use vp_isa::{Directive, InstrAddr};
 use vp_predictor::{ClassifierKind, PredictorConfig, TableGeometry};
 
@@ -22,7 +22,7 @@ fn access_stream(pattern: &str) -> Vec<(InstrAddr, u64)> {
     out
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn main() {
     let configs = [
         (
             "infinite-stride-fsm",
@@ -43,24 +43,17 @@ fn bench_predictors(c: &mut Criterion) {
             },
         ),
     ];
-    let mut group = c.benchmark_group("predictor-access");
-    group.sample_size(20);
+    let mut group = Group::new("predictor-access").samples(20);
     for pattern in ["stride", "repeat", "random"] {
         let stream = access_stream(pattern);
         for (name, config) in &configs {
-            group.bench_with_input(BenchmarkId::new(*name, pattern), &stream, |b, stream| {
-                b.iter(|| {
-                    let mut p = config.build();
-                    for &(addr, value) in stream {
-                        black_box(p.access(addr, Directive::Stride, value));
-                    }
-                    p.stats().speculated_correct
-                });
+            group.bench(&format!("{name}/{pattern}"), || {
+                let mut p = config.build();
+                for &(addr, value) in &stream {
+                    black_box(p.access(addr, Directive::Stride, value));
+                }
+                p.stats().speculated_correct
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_predictors);
-criterion_main!(benches);

@@ -1,56 +1,56 @@
-//! Criterion micro-benchmarks for the simulation stack: raw functional
-//! simulation, simulation under the profile collector, and simulation under
-//! the ILP analyzer — i.e. the cost of each trace consumer.
+//! Micro-benchmarks for the simulation stack: raw functional simulation,
+//! simulation under the profile collector, and simulation under the ILP
+//! analyzer — i.e. the cost of each trace consumer — plus trace replay,
+//! the path the `TraceStore` substitutes for re-simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use provp_bench::micro::Group;
 use provp_core::PredictorTracer;
 use vp_ilp::{IlpAnalyzer, IlpConfig};
 use vp_predictor::PredictorConfig;
 use vp_profile::ProfileCollector;
+use vp_sim::record::Trace;
 use vp_sim::{run, NullTracer, RunLimits};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
 
-fn bench_trace_consumers(c: &mut Criterion) {
+fn main() {
     let workload = Workload::new(WorkloadKind::Compress);
     let program = workload.program(&InputSet::train(0));
     let instructions = run(&program, &mut NullTracer, RunLimits::default())
         .unwrap()
         .instructions();
+    println!("trace-consumers: {instructions} dynamic instructions per sample");
 
-    let mut group = c.benchmark_group("trace-consumers");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(instructions));
+    let trace = Trace::capture(&program, RunLimits::default()).unwrap();
+    let mut group = Group::new("trace-consumers").samples(10);
 
-    group.bench_function("functional-sim", |b| {
-        b.iter(|| {
-            run(&program, &mut NullTracer, RunLimits::default())
-                .unwrap()
-                .instructions()
-        });
+    group.bench("functional-sim", || {
+        run(&program, &mut NullTracer, RunLimits::default())
+            .unwrap()
+            .instructions()
     });
-    group.bench_function("profile-collector", |b| {
-        b.iter(|| {
-            let mut collector = ProfileCollector::new("bench");
-            run(&program, &mut collector, RunLimits::default()).unwrap();
-            collector.into_image().len()
-        });
+    group.bench("trace-replay", || {
+        let mut mix = vp_sim::InstrMix::new();
+        trace.replay(&program, &mut mix).unwrap();
+        mix.total()
     });
-    group.bench_function("predictor-tracer", |b| {
-        b.iter(|| {
-            let mut t = PredictorTracer::new(PredictorConfig::spec_table_stride_fsm().build());
-            run(&program, &mut t, RunLimits::default()).unwrap();
-            t.into_stats().speculated_correct
-        });
+    group.bench("profile-collector", || {
+        let mut collector = ProfileCollector::new("bench");
+        run(&program, &mut collector, RunLimits::default()).unwrap();
+        collector.into_image().len()
     });
-    group.bench_function("ilp-analyzer", |b| {
-        b.iter(|| {
-            let mut a = IlpAnalyzer::new(IlpConfig::paper_vp_fsm());
-            run(&program, &mut a, RunLimits::default()).unwrap();
-            a.finish().cycles
-        });
+    group.bench("profile-collector-replay", || {
+        let mut collector = ProfileCollector::new("bench");
+        trace.replay(&program, &mut collector).unwrap();
+        collector.into_image().len()
     });
-    group.finish();
+    group.bench("predictor-tracer", || {
+        let mut t = PredictorTracer::new(PredictorConfig::spec_table_stride_fsm().build());
+        run(&program, &mut t, RunLimits::default()).unwrap();
+        t.into_stats().speculated_correct
+    });
+    group.bench("ilp-analyzer", || {
+        let mut a = IlpAnalyzer::new(IlpConfig::paper_vp_fsm());
+        run(&program, &mut a, RunLimits::default()).unwrap();
+        a.finish().cycles
+    });
 }
-
-criterion_group!(benches, bench_trace_consumers);
-criterion_main!(benches);

@@ -6,9 +6,9 @@ use provp_core::experiments::ablations;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     for &kind in &opts.kinds {
-        let rows = ablations::counters(&mut suite, kind);
+        let rows = ablations::counters(&suite, kind);
         println!("{}\n", ablations::render_counters(kind, &rows));
     }
 }

@@ -6,9 +6,9 @@ use provp_core::experiments::ablations;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     for &kind in &opts.kinds {
-        let rows = ablations::geometry(&mut suite, kind, &[64, 128, 256, 512, 1024, 2048]);
+        let rows = ablations::geometry(&suite, kind, &[64, 128, 256, 512, 1024, 2048]);
         println!("{}\n", ablations::render_geometry(kind, &rows));
     }
 }

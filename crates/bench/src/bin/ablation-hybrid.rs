@@ -6,9 +6,9 @@ use provp_core::experiments::ablations;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     for &kind in &opts.kinds {
-        let rows = ablations::hybrid_split(&mut suite, kind, 512);
+        let rows = ablations::hybrid_split(&suite, kind, 512);
         println!("{}\n", ablations::render_hybrid(kind, &rows));
     }
 }

@@ -5,9 +5,9 @@ use provp_core::experiments::ablations;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     for &kind in &opts.kinds {
-        let rows = ablations::penalty(&mut suite, kind, &[0, 1, 2, 4, 8]);
+        let rows = ablations::penalty(&suite, kind, &[0, 1, 2, 4, 8]);
         println!("{}\n", ablations::render_penalty(kind, &rows));
     }
 }

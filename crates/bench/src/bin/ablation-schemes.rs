@@ -6,7 +6,7 @@ use provp_core::experiments::ablations;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
-    let rows = ablations::schemes(&mut suite, &opts.kinds);
+    let suite = opts.suite();
+    let rows = ablations::schemes(&suite, &opts.kinds);
     println!("{}", ablations::render_schemes(&rows));
 }

@@ -6,9 +6,9 @@ use provp_core::experiments::critical_path;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     println!(
         "{}",
-        critical_path::run_analysis(&mut suite, &opts.kinds).render()
+        critical_path::run_analysis(&suite, &opts.kinds).render()
     );
 }

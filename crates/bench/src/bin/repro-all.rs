@@ -9,35 +9,35 @@ use vp_workloads::WorkloadKind;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     let kinds = &opts.kinds;
 
     let int_kinds: Vec<WorkloadKind> = kinds.iter().copied().filter(|k| !k.is_fp()).collect();
     let fp_kinds: Vec<WorkloadKind> = kinds.iter().copied().filter(|k| k.is_fp()).collect();
     println!(
         "{}\n",
-        table_2_1::run(&mut suite, &int_kinds, &fp_kinds).render()
+        table_2_1::run(&suite, &int_kinds, &fp_kinds).render()
     );
-    println!("{}\n", fig_2_2::run(&mut suite, kinds).render());
-    println!("{}\n", fig_2_3::run(&mut suite, kinds).render());
+    println!("{}\n", fig_2_2::run(&suite, kinds).render());
+    println!("{}\n", fig_2_3::run(&suite, kinds).render());
 
-    let fig4 = fig_4::run(&mut suite, kinds);
+    let fig4 = fig_4::run(&suite, kinds);
     println!("{}\n", fig4.render(fig_4::Which::VMax));
     println!("{}\n", fig4.render(fig_4::Which::VAverage));
     println!("{}\n", fig4.render(fig_4::Which::SAverage));
 
-    let cls = classification::run(&mut suite, kinds);
+    let cls = classification::run(&suite, kinds);
     println!("{}\n", cls.render(classification::Which::Mispredictions));
     println!(
         "{}\n",
         cls.render(classification::Which::CorrectPredictions)
     );
 
-    println!("{}\n", table_5_1::run(&mut suite, kinds).render());
+    println!("{}\n", table_5_1::run(&suite, kinds).render());
 
-    let ft = finite_table::run(&mut suite, kinds);
+    let ft = finite_table::run(&suite, kinds);
     println!("{}\n", ft.render(finite_table::Which::Correct));
     println!("{}\n", ft.render(finite_table::Which::Incorrect));
 
-    println!("{}", table_5_2::run(&mut suite, kinds).render());
+    println!("{}", table_5_2::run(&suite, kinds).render());
 }

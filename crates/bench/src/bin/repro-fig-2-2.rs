@@ -5,6 +5,6 @@ use provp_core::experiments::fig_2_2;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
-    println!("{}", fig_2_2::run(&mut suite, &opts.kinds).render());
+    let suite = opts.suite();
+    println!("{}", fig_2_2::run(&suite, &opts.kinds).render());
 }

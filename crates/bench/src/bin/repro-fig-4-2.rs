@@ -5,9 +5,9 @@ use provp_core::experiments::fig_4::{self, Which};
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     println!(
         "{}",
-        fig_4::run(&mut suite, &opts.kinds).render(Which::VAverage)
+        fig_4::run(&suite, &opts.kinds).render(Which::VAverage)
     );
 }

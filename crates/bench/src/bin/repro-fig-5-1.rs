@@ -5,9 +5,9 @@ use provp_core::experiments::classification::{self, Which};
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     println!(
         "{}",
-        classification::run(&mut suite, &opts.kinds).render(Which::Mispredictions)
+        classification::run(&suite, &opts.kinds).render(Which::Mispredictions)
     );
 }

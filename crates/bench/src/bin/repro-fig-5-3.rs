@@ -5,9 +5,9 @@ use provp_core::experiments::finite_table::{self, Which};
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     println!(
         "{}",
-        finite_table::run(&mut suite, &opts.kinds).render(Which::Correct)
+        finite_table::run(&suite, &opts.kinds).render(Which::Correct)
     );
 }

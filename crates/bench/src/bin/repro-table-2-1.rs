@@ -6,9 +6,9 @@ use vp_workloads::WorkloadKind;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     let int_kinds: Vec<WorkloadKind> = opts.kinds.iter().copied().filter(|k| !k.is_fp()).collect();
     let fp_kinds: Vec<WorkloadKind> = opts.kinds.iter().copied().filter(|k| k.is_fp()).collect();
-    let table = table_2_1::run(&mut suite, &int_kinds, &fp_kinds);
+    let table = table_2_1::run(&suite, &int_kinds, &fp_kinds);
     println!("{}", table.render());
 }

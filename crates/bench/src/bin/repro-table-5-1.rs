@@ -5,6 +5,6 @@ use provp_core::experiments::table_5_1;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
-    println!("{}", table_5_1::run(&mut suite, &opts.kinds).render());
+    let suite = opts.suite();
+    println!("{}", table_5_1::run(&suite, &opts.kinds).render());
 }

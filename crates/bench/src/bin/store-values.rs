@@ -6,9 +6,9 @@ use provp_core::experiments::store_values;
 
 fn main() {
     let opts = Options::from_env();
-    let mut suite = opts.suite();
+    let suite = opts.suite();
     println!(
         "{}",
-        store_values::run_analysis(&mut suite, &opts.kinds).render()
+        store_values::run_analysis(&suite, &opts.kinds).render()
     );
 }

@@ -7,8 +7,9 @@
 //! `repro-all` binary that regenerates the whole evaluation in one pass,
 //! `ablation-*` binaries for the extension studies, the `critical-path`
 //! and `store-values` analyses, the `workload-report` /
-//! `profile-workload` / `annotate-workload` utilities, and Criterion
-//! micro-benchmarks for the performance-critical components.
+//! `profile-workload` / `annotate-workload` utilities, and dependency-free
+//! micro-benchmarks (see [`micro`]) for the performance-critical
+//! components.
 //!
 //! All experiment binaries accept:
 //!
@@ -17,7 +18,16 @@
 //!                            nine; `swim`/`tomcatv`/`su2cor`/`hydro2d`
 //!                            are opt-in extras)
 //! --train-runs=N             training inputs per workload (default: 5)
+//! --jobs=N                   worker threads for the experiment grid
+//!                            (default: 1; output is byte-identical at
+//!                            any job count)
+//! --trace-cache=DIR          spill captured simulation traces to DIR and
+//!                            reuse them on later runs
 //! ```
+
+pub mod micro;
+
+use std::path::PathBuf;
 
 use provp_core::Suite;
 use vp_workloads::WorkloadKind;
@@ -29,6 +39,10 @@ pub struct Options {
     pub kinds: Vec<WorkloadKind>,
     /// Training runs per workload.
     pub train_runs: u32,
+    /// Worker threads for the experiment grid (1 = serial).
+    pub jobs: usize,
+    /// On-disk trace cache directory, if any.
+    pub trace_cache: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -36,6 +50,8 @@ impl Default for Options {
         Options {
             kinds: WorkloadKind::ALL.to_vec(),
             train_runs: 5,
+            jobs: 1,
+            trace_cache: None,
         }
     }
 }
@@ -62,9 +78,24 @@ impl Options {
                 opts.train_runs = n
                     .parse()
                     .map_err(|_| format!("bad --train-runs value `{n}`"))?;
+            } else if let Some(n) = arg.strip_prefix("--jobs=") {
+                opts.jobs = match n {
+                    "auto" => provp_core::exec::default_jobs(),
+                    n => n
+                        .parse()
+                        .ok()
+                        .filter(|&j| j >= 1)
+                        .ok_or_else(|| format!("bad --jobs value `{n}` (want >= 1 or auto)"))?,
+                };
+            } else if let Some(dir) = arg.strip_prefix("--trace-cache=") {
+                if dir.is_empty() {
+                    return Err("empty --trace-cache path".to_owned());
+                }
+                opts.trace_cache = Some(PathBuf::from(dir));
             } else {
                 return Err(format!(
-                    "unknown argument `{arg}` (try --workloads=, --train-runs=)"
+                    "unknown argument `{arg}` (try --workloads=, --train-runs=, \
+                     --jobs=, --trace-cache=)"
                 ));
             }
         }
@@ -87,7 +118,11 @@ impl Options {
     /// Builds the experiment suite for these options.
     #[must_use]
     pub fn suite(&self) -> Suite {
-        Suite::with_train_runs(self.train_runs)
+        let suite = Suite::with_train_runs(self.train_runs).with_jobs(self.jobs);
+        match &self.trace_cache {
+            Some(dir) => suite.with_trace_dir(dir.clone()),
+            None => suite,
+        }
     }
 }
 
@@ -104,9 +139,23 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let o = Options::parse(["--workloads=gcc,mgrid".into(), "--train-runs=2".into()]).unwrap();
+        let o = Options::parse([
+            "--workloads=gcc,mgrid".into(),
+            "--train-runs=2".into(),
+            "--jobs=4".into(),
+            "--trace-cache=results/traces".into(),
+        ])
+        .unwrap();
         assert_eq!(o.kinds, vec![WorkloadKind::Gcc, WorkloadKind::Mgrid]);
         assert_eq!(o.train_runs, 2);
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.trace_cache.as_deref(), Some("results/traces".as_ref()));
+    }
+
+    #[test]
+    fn jobs_auto_picks_at_least_one_worker() {
+        let o = Options::parse(["--jobs=auto".into()]).unwrap();
+        assert!(o.jobs >= 1);
     }
 
     #[test]
@@ -114,5 +163,8 @@ mod tests {
         assert!(Options::parse(["--workloads=nope".into()]).is_err());
         assert!(Options::parse(["--frobnicate".into()]).is_err());
         assert!(Options::parse(["--train-runs=x".into()]).is_err());
+        assert!(Options::parse(["--jobs=0".into()]).is_err());
+        assert!(Options::parse(["--jobs=lots".into()]).is_err());
+        assert!(Options::parse(["--trace-cache=".into()]).is_err());
     }
 }

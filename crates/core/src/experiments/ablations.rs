@@ -36,34 +36,31 @@ pub struct GeometryRow {
 
 /// Sweeps prediction-table sizes for one workload at fixed associativity,
 /// comparing hardware and profile classification.
-pub fn geometry(suite: &mut Suite, kind: WorkloadKind, entries: &[usize]) -> Vec<GeometryRow> {
-    entries
-        .iter()
-        .map(|&n| {
-            let geometry = TableGeometry::new(n, 2.min(n));
-            let fsm = suite.predictor_stats(
-                kind,
-                PredictorConfig::TableStride {
-                    geometry,
-                    classifier: ClassifierKind::two_bit_counter(),
-                },
-                None,
-            );
-            let profile = suite.predictor_stats(
-                kind,
-                PredictorConfig::TableStride {
-                    geometry,
-                    classifier: ClassifierKind::Directive,
-                },
-                Some(0.9),
-            );
-            GeometryRow {
+pub fn geometry(suite: &Suite, kind: WorkloadKind, entries: &[usize]) -> Vec<GeometryRow> {
+    suite.par_map(entries, |&n| {
+        let geometry = TableGeometry::new(n, 2.min(n));
+        let fsm = suite.predictor_stats(
+            kind,
+            PredictorConfig::TableStride {
                 geometry,
-                fsm,
-                profile,
-            }
-        })
-        .collect()
+                classifier: ClassifierKind::two_bit_counter(),
+            },
+            None,
+        );
+        let profile = suite.predictor_stats(
+            kind,
+            PredictorConfig::TableStride {
+                geometry,
+                classifier: ClassifierKind::Directive,
+            },
+            Some(0.9),
+        );
+        GeometryRow {
+            geometry,
+            fsm,
+            profile,
+        }
+    })
 }
 
 /// Renders the geometry sweep.
@@ -107,24 +104,21 @@ pub struct PenaltyRow {
 }
 
 /// Sweeps the value-misprediction penalty for one workload.
-pub fn penalty(suite: &mut Suite, kind: WorkloadKind, penalties: &[u64]) -> Vec<PenaltyRow> {
+pub fn penalty(suite: &Suite, kind: WorkloadKind, penalties: &[u64]) -> Vec<PenaltyRow> {
     let base = suite.ilp(kind, IlpConfig::paper_no_vp(), None);
-    penalties
-        .iter()
-        .map(|&p| {
-            let fsm = suite.ilp(kind, IlpConfig::paper_vp_fsm().with_penalty(p), None);
-            let prof = suite.ilp(
-                kind,
-                IlpConfig::paper_vp_profile().with_penalty(p),
-                Some(0.9),
-            );
-            PenaltyRow {
-                penalty: p,
-                fsm_increase: fsm.ilp_increase_over(&base),
-                profile_increase: prof.ilp_increase_over(&base),
-            }
-        })
-        .collect()
+    suite.par_map(penalties, |&p| {
+        let fsm = suite.ilp(kind, IlpConfig::paper_vp_fsm().with_penalty(p), None);
+        let prof = suite.ilp(
+            kind,
+            IlpConfig::paper_vp_profile().with_penalty(p),
+            Some(0.9),
+        );
+        PenaltyRow {
+            penalty: p,
+            fsm_increase: fsm.ilp_increase_over(&base),
+            profile_increase: prof.ilp_increase_over(&base),
+        }
+    })
 }
 
 /// Renders the penalty sweep.
@@ -154,27 +148,24 @@ pub struct HybridRow {
 
 /// Sweeps how a fixed entry budget is split between the hybrid's stride
 /// and last-value sides (threshold 70% so both directive kinds appear).
-pub fn hybrid_split(suite: &mut Suite, kind: WorkloadKind, total: usize) -> Vec<HybridRow> {
+pub fn hybrid_split(suite: &Suite, kind: WorkloadKind, total: usize) -> Vec<HybridRow> {
     let splits = [total / 8, total / 4, total / 2, 3 * total / 4];
-    splits
-        .iter()
-        .map(|&stride_entries| {
-            let last_value_entries = total - stride_entries;
-            let stats = suite.predictor_stats(
-                kind,
-                PredictorConfig::Hybrid {
-                    stride: TableGeometry::new(stride_entries, 2),
-                    last_value: TableGeometry::new(last_value_entries, 2),
-                },
-                Some(0.7),
-            );
-            HybridRow {
-                stride_entries,
-                last_value_entries,
-                stats,
-            }
-        })
-        .collect()
+    suite.par_map(&splits, |&stride_entries| {
+        let last_value_entries = total - stride_entries;
+        let stats = suite.predictor_stats(
+            kind,
+            PredictorConfig::Hybrid {
+                stride: TableGeometry::new(stride_entries, 2),
+                last_value: TableGeometry::new(last_value_entries, 2),
+            },
+            Some(0.7),
+        );
+        HybridRow {
+            stride_entries,
+            last_value_entries,
+            stats,
+        }
+    })
 }
 
 /// Renders the hybrid-split sweep.
@@ -207,27 +198,24 @@ pub struct CounterRow {
 /// Sweeps saturating-counter configurations (the hardware classifier's
 /// only tuning knobs: state count, prediction threshold, reset state) on
 /// the paper's 512-entry 2-way stride table.
-pub fn counters(suite: &mut Suite, kind: WorkloadKind) -> Vec<CounterRow> {
+pub fn counters(suite: &Suite, kind: WorkloadKind) -> Vec<CounterRow> {
     let configs: [(&'static str, SatCounter); 4] = [
         ("1-bit", SatCounter::new(0, 1, 1)),
         ("2-bit, predict>=2", SatCounter::two_bit()),
         ("2-bit, predict==3", SatCounter::new(1, 3, 3)),
         ("3-bit, predict>=4", SatCounter::new(3, 7, 4)),
     ];
-    configs
-        .iter()
-        .map(|&(label, template)| CounterRow {
-            label,
-            stats: suite.predictor_stats(
-                kind,
-                PredictorConfig::TableStride {
-                    geometry: TableGeometry::SPEC_512_2WAY,
-                    classifier: ClassifierKind::SatCounter { template },
-                },
-                None,
-            ),
-        })
-        .collect()
+    suite.par_map(&configs, |&(label, template)| CounterRow {
+        label,
+        stats: suite.predictor_stats(
+            kind,
+            PredictorConfig::TableStride {
+                geometry: TableGeometry::SPEC_512_2WAY,
+                classifier: ClassifierKind::SatCounter { template },
+            },
+            None,
+        ),
+    })
 }
 
 /// Renders the counter sweep.
@@ -269,30 +257,30 @@ pub struct FrontEndRow {
 /// Relaxes the paper's perfect-branch-prediction assumption: measures the
 /// no-VP baseline and the VP gain under perfect, bimodal and gshare front
 /// ends (8-cycle redirect penalty).
-pub fn front_end(suite: &mut Suite, kinds: &[WorkloadKind]) -> Vec<FrontEndRow> {
+pub fn front_end(suite: &Suite, kinds: &[WorkloadKind]) -> Vec<FrontEndRow> {
     let fronts: [(&'static str, BranchConfig, u64); 3] = [
         ("perfect", BranchConfig::Perfect, 0),
         ("bimodal-4k", BranchConfig::bimodal_4k(), 8),
         ("gshare-4k", BranchConfig::gshare_4k(), 8),
     ];
-    let mut rows = Vec::new();
-    for &kind in kinds {
-        for (label, branch, bp) in fronts {
-            let base = suite.ilp(kind, IlpConfig::paper_no_vp().with_branch(branch, bp), None);
-            let vp = suite.ilp(
-                kind,
-                IlpConfig::paper_vp_profile().with_branch(branch, bp),
-                Some(0.9),
-            );
-            rows.push(FrontEndRow {
-                kind,
-                front_end: label,
-                base_ilp: base.ilp(),
-                vp_increase: vp.ilp_increase_over(&base),
-            });
+    let grid: Vec<(WorkloadKind, (&'static str, BranchConfig, u64))> = kinds
+        .iter()
+        .flat_map(|&kind| fronts.iter().map(move |&front| (kind, front)))
+        .collect();
+    suite.par_map(&grid, |&(kind, (label, branch, bp))| {
+        let base = suite.ilp(kind, IlpConfig::paper_no_vp().with_branch(branch, bp), None);
+        let vp = suite.ilp(
+            kind,
+            IlpConfig::paper_vp_profile().with_branch(branch, bp),
+            Some(0.9),
+        );
+        FrontEndRow {
+            kind,
+            front_end: label,
+            base_ilp: base.ilp(),
+            vp_increase: vp.ilp_increase_over(&base),
         }
-    }
-    rows
+    })
 }
 
 /// Renders the front-end sweep.
@@ -325,39 +313,36 @@ pub struct SchemeRow {
 
 /// Compares prediction schemes head-to-head on the paper's 512-entry 2-way
 /// table with saturating-counter classification.
-pub fn schemes(suite: &mut Suite, kinds: &[WorkloadKind]) -> Vec<SchemeRow> {
+pub fn schemes(suite: &Suite, kinds: &[WorkloadKind]) -> Vec<SchemeRow> {
     let geometry = TableGeometry::SPEC_512_2WAY;
     let classifier = ClassifierKind::two_bit_counter();
-    kinds
-        .iter()
-        .map(|&kind| SchemeRow {
+    suite.par_map(kinds, |&kind| SchemeRow {
+        kind,
+        stride: suite.predictor_stats(
             kind,
-            stride: suite.predictor_stats(
-                kind,
-                PredictorConfig::TableStride {
-                    geometry,
-                    classifier,
-                },
-                None,
-            ),
-            two_delta: suite.predictor_stats(
-                kind,
-                PredictorConfig::TableTwoDelta {
-                    geometry,
-                    classifier,
-                },
-                None,
-            ),
-            last_value: suite.predictor_stats(
-                kind,
-                PredictorConfig::TableLastValue {
-                    geometry,
-                    classifier,
-                },
-                None,
-            ),
-        })
-        .collect()
+            PredictorConfig::TableStride {
+                geometry,
+                classifier,
+            },
+            None,
+        ),
+        two_delta: suite.predictor_stats(
+            kind,
+            PredictorConfig::TableTwoDelta {
+                geometry,
+                classifier,
+            },
+            None,
+        ),
+        last_value: suite.predictor_stats(
+            kind,
+            PredictorConfig::TableLastValue {
+                geometry,
+                classifier,
+            },
+            None,
+        ),
+    })
 }
 
 /// Renders the scheme comparison (raw accuracy per scheme).
@@ -392,7 +377,7 @@ pub struct TrainRunsRow {
 pub fn train_runs(kind: WorkloadKind, max_runs: u32) -> Vec<TrainRunsRow> {
     (2..=max_runs)
         .map(|runs| {
-            let mut suite = Suite::with_train_runs(runs);
+            let suite = Suite::with_train_runs(runs);
             let images = suite.train_images(kind);
             let vectors = AlignedVectors::from_images(&images, 10);
             let m = metrics::average_distance(vectors.accuracy_vectors());
@@ -426,8 +411,8 @@ mod tests {
 
     #[test]
     fn geometry_pressure_story() {
-        let mut suite = Suite::with_train_runs(2);
-        let rows = geometry(&mut suite, WorkloadKind::Gcc, &[64, 512, 4096]);
+        let suite = Suite::with_train_runs(2);
+        let rows = geometry(&suite, WorkloadKind::Gcc, &[64, 512, 4096]);
         // The hardware scheme recovers as the table grows...
         assert!(rows[2].fsm.speculated_correct > rows[0].fsm.speculated_correct);
         // ...while the profile scheme is much less size-sensitive.
@@ -444,8 +429,8 @@ mod tests {
 
     #[test]
     fn penalty_hurts_the_less_selective_classifier_more() {
-        let mut suite = Suite::with_train_runs(2);
-        let rows = penalty(&mut suite, WorkloadKind::Ijpeg, &[0, 4]);
+        let suite = Suite::with_train_runs(2);
+        let rows = penalty(&suite, WorkloadKind::Ijpeg, &[0, 4]);
         // Raising the penalty can only reduce the gain.
         assert!(rows[1].fsm_increase <= rows[0].fsm_increase + 1e-9);
         assert!(rows[1].profile_increase <= rows[0].profile_increase + 1e-9);
@@ -454,8 +439,8 @@ mod tests {
 
     #[test]
     fn hybrid_split_runs_and_renders() {
-        let mut suite = Suite::with_train_runs(2);
-        let rows = hybrid_split(&mut suite, WorkloadKind::M88ksim, 512);
+        let suite = Suite::with_train_runs(2);
+        let rows = hybrid_split(&suite, WorkloadKind::M88ksim, 512);
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert_eq!(r.stride_entries + r.last_value_entries, 512);
@@ -471,8 +456,8 @@ mod tests {
 
     #[test]
     fn stricter_counters_trade_coverage_for_accuracy() {
-        let mut suite = Suite::with_train_runs(1);
-        let rows = counters(&mut suite, WorkloadKind::Gcc);
+        let suite = Suite::with_train_runs(1);
+        let rows = counters(&suite, WorkloadKind::Gcc);
         let by = |label: &str| {
             rows.iter()
                 .find(|r| r.label.starts_with(label))
@@ -494,8 +479,8 @@ mod tests {
 
     #[test]
     fn relaxed_front_end_dampens_but_preserves_vp_gains() {
-        let mut suite = Suite::with_train_runs(1);
-        let rows = front_end(&mut suite, &[WorkloadKind::M88ksim]);
+        let suite = Suite::with_train_runs(1);
+        let rows = front_end(&suite, &[WorkloadKind::M88ksim]);
         assert_eq!(rows.len(), 3);
         let (perfect, bimodal, gshare) = (&rows[0], &rows[1], &rows[2]);
         // Relaxing the front end can only lower the baseline ILP.
@@ -511,8 +496,8 @@ mod tests {
 
     #[test]
     fn two_delta_never_loses_to_plain_stride_by_much() {
-        let mut suite = Suite::with_train_runs(1);
-        let rows = schemes(&mut suite, &[WorkloadKind::Ijpeg, WorkloadKind::M88ksim]);
+        let suite = Suite::with_train_runs(1);
+        let rows = schemes(&suite, &[WorkloadKind::Ijpeg, WorkloadKind::M88ksim]);
         for r in &rows {
             // Stride subsumes last-value repeats; two-delta tracks stride
             // closely and wins when glitches interrupt regular patterns.

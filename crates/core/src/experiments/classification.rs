@@ -44,37 +44,34 @@ pub enum Which {
 }
 
 /// Runs the experiment over the given workloads.
-pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Classification {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let fsm = suite.predictor_stats(
-                kind,
-                PredictorConfig::InfiniteStride {
-                    classifier: ClassifierKind::two_bit_counter(),
-                },
-                None,
-            );
-            let profile = ThresholdPolicy::PAPER_SWEEP
-                .iter()
-                .map(|&th| {
-                    suite.predictor_stats(
-                        kind,
-                        PredictorConfig::InfiniteStride {
-                            classifier: ClassifierKind::Directive,
-                        },
-                        Some(th),
-                    )
-                })
-                .collect();
-            Row { kind, fsm, profile }
-        })
-        .collect();
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Classification {
+    let rows = suite.par_map(kinds, |&kind| {
+        let fsm = suite.predictor_stats(
+            kind,
+            PredictorConfig::InfiniteStride {
+                classifier: ClassifierKind::two_bit_counter(),
+            },
+            None,
+        );
+        let profile = ThresholdPolicy::PAPER_SWEEP
+            .iter()
+            .map(|&th| {
+                suite.predictor_stats(
+                    kind,
+                    PredictorConfig::InfiniteStride {
+                        classifier: ClassifierKind::Directive,
+                    },
+                    Some(th),
+                )
+            })
+            .collect();
+        Row { kind, fsm, profile }
+    });
     Classification { rows }
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> Classification {
+pub fn run_all(suite: &Suite) -> Classification {
     run(suite, &WorkloadKind::ALL)
 }
 
@@ -140,8 +137,8 @@ mod tests {
 
     #[test]
     fn the_papers_classification_tradeoff_appears() {
-        let mut suite = Suite::with_train_runs(2);
-        let c = run(&mut suite, &[WorkloadKind::Ijpeg, WorkloadKind::Compress]);
+        let suite = Suite::with_train_runs(2);
+        let c = run(&suite, &[WorkloadKind::Ijpeg, WorkloadKind::Compress]);
 
         let (fsm_mis, prof_mis) = c.averages(Which::Mispredictions);
         // Tight profiling beats the counters at eliminating mispredictions.

@@ -8,9 +8,8 @@
 //! path.
 
 use vp_ilp::{CriticalPathAnalyzer, IlpConfig};
-use vp_sim::{run, RunLimits};
 use vp_stats::{table::percent, TextTable};
-use vp_workloads::WorkloadKind;
+use vp_workloads::{InputSet, WorkloadKind};
 
 use crate::Suite;
 
@@ -37,38 +36,37 @@ pub struct CriticalPath {
 }
 
 /// Runs the analysis on each workload's reference input.
-pub fn run_analysis(suite: &mut Suite, kinds: &[WorkloadKind]) -> CriticalPath {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let program = suite.reference_program(kind, None);
-            let mut analyzer = CriticalPathAnalyzer::new(IlpConfig::PAPER_WINDOW);
-            run(&program, &mut analyzer, RunLimits::default())
-                .unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
-            let report = analyzer.finish();
-            let image = suite.reference_image(kind);
-            let accuracy_of = |addr| image.get(addr).map_or(0.0, |r| r.stride_accuracy());
-            let data = report.data_bound().max(1);
-            let top = report
-                .ranked()
-                .into_iter()
-                .take(5)
-                .map(|(addr, n)| (addr, n as f64 / data as f64, accuracy_of(addr)))
-                .collect();
-            Row {
-                kind,
-                data_bound_fraction: report.data_bound() as f64 / report.instructions.max(1) as f64,
-                predictable_critical_fraction: report
-                    .predictable_fraction(|addr| accuracy_of(addr) >= 0.9),
-                top,
-            }
-        })
-        .collect();
+pub fn run_analysis(suite: &Suite, kinds: &[WorkloadKind]) -> CriticalPath {
+    let rows = suite.par_map(kinds, |&kind| {
+        let program = suite.reference_program(kind, None);
+        let trace = suite.trace(kind, InputSet::reference());
+        let mut analyzer = CriticalPathAnalyzer::new(IlpConfig::PAPER_WINDOW);
+        trace
+            .replay(&program, &mut analyzer)
+            .unwrap_or_else(|e| panic!("{kind} replay failed: {e}"));
+        let report = analyzer.finish();
+        let image = suite.reference_image(kind);
+        let accuracy_of = |addr| image.get(addr).map_or(0.0, |r| r.stride_accuracy());
+        let data = report.data_bound().max(1);
+        let top = report
+            .ranked()
+            .into_iter()
+            .take(5)
+            .map(|(addr, n)| (addr, n as f64 / data as f64, accuracy_of(addr)))
+            .collect();
+        Row {
+            kind,
+            data_bound_fraction: report.data_bound() as f64 / report.instructions.max(1) as f64,
+            predictable_critical_fraction: report
+                .predictable_fraction(|addr| accuracy_of(addr) >= 0.9),
+            top,
+        }
+    });
     CriticalPath { rows }
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> CriticalPath {
+pub fn run_all(suite: &Suite) -> CriticalPath {
     run_analysis(suite, &WorkloadKind::ALL)
 }
 
@@ -112,9 +110,9 @@ mod tests {
 
     #[test]
     fn critical_predictability_explains_table_5_2() {
-        let mut suite = Suite::with_train_runs(1);
+        let suite = Suite::with_train_runs(1);
         let cp = run_analysis(
-            &mut suite,
+            &suite,
             &[
                 WorkloadKind::M88ksim,
                 WorkloadKind::Compress,

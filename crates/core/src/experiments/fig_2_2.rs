@@ -48,27 +48,24 @@ pub struct Fig22 {
 
 /// Runs the experiment: profiles each workload's reference run and bins
 /// its static value producers by stride-predictor accuracy.
-pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Fig22 {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let mut img = suite.reference_image(kind);
-            img.retain_min_execs(MIN_EXECS);
-            let values: Vec<f64> = img
-                .iter()
-                .map(|(_, r)| 100.0 * r.stride_accuracy())
-                .collect();
-            Row {
-                kind,
-                histogram: DecileHistogram::from_values(&values),
-            }
-        })
-        .collect();
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Fig22 {
+    let rows = suite.par_map(kinds, |&kind| {
+        let mut img = suite.reference_image(kind);
+        img.retain_min_execs(MIN_EXECS);
+        let values: Vec<f64> = img
+            .iter()
+            .map(|(_, r)| 100.0 * r.stride_accuracy())
+            .collect();
+        Row {
+            kind,
+            histogram: DecileHistogram::from_values(&values),
+        }
+    });
     Fig22 { rows }
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> Fig22 {
+pub fn run_all(suite: &Suite) -> Fig22 {
     run(suite, &WorkloadKind::ALL)
 }
 
@@ -104,8 +101,8 @@ mod tests {
 
     #[test]
     fn distributions_are_bimodal() {
-        let mut suite = Suite::with_train_runs(1);
-        let fig = run(&mut suite, &[WorkloadKind::Ijpeg, WorkloadKind::Compress]);
+        let suite = Suite::with_train_runs(1);
+        let fig = run(&suite, &[WorkloadKind::Ijpeg, WorkloadKind::Compress]);
         for row in &fig.rows {
             assert!(
                 row.histogram.total() > 10,

@@ -33,29 +33,26 @@ pub struct Fig23 {
 }
 
 /// Runs the experiment over the given workloads.
-pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Fig23 {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let mut img = suite.reference_image(kind);
-            img.retain_min_execs(MIN_EXECS);
-            let values: Vec<f64> = img
-                .iter()
-                .filter(|(_, r)| r.stride_correct > 0)
-                .map(|(_, r)| 100.0 * r.stride_efficiency_ratio())
-                .collect();
-            Row {
-                kind,
-                histogram: DecileHistogram::from_values(&values),
-                dynamic_ratio: img.dynamic_stride_efficiency_ratio(),
-            }
-        })
-        .collect();
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Fig23 {
+    let rows = suite.par_map(kinds, |&kind| {
+        let mut img = suite.reference_image(kind);
+        img.retain_min_execs(MIN_EXECS);
+        let values: Vec<f64> = img
+            .iter()
+            .filter(|(_, r)| r.stride_correct > 0)
+            .map(|(_, r)| 100.0 * r.stride_efficiency_ratio())
+            .collect();
+        Row {
+            kind,
+            histogram: DecileHistogram::from_values(&values),
+            dynamic_ratio: img.dynamic_stride_efficiency_ratio(),
+        }
+    });
     Fig23 { rows }
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> Fig23 {
+pub fn run_all(suite: &Suite) -> Fig23 {
     run(suite, &WorkloadKind::ALL)
 }
 
@@ -83,8 +80,8 @@ mod tests {
 
     #[test]
     fn two_stride_populations_emerge() {
-        let mut suite = Suite::with_train_runs(1);
-        let fig = run(&mut suite, &[WorkloadKind::Ijpeg, WorkloadKind::Gcc]);
+        let suite = Suite::with_train_runs(1);
+        let fig = run(&suite, &[WorkloadKind::Ijpeg, WorkloadKind::Gcc]);
         for row in &fig.rows {
             assert!(row.histogram.total() > 0, "{}", row.kind);
             // The paper's split: both extremes are populated (pure

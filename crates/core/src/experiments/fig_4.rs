@@ -56,24 +56,21 @@ pub enum Which {
 }
 
 /// Runs the experiment over the given workloads.
-pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Fig4 {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let images = suite.train_images(kind);
-            let vectors = AlignedVectors::from_images(&images, MIN_EXECS);
-            let v = vectors.accuracy_vectors();
-            let s = vectors.stride_ratio_vectors();
-            Row {
-                kind,
-                dim: vectors.dim(),
-                s_dim: vectors.s_addrs().len(),
-                v_max: DecileHistogram::from_values(&metrics::max_distance(v)),
-                v_avg: DecileHistogram::from_values(&metrics::average_distance(v)),
-                s_avg: DecileHistogram::from_values(&metrics::average_distance(s)),
-            }
-        })
-        .collect();
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Fig4 {
+    let rows = suite.par_map(kinds, |&kind| {
+        let images = suite.train_images(kind);
+        let vectors = AlignedVectors::from_images(&images, MIN_EXECS);
+        let v = vectors.accuracy_vectors();
+        let s = vectors.stride_ratio_vectors();
+        Row {
+            kind,
+            dim: vectors.dim(),
+            s_dim: vectors.s_addrs().len(),
+            v_max: DecileHistogram::from_values(&metrics::max_distance(v)),
+            v_avg: DecileHistogram::from_values(&metrics::average_distance(v)),
+            s_avg: DecileHistogram::from_values(&metrics::average_distance(s)),
+        }
+    });
     Fig4 {
         runs: suite.train_runs() as usize,
         rows,
@@ -81,7 +78,7 @@ pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Fig4 {
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> Fig4 {
+pub fn run_all(suite: &Suite) -> Fig4 {
     run(suite, &WorkloadKind::ALL)
 }
 
@@ -132,8 +129,8 @@ mod tests {
 
     #[test]
     fn profiles_are_input_invariant() {
-        let mut suite = Suite::with_train_runs(3);
-        let fig = run(&mut suite, &[WorkloadKind::Compress, WorkloadKind::Ijpeg]);
+        let suite = Suite::with_train_runs(3);
+        let fig = run(&suite, &[WorkloadKind::Compress, WorkloadKind::Ijpeg]);
         assert_eq!(fig.runs, 3);
         for row in &fig.rows {
             assert!(

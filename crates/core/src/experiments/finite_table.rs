@@ -86,29 +86,22 @@ pub enum Which {
 }
 
 /// Runs the experiment over the given workloads.
-pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> FiniteTable {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let fsm = suite.predictor_stats(kind, PredictorConfig::spec_table_stride_fsm(), None);
-            let profile = ThresholdPolicy::PAPER_SWEEP
-                .iter()
-                .map(|&th| {
-                    suite.predictor_stats(
-                        kind,
-                        PredictorConfig::spec_table_stride_profile(),
-                        Some(th),
-                    )
-                })
-                .collect();
-            Row { kind, fsm, profile }
-        })
-        .collect();
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> FiniteTable {
+    let rows = suite.par_map(kinds, |&kind| {
+        let fsm = suite.predictor_stats(kind, PredictorConfig::spec_table_stride_fsm(), None);
+        let profile = ThresholdPolicy::PAPER_SWEEP
+            .iter()
+            .map(|&th| {
+                suite.predictor_stats(kind, PredictorConfig::spec_table_stride_profile(), Some(th))
+            })
+            .collect();
+        Row { kind, fsm, profile }
+    });
     FiniteTable { rows }
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> FiniteTable {
+pub fn run_all(suite: &Suite) -> FiniteTable {
     run(suite, &WorkloadKind::ALL)
 }
 
@@ -149,8 +142,8 @@ mod tests {
 
     #[test]
     fn working_set_size_decides_who_wins() {
-        let mut suite = Suite::with_train_runs(2);
-        let ft = run(&mut suite, &[WorkloadKind::Gcc, WorkloadKind::M88ksim]);
+        let suite = Suite::with_train_runs(2);
+        let ft = run(&suite, &[WorkloadKind::Gcc, WorkloadKind::M88ksim]);
         let gcc = &ft.rows[0];
         let m88k = &ft.rows[1];
         // Large working set: the paper's double win exists at some

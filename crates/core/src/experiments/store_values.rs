@@ -2,9 +2,8 @@
 //! the prediction schemes generalize to memory storage operands.
 
 use vp_profile::{StoreValueCollector, VpCategory};
-use vp_sim::{run, RunLimits};
 use vp_stats::{table::percent, TextTable};
-use vp_workloads::WorkloadKind;
+use vp_workloads::{InputSet, WorkloadKind};
 
 use crate::Suite;
 
@@ -29,29 +28,28 @@ pub struct StoreValues {
 }
 
 /// Profiles the values stored by each workload's reference run.
-pub fn run_analysis(suite: &mut Suite, kinds: &[WorkloadKind]) -> StoreValues {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let program = suite.reference_program(kind, None);
-            let mut collector = StoreValueCollector::new(kind.name());
-            run(&program, &mut collector, RunLimits::default())
-                .unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
-            let image = collector.into_image();
-            let (execs, _, _) = image.category_totals(VpCategory::Store);
-            Row {
-                kind,
-                stores: execs,
-                stride_accuracy: image.category_stride_accuracy(VpCategory::Store),
-                last_value_accuracy: image.category_last_value_accuracy(VpCategory::Store),
-            }
-        })
-        .collect();
+pub fn run_analysis(suite: &Suite, kinds: &[WorkloadKind]) -> StoreValues {
+    let rows = suite.par_map(kinds, |&kind| {
+        let program = suite.reference_program(kind, None);
+        let trace = suite.trace(kind, InputSet::reference());
+        let mut collector = StoreValueCollector::new(kind.name());
+        trace
+            .replay(&program, &mut collector)
+            .unwrap_or_else(|e| panic!("{kind} replay failed: {e}"));
+        let image = collector.into_image();
+        let (execs, _, _) = image.category_totals(VpCategory::Store);
+        Row {
+            kind,
+            stores: execs,
+            stride_accuracy: image.category_stride_accuracy(VpCategory::Store),
+            last_value_accuracy: image.category_last_value_accuracy(VpCategory::Store),
+        }
+    });
     StoreValues { rows }
 }
 
 /// Convenience: all nine Table 4.1 workloads.
-pub fn run_all(suite: &mut Suite) -> StoreValues {
+pub fn run_all(suite: &Suite) -> StoreValues {
     run_analysis(suite, &WorkloadKind::ALL)
 }
 
@@ -81,9 +79,9 @@ mod tests {
 
     #[test]
     fn stored_values_are_predictable_where_registers_are() {
-        let mut suite = Suite::with_train_runs(1);
+        let suite = Suite::with_train_runs(1);
         let sv = run_analysis(
-            &mut suite,
+            &suite,
             &[
                 WorkloadKind::Vortex,
                 WorkloadKind::Compress,

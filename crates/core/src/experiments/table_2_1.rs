@@ -71,22 +71,18 @@ fn average(label: &str, rows: &[&Row]) -> Row {
 
 /// Runs the experiment over the given integer and FP workloads (FP
 /// workloads are measured per phase).
-pub fn run(suite: &mut Suite, int_kinds: &[WorkloadKind], fp_kinds: &[WorkloadKind]) -> Table21 {
-    let int_rows: Vec<Row> = int_kinds
-        .iter()
-        .map(|&k| Row::from_image(k.name(), &suite.reference_image(k), false))
-        .collect();
+pub fn run(suite: &Suite, int_kinds: &[WorkloadKind], fp_kinds: &[WorkloadKind]) -> Table21 {
+    let int_rows: Vec<Row> = suite.par_map(int_kinds, |&k| {
+        Row::from_image(k.name(), &suite.reference_image(k), false)
+    });
     let int_avg = average("spec-int (avg)", &int_rows.iter().collect::<Vec<_>>());
-    let fp_rows: Vec<(Row, Row)> = fp_kinds
-        .iter()
-        .map(|&k| {
-            let (init, comp) = suite.reference_phase_images(k);
-            (
-                Row::from_image(format!("{k}/init"), &init, true),
-                Row::from_image(format!("{k}/comp"), &comp, true),
-            )
-        })
-        .collect();
+    let fp_rows: Vec<(Row, Row)> = suite.par_map(fp_kinds, |&k| {
+        let (init, comp) = suite.reference_phase_images(k);
+        (
+            Row::from_image(format!("{k}/init"), &init, true),
+            Row::from_image(format!("{k}/comp"), &comp, true),
+        )
+    });
     let fp_init = average(
         "spec-fp init (avg)",
         &fp_rows.iter().map(|(i, _)| i).collect::<Vec<_>>(),
@@ -105,7 +101,7 @@ pub fn run(suite: &mut Suite, int_kinds: &[WorkloadKind], fp_kinds: &[WorkloadKi
 }
 
 /// Convenience: the full integer suite plus all five FP workloads.
-pub fn run_all(suite: &mut Suite) -> Table21 {
+pub fn run_all(suite: &Suite) -> Table21 {
     run(suite, &WorkloadKind::INT, &WorkloadKind::FP)
 }
 
@@ -143,9 +139,9 @@ mod tests {
 
     #[test]
     fn shape_matches_the_paper() {
-        let mut suite = Suite::with_train_runs(1);
+        let suite = Suite::with_train_runs(1);
         let t = run(
-            &mut suite,
+            &suite,
             &[WorkloadKind::Ijpeg, WorkloadKind::Compress],
             &[WorkloadKind::Mgrid],
         );
@@ -181,8 +177,8 @@ mod tests {
 
     #[test]
     fn fp_suite_averages_cover_all_five_codes() {
-        let mut suite = Suite::with_train_runs(1);
-        let t = run(&mut suite, &[WorkloadKind::Compress], &WorkloadKind::FP);
+        let suite = Suite::with_train_runs(1);
+        let t = run(&suite, &[WorkloadKind::Compress], &WorkloadKind::FP);
         assert_eq!(t.fp_rows.len(), WorkloadKind::FP.len());
         // Computation-phase FP loads carry value locality everywhere
         // (constant/coefficient reloads); init phases do not.

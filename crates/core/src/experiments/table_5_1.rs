@@ -35,35 +35,32 @@ pub struct Table51 {
 /// Runs the experiment over the given workloads: counts, on the reference
 /// input, the dynamic value producers the finite-table directive predictor
 /// actually touches the table for.
-pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Table51 {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let fractions = ThresholdPolicy::PAPER_SWEEP
-                .iter()
-                .map(|&th| {
-                    let stats = suite.predictor_stats(
-                        kind,
-                        PredictorConfig::spec_table_stride_profile(),
-                        Some(th),
-                    );
-                    // Admitted = table was consulted (hit or allocation).
-                    let admitted = stats.hits + stats.allocations;
-                    if stats.accesses == 0 {
-                        0.0
-                    } else {
-                        admitted as f64 / stats.accesses as f64
-                    }
-                })
-                .collect();
-            Row { kind, fractions }
-        })
-        .collect();
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Table51 {
+    let rows = suite.par_map(kinds, |&kind| {
+        let fractions = ThresholdPolicy::PAPER_SWEEP
+            .iter()
+            .map(|&th| {
+                let stats = suite.predictor_stats(
+                    kind,
+                    PredictorConfig::spec_table_stride_profile(),
+                    Some(th),
+                );
+                // Admitted = table was consulted (hit or allocation).
+                let admitted = stats.hits + stats.allocations;
+                if stats.accesses == 0 {
+                    0.0
+                } else {
+                    admitted as f64 / stats.accesses as f64
+                }
+            })
+            .collect();
+        Row { kind, fractions }
+    });
     Table51 { rows }
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> Table51 {
+pub fn run_all(suite: &Suite) -> Table51 {
     run(suite, &WorkloadKind::ALL)
 }
 
@@ -109,8 +106,8 @@ mod tests {
 
     #[test]
     fn admission_widens_as_the_threshold_drops() {
-        let mut suite = Suite::with_train_runs(2);
-        let table = run(&mut suite, &[WorkloadKind::Gcc, WorkloadKind::Ijpeg]);
+        let suite = Suite::with_train_runs(2);
+        let table = run(&suite, &[WorkloadKind::Gcc, WorkloadKind::Ijpeg]);
         let avg = table.averages();
         // Monotone non-decreasing 90% -> 50%, strictly below admitting all.
         for w in avg.windows(2) {

@@ -57,29 +57,26 @@ pub struct Table52 {
 }
 
 /// Runs the experiment over the given workloads.
-pub fn run(suite: &mut Suite, kinds: &[WorkloadKind]) -> Table52 {
-    let rows = kinds
-        .iter()
-        .map(|&kind| {
-            let base = suite.ilp(kind, IlpConfig::paper_no_vp(), None);
-            let vp_fsm = suite.ilp(kind, IlpConfig::paper_vp_fsm(), None);
-            let vp_profile = ThresholdPolicy::PAPER_SWEEP
-                .iter()
-                .map(|&th| suite.ilp(kind, IlpConfig::paper_vp_profile(), Some(th)))
-                .collect();
-            Row {
-                kind,
-                base,
-                vp_fsm,
-                vp_profile,
-            }
-        })
-        .collect();
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Table52 {
+    let rows = suite.par_map(kinds, |&kind| {
+        let base = suite.ilp(kind, IlpConfig::paper_no_vp(), None);
+        let vp_fsm = suite.ilp(kind, IlpConfig::paper_vp_fsm(), None);
+        let vp_profile = ThresholdPolicy::PAPER_SWEEP
+            .iter()
+            .map(|&th| suite.ilp(kind, IlpConfig::paper_vp_profile(), Some(th)))
+            .collect();
+        Row {
+            kind,
+            base,
+            vp_fsm,
+            vp_profile,
+        }
+    });
     Table52 { rows }
 }
 
 /// Convenience: all nine workloads.
-pub fn run_all(suite: &mut Suite) -> Table52 {
+pub fn run_all(suite: &Suite) -> Table52 {
     run(suite, &WorkloadKind::ALL)
 }
 
@@ -121,8 +118,8 @@ mod tests {
 
     #[test]
     fn m88ksim_dominates_and_profiling_is_competitive() {
-        let mut suite = Suite::with_train_runs(2);
-        let t = run(&mut suite, &[WorkloadKind::M88ksim, WorkloadKind::Compress]);
+        let suite = Suite::with_train_runs(2);
+        let t = run(&suite, &[WorkloadKind::M88ksim, WorkloadKind::Compress]);
         let m88k = &t.rows[0];
         let compress = &t.rows[1];
         // The paper's headline: m88ksim's predictable serial chains give a

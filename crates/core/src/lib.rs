@@ -19,13 +19,21 @@
 //!
 //! Heavy intermediate artifacts (profile images, annotated binaries) are
 //! memoised in a [`suite::Suite`], so running every experiment profiles
-//! each workload's five training inputs exactly once.
+//! each workload's five training inputs exactly once. Underneath, a
+//! [`trace_store::TraceStore`] memoises each functional simulation as a
+//! retirement trace — simulate once per `(workload, input, limits)` key,
+//! replay into every consumer — and [`exec::parallel_map`] fans the
+//! experiment grid over scoped threads with byte-identical output.
 
+pub mod exec;
 pub mod experiments;
 pub mod harness;
 pub mod pipeline;
 pub mod suite;
+pub mod trace_store;
 
+pub use exec::parallel_map;
 pub use harness::PredictorTracer;
 pub use pipeline::{PipelineConfig, PipelineOutcome, ProfileGuidedPipeline};
 pub use suite::Suite;
+pub use trace_store::{TraceKey, TraceStore, TraceStoreStats};

@@ -1,9 +1,13 @@
 //! The three-phase methodology, end to end.
 
+use std::sync::Arc;
+
 use vp_compiler::{annotate, Annotated, ThresholdPolicy};
 use vp_profile::{merge, ProfileCollector, ProfileImage};
-use vp_sim::{run, RunLimits, SimError};
+use vp_sim::{RunLimits, SimError};
 use vp_workloads::Workload;
+
+use crate::trace_store::TraceStore;
 
 /// Configuration of a [`ProfileGuidedPipeline`].
 #[derive(Debug, Clone, Copy)]
@@ -68,13 +72,26 @@ pub struct PipelineOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct ProfileGuidedPipeline {
     config: PipelineConfig,
+    traces: Option<Arc<TraceStore>>,
 }
 
 impl ProfileGuidedPipeline {
     /// Creates a pipeline with the given configuration.
     #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
-        ProfileGuidedPipeline { config }
+        ProfileGuidedPipeline {
+            config,
+            traces: None,
+        }
+    }
+
+    /// Routes the profiling simulations through a shared [`TraceStore`],
+    /// so traces captured here (or by a `Suite` sharing the store) are
+    /// never re-simulated.
+    #[must_use]
+    pub fn with_trace_store(mut self, traces: Arc<TraceStore>) -> Self {
+        self.traces = Some(traces);
+        self
     }
 
     /// The pipeline's configuration.
@@ -88,19 +105,34 @@ impl ProfileGuidedPipeline {
     /// # Errors
     ///
     /// Propagates simulator faults from the profiling runs (well-formed
-    /// workloads never fault; a fault indicates a generator bug).
+    /// workloads never fault; a fault indicates a generator bug). When a
+    /// trace store is attached, faults panic inside the store instead.
     pub fn run(&self, workload: &Workload) -> Result<PipelineOutcome, SimError> {
         // Phase 1: the binary, directive-free.
         let base = workload
             .program(&vp_workloads::InputSet::train(0))
             .without_directives();
 
-        // Phase 2: profile under each training input.
+        // Phase 2: profile under each training input, replaying memoised
+        // traces when a store is attached.
         let mut images = Vec::with_capacity(self.config.train_runs as usize);
         for input in vp_workloads::InputSet::train_set(self.config.train_runs) {
             let program = workload.program(&input);
             let mut collector = ProfileCollector::new(format!("{}/{input}", workload.name()));
-            run(&program, &mut collector, self.config.limits)?;
+            match &self.traces {
+                Some(store) => {
+                    store.replay_into(
+                        workload.kind(),
+                        input,
+                        self.config.limits,
+                        &program,
+                        &mut collector,
+                    );
+                }
+                None => {
+                    vp_sim::run(&program, &mut collector, self.config.limits)?;
+                }
+            }
             images.push(collector.into_image());
         }
         let merged = merge::intersect_and_sum(&images);
@@ -157,6 +189,39 @@ mod tests {
         assert_eq!(out.images.len(), 2);
         let total: u64 = out.images.iter().map(|i| i.total_execs()).sum();
         assert_eq!(out.merged.total_execs() + omitted_execs(&out), total);
+    }
+
+    #[test]
+    fn trace_store_backed_pipeline_matches_direct() {
+        let config = PipelineConfig {
+            train_runs: 2,
+            policy: ThresholdPolicy::new(0.9),
+            limits: RunLimits::default(),
+        };
+        let workload = Workload::new(WorkloadKind::Compress);
+        let direct = ProfileGuidedPipeline::new(config).run(&workload).unwrap();
+
+        let store = Arc::new(TraceStore::new());
+        let cached = ProfileGuidedPipeline::new(config)
+            .with_trace_store(Arc::clone(&store))
+            .run(&workload)
+            .unwrap();
+        assert_eq!(direct.images, cached.images);
+        assert_eq!(direct.merged, cached.merged);
+        assert_eq!(
+            direct.annotated.program().text(),
+            cached.annotated.program().text()
+        );
+        assert_eq!(store.stats().captures, 2);
+
+        // A second run replays from memory: no new simulations.
+        let again = ProfileGuidedPipeline::new(config)
+            .with_trace_store(Arc::clone(&store))
+            .run(&workload)
+            .unwrap();
+        assert_eq!(again.merged, direct.merged);
+        assert_eq!(store.stats().captures, 2);
+        assert!(store.stats().memory_hits >= 2);
     }
 
     fn omitted_execs(out: &PipelineOutcome) -> u64 {

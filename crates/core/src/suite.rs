@@ -4,17 +4,29 @@
 //! training-run profile images per workload, merged profiles, annotated
 //! binaries — across many tables and figures. A [`Suite`] computes each
 //! artifact once and hands out clones.
+//!
+//! Since the trace-cache rework every method takes `&self`: caches live
+//! behind mutexes, the underlying simulations are memoised as retirement
+//! traces in a shared [`TraceStore`], and independent grid points can be
+//! fanned out over threads with [`Suite::par_map`] while keeping output
+//! order (and therefore rendered experiment output) byte-identical to a
+//! serial run.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
 
 use vp_compiler::{annotate, AnnotationSummary, ThresholdPolicy};
 use vp_ilp::{IlpAnalyzer, IlpConfig, IlpResult};
 use vp_isa::Program;
 use vp_predictor::{PredictorConfig, PredictorStats};
 use vp_profile::{merge, ProfileCollector, ProfileImage};
-use vp_sim::{run, RunLimits};
+use vp_sim::{run, RunLimits, Trace};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
 
+use crate::exec::parallel_map;
+use crate::trace_store::{TraceStore, TraceStoreStats};
 use crate::PredictorTracer;
 
 /// Threshold key with stable hashing (per-mille accuracy).
@@ -22,22 +34,94 @@ fn th_key(threshold: f64) -> u32 {
     (threshold * 1000.0).round() as u32
 }
 
+/// A thread-safe get-or-compute cache with in-flight deduplication: when
+/// two threads request the same missing key, one computes while the other
+/// waits, and the value is computed without holding the lock.
+struct Memo<K, V> {
+    state: Mutex<MemoState<K, V>>,
+    available: Condvar,
+}
+
+struct MemoState<K, V> {
+    done: HashMap<K, V>,
+    running: HashSet<K>,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> Memo<K, V> {
+    fn new() -> Self {
+        Memo {
+            state: Mutex::new(MemoState {
+                done: HashMap::new(),
+                running: HashSet::new(),
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        {
+            let mut state = self.state.lock().expect("memo poisoned");
+            loop {
+                if let Some(v) = state.done.get(&key) {
+                    return v.clone();
+                }
+                if state.running.insert(key) {
+                    break;
+                }
+                state = self.available.wait(state).expect("memo poisoned");
+            }
+        }
+        let guard = RunningGuard { memo: self, key };
+        let value = compute();
+        let mut state = self.state.lock().expect("memo poisoned");
+        state.done.insert(key, value.clone());
+        drop(state);
+        drop(guard);
+        value
+    }
+}
+
+/// Clears the running mark even if `compute` panicked, so waiters retry
+/// instead of deadlocking.
+struct RunningGuard<'a, K: Eq + Hash + Copy, V: Clone> {
+    memo: &'a Memo<K, V>,
+    key: K,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> Drop for RunningGuard<'_, K, V> {
+    fn drop(&mut self) {
+        let mut state = match self.memo.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.running.remove(&self.key);
+        drop(state);
+        self.memo.available.notify_all();
+    }
+}
+
 /// A memoising context for the whole evaluation.
 ///
-/// All methods take `&mut self` (they may fill caches) and return owned
-/// values; profile images and programs are small enough that cloning is
-/// negligible next to simulation.
+/// All methods take `&self` (caches use interior mutability, so a single
+/// suite can be shared across worker threads) and return owned values;
+/// profile images and programs are small enough that cloning is negligible
+/// next to simulation. Functional simulations run at most once per
+/// `(workload, input, limits)` key — every consumer replays the memoised
+/// retirement trace from the embedded [`TraceStore`].
 pub struct Suite {
     limits: RunLimits,
     train_runs: u32,
-    train_images: HashMap<WorkloadKind, Vec<ProfileImage>>,
-    reference_images: HashMap<WorkloadKind, ProfileImage>,
-    phase_images: HashMap<WorkloadKind, (ProfileImage, ProfileImage)>,
-    annotated: HashMap<(WorkloadKind, u32), (Program, AnnotationSummary)>,
+    jobs: usize,
+    traces: Arc<TraceStore>,
+    train_images: Memo<WorkloadKind, Vec<ProfileImage>>,
+    reference_images: Memo<WorkloadKind, ProfileImage>,
+    phase_images: Memo<WorkloadKind, (ProfileImage, ProfileImage)>,
+    annotated: Memo<(WorkloadKind, u32), (Program, AnnotationSummary)>,
 }
 
 impl Suite {
-    /// A suite with the paper's parameters (5 training runs).
+    /// A suite with the paper's parameters (5 training runs), serial
+    /// execution and an in-memory trace cache.
     #[must_use]
     pub fn new() -> Self {
         Suite::with_train_runs(Workload::PAPER_TRAIN_RUNS)
@@ -50,11 +134,37 @@ impl Suite {
         Suite {
             limits: RunLimits::default(),
             train_runs,
-            train_images: HashMap::new(),
-            reference_images: HashMap::new(),
-            phase_images: HashMap::new(),
-            annotated: HashMap::new(),
+            jobs: 1,
+            traces: Arc::new(TraceStore::new()),
+            train_images: Memo::new(),
+            reference_images: Memo::new(),
+            phase_images: Memo::new(),
+            annotated: Memo::new(),
         }
+    }
+
+    /// Sets the number of worker threads used by [`Suite::par_map`]
+    /// (1 = serial; output is byte-identical either way).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Spills captured traces under `dir` and reloads them from there in
+    /// later processes, skipping the functional simulation entirely.
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.traces = Arc::new(TraceStore::new().with_spill_dir(dir));
+        self
+    }
+
+    /// Replaces the trace store wholesale (to share one across suites or
+    /// to bound its memory differently).
+    #[must_use]
+    pub fn with_trace_store(mut self, traces: Arc<TraceStore>) -> Self {
+        self.traces = traces;
+        self
     }
 
     /// Number of training runs per workload.
@@ -63,46 +173,76 @@ impl Suite {
         self.train_runs
     }
 
-    fn profile_once(limits: RunLimits, workload: &Workload, input: &InputSet) -> ProfileImage {
+    /// Worker threads used by [`Suite::par_map`].
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Usage counters of the embedded trace store.
+    #[must_use]
+    pub fn trace_stats(&self) -> TraceStoreStats {
+        self.traces.stats()
+    }
+
+    /// Maps `f` over `items` on up to [`Suite::jobs`] threads, returning
+    /// results in input order — the building block every experiment grid
+    /// uses to fan out per-workload work deterministically.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        parallel_map(self.jobs, items, f)
+    }
+
+    /// The memoised retirement trace of `kind` under `input` (simulating
+    /// at most once per key).
+    pub fn trace(&self, kind: WorkloadKind, input: InputSet) -> Arc<Trace> {
+        self.traces.get(kind, input, self.limits)
+    }
+
+    fn profile_once(&self, kind: WorkloadKind, input: &InputSet) -> ProfileImage {
+        let workload = Workload::new(kind);
         let program = workload.program(input);
         let mut collector = ProfileCollector::new(format!("{}/{input}", workload.name()));
-        run(&program, &mut collector, limits)
-            .unwrap_or_else(|e| panic!("{} faulted while profiling: {e}", workload.name()));
+        if input.is_reference() || self.traces.spill_dir().is_some() {
+            // Reference traces have many consumers (profilers, predictor
+            // configurations, ILP models) and training traces become
+            // reusable across processes once a spill directory exists —
+            // worth memoising either way.
+            self.traces
+                .replay_into(kind, *input, self.limits, &program, &mut collector);
+        } else {
+            // A training trace is consumed exactly once (its profile image
+            // is what gets memoised), so recording it would cost memory
+            // for nothing: simulate straight into the collector.
+            run(&program, &mut collector, self.limits)
+                .unwrap_or_else(|e| panic!("{} faulted while profiling: {e}", workload.name()));
+        }
         collector.into_image()
     }
 
     /// Profile images of the training runs (phase 2), one per input.
-    pub fn train_images(&mut self, kind: WorkloadKind) -> Vec<ProfileImage> {
-        let limits = self.limits;
-        let runs = self.train_runs;
-        self.train_images
-            .entry(kind)
-            .or_insert_with(|| {
-                let w = Workload::new(kind);
-                InputSet::train_set(runs)
-                    .iter()
-                    .map(|input| Self::profile_once(limits, &w, input))
-                    .collect()
-            })
-            .clone()
+    pub fn train_images(&self, kind: WorkloadKind) -> Vec<ProfileImage> {
+        self.train_images.get_or_compute(kind, || {
+            let inputs = InputSet::train_set(self.train_runs);
+            self.par_map(&inputs, |input| self.profile_once(kind, input))
+        })
     }
 
     /// The intersected-and-summed training profile the compiler consumes.
-    pub fn merged_image(&mut self, kind: WorkloadKind) -> ProfileImage {
+    pub fn merged_image(&self, kind: WorkloadKind) -> ProfileImage {
         let images = self.train_images(kind);
         merge::intersect_and_sum(&images).image
     }
 
     /// A profile image of the held-out reference run (used by the
     /// Section 2 characterisation tables/figures).
-    pub fn reference_image(&mut self, kind: WorkloadKind) -> ProfileImage {
-        let limits = self.limits;
+    pub fn reference_image(&self, kind: WorkloadKind) -> ProfileImage {
         self.reference_images
-            .entry(kind)
-            .or_insert_with(|| {
-                Self::profile_once(limits, &Workload::new(kind), &InputSet::reference())
-            })
-            .clone()
+            .get_or_compute(kind, || self.profile_once(kind, &InputSet::reference()))
     }
 
     /// For FP workloads: `(init, computation)` phase images of the
@@ -111,49 +251,43 @@ impl Suite {
     /// # Panics
     ///
     /// Panics if the workload has no phase split (only `mgrid` does).
-    pub fn reference_phase_images(&mut self, kind: WorkloadKind) -> (ProfileImage, ProfileImage) {
-        let limits = self.limits;
-        self.phase_images
-            .entry(kind)
-            .or_insert_with(|| {
-                let w = Workload::new(kind);
-                let split = w
-                    .phase_split()
-                    .unwrap_or_else(|| panic!("{kind} has no phase split"));
-                let program = w.program(&InputSet::reference());
-                let mut collector = ProfileCollector::with_phase_split(w.name().to_owned(), split);
-                run(&program, &mut collector, limits)
-                    .unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
-                collector.into_phase_images()
-            })
-            .clone()
+    pub fn reference_phase_images(&self, kind: WorkloadKind) -> (ProfileImage, ProfileImage) {
+        self.phase_images.get_or_compute(kind, || {
+            let w = Workload::new(kind);
+            let split = w
+                .phase_split()
+                .unwrap_or_else(|| panic!("{kind} has no phase split"));
+            let program = w.program(&InputSet::reference());
+            let mut collector = ProfileCollector::with_phase_split(w.name().to_owned(), split);
+            self.traces.replay_into(
+                kind,
+                InputSet::reference(),
+                self.limits,
+                &program,
+                &mut collector,
+            );
+            collector.into_phase_images()
+        })
     }
 
     /// The phase-3 annotated binary (trained on the training inputs) plus
     /// the annotation report, for one accuracy threshold.
-    pub fn annotated(
-        &mut self,
-        kind: WorkloadKind,
-        threshold: f64,
-    ) -> (Program, AnnotationSummary) {
-        if let Some(hit) = self.annotated.get(&(kind, th_key(threshold))) {
-            return hit.clone();
-        }
-        let merged = self.merged_image(kind);
-        let base = Workload::new(kind)
-            .program(&InputSet::train(0))
-            .without_directives();
-        let out = annotate(&base, &merged, &ThresholdPolicy::new(threshold));
-        let value = (out.program().clone(), *out.summary());
+    pub fn annotated(&self, kind: WorkloadKind, threshold: f64) -> (Program, AnnotationSummary) {
         self.annotated
-            .insert((kind, th_key(threshold)), value.clone());
-        value
+            .get_or_compute((kind, th_key(threshold)), || {
+                let merged = self.merged_image(kind);
+                let base = Workload::new(kind)
+                    .program(&InputSet::train(0))
+                    .without_directives();
+                let out = annotate(&base, &merged, &ThresholdPolicy::new(threshold));
+                (out.program().clone(), *out.summary())
+            })
     }
 
     /// The reference-input program, carrying directives from the training
     /// profile when `threshold` is given (the evaluation configuration:
     /// train on training inputs, run on the reference input).
-    pub fn reference_program(&mut self, kind: WorkloadKind, threshold: Option<f64>) -> Program {
+    pub fn reference_program(&self, kind: WorkloadKind, threshold: Option<f64>) -> Program {
         let fresh = Workload::new(kind).program(&InputSet::reference());
         match threshold {
             None => fresh,
@@ -168,28 +302,38 @@ impl Suite {
     /// returns the predictor statistics. `threshold` selects the annotated
     /// binary (profile-guided classification) or the bare one (hardware
     /// classification).
+    ///
+    /// Directives never change execution, so every configuration replays
+    /// the same memoised reference trace instead of re-simulating.
     pub fn predictor_stats(
-        &mut self,
+        &self,
         kind: WorkloadKind,
         config: PredictorConfig,
         threshold: Option<f64>,
     ) -> PredictorStats {
         let program = self.reference_program(kind, threshold);
         let mut tracer = PredictorTracer::new(config.build());
-        run(&program, &mut tracer, self.limits).unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
+        self.traces.replay_into(
+            kind,
+            InputSet::reference(),
+            self.limits,
+            &program,
+            &mut tracer,
+        );
         tracer.into_stats()
     }
 
     /// Replays the reference input through the abstract ILP machine.
-    pub fn ilp(
-        &mut self,
-        kind: WorkloadKind,
-        config: IlpConfig,
-        threshold: Option<f64>,
-    ) -> IlpResult {
+    pub fn ilp(&self, kind: WorkloadKind, config: IlpConfig, threshold: Option<f64>) -> IlpResult {
         let program = self.reference_program(kind, threshold);
         let mut analyzer = IlpAnalyzer::new(config);
-        run(&program, &mut analyzer, self.limits).unwrap_or_else(|e| panic!("{kind} faulted: {e}"));
+        self.traces.replay_into(
+            kind,
+            InputSet::reference(),
+            self.limits,
+            &program,
+            &mut analyzer,
+        );
         analyzer.finish()
     }
 }
@@ -206,16 +350,20 @@ mod tests {
 
     #[test]
     fn train_images_are_memoised() {
-        let mut s = Suite::with_train_runs(2);
+        let s = Suite::with_train_runs(2);
         let a = s.train_images(WorkloadKind::Compress);
         let b = s.train_images(WorkloadKind::Compress);
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
+        // Training profiles are simulated straight into the collector
+        // (their single consumer): nothing is recorded without a spill
+        // directory asking for cross-process reuse.
+        assert_eq!(s.trace_stats().requests(), 0);
     }
 
     #[test]
     fn annotated_threshold_monotonicity() {
-        let mut s = Suite::with_train_runs(2);
+        let s = Suite::with_train_runs(2);
         let (_, strict) = s.annotated(WorkloadKind::Ijpeg, 0.9);
         let (_, lax) = s.annotated(WorkloadKind::Ijpeg, 0.5);
         assert!(lax.tagged() >= strict.tagged());
@@ -223,7 +371,7 @@ mod tests {
 
     #[test]
     fn reference_program_carries_directives_only_when_asked() {
-        let mut s = Suite::with_train_runs(2);
+        let s = Suite::with_train_runs(2);
         let bare = s.reference_program(WorkloadKind::M88ksim, None);
         let tagged = s.reference_program(WorkloadKind::M88ksim, Some(0.9));
         assert_eq!(bare.directive_counts().1 + bare.directive_counts().2, 0);
@@ -236,11 +384,43 @@ mod tests {
 
     #[test]
     fn mgrid_phase_images_are_disjoint() {
-        let mut s = Suite::with_train_runs(1);
+        let s = Suite::with_train_runs(1);
         let (init, comp) = s.reference_phase_images(WorkloadKind::Mgrid);
         assert!(!init.is_empty() && !comp.is_empty());
         for (addr, _) in init.iter() {
             assert!(comp.get(addr).is_none(), "{addr} in both phases");
         }
+    }
+
+    #[test]
+    fn reference_trace_is_simulated_once_across_consumers() {
+        let s = Suite::with_train_runs(1);
+        let kind = WorkloadKind::Compress;
+        let _ = s.reference_image(kind);
+        let _ = s.predictor_stats(kind, PredictorConfig::spec_table_stride_fsm(), None);
+        let _ = s.predictor_stats(
+            kind,
+            PredictorConfig::spec_table_stride_profile(),
+            Some(0.9),
+        );
+        let _ = s.ilp(kind, IlpConfig::paper_vp_fsm(), None);
+        let stats = s.trace_stats();
+        // The reference input is simulated exactly once; every further
+        // consumer (predictor configurations, the ILP machine) replays
+        // the memoised trace from memory.
+        assert_eq!(stats.captures, 1);
+        assert!(stats.memory_hits >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial_suite() {
+        let serial = Suite::with_train_runs(2);
+        let threaded = Suite::with_train_runs(2).with_jobs(4);
+        let kind = WorkloadKind::Ijpeg;
+        assert_eq!(serial.train_images(kind), threaded.train_images(kind));
+        assert_eq!(
+            serial.predictor_stats(kind, PredictorConfig::spec_table_stride_fsm(), None),
+            threaded.predictor_stats(kind, PredictorConfig::spec_table_stride_fsm(), None),
+        );
     }
 }

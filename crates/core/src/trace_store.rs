@@ -1,0 +1,458 @@
+//! Trace-once / analyze-many memoisation of simulation traces.
+//!
+//! Every experiment in the evaluation re-executes the same small set of
+//! `(workload, input set, limits)` runs — the reference input alone is
+//! consumed by the characterisation tables, every predictor configuration
+//! and every ILP machine. A [`TraceStore`] runs the functional simulation
+//! **once** per key, keeps the retirement trace ([`vp_sim::Trace`]) in an
+//! in-memory LRU keyed by [`TraceKey`], and optionally spills traces to
+//! disk in the compact `vp_sim::record` binary format so later processes
+//! can skip the simulation entirely.
+//!
+//! Correctness rests on one ISA property: prediction *directives* never
+//! change architectural semantics. A trace captured from the bare program
+//! therefore replays bit-identically against any directive-annotated
+//! variant of the same program, which is exactly the decoupling the
+//! evaluation needs — simulate once, then replay into profilers,
+//! predictors and the ILP machine under any annotation threshold.
+//!
+//! The store is fully thread-safe: concurrent requests for the *same* key
+//! deduplicate in flight (one thread simulates, the rest wait on a
+//! condition variable), and requests for different keys proceed in
+//! parallel because the lock is never held across a simulation.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use vp_isa::Program;
+use vp_sim::{RunLimits, Trace, Tracer};
+use vp_workloads::{InputSet, Workload, WorkloadKind};
+
+/// Identity of one memoised simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// The workload.
+    pub kind: WorkloadKind,
+    /// The input set it ran under.
+    pub input: InputSet,
+    /// The run budget (part of the key: a truncated run has a different
+    /// trace).
+    pub max_instructions: u64,
+}
+
+impl TraceKey {
+    /// The key for `kind` run under `input` with `limits`.
+    #[must_use]
+    pub fn new(kind: WorkloadKind, input: InputSet, limits: RunLimits) -> Self {
+        TraceKey {
+            kind,
+            input,
+            max_instructions: limits.max_instructions,
+        }
+    }
+
+    /// The spill file name for this key (stable across processes).
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{}.trace",
+            self.kind.name(),
+            self.input,
+            self.max_instructions
+        )
+    }
+}
+
+impl fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}@{}",
+            self.kind.name(),
+            self.input,
+            self.max_instructions
+        )
+    }
+}
+
+/// Counters describing how the store has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Requests served from the in-memory LRU.
+    pub memory_hits: u64,
+    /// Requests served by deserialising a spilled trace from disk.
+    pub disk_hits: u64,
+    /// Requests that ran the functional simulation.
+    pub captures: u64,
+    /// Traces dropped from memory by the LRU byte budget.
+    pub evictions: u64,
+}
+
+impl TraceStoreStats {
+    /// Total requests.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.captures
+    }
+}
+
+struct Entry {
+    trace: Arc<Trace>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<TraceKey, Entry>,
+    in_flight: HashSet<TraceKey>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A thread-safe, byte-budgeted LRU of simulation traces with optional
+/// disk spill.
+///
+/// # Examples
+///
+/// ```
+/// use provp_core::trace_store::TraceStore;
+/// use vp_sim::{InstrMix, RunLimits};
+/// use vp_workloads::{InputSet, Workload, WorkloadKind};
+///
+/// let store = TraceStore::new();
+/// let kind = WorkloadKind::Compress;
+/// let trace = store.get(kind, InputSet::reference(), RunLimits::default());
+/// // Second request: served from memory, no simulation.
+/// let again = store.get(kind, InputSet::reference(), RunLimits::default());
+/// assert_eq!(store.stats().captures, 1);
+/// assert_eq!(store.stats().memory_hits, 1);
+///
+/// // Replay substitutes for re-simulation.
+/// let program = Workload::new(kind).program(&InputSet::reference());
+/// let mut mix = InstrMix::new();
+/// trace.replay(&program, &mut mix).unwrap();
+/// assert_eq!(mix.total() as usize, again.len());
+/// ```
+pub struct TraceStore {
+    max_bytes: usize,
+    spill_dir: Option<PathBuf>,
+    state: Mutex<State>,
+    available: Condvar,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    captures: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl TraceStore {
+    /// Default in-memory budget: 1 GiB of resident trace data.
+    pub const DEFAULT_MAX_BYTES: usize = 1 << 30;
+
+    /// An in-memory store with the default byte budget and no disk spill.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStore::with_max_bytes(TraceStore::DEFAULT_MAX_BYTES)
+    }
+
+    /// An in-memory store with an explicit byte budget.
+    ///
+    /// The budget is advisory per entry: a single trace larger than the
+    /// budget is still admitted (and evicted as soon as another arrives).
+    #[must_use]
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        TraceStore {
+            max_bytes,
+            spill_dir: None,
+            state: Mutex::new(State::default()),
+            available: Condvar::new(),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            captures: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables disk spill under `dir` (created on first write). Spilled
+    /// traces survive eviction and process restarts; `get` checks the
+    /// directory before falling back to simulation.
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// The spill directory, if any.
+    #[must_use]
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.spill_dir.as_deref()
+    }
+
+    /// Usage counters.
+    #[must_use]
+    pub fn stats(&self) -> TraceStoreStats {
+        TraceStoreStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            captures: self.captures.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of traces currently resident in memory.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.state
+            .lock()
+            .expect("trace store poisoned")
+            .entries
+            .len()
+    }
+
+    /// Approximate bytes currently resident in memory.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.state.lock().expect("trace store poisoned").bytes
+    }
+
+    /// The retirement trace of `kind` under `input` and `limits`,
+    /// simulating at most once per key per process (and, with a spill
+    /// directory, at most once ever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload faults during simulation — well-formed
+    /// workloads never fault, so a fault indicates a generator bug.
+    pub fn get(&self, kind: WorkloadKind, input: InputSet, limits: RunLimits) -> Arc<Trace> {
+        let key = TraceKey::new(kind, input, limits);
+        match self.lookup_or_claim(&key) {
+            Ok(trace) => trace,
+            Err(claim) => {
+                let trace = Arc::new(self.load_or_capture(&key));
+                self.publish(claim, Arc::clone(&trace));
+                trace
+            }
+        }
+    }
+
+    /// Replays the trace for `(kind, input, limits)` into `tracer`,
+    /// fetching instructions from `program` — which may be a
+    /// directive-annotated variant of the workload binary, since
+    /// directives never change architectural semantics.
+    ///
+    /// On a cache miss this runs the functional simulation **once**,
+    /// feeding `tracer` while recording, so the first consumer of a trace
+    /// pays a single pass (not capture *plus* replay). Subsequent
+    /// consumers replay from memory or disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload faults during simulation or the trace does
+    /// not replay against `program` — both indicate generator bugs.
+    pub fn replay_into(
+        &self,
+        kind: WorkloadKind,
+        input: InputSet,
+        limits: RunLimits,
+        program: &Program,
+        tracer: &mut impl Tracer,
+    ) -> Arc<Trace> {
+        let key = TraceKey::new(kind, input, limits);
+        match self.lookup_or_claim(&key) {
+            Ok(trace) => {
+                trace
+                    .replay(program, tracer)
+                    .unwrap_or_else(|e| panic!("{key} failed to replay: {e}"));
+                trace
+            }
+            Err(claim) => {
+                // Simulate once, feeding the caller's tracer while
+                // recording (`Trace::capture_with`); a disk hit replays.
+                let trace = Arc::new(self.load_or_capture_with(&key, program, tracer));
+                self.publish(claim, Arc::clone(&trace));
+                trace
+            }
+        }
+    }
+
+    /// Returns the memoised trace, or an in-flight claim obliging the
+    /// caller to produce it (and [`publish`](Self::publish) it).
+    fn lookup_or_claim(&self, key: &TraceKey) -> Result<Arc<Trace>, InFlightGuard<'_>> {
+        let mut state = self.state.lock().expect("trace store poisoned");
+        loop {
+            if state.entries.contains_key(key) {
+                state.tick += 1;
+                let tick = state.tick;
+                let entry = state.entries.get_mut(key).expect("just checked");
+                entry.last_used = tick;
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.trace));
+            }
+            if state.in_flight.insert(*key) {
+                // We are the producer for this key; the guard keeps
+                // waiters from deadlocking if production panics.
+                return Err(InFlightGuard {
+                    store: self,
+                    key: *key,
+                });
+            }
+            state = self.available.wait(state).expect("trace store poisoned");
+        }
+    }
+
+    /// Inserts a freshly produced trace and releases the claim.
+    fn publish(&self, claim: InFlightGuard<'_>, trace: Arc<Trace>) {
+        let bytes = trace.approx_bytes();
+        let key = claim.key;
+        let mut state = self.state.lock().expect("trace store poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        state.bytes += bytes;
+        state.entries.insert(
+            key,
+            Entry {
+                trace,
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.evict_over_budget(&mut state, key);
+        drop(state);
+        drop(claim); // removes the in-flight mark and wakes waiters
+    }
+
+    /// Loads from the spill directory (replaying into `tracer` if given)
+    /// or captures by simulation, feeding `tracer` during the pass.
+    fn load_or_capture_with(
+        &self,
+        key: &TraceKey,
+        program: &Program,
+        tracer: &mut impl Tracer,
+    ) -> Trace {
+        if let Some(trace) = self.try_disk_load(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            trace
+                .replay(program, tracer)
+                .unwrap_or_else(|e| panic!("{key} failed to replay a spilled trace: {e}"));
+            return trace;
+        }
+        let limits = RunLimits::with_max(key.max_instructions);
+        let trace = Trace::capture_with(program, limits, tracer)
+            .unwrap_or_else(|e| panic!("{key} faulted while tracing: {e}"));
+        self.captures.fetch_add(1, Ordering::Relaxed);
+        self.try_disk_store(key, &trace);
+        trace
+    }
+
+    /// Loads from the spill directory or captures by simulation.
+    fn load_or_capture(&self, key: &TraceKey) -> Trace {
+        if let Some(trace) = self.try_disk_load(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return trace;
+        }
+        let program = Workload::new(key.kind).program(&key.input);
+        let limits = RunLimits::with_max(key.max_instructions);
+        let trace = Trace::capture(&program, limits)
+            .unwrap_or_else(|e| panic!("{key} faulted while tracing: {e}"));
+        self.captures.fetch_add(1, Ordering::Relaxed);
+        self.try_disk_store(key, &trace);
+        trace
+    }
+
+    fn try_disk_load(&self, key: &TraceKey) -> Option<Trace> {
+        let dir = self.spill_dir.as_ref()?;
+        let path = dir.join(key.file_name());
+        // One read syscall, then parse from the in-memory slice — much
+        // faster than pulling the file through a buffered reader.
+        let bytes = fs::read(&path).ok()?;
+        match Trace::read_from(bytes.as_slice()) {
+            Ok(trace) => Some(trace),
+            Err(_) => {
+                // Corrupt or truncated spill file: drop it and re-simulate.
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Best-effort spill; IO failures silently fall back to memory-only.
+    fn try_disk_store(&self, key: &TraceKey, trace: &Trace) {
+        let Some(dir) = self.spill_dir.as_ref() else {
+            return;
+        };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!("{}.tmp", key.file_name()));
+        let finished = dir.join(key.file_name());
+        let write = || -> io::Result<()> {
+            let mut out = io::BufWriter::new(fs::File::create(&tmp)?);
+            trace.write_to(&mut out)?;
+            io::Write::flush(&mut out)?;
+            drop(out);
+            fs::rename(&tmp, &finished)
+        };
+        if write().is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Evicts least-recently-used entries (never `just_inserted`) until
+    /// the budget holds.
+    fn evict_over_budget(&self, state: &mut State, just_inserted: TraceKey) {
+        while state.bytes > self.max_bytes && state.entries.len() > 1 {
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != just_inserted)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(entry) = state.entries.remove(&victim) {
+                state.bytes = state.bytes.saturating_sub(entry.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new()
+    }
+}
+
+impl fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("max_bytes", &self.max_bytes)
+            .field("spill_dir", &self.spill_dir)
+            .field("resident", &self.resident())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Clears the in-flight mark for `key` even if production panicked, so
+/// waiting threads retry instead of deadlocking.
+struct InFlightGuard<'a> {
+    store: &'a TraceStore,
+    key: TraceKey,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = match self.store.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.in_flight.remove(&self.key);
+        drop(state);
+        self.store.available.notify_all();
+    }
+}

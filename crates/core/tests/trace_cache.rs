@@ -1,0 +1,143 @@
+//! Unit tests for the trace store: cache hits must be indistinguishable
+//! from fresh simulation, the LRU byte budget must evict, and disk spill
+//! must round-trip across store instances.
+
+use std::sync::Arc;
+use std::thread;
+
+use provp_core::TraceStore;
+use vp_profile::ProfileCollector;
+use vp_sim::{run, RunLimits};
+use vp_workloads::{InputSet, Workload, WorkloadKind};
+
+fn fresh_profile(kind: WorkloadKind, input: InputSet) -> vp_profile::ProfileImage {
+    let w = Workload::new(kind);
+    let program = w.program(&input);
+    let mut c = ProfileCollector::new("fresh");
+    run(&program, &mut c, RunLimits::default()).unwrap();
+    c.into_image()
+}
+
+fn replayed_profile(
+    store: &TraceStore,
+    kind: WorkloadKind,
+    input: InputSet,
+) -> vp_profile::ProfileImage {
+    let w = Workload::new(kind);
+    let program = w.program(&input);
+    let trace = store.get(kind, input, RunLimits::default());
+    let mut c = ProfileCollector::new("fresh");
+    trace.replay(&program, &mut c).unwrap();
+    c.into_image()
+}
+
+#[test]
+fn cache_hit_replay_equals_fresh_simulation() {
+    let store = TraceStore::new();
+    let kind = WorkloadKind::Compress;
+    let input = InputSet::reference();
+
+    let fresh = fresh_profile(kind, input);
+    let miss = replayed_profile(&store, kind, input);
+    let hit = replayed_profile(&store, kind, input);
+
+    assert_eq!(
+        fresh, miss,
+        "first (capturing) replay must match simulation"
+    );
+    assert_eq!(fresh, hit, "cache-hit replay must match simulation");
+    let stats = store.stats();
+    assert_eq!(stats.captures, 1);
+    assert_eq!(stats.memory_hits, 1);
+    assert_eq!(stats.disk_hits, 0);
+}
+
+#[test]
+fn lru_evicts_oldest_when_over_budget() {
+    // A budget way below one trace's size: at most one resident entry,
+    // and every insertion beyond the first evicts the previous one.
+    let store = TraceStore::with_max_bytes(1);
+    let limits = RunLimits::default();
+    let a = (WorkloadKind::Compress, InputSet::train(0));
+    let b = (WorkloadKind::Compress, InputSet::train(1));
+
+    store.get(a.0, a.1, limits);
+    assert_eq!(store.resident(), 1);
+    store.get(b.0, b.1, limits);
+    assert_eq!(store.resident(), 1, "budget of 1 byte keeps a single trace");
+    let stats = store.stats();
+    assert_eq!(stats.captures, 2);
+    assert_eq!(stats.evictions, 1);
+
+    // `a` was evicted: requesting it again re-captures.
+    store.get(a.0, a.1, limits);
+    assert_eq!(store.stats().captures, 3);
+    // ... while `b`'s eviction means the LRU held the newest entry.
+    assert_eq!(store.stats().evictions, 2);
+}
+
+#[test]
+fn lru_keeps_recently_used_entries_under_budget() {
+    // Budget large enough for everything: no evictions at all.
+    let store = TraceStore::new();
+    let limits = RunLimits::default();
+    for i in 0..3 {
+        store.get(WorkloadKind::Compress, InputSet::train(i), limits);
+    }
+    assert_eq!(store.resident(), 3);
+    assert_eq!(store.stats().evictions, 0);
+    assert!(store.resident_bytes() > 0);
+}
+
+#[test]
+fn disk_spill_round_trips_across_stores() {
+    let dir = std::env::temp_dir().join(format!("provp-trace-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let kind = WorkloadKind::Ijpeg;
+    let input = InputSet::reference();
+    let limits = RunLimits::default();
+
+    let first = TraceStore::new().with_spill_dir(&dir);
+    let captured = first.get(kind, input, limits);
+    assert_eq!(first.stats().captures, 1);
+    let spilled = dir.join(provp_core::TraceKey::new(kind, input, limits).file_name());
+    assert!(spilled.is_file(), "trace must be spilled to {spilled:?}");
+
+    // A brand-new store (fresh process, conceptually) loads from disk.
+    let second = TraceStore::new().with_spill_dir(&dir);
+    let loaded = second.get(kind, input, limits);
+    assert_eq!(*captured, *loaded, "disk round-trip must be lossless");
+    let stats = second.stats();
+    assert_eq!(stats.captures, 0, "no re-simulation with a warm disk cache");
+    assert_eq!(stats.disk_hits, 1);
+
+    // A corrupt spill file falls back to simulation instead of failing.
+    std::fs::write(&spilled, b"garbage").unwrap();
+    let third = TraceStore::new().with_spill_dir(&dir);
+    let recaptured = third.get(kind, input, limits);
+    assert_eq!(*captured, *recaptured);
+    assert_eq!(third.stats().captures, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_requests_simulate_once() {
+    let store = Arc::new(TraceStore::new());
+    let kind = WorkloadKind::Compress;
+    let input = InputSet::reference();
+    let traces: Vec<_> = thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                s.spawn(move || store.get(kind, input, RunLimits::default()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(store.stats().captures, 1, "in-flight dedup must hold");
+    for t in &traces[1..] {
+        assert_eq!(**t, *traces[0]);
+    }
+}

@@ -1,30 +1,38 @@
 //! Property tests for the abstract ILP machine: structural bounds that
 //! must hold for *any* program.
 
-use proptest::prelude::*;
 use vp_ilp::{IlpAnalyzer, IlpConfig};
 use vp_isa::{Instr, Opcode, Program, Reg};
 use vp_predictor::{ClassifierKind, PredictorConfig, TableGeometry};
+use vp_rng::{prop, Rng};
 use vp_sim::{run, RunLimits};
 
-/// Random straight-line ALU/memory programs (no control flow, so dynamic
-/// length == static length and every instruction retires once).
-fn arb_linear_program() -> impl Strategy<Value = Program> {
-    let alu = prop::sample::select(vec![
-        Opcode::Add,
-        Opcode::Sub,
-        Opcode::Mul,
-        Opcode::Xor,
-        Opcode::And,
-        Opcode::Sltu,
-    ]);
-    let instr = (alu, 1u8..8, 1u8..8, 1u8..8).prop_map(|(op, rd, rs1, rs2)| {
-        Instr::alu_rr(op, Reg::new(rd), Reg::new(rs1), Reg::new(rs2))
-    });
-    prop::collection::vec(instr, 1..120).prop_map(|mut text| {
-        text.push(Instr::halt());
-        Program::new("prop", text, vec![1, 2, 3, 4])
-    })
+const ALU_OPS: [Opcode; 6] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Xor,
+    Opcode::And,
+    Opcode::Sltu,
+];
+
+/// Random straight-line ALU programs (no control flow, so dynamic length
+/// == static length and every instruction retires once).
+fn arb_linear_program(rng: &mut Rng) -> Program {
+    let len = rng.gen_range(1..120usize);
+    let mut text: Vec<Instr> = (0..len)
+        .map(|_| {
+            let op = *rng.choose(&ALU_OPS).unwrap();
+            Instr::alu_rr(
+                op,
+                Reg::new(rng.gen_range(1..8u8)),
+                Reg::new(rng.gen_range(1..8u8)),
+                Reg::new(rng.gen_range(1..8u8)),
+            )
+        })
+        .collect();
+    text.push(Instr::halt());
+    Program::new("prop", text, vec![1, 2, 3, 4])
 }
 
 fn analyse(program: &Program, config: IlpConfig) -> vp_ilp::IlpResult {
@@ -33,45 +41,55 @@ fn analyse(program: &Program, config: IlpConfig) -> vp_ilp::IlpResult {
     a.finish()
 }
 
-proptest! {
-    /// With unit latency: the schedule can never take longer than fully
-    /// serial execution, nor finish faster than the window allows.
-    #[test]
-    fn prop_cycles_bounded_by_serial_and_window(program in arb_linear_program()) {
+/// With unit latency: the schedule can never take longer than fully serial
+/// execution, nor finish faster than the window allows.
+#[test]
+fn prop_cycles_bounded_by_serial_and_window() {
+    prop::forall(
+        "ILP cycles bounded by serial and window",
+        arb_linear_program,
+    )
+    .check(|program| {
         for window in [1usize, 4, 40] {
-            let r = analyse(&program, IlpConfig::paper_no_vp().with_window(window));
-            prop_assert!(r.cycles <= r.instructions, "window {window}: {r}");
+            let r = analyse(program, IlpConfig::paper_no_vp().with_window(window));
+            assert!(r.cycles <= r.instructions, "window {window}: {r}");
             let floor = r.instructions.div_ceil(window as u64);
-            prop_assert!(r.cycles >= floor, "window {window}: {r} vs floor {floor}");
-            prop_assert!(r.ilp() <= window as f64 + 1e-9);
+            assert!(r.cycles >= floor, "window {window}: {r} vs floor {floor}");
+            assert!(r.ilp() <= window as f64 + 1e-9);
         }
-    }
+    });
+}
 
-    /// A window-1 machine is exactly serial.
-    #[test]
-    fn prop_window_one_is_serial(program in arb_linear_program()) {
-        let r = analyse(&program, IlpConfig::paper_no_vp().with_window(1));
-        prop_assert_eq!(r.cycles, r.instructions);
-    }
+/// A window-1 machine is exactly serial.
+#[test]
+fn prop_window_one_is_serial() {
+    prop::forall("window-1 ILP machine is serial", arb_linear_program).check(|program| {
+        let r = analyse(program, IlpConfig::paper_no_vp().with_window(1));
+        assert_eq!(r.cycles, r.instructions);
+    });
+}
 
-    /// Growing the window never slows the machine down.
-    #[test]
-    fn prop_window_monotone(program in arb_linear_program()) {
+/// Growing the window never slows the machine down.
+#[test]
+fn prop_window_monotone() {
+    prop::forall("ILP monotone in window size", arb_linear_program).check(|program| {
         let mut prev = u64::MAX;
         for window in [1usize, 2, 8, 40] {
-            let r = analyse(&program, IlpConfig::paper_no_vp().with_window(window));
-            prop_assert!(r.cycles <= prev, "window {window} got slower");
+            let r = analyse(program, IlpConfig::paper_no_vp().with_window(window));
+            assert!(r.cycles <= prev, "window {window} got slower");
             prev = r.cycles;
         }
-    }
+    });
+}
 
-    /// Penalty-free value prediction can only help (speculating wrong with
-    /// zero penalty is equivalent to not speculating).
-    #[test]
-    fn prop_free_value_prediction_never_hurts(program in arb_linear_program()) {
-        let base = analyse(&program, IlpConfig::paper_no_vp());
+/// Penalty-free value prediction can only help (speculating wrong with
+/// zero penalty is equivalent to not speculating).
+#[test]
+fn prop_free_value_prediction_never_hurts() {
+    prop::forall("free value prediction never hurts", arb_linear_program).check(|program| {
+        let base = analyse(program, IlpConfig::paper_no_vp());
         let vp = analyse(
-            &program,
+            program,
             IlpConfig {
                 penalty: 0,
                 predictor: Some(PredictorConfig::TableStride {
@@ -81,6 +99,11 @@ proptest! {
                 ..IlpConfig::paper_no_vp()
             },
         );
-        prop_assert!(vp.cycles <= base.cycles, "vp {} vs base {}", vp.cycles, base.cycles);
-    }
+        assert!(
+            vp.cycles <= base.cycles,
+            "vp {} vs base {}",
+            vp.cycles,
+            base.cycles
+        );
+    });
 }

@@ -156,7 +156,7 @@ pub fn text_delta(before: &Program, after: &Program) -> Result<Vec<WordDelta>, I
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vp_rng::{prop, Rng};
 
     #[test]
     fn encode_decode_identity_on_samples() {
@@ -223,34 +223,36 @@ mod tests {
         assert!(deltas.iter().all(|d| d.directive_only), "{deltas:?}");
     }
 
-    fn arb_instr() -> impl Strategy<Value = Instr> {
-        let ops = prop::sample::select(Opcode::ALL.to_vec());
-        (ops, 0u8..32, 0u8..32, 0u8..32, any::<i32>(), 0u8..3).prop_map(
-            |(op, rd, rs1, rs2, imm, dir)| {
-                Instr {
-                    op,
-                    rd: Reg::new(rd),
-                    rs1: Reg::new(rs1),
-                    rs2: Reg::new(rs2),
-                    imm: i64::from(imm),
-                    directive: Directive::decode(dir).unwrap(),
-                }
-                .canonical()
-            },
-        )
+    fn arb_instr(rng: &mut Rng) -> Instr {
+        Instr {
+            op: *rng.choose(Opcode::ALL).unwrap(),
+            rd: Reg::new(rng.gen_range(0..32u8)),
+            rs1: Reg::new(rng.gen_range(0..32u8)),
+            rs2: Reg::new(rng.gen_range(0..32u8)),
+            imm: i64::from(rng.gen_range(i32::MIN..=i32::MAX)),
+            directive: Directive::decode(rng.gen_range(0..3u8)).unwrap(),
+        }
+        .canonical()
     }
 
-    proptest! {
-        #[test]
-        fn prop_encode_decode_round_trip(ins in arb_instr()) {
-            let word = encode(&ins).unwrap();
-            prop_assert_eq!(decode(word).unwrap(), ins);
-        }
+    #[test]
+    fn prop_encode_decode_round_trip() {
+        prop::forall("encode/decode round-trips", arb_instr).check(|ins| {
+            let word = encode(ins).unwrap();
+            assert_eq!(decode(word).unwrap(), *ins);
+        });
+    }
 
-        #[test]
-        fn prop_text_round_trip(instrs in prop::collection::vec(arb_instr(), 0..64)) {
-            let words = encode_text(&instrs).unwrap();
-            prop_assert_eq!(decode_text(&words).unwrap(), instrs);
-        }
+    #[test]
+    fn prop_text_round_trip() {
+        prop::forall("encode_text/decode_text round-trips", |rng| {
+            (0..rng.gen_range(0..64usize))
+                .map(|_| arb_instr(rng))
+                .collect::<Vec<Instr>>()
+        })
+        .check(|instrs| {
+            let words = encode_text(instrs).unwrap();
+            assert_eq!(&decode_text(&words).unwrap(), instrs);
+        });
     }
 }

@@ -1,77 +1,79 @@
 //! Property tests spanning the assembler, disassembler and binary encoder:
 //! any well-formed program survives both text and binary round-trips.
 
-use proptest::prelude::*;
 use vp_isa::asm::{assemble, disassemble};
 use vp_isa::encode::{decode_text, encode_text};
 use vp_isa::{Directive, Instr, Opcode, Program, Reg};
+use vp_rng::{prop, Rng};
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let ops = prop::sample::select(Opcode::ALL.to_vec());
-    (ops, 0u8..32, 1u8..32, 0u8..32, -5000i64..5000, 0u8..3).prop_map(
-        |(op, rd, rs1, rs2, imm, dir)| {
-            let instr = Instr {
-                op,
-                rd: Reg::new(rd),
-                rs1: Reg::new(rs1),
-                rs2: Reg::new(rs2),
-                imm,
-                directive: Directive::None,
-            }
-            .canonical();
-            // Directives are only legal on value producers; branch offsets
-            // must stay numeric-renderable (they always are).
-            if instr.writes_dest() {
-                instr.with_directive(Directive::decode(dir).unwrap())
-            } else {
-                instr
-            }
-        },
-    )
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(arb_instr(), 1..60),
-        prop::collection::vec(any::<u64>(), 0..16),
-    )
-        .prop_map(|(text, data)| Program::new("prop", text, data))
-}
-
-proptest! {
-    /// dis(asm) is the identity on text and data.
-    #[test]
-    fn prop_text_round_trip(program in arb_program()) {
-        let source = disassemble(&program);
-        let round = assemble(&source).unwrap_or_else(|e| panic!("{e}\n{source}"));
-        prop_assert_eq!(round.text(), program.text());
-        prop_assert_eq!(round.data(), program.data());
+fn arb_instr(rng: &mut Rng) -> Instr {
+    let op = *rng.choose(Opcode::ALL).unwrap();
+    let instr = Instr {
+        op,
+        rd: Reg::new(rng.gen_range(0..32u8)),
+        rs1: Reg::new(rng.gen_range(1..32u8)),
+        rs2: Reg::new(rng.gen_range(0..32u8)),
+        imm: rng.gen_range(-5000..5000i64),
+        directive: Directive::None,
     }
+    .canonical();
+    // Directives are only legal on value producers; branch offsets must
+    // stay numeric-renderable (they always are).
+    if instr.writes_dest() {
+        instr.with_directive(Directive::decode(rng.gen_range(0..3u8)).unwrap())
+    } else {
+        instr
+    }
+}
 
-    /// decode(encode) is the identity, and encoding is injective on
-    /// canonical instructions.
-    #[test]
-    fn prop_binary_round_trip_and_injective(program in arb_program()) {
+fn arb_program(rng: &mut Rng) -> Program {
+    let text: Vec<Instr> = (0..rng.gen_range(1..60usize))
+        .map(|_| arb_instr(rng))
+        .collect();
+    let data: Vec<u64> = (0..rng.gen_range(0..16usize))
+        .map(|_| rng.gen_u64())
+        .collect();
+    Program::new("prop", text, data)
+}
+
+/// dis(asm) is the identity on text and data.
+#[test]
+fn prop_text_round_trip() {
+    prop::forall("disassemble/assemble round-trips", arb_program).check(|program| {
+        let source = disassemble(program);
+        let round = assemble(&source).unwrap_or_else(|e| panic!("{e}\n{source}"));
+        assert_eq!(round.text(), program.text());
+        assert_eq!(round.data(), program.data());
+    });
+}
+
+/// decode(encode) is the identity, and encoding is injective on canonical
+/// instructions.
+#[test]
+fn prop_binary_round_trip_and_injective() {
+    prop::forall("encode/decode round-trips and is injective", arb_program).check(|program| {
         let words = encode_text(program.text()).unwrap();
         let decoded = decode_text(&words).unwrap();
-        prop_assert_eq!(&decoded[..], program.text());
+        assert_eq!(&decoded[..], program.text());
         for (i, a) in program.text().iter().enumerate() {
             for (j, b) in program.text().iter().enumerate() {
                 if words[i] == words[j] {
-                    prop_assert_eq!(a, b, "distinct instrs {},{} share an encoding", i, j);
+                    assert_eq!(a, b, "distinct instrs {i},{j} share an encoding");
                 }
             }
         }
-    }
+    });
+}
 
-    /// Directive stripping commutes with both round-trips.
-    #[test]
-    fn prop_directives_orthogonal_to_roundtrip(program in arb_program()) {
+/// Directive stripping commutes with both round-trips.
+#[test]
+fn prop_directives_orthogonal_to_roundtrip() {
+    prop::forall("directive stripping commutes with round-trips", arb_program).check(|program| {
         let stripped = program.without_directives();
         let via_text = assemble(&disassemble(&stripped)).unwrap();
-        prop_assert_eq!(via_text.text(), stripped.text());
+        assert_eq!(via_text.text(), stripped.text());
         let (none, lv, st) = via_text.directive_counts();
-        prop_assert_eq!(lv + st, 0);
-        prop_assert_eq!(none, stripped.len());
-    }
+        assert_eq!(lv + st, 0);
+        assert_eq!(none, stripped.len());
+    });
 }

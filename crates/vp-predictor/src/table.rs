@@ -137,8 +137,8 @@ impl<E> SetAssocTable<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashMap;
+    use vp_rng::prop;
 
     #[test]
     fn miss_then_hit() {
@@ -205,36 +205,48 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Occupancy never exceeds capacity, and a fully-associative table
-        /// behaves like an LRU cache of the last `entries` distinct keys.
-        #[test]
-        fn prop_capacity_invariant(keys in prop::collection::vec(0u64..64, 1..200)) {
+    /// Occupancy never exceeds capacity, and a fully-associative table
+    /// behaves like an LRU cache of the last `entries` distinct keys.
+    #[test]
+    fn prop_capacity_invariant() {
+        prop::forall("table occupancy bounded by capacity", |rng| {
+            (0..rng.gen_range(1..200usize))
+                .map(|_| rng.gen_range(0..64u64))
+                .collect::<Vec<u64>>()
+        })
+        .check(|keys| {
             let g = TableGeometry::new(16, 4);
             let mut t = SetAssocTable::new(g);
-            for &k in &keys {
+            for &k in keys {
                 if t.lookup(k).is_none() {
                     t.insert(k, k);
                 }
-                prop_assert!(t.occupancy() <= g.entries());
+                assert!(t.occupancy() <= g.entries());
                 // Every resident payload equals its key.
-                prop_assert_eq!(t.probe(k), Some(&k));
+                assert_eq!(t.probe(k), Some(&k));
             }
-        }
+        });
+    }
 
-        /// The most recently inserted key of every set is always resident.
-        #[test]
-        fn prop_mru_is_resident(keys in prop::collection::vec(0u64..1024, 1..300)) {
+    /// The most recently inserted key of every set is always resident.
+    #[test]
+    fn prop_mru_is_resident() {
+        prop::forall("MRU key of every set stays resident", |rng| {
+            (0..rng.gen_range(1..300usize))
+                .map(|_| rng.gen_range(0..1024u64))
+                .collect::<Vec<u64>>()
+        })
+        .check(|keys| {
             let g = TableGeometry::new(8, 2);
             let mut t = SetAssocTable::new(g);
             let mut mru: HashMap<usize, u64> = HashMap::new();
-            for &k in &keys {
+            for &k in keys {
                 t.insert(k, k);
                 mru.insert(g.set_of(k), k);
                 for &m in mru.values() {
-                    prop_assert!(t.probe(m).is_some(), "MRU key {m} evicted");
+                    assert!(t.probe(m).is_some(), "MRU key {m} evicted");
                 }
             }
-        }
+        });
     }
 }

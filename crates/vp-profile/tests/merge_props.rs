@@ -1,0 +1,143 @@
+//! Property tests for the paper's intersection-merge rule
+//! (`merge::intersect_and_sum`): the merged image is exactly the
+//! intersection of the inputs, and dynamic executions are conserved —
+//! merged executions plus omitted executions account for every execution
+//! in every input image.
+
+use std::collections::BTreeSet;
+
+use vp_isa::InstrAddr;
+use vp_profile::{merge, InstrProfile, ProfileImage, VpCategory};
+use vp_rng::{prop, Rng};
+
+/// The category is a function of the address (as it is in real profiles,
+/// where the category is a static property of the instruction).
+fn category_of(addr: u32) -> VpCategory {
+    match addr % 4 {
+        0 => VpCategory::IntAlu,
+        1 => VpCategory::IntLoad,
+        2 => VpCategory::FpAlu,
+        _ => VpCategory::FpLoad,
+    }
+}
+
+fn arb_record(rng: &mut Rng, addr: u32) -> InstrProfile {
+    let execs = rng.gen_range(1..1000u64);
+    InstrProfile {
+        category: category_of(addr),
+        execs,
+        stride_correct: rng.gen_range(0..=execs),
+        nonzero_stride_correct: rng.gen_range(0..=execs),
+        last_value_correct: rng.gen_range(0..=execs),
+    }
+}
+
+fn arb_image(rng: &mut Rng, run: usize) -> ProfileImage {
+    let mut img = ProfileImage::new(format!("run{run}"));
+    // Sparse address sets so intersections are non-trivial: each run sees
+    // each static instruction with ~60% probability.
+    for addr in 0..rng.gen_range(1..80u32) {
+        if rng.gen_bool(0.6) {
+            img.insert(InstrAddr::new(addr), arb_record(rng, addr));
+        }
+    }
+    img
+}
+
+fn arb_images(rng: &mut Rng) -> Vec<ProfileImage> {
+    let runs = rng.gen_range(1..6usize);
+    (0..runs).map(|r| arb_image(rng, r)).collect()
+}
+
+fn addr_set(img: &ProfileImage) -> BTreeSet<InstrAddr> {
+    img.addrs().collect()
+}
+
+/// The merged address set is exactly the intersection of the inputs — a
+/// subset of every input image.
+#[test]
+fn prop_merged_is_the_intersection() {
+    prop::forall("merged image = intersection of inputs", arb_images).check(|images| {
+        let out = merge::intersect_and_sum(images);
+        let merged = addr_set(&out.image);
+
+        let mut expected = addr_set(&images[0]);
+        for img in &images[1..] {
+            let s = addr_set(img);
+            expected = expected.intersection(&s).copied().collect();
+        }
+        assert_eq!(
+            merged, expected,
+            "merged set must be the exact intersection"
+        );
+        for (i, img) in images.iter().enumerate() {
+            assert!(
+                merged.is_subset(&addr_set(img)),
+                "merged image is not a subset of input {i}"
+            );
+        }
+    });
+}
+
+/// Execution conservation: `merged + omitted == Σ inputs`, counting the
+/// executions of omitted (non-common) instructions across all runs.
+#[test]
+fn prop_executions_are_conserved() {
+    prop::forall("merged + omitted executions = total", arb_images).check(|images| {
+        let out = merge::intersect_and_sum(images);
+        let total: u64 = images.iter().map(ProfileImage::total_execs).sum();
+        let omitted_execs: u64 = images
+            .iter()
+            .flat_map(|img| img.iter())
+            .filter(|(addr, _)| out.image.get(*addr).is_none())
+            .map(|(_, r)| r.execs)
+            .sum();
+        assert_eq!(
+            out.image.total_execs() + omitted_execs,
+            total,
+            "executions lost or invented by the merge"
+        );
+    });
+}
+
+/// Per-instruction counts are the sums over runs, and the omitted count
+/// is the union minus the intersection.
+#[test]
+fn prop_counts_sum_and_omitted_counts_union_gap() {
+    prop::forall("per-address sums and omitted count", arb_images).check(|images| {
+        let out = merge::intersect_and_sum(images);
+        for (addr, rec) in out.image.iter() {
+            let execs: u64 = images.iter().map(|i| i.get(addr).unwrap().execs).sum();
+            let stride: u64 = images
+                .iter()
+                .map(|i| i.get(addr).unwrap().stride_correct)
+                .sum();
+            let last: u64 = images
+                .iter()
+                .map(|i| i.get(addr).unwrap().last_value_correct)
+                .sum();
+            assert_eq!(rec.execs, execs, "{addr}: execs not summed");
+            assert_eq!(rec.stride_correct, stride, "{addr}: stride not summed");
+            assert_eq!(
+                rec.last_value_correct, last,
+                "{addr}: last-value not summed"
+            );
+        }
+
+        let union: BTreeSet<InstrAddr> = images.iter().flat_map(|i| i.addrs()).collect();
+        assert_eq!(out.omitted, union.len() - out.image.len());
+    });
+}
+
+/// Merging a single image is the identity on its contents.
+#[test]
+fn prop_single_image_merge_is_identity() {
+    prop::forall("merge of one image is identity", |rng| arb_image(rng, 0)).check(|image| {
+        let out = merge::intersect_and_sum(std::slice::from_ref(image));
+        assert_eq!(out.omitted, 0);
+        assert_eq!(out.image.len(), image.len());
+        for (addr, rec) in image.iter() {
+            assert_eq!(out.image.get(addr), Some(rec));
+        }
+    });
+}

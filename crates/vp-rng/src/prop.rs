@@ -1,0 +1,146 @@
+//! A miniature property-testing harness.
+//!
+//! Replaces the `proptest` dependency (unavailable offline) for the
+//! differential and invariant suites: generate `cases` random values from a
+//! seeded [`Rng`], run the property on each, and on failure report the case
+//! number, the seed that reproduces it, and the generated value.
+//!
+//! No shrinking — failures print the exact generated value, which for this
+//! workspace's small generators is enough to reproduce and debug.
+//!
+//! # Examples
+//!
+//! ```
+//! use vp_rng::prop;
+//!
+//! prop::forall("addition commutes", |rng| {
+//!     (rng.gen_range(0..1000u64), rng.gen_range(0..1000u64))
+//! })
+//! .check(|&(a, b)| assert_eq!(a + b, b + a));
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::Rng;
+
+/// Default number of cases per property (override with
+/// [`Property::cases`] or the `VP_PROP_CASES` environment variable).
+pub const DEFAULT_CASES: u32 = 96;
+
+/// Base seed of case 0; case `i` uses `BASE_SEED + i`.
+pub const BASE_SEED: u64 = 0x5eed_cafe_0000_0000;
+
+/// A named property under test: a generator plus (via [`Property::check`])
+/// an assertion.
+pub struct Property<G> {
+    name: &'static str,
+    generate: G,
+    cases: u32,
+    base_seed: u64,
+}
+
+/// Starts a property: `gen` derives one arbitrary test case from an [`Rng`].
+pub fn forall<T, G: Fn(&mut Rng) -> T>(name: &'static str, generate: G) -> Property<G> {
+    let cases = std::env::var("VP_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES);
+    Property {
+        name,
+        generate,
+        cases,
+        base_seed: BASE_SEED,
+    }
+}
+
+impl<G> Property<G> {
+    /// Overrides the number of generated cases (e.g. fewer for expensive
+    /// simulation-backed properties).
+    #[must_use]
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the base seed (case `i` is generated from `seed + i`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Runs the property on every generated case; panics (re-raising the
+    /// case's own panic) after printing a reproduction header on failure.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first failing case's panic.
+    pub fn check<T: std::fmt::Debug>(self, property: impl Fn(&T))
+    where
+        G: Fn(&mut Rng) -> T,
+    {
+        for case in 0..self.cases {
+            let seed = self.base_seed.wrapping_add(u64::from(case));
+            let mut rng = Rng::seed_from_u64(seed);
+            let value = (self.generate)(&mut rng);
+            let result = catch_unwind(AssertUnwindSafe(|| property(&value)));
+            if let Err(panic) = result {
+                eprintln!(
+                    "property `{}` failed at case {case}/{} (seed {seed:#x})\n\
+                     generated value: {value:?}",
+                    self.name, self.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        forall("counting", |rng| rng.gen_range(0..10u64))
+            .cases(25)
+            .check(|v| {
+                assert!(*v < 10);
+                // Interior mutability not needed: check takes Fn, but we can
+                // observe via a cell.
+                let _ = v;
+            });
+        // Count via a fresh run with a capturing closure over a Cell.
+        let counter = std::cell::Cell::new(0u32);
+        forall("counting2", |rng| rng.gen_u64())
+            .cases(25)
+            .check(|_| {
+                counter.set(counter.get() + 1);
+            });
+        seen += counter.get();
+        assert_eq!(seen, 25);
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall("always fails", |rng| rng.gen_range(0..4u64))
+                .cases(3)
+                .check(|v| assert!(*v > 100, "generated {v}"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let values = std::cell::RefCell::new(Vec::new());
+            forall("det", |rng| rng.gen_u64()).cases(10).check(|v| {
+                values.borrow_mut().push(*v);
+            });
+            values.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -53,6 +53,6 @@ pub use exec::{MemAccess, Retirement, StepOutcome};
 pub use machine::Machine;
 pub use memory::Memory;
 pub use mix::InstrMix;
-pub use record::{read_trace, replay, write_trace, TraceEvent, TraceRecorder};
+pub use record::{read_trace, replay, write_trace, Trace, TraceEvent, TraceRecorder};
 pub use runner::{run, RunLimits, RunStatus, RunSummary};
 pub use tracer::{ChainTracer, FnTracer, NullTracer, Tracer};

@@ -7,11 +7,13 @@
 //! it through any `std::io` stream with [`write_trace`] / [`read_trace`].
 
 use std::io::{self, Read, Write};
+use std::mem;
 
 use vp_isa::{InstrAddr, Program, Reg, RegClass};
 
 use crate::exec::{MemAccess, Retirement};
-use crate::Tracer;
+use crate::runner::{run, RunLimits};
+use crate::{SimError, Tracer};
 
 /// One retired instruction, in owned form (no borrow of the program).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +129,137 @@ pub fn replay(
         });
     }
     Ok(())
+}
+
+/// An owned retirement trace: simulate once, replay into any number of
+/// consumers.
+///
+/// This is the unit the experiment harness memoizes — capturing a trace
+/// costs one functional simulation, after which every analysis pass
+/// (profiling, prediction, ILP) is a cheap [`Trace::replay`]. Because
+/// prediction directives never change architectural semantics, a trace
+/// captured from a bare program replays bit-identically against any
+/// directive-annotated variant of the same program.
+///
+/// # Examples
+///
+/// ```
+/// use vp_isa::asm::assemble;
+/// use vp_sim::record::Trace;
+/// use vp_sim::{InstrMix, RunLimits};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("li r1, 3\ntop: addi r1, r1, -1\nbne r1, r0, top\nhalt\n")?;
+/// let trace = Trace::capture(&p, RunLimits::default())?;
+/// let mut mix = InstrMix::new();
+/// trace.replay(&p, &mut mix)?;
+/// assert_eq!(mix.total() as usize, trace.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Simulates `program` under `limits` and captures its full
+    /// retirement trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator's [`SimError`] (fault, limit overrun, …).
+    pub fn capture(program: &Program, limits: RunLimits) -> Result<Trace, SimError> {
+        let mut rec = TraceRecorder::new();
+        run(program, &mut rec, limits)?;
+        let mut events = rec.into_events();
+        events.shrink_to_fit();
+        Ok(Trace { events })
+    }
+
+    /// Captures a trace while simultaneously feeding every retirement to
+    /// `tracer` — one simulation pass serves both the recording and the
+    /// first analysis, so a cache miss costs no more than the analysis
+    /// alone did without the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation faults, like [`vp_sim::run`](crate::run).
+    pub fn capture_with(
+        program: &Program,
+        limits: RunLimits,
+        tracer: &mut impl Tracer,
+    ) -> Result<Trace, SimError> {
+        let mut rec = TraceRecorder::new();
+        run(
+            program,
+            &mut crate::ChainTracer::new(&mut rec, tracer),
+            limits,
+        )?;
+        let mut events = rec.into_events();
+        events.shrink_to_fit();
+        Ok(Trace { events })
+    }
+
+    /// Wraps an already-recorded event list.
+    #[must_use]
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Trace {
+        events.shrink_to_fit();
+        Trace { events }
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of retired instructions in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Approximate resident size in bytes (for cache accounting).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        mem::size_of::<Trace>() + self.events.capacity() * mem::size_of::<TraceEvent>()
+    }
+
+    /// Replays the trace into `tracer` against `program`.
+    ///
+    /// # Errors
+    ///
+    /// See [`replay`].
+    pub fn replay(&self, program: &Program, tracer: &mut impl Tracer) -> io::Result<()> {
+        replay(program, &self.events, tracer)
+    }
+
+    /// Serialises the trace in the compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
+        write_trace(w, &self.events)
+    }
+
+    /// Deserialises a trace written by [`Trace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// See [`read_trace`].
+    pub fn read_from<R: Read>(r: R) -> io::Result<Trace> {
+        Ok(Trace {
+            events: read_trace(r)?,
+        })
+    }
 }
 
 const MAGIC: &[u8; 8] = b"provptr1";
@@ -315,6 +448,26 @@ top: fld f1, (r0)\nfadd f2, f2, f1\nsd r1, 5(r1)\naddi r1, r1, 1\nbne r1, r2, to
         write_trace(&mut bytes, &events).unwrap();
         bytes.truncate(bytes.len() - 3);
         assert!(read_trace(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trace_capture_matches_recorder_and_round_trips() {
+        let (p, events) = record(SAMPLE);
+        let trace = Trace::capture(&p, RunLimits::default()).unwrap();
+        assert_eq!(trace.events(), &events[..]);
+        assert_eq!(trace.len(), events.len());
+        assert!(!trace.is_empty());
+        assert!(trace.approx_bytes() > events.len());
+
+        let mut live = InstrMix::new();
+        run(&p, &mut live, RunLimits::default()).unwrap();
+        let mut replayed = InstrMix::new();
+        trace.replay(&p, &mut replayed).unwrap();
+        assert_eq!(live, replayed);
+
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        assert_eq!(Trace::read_from(bytes.as_slice()).unwrap(), trace);
     }
 
     #[test]

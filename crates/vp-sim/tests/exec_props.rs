@@ -1,8 +1,8 @@
 //! Differential property test: the simulator's integer ALU semantics match
 //! an independent host-side model for arbitrary straight-line programs.
 
-use proptest::prelude::*;
 use vp_isa::{Instr, Opcode, Program, Reg, RegClass};
+use vp_rng::{prop, Rng};
 use vp_sim::{Machine, NullTracer, RunLimits};
 
 #[derive(Debug, Clone, Copy)]
@@ -116,36 +116,37 @@ fn model(regs: &mut [u64; 32], instr: &Instr) {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    (
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<i32>(),
-    )
-        .prop_map(|(code, rd, rs1, rs2, imm)| Op {
-            code,
-            rd,
-            rs1,
-            rs2,
-            imm,
-        })
+fn arb_op(rng: &mut Rng) -> Op {
+    Op {
+        code: rng.gen_range(0..=u8::MAX),
+        rd: rng.gen_range(0..=u8::MAX),
+        rs1: rng.gen_range(0..=u8::MAX),
+        rs2: rng.gen_range(0..=u8::MAX),
+        imm: rng.gen_range(i32::MIN..=i32::MAX),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn prop_simulator_matches_independent_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+#[test]
+fn prop_simulator_matches_independent_model() {
+    prop::forall("simulator matches independent ALU model", |rng| {
+        let len = rng.gen_range(1..200usize);
+        (0..len).map(|_| arb_op(rng)).collect::<Vec<Op>>()
+    })
+    .cases(128)
+    .check(|ops| {
         let mut text: Vec<Instr> = ops.iter().map(|&op| lower(op)).collect();
         text.push(Instr::halt());
         let program = Program::new("diff", text.clone(), vec![]);
 
         // Simulator execution.
         let mut machine = Machine::for_program(&program);
-        vp_sim::runner::run_on(&mut machine, &program, &mut NullTracer, RunLimits::default())
-            .unwrap();
+        vp_sim::runner::run_on(
+            &mut machine,
+            &program,
+            &mut NullTracer,
+            RunLimits::default(),
+        )
+        .unwrap();
 
         // Host model.
         let mut regs = [0u64; 32];
@@ -154,12 +155,11 @@ proptest! {
         }
 
         for i in 0..32u8 {
-            prop_assert_eq!(
+            assert_eq!(
                 machine.read_reg(RegClass::Int, Reg::new(i)),
                 regs[i as usize],
-                "register r{} diverged",
-                i
+                "register r{i} diverged"
             );
         }
-    }
+    });
 }

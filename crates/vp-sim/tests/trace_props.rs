@@ -2,81 +2,95 @@
 //! robustness against corrupted inputs (a malformed trace must error, never
 //! panic or hang).
 
-use proptest::prelude::*;
 use vp_isa::{InstrAddr, Reg, RegClass};
+use vp_rng::{prop, Rng};
 use vp_sim::record::{read_trace, write_trace, TraceEvent};
 use vp_sim::MemAccess;
 
-fn arb_event() -> impl Strategy<Value = TraceEvent> {
-    (
-        any::<u32>(),
-        prop::option::of((any::<bool>(), 0u8..32, any::<u64>())),
-        prop::option::of((any::<u64>(), any::<bool>())),
-        prop::option::of(any::<bool>()),
-        any::<u32>(),
-    )
-        .prop_map(|(addr, dest, mem, taken, next_pc)| {
-            let mem = mem.map(|(addr, store)| MemAccess { addr, store });
-            let stored = match mem {
-                Some(MemAccess { store: true, .. }) => Some(0xabcd),
-                _ => None,
-            };
-            TraceEvent {
-                addr: InstrAddr::new(addr),
-                dest: dest.map(|(fp, reg, value)| {
-                    (
-                        if fp { RegClass::Fp } else { RegClass::Int },
-                        Reg::new(reg),
-                        value,
-                    )
-                }),
-                mem,
-                stored,
-                taken,
-                next_pc: InstrAddr::new(next_pc),
-            }
-        })
+fn arb_event(rng: &mut Rng) -> TraceEvent {
+    let mem = rng.gen_bool(0.5).then(|| MemAccess {
+        addr: rng.gen_u64(),
+        store: rng.gen_bool(0.5),
+    });
+    let stored = match mem {
+        Some(MemAccess { store: true, .. }) => Some(0xabcd),
+        _ => None,
+    };
+    TraceEvent {
+        addr: InstrAddr::new(rng.gen_range(0..=u32::MAX)),
+        dest: rng.gen_bool(0.5).then(|| {
+            (
+                if rng.gen_bool(0.5) {
+                    RegClass::Fp
+                } else {
+                    RegClass::Int
+                },
+                Reg::new(rng.gen_range(0..32u8)),
+                rng.gen_u64(),
+            )
+        }),
+        mem,
+        stored,
+        taken: rng.gen_bool(0.5).then(|| rng.gen_bool(0.5)),
+        next_pc: InstrAddr::new(rng.gen_range(0..=u32::MAX)),
+    }
 }
 
-proptest! {
-    #[test]
-    fn prop_round_trip(events in prop::collection::vec(arb_event(), 0..200)) {
-        let mut bytes = Vec::new();
-        write_trace(&mut bytes, &events).unwrap();
-        let back = read_trace(bytes.as_slice()).unwrap();
-        prop_assert_eq!(back, events);
-    }
+fn arb_events(rng: &mut Rng, lo: usize, hi: usize) -> Vec<TraceEvent> {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| arb_event(rng)).collect()
+}
 
-    /// Truncating a valid trace anywhere must produce an error, not a
-    /// panic (and certainly not a silently short parse that claims
-    /// success with the original event count).
-    #[test]
-    fn prop_truncation_is_detected(
-        events in prop::collection::vec(arb_event(), 1..50),
-        cut_fraction in 0.0f64..1.0,
-    ) {
+#[test]
+fn prop_round_trip() {
+    prop::forall("trace serialisation round-trips", |rng| {
+        arb_events(rng, 0, 200)
+    })
+    .check(|events| {
         let mut bytes = Vec::new();
-        write_trace(&mut bytes, &events).unwrap();
+        write_trace(&mut bytes, events).unwrap();
+        let back = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(&back, events);
+    });
+}
+
+/// Truncating a valid trace anywhere must produce an error, not a panic
+/// (and certainly not a silently short parse that claims success with the
+/// original event count).
+#[test]
+fn prop_truncation_is_detected() {
+    prop::forall("trace truncation is detected", |rng| {
+        (arb_events(rng, 1, 50), rng.gen_f64())
+    })
+    .check(|(events, cut_fraction)| {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, events).unwrap();
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         if cut < bytes.len() {
             bytes.truncate(cut);
-            prop_assert!(read_trace(bytes.as_slice()).is_err());
+            assert!(read_trace(bytes.as_slice()).is_err());
         }
-    }
+    });
+}
 
-    /// Flipping bytes after the header may change events or error, but
-    /// must never panic.
-    #[test]
-    fn prop_corruption_never_panics(
-        events in prop::collection::vec(arb_event(), 1..30),
-        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
-    ) {
+/// Flipping bytes after the header may change events or error, but must
+/// never panic.
+#[test]
+fn prop_corruption_never_panics() {
+    prop::forall("trace corruption never panics", |rng| {
+        let events = arb_events(rng, 1, 30);
+        let flips: Vec<(u64, u8)> = (0..rng.gen_range(1..8usize))
+            .map(|_| (rng.gen_u64(), rng.gen_range(0..=u8::MAX)))
+            .collect();
+        (events, flips)
+    })
+    .check(|(events, flips)| {
         let mut bytes = Vec::new();
-        write_trace(&mut bytes, &events).unwrap();
-        for (idx, value) in flips {
-            let i = idx.index(bytes.len());
+        write_trace(&mut bytes, events).unwrap();
+        for &(idx, value) in flips {
+            let i = (idx % bytes.len() as u64) as usize;
             bytes[i] ^= value;
         }
         let _ = read_trace(bytes.as_slice()); // Ok or Err, both fine.
-    }
+    });
 }

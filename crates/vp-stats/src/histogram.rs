@@ -143,7 +143,7 @@ impl fmt::Display for DecileHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vp_rng::prop;
 
     #[test]
     fn interval_boundaries_match_paper() {
@@ -201,22 +201,32 @@ mod tests {
         assert_eq!(h.to_string().lines().count(), 10);
     }
 
-    proptest! {
-        #[test]
-        fn prop_every_value_lands_in_exactly_one_bin(v in 0.0f64..100.0) {
+    #[test]
+    fn prop_every_value_lands_in_exactly_one_bin() {
+        prop::forall("each value lands in exactly one bin", |rng| {
+            rng.gen_f64() * 100.0
+        })
+        .check(|&v| {
             let h = DecileHistogram::from_values(&[v]);
-            prop_assert_eq!(h.total(), 1);
+            assert_eq!(h.total(), 1);
             let bin = DecileHistogram::bin_of(v);
-            prop_assert_eq!(h.count(bin), 1);
-        }
+            assert_eq!(h.count(bin), 1);
+        });
+    }
 
-        #[test]
-        fn prop_mass_partitions(values in prop::collection::vec(0.0f64..100.0, 1..100)) {
-            let h = DecileHistogram::from_values(&values);
-            prop_assert_eq!(h.total() as usize, values.len());
+    #[test]
+    fn prop_mass_partitions() {
+        prop::forall("bin fractions partition unity", |rng| {
+            (0..rng.gen_range(1..100usize))
+                .map(|_| rng.gen_f64() * 100.0)
+                .collect::<Vec<f64>>()
+        })
+        .check(|values| {
+            let h = DecileHistogram::from_values(values);
+            assert_eq!(h.total() as usize, values.len());
             let sum: f64 = (0..BINS).map(|i| h.fraction(i)).sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
-            prop_assert!((h.low_mass(3) + h.high_mass(7) - 1.0).abs() < 1e-9);
-        }
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!((h.low_mass(3) + h.high_mass(7) - 1.0).abs() < 1e-9);
+        });
     }
 }

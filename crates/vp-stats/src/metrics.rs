@@ -70,7 +70,7 @@ fn pairwise(vectors: &[Vec<f64>], fold: impl Fn(&[f64]) -> f64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vp_rng::prop;
 
     #[test]
     fn identical_runs_have_zero_distance() {
@@ -108,36 +108,45 @@ mod tests {
         let _ = average_distance(&[vec![1.0, 2.0], vec![1.0]]);
     }
 
-    proptest! {
-        /// The average distance never exceeds the maximum distance, and
-        /// both are bounded by the coordinate range.
-        #[test]
-        fn prop_average_below_max(
-            runs in prop::collection::vec(
-                prop::collection::vec(0.0f64..100.0, 5), 2..6)
-        ) {
-            let mx = max_distance(&runs);
-            let avg = average_distance(&runs);
-            for i in 0..5 {
-                prop_assert!(avg[i] <= mx[i] + 1e-9);
-                prop_assert!(mx[i] <= 100.0);
-                prop_assert!(avg[i] >= 0.0);
-            }
-        }
+    fn arb_runs(rng: &mut vp_rng::Rng, dims: usize, lo: usize, hi: usize) -> Vec<Vec<f64>> {
+        (0..rng.gen_range(lo..hi))
+            .map(|_| (0..dims).map(|_| rng.gen_f64() * 100.0).collect())
+            .collect()
+    }
 
-        /// Metrics are permutation-invariant over runs.
-        #[test]
-        fn prop_run_order_irrelevant(
-            mut runs in prop::collection::vec(
-                prop::collection::vec(0.0f64..100.0, 3), 3..5)
-        ) {
-            let before = (max_distance(&runs), average_distance(&runs));
-            runs.reverse();
-            let after = (max_distance(&runs), average_distance(&runs));
-            for i in 0..3 {
-                prop_assert!((before.0[i] - after.0[i]).abs() < 1e-9);
-                prop_assert!((before.1[i] - after.1[i]).abs() < 1e-9);
+    /// The average distance never exceeds the maximum distance, and both
+    /// are bounded by the coordinate range.
+    #[test]
+    fn prop_average_below_max() {
+        prop::forall("average distance below max distance", |rng| {
+            arb_runs(rng, 5, 2, 6)
+        })
+        .check(|runs| {
+            let mx = max_distance(runs);
+            let avg = average_distance(runs);
+            for i in 0..5 {
+                assert!(avg[i] <= mx[i] + 1e-9);
+                assert!(mx[i] <= 100.0);
+                assert!(avg[i] >= 0.0);
             }
-        }
+        });
+    }
+
+    /// Metrics are permutation-invariant over runs.
+    #[test]
+    fn prop_run_order_irrelevant() {
+        prop::forall("distance metrics ignore run order", |rng| {
+            arb_runs(rng, 3, 3, 5)
+        })
+        .check(|runs| {
+            let before = (max_distance(runs), average_distance(runs));
+            let mut reversed = runs.clone();
+            reversed.reverse();
+            let after = (max_distance(&reversed), average_distance(&reversed));
+            for i in 0..3 {
+                assert!((before.0[i] - after.0[i]).abs() < 1e-9);
+                assert!((before.1[i] - after.1[i]).abs() < 1e-9);
+            }
+        });
     }
 }

@@ -2,8 +2,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use vp_rng::Rng;
 
 /// One input set for a workload run: the analogue of a SPEC input file.
 ///
@@ -63,6 +62,12 @@ impl InputSet {
         self.id
     }
 
+    /// Whether this is the held-out reference input.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        self.id == u32::MAX
+    }
+
     /// The raw seed.
     #[must_use]
     pub fn seed(&self) -> u64 {
@@ -72,8 +77,8 @@ impl InputSet {
     /// A deterministic RNG for one aspect of data generation; different
     /// `salt`s give independent streams.
     #[must_use]
-    pub fn rng(&self, salt: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0xa076_1d64_78bd_642f))
+    pub fn rng(&self, salt: u64) -> Rng {
+        Rng::seed_from_u64(self.seed ^ salt.wrapping_mul(0xa076_1d64_78bd_642f))
     }
 
     /// A small deterministic size variation in `lo..=hi`, so inputs differ
@@ -84,7 +89,6 @@ impl InputSet {
     /// Panics if `lo > hi`.
     #[must_use]
     pub fn size_in(&self, salt: u64, lo: u64, hi: u64) -> u64 {
-        use rand::Rng;
         assert!(lo <= hi, "empty size range");
         self.rng(salt).gen_range(lo..=hi)
     }
@@ -103,13 +107,12 @@ impl fmt::Display for InputSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn rng_is_deterministic_per_salt() {
-        let a: u64 = InputSet::train(0).rng(1).gen();
-        let b: u64 = InputSet::train(0).rng(1).gen();
-        let c: u64 = InputSet::train(0).rng(2).gen();
+        let a: u64 = InputSet::train(0).rng(1).gen_u64();
+        let b: u64 = InputSet::train(0).rng(1).gen_u64();
+        let c: u64 = InputSet::train(0).rng(2).gen_u64();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -140,5 +143,11 @@ mod tests {
     fn display_labels() {
         assert_eq!(InputSet::train(3).to_string(), "train3");
         assert_eq!(InputSet::reference().to_string(), "ref");
+    }
+
+    #[test]
+    fn reference_is_flagged() {
+        assert!(InputSet::reference().is_reference());
+        assert!(!InputSet::train(0).is_reference());
     }
 }

@@ -8,9 +8,8 @@
 //! table, with predictability split between hot bookkeeping (predictable)
 //! and token-dependent values (unpredictable).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vp_isa::{Opcode, Program, ProgramBuilder, Reg};
+use vp_rng::Rng;
 
 use super::util;
 use crate::InputSet;
@@ -29,7 +28,7 @@ const STRUCTURE_SEED: u64 = 0x006c_c272;
 #[must_use]
 pub fn build(input: &InputSet) -> Program {
     let mut b = ProgramBuilder::named("gcc");
-    let mut structure = StdRng::seed_from_u64(STRUCTURE_SEED);
+    let mut structure = Rng::seed_from_u64(STRUCTURE_SEED);
 
     // ---- data ----
     b.data_word(input.size_in(1, 2_000, 3_000));

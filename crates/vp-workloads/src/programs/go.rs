@@ -7,9 +7,8 @@
 //! predictability profile of the real 099.go; the shared loop/index
 //! machinery stays highly stride-predictable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vp_isa::{Opcode, Program, ProgramBuilder, Reg};
+use vp_rng::Rng;
 
 use super::util;
 use crate::InputSet;
@@ -30,7 +29,7 @@ const STRUCTURE_SEED: u64 = 0x0601_9090;
 #[must_use]
 pub fn build(input: &InputSet) -> Program {
     let mut b = ProgramBuilder::named("go");
-    let mut structure = StdRng::seed_from_u64(STRUCTURE_SEED);
+    let mut structure = Rng::seed_from_u64(STRUCTURE_SEED);
 
     // ---- data ----
     b.data_word(input.size_in(1, 300, 500)); // moves per pass

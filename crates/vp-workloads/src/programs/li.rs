@@ -8,8 +8,6 @@
 //! flavour the paper attributes to pointer-style codes. The 32 handlers
 //! give li its large static working set.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
 use vp_isa::{Opcode, Program, ProgramBuilder, Reg};
 
 use super::util;
@@ -42,7 +40,7 @@ pub fn build(input: &InputSet) -> Program {
         // one third survived collection.
         let mut fresh: Vec<u64> = (1..1300).rev().collect();
         let mut fragged: Vec<u64> = (1300..2048).collect();
-        fragged.shuffle(&mut rng);
+        rng.shuffle(&mut fragged);
         for (li, head) in heads.iter_mut().enumerate().take(LISTS) {
             let len = rng.gen_range(20..80);
             let arena = if li % 3 != 2 {

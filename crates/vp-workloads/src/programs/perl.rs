@@ -35,7 +35,6 @@ pub fn build(input: &InputSet) -> Program {
     // of characters are lowercase letters in the same band), the rest are
     // spread across the printable range.
     {
-        use rand::Rng;
         let mut rng = input.rng(2);
         let chars: Vec<u64> = (0..512)
             .map(|_| {

@@ -1,6 +1,5 @@
 //! Shared code-generation idioms for the workload generators.
 
-use rand::Rng;
 use vp_isa::{Label, Opcode, ProgramBuilder, Reg};
 
 use crate::InputSet;

@@ -9,9 +9,8 @@
 //! handlers give the large static working set that profits from
 //! profile-guided table admission.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vp_isa::{Opcode, Program, ProgramBuilder, Reg};
+use vp_rng::Rng;
 
 use super::util;
 use crate::InputSet;
@@ -29,7 +28,7 @@ const STRUCTURE_SEED: u64 = 0x0147_0000;
 #[must_use]
 pub fn build(input: &InputSet) -> Program {
     let mut b = ProgramBuilder::named("vortex");
-    let mut structure = StdRng::seed_from_u64(STRUCTURE_SEED);
+    let mut structure = Rng::seed_from_u64(STRUCTURE_SEED);
 
     // ---- data ----
     b.data_word(input.size_in(1, 1_200, 2_000));
@@ -96,7 +95,7 @@ pub fn build(input: &InputSet) -> Program {
             b.sd(f, t2, RECS);
         }
         // Per-class commit counter (strided in memory).
-        let cnt_slot = CLSCNT + structure.gen_range(0..32);
+        let cnt_slot = CLSCNT + structure.gen_range(0..32i64);
         b.ld(t2, Reg::ZERO, cnt_slot);
         b.alu_ri(Opcode::Addi, t2, t2, 1);
         b.sd(t2, Reg::ZERO, cnt_slot);

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(WorkloadKind::Li);
 
-    let mut suite = Suite::new();
+    let suite = Suite::new();
     let tagged = suite.reference_program(kind, Some(0.7));
     let (_, lv, st) = tagged.directive_counts();
     println!("workload: {kind} — {st} stride-tagged, {lv} last-value-tagged producers\n");

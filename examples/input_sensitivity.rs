@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(WorkloadKind::Compress);
 
-    let mut suite = Suite::new();
+    let suite = Suite::new();
     let images = suite.train_images(kind);
     let vectors = AlignedVectors::from_images(&images, 10);
     println!(

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(WorkloadKind::Gcc);
 
-    let mut suite = Suite::new();
+    let suite = Suite::new();
 
     // Hardware-only: every producer competes for the table.
     let bare = suite.reference_program(kind, None);

@@ -16,19 +16,19 @@ const KINDS: [WorkloadKind; 3] = [
 
 #[test]
 fn every_experiment_runs_and_renders() {
-    let mut suite = Suite::with_train_runs(2);
+    let suite = Suite::with_train_runs(2);
 
-    let t21 = table_2_1::run(&mut suite, &KINDS, &[WorkloadKind::Mgrid]);
+    let t21 = table_2_1::run(&suite, &KINDS, &[WorkloadKind::Mgrid]);
     assert!(t21.render().contains("Table 2.1"));
 
-    let f22 = fig_2_2::run(&mut suite, &KINDS);
+    let f22 = fig_2_2::run(&suite, &KINDS);
     assert!(f22.render().contains("Figure 2.2"));
     assert_eq!(f22.rows.len(), KINDS.len());
 
-    let f23 = fig_2_3::run(&mut suite, &KINDS);
+    let f23 = fig_2_3::run(&suite, &KINDS);
     assert!(f23.render().contains("Figure 2.3"));
 
-    let f4 = fig_4::run(&mut suite, &KINDS);
+    let f4 = fig_4::run(&suite, &KINDS);
     for which in [
         fig_4::Which::VMax,
         fig_4::Which::VAverage,
@@ -37,27 +37,27 @@ fn every_experiment_runs_and_renders() {
         assert!(!f4.render(which).is_empty());
     }
 
-    let cls = classification::run(&mut suite, &KINDS);
+    let cls = classification::run(&suite, &KINDS);
     assert!(cls
         .render(classification::Which::Mispredictions)
         .contains("FSM"));
 
-    let t51 = table_5_1::run(&mut suite, &KINDS);
+    let t51 = table_5_1::run(&suite, &KINDS);
     assert_eq!(t51.averages().len(), 5);
 
-    let ft = finite_table::run(&mut suite, &KINDS);
+    let ft = finite_table::run(&suite, &KINDS);
     assert!(ft.render(finite_table::Which::Correct).contains("th=90%"));
 
-    let t52 = table_5_2::run(&mut suite, &KINDS);
+    let t52 = table_5_2::run(&suite, &KINDS);
     assert!(t52.render().contains("VP+SC"));
 }
 
 #[test]
 fn headline_shapes_hold_on_the_subset() {
-    let mut suite = Suite::with_train_runs(2);
+    let suite = Suite::with_train_runs(2);
 
     // Figure 4: profiling information transfers across inputs.
-    let f4 = fig_4::run(&mut suite, &KINDS);
+    let f4 = fig_4::run(&suite, &KINDS);
     for row in &f4.rows {
         assert!(
             row.v_avg.low_mass(2) > 0.6,
@@ -68,11 +68,11 @@ fn headline_shapes_hold_on_the_subset() {
     }
 
     // Table 5.1: admission tightens with the threshold.
-    let t51 = table_5_1::run(&mut suite, &KINDS);
+    let t51 = table_5_1::run(&suite, &KINDS);
     let avg = t51.averages();
     assert!(avg[0] <= avg[4] + 1e-9, "{avg:?}");
 
     // Table 5.2: the predictable-chain interpreter dwarfs the hash loop.
-    let t52 = table_5_2::run(&mut suite, &[WorkloadKind::M88ksim, WorkloadKind::Compress]);
+    let t52 = table_5_2::run(&suite, &[WorkloadKind::M88ksim, WorkloadKind::Compress]);
     assert!(t52.rows[0].fsm_increase() > 5.0 * t52.rows[1].fsm_increase().max(1.0));
 }

@@ -1,0 +1,51 @@
+//! Determinism of the parallel harness: rendered experiment output with
+//! `jobs = 4` must be byte-identical to a serial (`jobs = 1`) run, across
+//! multiple workloads and annotation thresholds.
+//!
+//! This is the contract that makes `--jobs=N` safe to use for paper
+//! reproduction: parallelism may only change wall-clock time, never a
+//! single output byte.
+
+use provp::core::experiments::{classification, fig_2_2, table_2_1, table_5_2};
+use provp::core::Suite;
+use provp::workloads::WorkloadKind;
+
+const KINDS: [WorkloadKind; 2] = [WorkloadKind::Compress, WorkloadKind::M88ksim];
+
+/// Renders a composite report the way `repro-all` does, on a grid that
+/// spans 2 workloads and the full 5-point threshold sweep (90%..50%).
+fn render_all(jobs: usize) -> String {
+    let suite = Suite::with_train_runs(2).with_jobs(jobs);
+    let mut out = String::new();
+    out.push_str(&table_2_1::run(&suite, &KINDS, &[]).render());
+    out.push('\n');
+    out.push_str(&fig_2_2::run(&suite, &KINDS).render());
+    out.push('\n');
+    let cls = classification::run(&suite, &KINDS);
+    out.push_str(&cls.render(classification::Which::Mispredictions));
+    out.push('\n');
+    out.push_str(&cls.render(classification::Which::CorrectPredictions));
+    out.push('\n');
+    out.push_str(&table_5_2::run(&suite, &KINDS).render());
+    out
+}
+
+#[test]
+fn jobs_4_output_is_byte_identical_to_serial() {
+    let serial = render_all(1);
+    let parallel = render_all(4);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial.as_bytes(),
+        parallel.as_bytes(),
+        "parallel output diverged from serial output"
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_are_self_consistent() {
+    // Two independent 4-job runs (fresh suites, fresh trace stores) must
+    // agree with each other too — determinism is absolute, not merely
+    // relative to one serial reference.
+    assert_eq!(render_all(4).as_bytes(), render_all(4).as_bytes());
+}
