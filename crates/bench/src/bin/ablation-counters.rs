@@ -1,14 +1,14 @@
 //! Ablation: saturating-counter configurations for the hardware
 //! classifier.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::ablations;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    for &kind in &opts.kinds {
-        let rows = ablations::counters(&suite, kind);
-        println!("{}\n", ablations::render_counters(kind, &rows));
-    }
+    run_experiment("ablation-counters", |opts, suite| {
+        for &kind in &opts.kinds {
+            let rows = ablations::counters(suite, kind);
+            println!("{}\n", ablations::render_counters(kind, &rows));
+        }
+    });
 }

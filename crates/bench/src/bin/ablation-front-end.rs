@@ -1,12 +1,12 @@
 //! Ablation: how much of the value-prediction ILP gain survives when the
 //! paper's perfect-branch-prediction assumption is relaxed.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::ablations;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    let rows = ablations::front_end(&suite, &opts.kinds);
-    println!("{}", ablations::render_front_end(&rows));
+    run_experiment("ablation-front-end", |opts, suite| {
+        let rows = ablations::front_end(suite, &opts.kinds);
+        println!("{}", ablations::render_front_end(&rows));
+    });
 }

@@ -1,14 +1,14 @@
 //! Ablation: prediction-table geometry sweep (hardware vs profile
 //! classification under varying table pressure).
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::ablations;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    for &kind in &opts.kinds {
-        let rows = ablations::geometry(&suite, kind, &[64, 128, 256, 512, 1024, 2048]);
-        println!("{}\n", ablations::render_geometry(kind, &rows));
-    }
+    run_experiment("ablation-geometry", |opts, suite| {
+        for &kind in &opts.kinds {
+            let rows = ablations::geometry(suite, kind, &[64, 128, 256, 512, 1024, 2048]);
+            println!("{}\n", ablations::render_geometry(kind, &rows));
+        }
+    });
 }

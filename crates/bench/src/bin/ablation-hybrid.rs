@@ -1,14 +1,14 @@
 //! Ablation: splitting one entry budget between the hybrid predictor's
 //! stride and last-value sides.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::ablations;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    for &kind in &opts.kinds {
-        let rows = ablations::hybrid_split(&suite, kind, 512);
-        println!("{}\n", ablations::render_hybrid(kind, &rows));
-    }
+    run_experiment("ablation-hybrid", |opts, suite| {
+        for &kind in &opts.kinds {
+            let rows = ablations::hybrid_split(suite, kind, 512);
+            println!("{}\n", ablations::render_hybrid(kind, &rows));
+        }
+    });
 }

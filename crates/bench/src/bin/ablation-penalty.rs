@@ -1,13 +1,13 @@
 //! Ablation: value-misprediction penalty sweep on the abstract machine.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::ablations;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    for &kind in &opts.kinds {
-        let rows = ablations::penalty(&suite, kind, &[0, 1, 2, 4, 8]);
-        println!("{}\n", ablations::render_penalty(kind, &rows));
-    }
+    run_experiment("ablation-penalty", |opts, suite| {
+        for &kind in &opts.kinds {
+            let rows = ablations::penalty(suite, kind, &[0, 1, 2, 4, 8]);
+            println!("{}\n", ablations::render_penalty(kind, &rows));
+        }
+    });
 }

@@ -1,12 +1,12 @@
 //! Ablation: last-value vs stride vs two-delta stride predictors on the
 //! paper's table configuration.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::ablations;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    let rows = ablations::schemes(&suite, &opts.kinds);
-    println!("{}", ablations::render_schemes(&rows));
+    run_experiment("ablation-schemes", |opts, suite| {
+        let rows = ablations::schemes(suite, &opts.kinds);
+        println!("{}", ablations::render_schemes(&rows));
+    });
 }

@@ -1,13 +1,14 @@
 //! Ablation: how many training inputs does the Section 4 stability result
 //! need?
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::ablations;
 
 fn main() {
-    let opts = Options::from_env();
-    for &kind in &opts.kinds {
-        let rows = ablations::train_runs(kind, opts.train_runs.max(2));
-        println!("{}\n", ablations::render_train_runs(kind, &rows));
-    }
+    run_experiment("ablation-train-runs", |opts, _suite| {
+        for &kind in &opts.kinds {
+            let rows = ablations::train_runs(kind, opts.train_runs.max(2));
+            println!("{}\n", ablations::render_train_runs(kind, &rows));
+        }
+    });
 }

@@ -7,6 +7,7 @@
 //! ```
 
 use std::io::Read;
+use vp_obs::obs_error;
 
 use vp_compiler::{annotate, ThresholdPolicy};
 use vp_profile::format;
@@ -15,11 +16,11 @@ use vp_workloads::{InputSet, Workload, WorkloadKind};
 fn main() {
     let mut args = std::env::args().skip(1);
     let (Some(name), threshold) = (args.next(), args.next()) else {
-        eprintln!("usage: annotate-workload <workload> [threshold] < profile.txt");
+        obs_error!("usage: annotate-workload <workload> [threshold] < profile.txt");
         std::process::exit(2);
     };
     let Some(kind) = WorkloadKind::from_name(&name) else {
-        eprintln!("unknown workload `{name}`");
+        obs_error!("unknown workload `{name}`");
         std::process::exit(2);
     };
     let threshold: f64 = threshold
@@ -27,7 +28,7 @@ fn main() {
         .unwrap_or("0.9")
         .parse()
         .unwrap_or_else(|_| {
-            eprintln!("bad threshold");
+            obs_error!("bad threshold");
             std::process::exit(2);
         });
 
@@ -38,7 +39,7 @@ fn main() {
     let image = match format::from_text(&text) {
         Ok(img) => img,
         Err(e) => {
-            eprintln!("bad profile image: {e}");
+            obs_error!("bad profile image: {e}");
             std::process::exit(1);
         }
     };

@@ -1,14 +1,14 @@
 //! Critical-path predictability report (the paper's future-work analysis):
 //! how much of each workload's dataflow critical path is value-predictable.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::critical_path;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!(
-        "{}",
-        critical_path::run_analysis(&suite, &opts.kinds).render()
-    );
+    run_experiment("critical-path", |opts, suite| {
+        println!(
+            "{}",
+            critical_path::run_analysis(suite, &opts.kinds).render()
+        );
+    });
 }

@@ -1,0 +1,116 @@
+//! CI gate: compares a fresh run manifest against a checked-in baseline
+//! and fails when simulator throughput regressed beyond the allowed
+//! fraction.
+//!
+//! ```text
+//! metrics-check --manifest=/tmp/manifest.json --baseline=BENCH_baseline.json \
+//!               [--max-regression=0.30]
+//! ```
+//!
+//! Exit status: 0 when throughput is within bounds (or the baseline
+//! records none), 1 on a regression, 2 on usage/parse errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vp_obs::{obs_error, RunManifest};
+
+struct Args {
+    manifest: PathBuf,
+    baseline: PathBuf,
+    max_regression: f64,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let (mut manifest, mut baseline, mut max_regression) = (None, None, 0.30_f64);
+    for arg in args {
+        if let Some(p) = arg.strip_prefix("--manifest=") {
+            manifest = Some(PathBuf::from(p));
+        } else if let Some(p) = arg.strip_prefix("--baseline=") {
+            baseline = Some(PathBuf::from(p));
+        } else if let Some(v) = arg.strip_prefix("--max-regression=") {
+            max_regression = v
+                .parse()
+                .ok()
+                .filter(|r| (0.0..1.0).contains(r))
+                .ok_or_else(|| format!("bad --max-regression value `{v}` (want 0.0..1.0)"))?;
+        } else {
+            return Err(format!(
+                "unknown argument `{arg}` (try --manifest=, --baseline=, --max-regression=)"
+            ));
+        }
+    }
+    Ok(Args {
+        manifest: manifest.ok_or("missing --manifest=FILE")?,
+        baseline: baseline.ok_or("missing --baseline=FILE")?,
+        max_regression,
+    })
+}
+
+fn load(path: &std::path::Path) -> Result<RunManifest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    RunManifest::parse(text.trim_end()).map_err(|e| format!("cannot parse {path:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            obs_error!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (current, baseline) = match (load(&args.manifest), load(&args.baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            obs_error!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let base_rate = baseline.sim_instr_per_sec();
+    let cur_rate = current.sim_instr_per_sec();
+    if base_rate <= 0.0 {
+        println!("metrics-check: baseline records no simulator throughput; skipping gate");
+        return ExitCode::SUCCESS;
+    }
+    let floor = base_rate * (1.0 - args.max_regression);
+    println!(
+        "metrics-check: sim throughput {cur_rate:.0} instr/s vs baseline {base_rate:.0} \
+         (floor {floor:.0}, max regression {:.0}%)",
+        100.0 * args.max_regression
+    );
+    if cur_rate < floor {
+        obs_error!(
+            "simulator throughput regressed {:.1}% (limit {:.0}%)",
+            100.0 * (1.0 - cur_rate / base_rate),
+            100.0 * args.max_regression
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_validates_flags() {
+        let a = parse_args([
+            "--manifest=/tmp/m.json".to_owned(),
+            "--baseline=b.json".to_owned(),
+            "--max-regression=0.5".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(a.manifest, PathBuf::from("/tmp/m.json"));
+        assert!((a.max_regression - 0.5).abs() < 1e-12);
+        assert!(parse_args(["--manifest=m".to_owned()]).is_err());
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-regression=2".to_owned()
+        ])
+        .is_err());
+    }
+}

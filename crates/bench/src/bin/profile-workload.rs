@@ -5,6 +5,7 @@
 //! profile-workload <workload> [train-index|ref]
 //! ```
 
+use vp_obs::obs_error;
 use vp_profile::{format, ProfileCollector};
 use vp_sim::{run, RunLimits};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
@@ -12,11 +13,11 @@ use vp_workloads::{InputSet, Workload, WorkloadKind};
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(name) = args.next() else {
-        eprintln!("usage: profile-workload <workload> [train-index|ref]");
+        obs_error!("usage: profile-workload <workload> [train-index|ref]");
         std::process::exit(2);
     };
     let Some(kind) = WorkloadKind::from_name(&name) else {
-        eprintln!("unknown workload `{name}`");
+        obs_error!("unknown workload `{name}`");
         std::process::exit(2);
     };
     let input = match args.next().as_deref() {
@@ -25,7 +26,7 @@ fn main() {
         Some(ix) => match ix.parse() {
             Ok(i) => InputSet::train(i),
             Err(_) => {
-                eprintln!("bad input selector `{ix}` (expected an index or `ref`)");
+                obs_error!("bad input selector `{ix}` (expected an index or `ref`)");
                 std::process::exit(2);
             }
         },

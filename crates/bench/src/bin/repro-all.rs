@@ -1,43 +1,73 @@
 //! Regenerates the paper's entire evaluation section in one pass,
 //! sharing profiling work across experiments.
+//!
+//! With `--metrics-out=FILE` the run additionally writes a JSON manifest
+//! whose phase table carries one `repro-all/<experiment>` row per
+//! table/figure; stdout stays byte-identical either way.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::{
     classification, fig_2_2, fig_2_3, fig_4, finite_table, table_2_1, table_5_1, table_5_2,
 };
 use vp_workloads::WorkloadKind;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    let kinds = &opts.kinds;
+    run_experiment("repro-all", |opts, suite| {
+        let kinds = &opts.kinds;
 
-    let int_kinds: Vec<WorkloadKind> = kinds.iter().copied().filter(|k| !k.is_fp()).collect();
-    let fp_kinds: Vec<WorkloadKind> = kinds.iter().copied().filter(|k| k.is_fp()).collect();
-    println!(
-        "{}\n",
-        table_2_1::run(&suite, &int_kinds, &fp_kinds).render()
-    );
-    println!("{}\n", fig_2_2::run(&suite, kinds).render());
-    println!("{}\n", fig_2_3::run(&suite, kinds).render());
+        let int_kinds: Vec<WorkloadKind> = kinds.iter().copied().filter(|k| !k.is_fp()).collect();
+        let fp_kinds: Vec<WorkloadKind> = kinds.iter().copied().filter(|k| k.is_fp()).collect();
+        let t21 = {
+            let _s = vp_obs::span("table_2_1");
+            table_2_1::run(suite, &int_kinds, &fp_kinds)
+        };
+        println!("{}\n", t21.render());
+        let f22 = {
+            let _s = vp_obs::span("fig_2_2");
+            fig_2_2::run(suite, kinds)
+        };
+        println!("{}\n", f22.render());
+        let f23 = {
+            let _s = vp_obs::span("fig_2_3");
+            fig_2_3::run(suite, kinds)
+        };
+        println!("{}\n", f23.render());
 
-    let fig4 = fig_4::run(&suite, kinds);
-    println!("{}\n", fig4.render(fig_4::Which::VMax));
-    println!("{}\n", fig4.render(fig_4::Which::VAverage));
-    println!("{}\n", fig4.render(fig_4::Which::SAverage));
+        let fig4 = {
+            let _s = vp_obs::span("fig_4");
+            fig_4::run(suite, kinds)
+        };
+        println!("{}\n", fig4.render(fig_4::Which::VMax));
+        println!("{}\n", fig4.render(fig_4::Which::VAverage));
+        println!("{}\n", fig4.render(fig_4::Which::SAverage));
 
-    let cls = classification::run(&suite, kinds);
-    println!("{}\n", cls.render(classification::Which::Mispredictions));
-    println!(
-        "{}\n",
-        cls.render(classification::Which::CorrectPredictions)
-    );
+        let cls = {
+            let _s = vp_obs::span("classification");
+            classification::run(suite, kinds)
+        };
+        println!("{}\n", cls.render(classification::Which::Mispredictions));
+        println!(
+            "{}\n",
+            cls.render(classification::Which::CorrectPredictions)
+        );
 
-    println!("{}\n", table_5_1::run(&suite, kinds).render());
+        let t51 = {
+            let _s = vp_obs::span("table_5_1");
+            table_5_1::run(suite, kinds)
+        };
+        println!("{}\n", t51.render());
 
-    let ft = finite_table::run(&suite, kinds);
-    println!("{}\n", ft.render(finite_table::Which::Correct));
-    println!("{}\n", ft.render(finite_table::Which::Incorrect));
+        let ft = {
+            let _s = vp_obs::span("finite_table");
+            finite_table::run(suite, kinds)
+        };
+        println!("{}\n", ft.render(finite_table::Which::Correct));
+        println!("{}\n", ft.render(finite_table::Which::Incorrect));
 
-    println!("{}", table_5_2::run(&suite, kinds).render());
+        let t52 = {
+            let _s = vp_obs::span("table_5_2");
+            table_5_2::run(suite, kinds)
+        };
+        println!("{}", t52.render());
+    });
 }

@@ -1,10 +1,10 @@
 //! Reproduces Figure 2.2: the spread of instructions by prediction accuracy.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::fig_2_2;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!("{}", fig_2_2::run(&suite, &opts.kinds).render());
+    run_experiment("repro-fig-2-2", |opts, suite| {
+        println!("{}", fig_2_2::run(suite, &opts.kinds).render());
+    });
 }

@@ -1,10 +1,10 @@
 //! Reproduces Figure 2.3: the spread of instructions by stride efficiency.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::fig_2_3;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!("{}", fig_2_3::run(&suite, &opts.kinds).render());
+    run_experiment("repro-fig-2-3", |opts, suite| {
+        println!("{}", fig_2_3::run(suite, &opts.kinds).render());
+    });
 }

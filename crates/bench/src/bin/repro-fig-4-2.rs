@@ -1,13 +1,10 @@
 //! Reproduces Figure 4.2: profile similarity across inputs.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::fig_4::{self, Which};
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!(
-        "{}",
-        fig_4::run(&suite, &opts.kinds).render(Which::VAverage)
-    );
+    run_experiment("repro-fig-4-2", |opts, suite| {
+        println!("{}", fig_4::run(suite, &opts.kinds).render(Which::VAverage));
+    });
 }

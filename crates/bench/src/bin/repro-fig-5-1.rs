@@ -1,13 +1,13 @@
 //! Reproduces Figure 5.1: mispredictions classified correctly.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::classification::{self, Which};
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!(
-        "{}",
-        classification::run(&suite, &opts.kinds).render(Which::Mispredictions)
-    );
+    run_experiment("repro-fig-5-1", |opts, suite| {
+        println!(
+            "{}",
+            classification::run(suite, &opts.kinds).render(Which::Mispredictions)
+        );
+    });
 }

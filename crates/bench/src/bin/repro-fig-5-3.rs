@@ -1,13 +1,13 @@
 //! Reproduces Figure 5.3: change in correct predictions (finite table).
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::finite_table::{self, Which};
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!(
-        "{}",
-        finite_table::run(&suite, &opts.kinds).render(Which::Correct)
-    );
+    run_experiment("repro-fig-5-3", |opts, suite| {
+        println!(
+            "{}",
+            finite_table::run(suite, &opts.kinds).render(Which::Correct)
+        );
+    });
 }

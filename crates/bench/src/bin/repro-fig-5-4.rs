@@ -1,13 +1,13 @@
 //! Reproduces Figure 5.4: change in incorrect predictions (finite table).
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::finite_table::{self, Which};
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!(
-        "{}",
-        finite_table::run(&suite, &opts.kinds).render(Which::Incorrect)
-    );
+    run_experiment("repro-fig-5-4", |opts, suite| {
+        println!(
+            "{}",
+            finite_table::run(suite, &opts.kinds).render(Which::Incorrect)
+        );
+    });
 }

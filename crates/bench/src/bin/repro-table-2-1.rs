@@ -1,14 +1,16 @@
 //! Reproduces Table 2.1: predictor accuracy by instruction category.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::table_2_1;
 use vp_workloads::WorkloadKind;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    let int_kinds: Vec<WorkloadKind> = opts.kinds.iter().copied().filter(|k| !k.is_fp()).collect();
-    let fp_kinds: Vec<WorkloadKind> = opts.kinds.iter().copied().filter(|k| k.is_fp()).collect();
-    let table = table_2_1::run(&suite, &int_kinds, &fp_kinds);
-    println!("{}", table.render());
+    run_experiment("repro-table-2-1", |opts, suite| {
+        let int_kinds: Vec<WorkloadKind> =
+            opts.kinds.iter().copied().filter(|k| !k.is_fp()).collect();
+        let fp_kinds: Vec<WorkloadKind> =
+            opts.kinds.iter().copied().filter(|k| k.is_fp()).collect();
+        let table = table_2_1::run(suite, &int_kinds, &fp_kinds);
+        println!("{}", table.render());
+    });
 }

@@ -1,10 +1,10 @@
 //! Reproduces Table 5.1: admitted allocation-candidate fractions.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::table_5_1;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!("{}", table_5_1::run(&suite, &opts.kinds).render());
+    run_experiment("repro-table-5-1", |opts, suite| {
+        println!("{}", table_5_1::run(suite, &opts.kinds).render());
+    });
 }

@@ -1,14 +1,14 @@
 //! Extension: predictability of stored values (the paper's §2.1
 //! generalization to memory storage operands).
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use provp_core::experiments::store_values;
 
 fn main() {
-    let opts = Options::from_env();
-    let suite = opts.suite();
-    println!(
-        "{}",
-        store_values::run_analysis(&suite, &opts.kinds).render()
-    );
+    run_experiment("store-values", |opts, suite| {
+        println!(
+            "{}",
+            store_values::run_analysis(suite, &opts.kinds).render()
+        );
+    });
 }

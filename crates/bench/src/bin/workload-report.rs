@@ -1,42 +1,43 @@
 //! Prints the static and dynamic characteristics of every workload:
 //! the substrate table behind DESIGN.md.
 
-use provp_bench::Options;
+use provp_bench::run_experiment;
 use vp_sim::{run, InstrMix, RunLimits};
 use vp_stats::TextTable;
 use vp_workloads::{InputSet, Workload};
 
 fn main() {
-    let opts = Options::from_env();
-    let mut t = TextTable::new([
-        "workload",
-        "static instrs",
-        "producers",
-        "dynamic instrs",
-        "loads%",
-        "branches%",
-        "fp%",
-    ]);
-    for &kind in &opts.kinds {
-        let w = Workload::new(kind);
-        let p = w.program(&InputSet::reference());
-        let mut mix = InstrMix::new();
-        let s = run(&p, &mut mix, RunLimits::default()).expect("workload runs");
-        use vp_isa::OpCategory::*;
-        let pct = |c| format!("{:.1}%", 100.0 * mix.fraction(c));
-        let fp = 100.0 * (mix.fraction(FpAlu) + mix.fraction(FpLoad));
-        t.row([
-            w.name().to_owned(),
-            p.len().to_string(),
-            p.value_producers().count().to_string(),
-            s.instructions().to_string(),
-            format!(
-                "{:.1}%",
-                100.0 * (mix.fraction(IntLoad) + mix.fraction(FpLoad))
-            ),
-            pct(Branch),
-            format!("{fp:.1}%"),
+    run_experiment("workload-report", |opts, _suite| {
+        let mut t = TextTable::new([
+            "workload",
+            "static instrs",
+            "producers",
+            "dynamic instrs",
+            "loads%",
+            "branches%",
+            "fp%",
         ]);
-    }
-    println!("Workload characteristics (reference input)\n{t}");
+        for &kind in &opts.kinds {
+            let w = Workload::new(kind);
+            let p = w.program(&InputSet::reference());
+            let mut mix = InstrMix::new();
+            let s = run(&p, &mut mix, RunLimits::default()).expect("workload runs");
+            use vp_isa::OpCategory::*;
+            let pct = |c| format!("{:.1}%", 100.0 * mix.fraction(c));
+            let fp = 100.0 * (mix.fraction(FpAlu) + mix.fraction(FpLoad));
+            t.row([
+                w.name().to_owned(),
+                p.len().to_string(),
+                p.value_producers().count().to_string(),
+                s.instructions().to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * (mix.fraction(IntLoad) + mix.fraction(FpLoad))
+                ),
+                pct(Branch),
+                format!("{fp:.1}%"),
+            ]);
+        }
+        println!("Workload characteristics (reference input)\n{t}");
+    });
 }

@@ -23,13 +23,25 @@
 //!                            any job count)
 //! --trace-cache=DIR          spill captured simulation traces to DIR and
 //!                            reuse them on later runs
+//! --metrics-out=FILE         write a JSON run manifest (phase wall times,
+//!                            cache and predictor counters, throughput,
+//!                            peak RSS) to FILE after the run
+//! --metrics-table            print the same report human-readably to
+//!                            stderr
 //! ```
+//!
+//! With neither metrics flag set, the observability layer stays passive
+//! and stdout is byte-identical to an uninstrumented run. Diagnostics on
+//! stderr are level-filtered via `PROVP_LOG=error|warn|info|debug`
+//! (default `warn`).
 
 pub mod micro;
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use provp_core::Suite;
+use vp_obs::{obs_error, RunManifest};
 use vp_workloads::WorkloadKind;
 
 /// Options shared by every reproduction binary.
@@ -43,6 +55,10 @@ pub struct Options {
     pub jobs: usize,
     /// On-disk trace cache directory, if any.
     pub trace_cache: Option<PathBuf>,
+    /// Where to write the JSON run manifest, if anywhere.
+    pub metrics_out: Option<PathBuf>,
+    /// Whether to print the human-readable metrics report to stderr.
+    pub metrics_table: bool,
 }
 
 impl Default for Options {
@@ -52,6 +68,8 @@ impl Default for Options {
             train_runs: 5,
             jobs: 1,
             trace_cache: None,
+            metrics_out: None,
+            metrics_table: false,
         }
     }
 }
@@ -92,10 +110,17 @@ impl Options {
                     return Err("empty --trace-cache path".to_owned());
                 }
                 opts.trace_cache = Some(PathBuf::from(dir));
+            } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
+                if path.is_empty() {
+                    return Err("empty --metrics-out path".to_owned());
+                }
+                opts.metrics_out = Some(PathBuf::from(path));
+            } else if arg == "--metrics-table" {
+                opts.metrics_table = true;
             } else {
                 return Err(format!(
                     "unknown argument `{arg}` (try --workloads=, --train-runs=, \
-                     --jobs=, --trace-cache=)"
+                     --jobs=, --trace-cache=, --metrics-out=, --metrics-table)"
                 ));
             }
         }
@@ -109,7 +134,7 @@ impl Options {
         match Options::parse(std::env::args().skip(1)) {
             Ok(o) => o,
             Err(msg) => {
-                eprintln!("error: {msg}");
+                obs_error!("{msg}");
                 std::process::exit(2);
             }
         }
@@ -124,6 +149,74 @@ impl Options {
             None => suite,
         }
     }
+}
+
+/// Runs one experiment binary end to end: parses the process arguments,
+/// builds the suite, executes `body` under a root span named after the
+/// binary, and — when `--metrics-out=`/`--metrics-table` ask for it —
+/// folds the suite's trace-store statistics into the metric registry and
+/// emits the run manifest.
+///
+/// With neither metrics flag set this adds nothing observable: no files,
+/// no stderr, and stdout exactly as `body` printed it.
+pub fn run_experiment(bin: &'static str, body: impl FnOnce(&Options, &Suite)) {
+    let opts = Options::from_env();
+    run_experiment_with(bin, &opts, body);
+}
+
+/// Like [`run_experiment`], but with pre-parsed options (for binaries that
+/// layer extra argument handling on top of [`Options`]).
+pub fn run_experiment_with(bin: &'static str, opts: &Options, body: impl FnOnce(&Options, &Suite)) {
+    let started = Instant::now();
+    let suite = opts.suite();
+    {
+        let _root = vp_obs::span(bin);
+        body(opts, &suite);
+    }
+    emit_metrics(bin, opts, &suite, started);
+}
+
+/// Publishes the suite's trace-store counters into the global registry and
+/// writes/prints the manifest as requested. A no-op without metrics flags.
+fn emit_metrics(bin: &str, opts: &Options, suite: &Suite, started: Instant) {
+    if opts.metrics_out.is_none() && !opts.metrics_table {
+        return;
+    }
+    publish_trace_store_stats(suite);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let manifest = RunManifest::from_snapshot(
+        bin,
+        std::env::args().skip(1).collect(),
+        wall_ms,
+        &vp_obs::global().snapshot(),
+    );
+    if opts.metrics_table {
+        vp_obs::print_table(&manifest);
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = vp_obs::write_manifest(&manifest, path) {
+            obs_error!("failed to write manifest to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Folds one suite's cumulative [`provp_core::TraceStoreStats`] into the
+/// metric registry under the `trace_store.*` keys the manifest's derived
+/// hit rate consumes.
+fn publish_trace_store_stats(suite: &Suite) {
+    let stats = suite.trace_stats();
+    vp_obs::counter("trace_store.requests").add(stats.requests);
+    vp_obs::counter("trace_store.memory_hits").add(stats.memory_hits);
+    vp_obs::counter("trace_store.misses").add(stats.misses);
+    vp_obs::counter("trace_store.disk_hits").add(stats.disk_hits);
+    vp_obs::counter("trace_store.captures").add(stats.captures);
+    vp_obs::counter("trace_store.evictions").add(stats.evictions);
+    vp_obs::counter("trace_store.spills").add(stats.spills);
+    vp_obs::counter("trace_store.spill_failures").add(stats.spill_failures);
+    vp_obs::counter("trace_store.dedup_waits").add(stats.dedup_waits);
+    vp_obs::gauge("trace_store.resident").set_max(stats.resident);
+    vp_obs::gauge("trace_store.resident_bytes").set_max(stats.resident_bytes);
 }
 
 #[cfg(test)]

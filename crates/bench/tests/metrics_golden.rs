@@ -1,0 +1,107 @@
+//! Guards the observability layer's central contract: requesting a run
+//! manifest must not perturb experiment output. Runs the real `repro-all`
+//! binary twice — with and without `--metrics-out` — and asserts stdout
+//! is byte-identical, then sanity-checks the emitted manifest.
+
+use std::path::Path;
+use std::process::Command;
+
+use vp_obs::RunManifest;
+
+const ARGS: &[&str] = &["--workloads=compress,ijpeg", "--train-runs=2", "--jobs=2"];
+
+fn run_repro_all(extra: &[String]) -> std::process::Output {
+    let exe = env!("CARGO_BIN_EXE_repro-all");
+    Command::new(exe)
+        .args(ARGS)
+        .args(extra)
+        .output()
+        .expect("repro-all runs")
+}
+
+#[test]
+fn metrics_out_leaves_stdout_byte_identical() {
+    let manifest_path =
+        std::env::temp_dir().join(format!("provp-metrics-golden-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&manifest_path);
+
+    let plain = run_repro_all(&[]);
+    let instrumented = run_repro_all(&[format!("--metrics-out={}", manifest_path.display())]);
+
+    assert!(plain.status.success(), "plain run failed");
+    assert!(instrumented.status.success(), "instrumented run failed");
+    assert_eq!(
+        plain.stdout, instrumented.stdout,
+        "--metrics-out must not change experiment stdout"
+    );
+    assert!(
+        plain.stderr.is_empty(),
+        "plain run must not write to stderr: {}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+
+    let manifest = parse_manifest(&manifest_path);
+    std::fs::remove_file(&manifest_path).unwrap();
+
+    // The manifest must actually describe this run.
+    assert_eq!(manifest.bin, "repro-all");
+    assert!(manifest.wall_ms > 0.0);
+    assert!(manifest.peak_rss_bytes > 0, "peak RSS must be captured");
+    assert!(
+        manifest
+            .args
+            .iter()
+            .any(|a| a.starts_with("--metrics-out=")),
+        "argv recorded"
+    );
+
+    // Phase rows: the root span plus one row per repro-all experiment.
+    let has_phase = |p: &str| manifest.phases.iter().any(|e| e.path == p);
+    assert!(has_phase("repro-all"), "root span present");
+    for sub in [
+        "table_2_1",
+        "fig_2_2",
+        "fig_2_3",
+        "fig_4",
+        "classification",
+        "table_5_1",
+        "finite_table",
+        "table_5_2",
+    ] {
+        assert!(
+            has_phase(&format!("repro-all/{sub}")),
+            "missing phase row repro-all/{sub}"
+        );
+    }
+    // Suite phases nest under their experiment (profiling happens under
+    // the first experiment that needs each image).
+    assert!(
+        manifest.phases.iter().any(|e| e.path.ends_with("/profile")),
+        "profile spans must nest under experiments"
+    );
+
+    // Counters: simulator throughput and trace-store behaviour.
+    let counter = |k: &str| manifest.counters.get(k).copied().unwrap_or(0);
+    assert!(counter("sim.runs") > 0);
+    assert!(counter("sim.instructions") > 0);
+    assert!(counter("sim.wall_ns") > 0);
+    assert!(manifest.sim_instr_per_sec() > 0.0);
+    assert!(counter("trace_store.requests") > 0);
+    assert_eq!(
+        counter("trace_store.memory_hits") + counter("trace_store.misses"),
+        counter("trace_store.requests"),
+        "trace-store snapshot must balance"
+    );
+    assert!(manifest.trace_hit_rate() > 0.0, "experiments share traces");
+    assert!(counter("predictor.accesses") > 0);
+    assert!(
+        manifest.gauges.get("predictor.occupancy.max").copied() > Some(0),
+        "table occupancy observed"
+    );
+}
+
+fn parse_manifest(path: &Path) -> RunManifest {
+    let text = std::fs::read_to_string(path).expect("manifest written");
+    assert!(text.ends_with('\n'), "manifest ends with newline");
+    RunManifest::parse(text.trim_end()).expect("manifest parses")
+}

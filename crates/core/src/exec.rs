@@ -11,6 +11,12 @@
 //! index), which keeps the schedule balanced regardless of how uneven the
 //! per-item cost is; determinism comes from the re-ordering step, never
 //! from the schedule.
+//!
+//! Each worker thread *adopts* the spawning thread's `vp_obs` span path,
+//! so wall-clock recorded inside workers aggregates under the same
+//! hierarchical phase as a serial run would produce — the observability
+//! layer sees one `suite/profile` phase no matter how many threads
+//! executed it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -48,10 +54,17 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
+    let parent_span = vp_obs::span::current_path();
     let parts: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
-                scope.spawn(|| {
+                let parent_span = parent_span.clone();
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    // Timing recorded by this worker lands under the
+                    // spawning thread's span hierarchy.
+                    let _adopted = vp_obs::span::adopt(parent_span);
                     let mut out = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);

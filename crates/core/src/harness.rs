@@ -45,6 +45,13 @@ impl PredictorTracer {
     pub fn into_stats(self) -> PredictorStats {
         *self.predictor.stats()
     }
+
+    /// Current number of occupied predictor-table entries (0 for
+    /// predictors with no table state to report).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.predictor.occupancy()
+    }
 }
 
 impl Tracer for PredictorTracer {

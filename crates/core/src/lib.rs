@@ -34,6 +34,6 @@ pub mod trace_store;
 
 pub use exec::parallel_map;
 pub use harness::PredictorTracer;
-pub use pipeline::{PipelineConfig, PipelineOutcome, ProfileGuidedPipeline};
+pub use pipeline::{PipelineConfig, PipelineError, PipelineOutcome, ProfileGuidedPipeline};
 pub use suite::Suite;
-pub use trace_store::{TraceKey, TraceStore, TraceStoreStats};
+pub use trace_store::{TraceError, TraceKey, TraceStore, TraceStoreStats};

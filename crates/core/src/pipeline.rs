@@ -1,5 +1,6 @@
 //! The three-phase methodology, end to end.
 
+use std::fmt;
 use std::sync::Arc;
 
 use vp_compiler::{annotate, Annotated, ThresholdPolicy};
@@ -7,7 +8,47 @@ use vp_profile::{merge, ProfileCollector, ProfileImage};
 use vp_sim::{RunLimits, SimError};
 use vp_workloads::Workload;
 
-use crate::trace_store::TraceStore;
+use crate::trace_store::{TraceError, TraceStore};
+
+/// Why a pipeline run failed.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A direct (uncached) profiling simulation faulted.
+    Sim(SimError),
+    /// The attached trace store failed to capture or replay a trace; the
+    /// inner error names the offending trace key.
+    Trace(TraceError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Sim(e) => write!(f, "profiling simulation faulted: {e}"),
+            PipelineError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+impl From<TraceError> for PipelineError {
+    fn from(e: TraceError) -> Self {
+        PipelineError::Trace(e)
+    }
+}
 
 /// Configuration of a [`ProfileGuidedPipeline`].
 #[derive(Debug, Clone, Copy)]
@@ -105,9 +146,10 @@ impl ProfileGuidedPipeline {
     /// # Errors
     ///
     /// Propagates simulator faults from the profiling runs (well-formed
-    /// workloads never fault; a fault indicates a generator bug). When a
-    /// trace store is attached, faults panic inside the store instead.
-    pub fn run(&self, workload: &Workload) -> Result<PipelineOutcome, SimError> {
+    /// workloads never fault; a fault indicates a generator bug) and, when
+    /// a trace store is attached, capture/replay failures from the store —
+    /// each carrying the offending trace key.
+    pub fn run(&self, workload: &Workload) -> Result<PipelineOutcome, PipelineError> {
         // Phase 1: the binary, directive-free.
         let base = workload
             .program(&vp_workloads::InputSet::train(0))
@@ -127,7 +169,7 @@ impl ProfileGuidedPipeline {
                         self.config.limits,
                         &program,
                         &mut collector,
-                    );
+                    )?;
                 }
                 None => {
                     vp_sim::run(&program, &mut collector, self.config.limits)?;

@@ -199,11 +199,19 @@ impl Suite {
 
     /// The memoised retirement trace of `kind` under `input` (simulating
     /// at most once per key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying simulation faults or a spilled trace is
+    /// unreadable; the message carries the offending trace key.
     pub fn trace(&self, kind: WorkloadKind, input: InputSet) -> Arc<Trace> {
-        self.traces.get(kind, input, self.limits)
+        self.traces
+            .get(kind, input, self.limits)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn profile_once(&self, kind: WorkloadKind, input: &InputSet) -> ProfileImage {
+        let _span = vp_obs::span("profile");
         let workload = Workload::new(kind);
         let program = workload.program(input);
         let mut collector = ProfileCollector::new(format!("{}/{input}", workload.name()));
@@ -213,7 +221,8 @@ impl Suite {
             // reusable across processes once a spill directory exists —
             // worth memoising either way.
             self.traces
-                .replay_into(kind, *input, self.limits, &program, &mut collector);
+                .replay_into(kind, *input, self.limits, &program, &mut collector)
+                .unwrap_or_else(|e| panic!("{e}"));
         } else {
             // A training trace is consumed exactly once (its profile image
             // is what gets memoised), so recording it would cost memory
@@ -259,13 +268,15 @@ impl Suite {
                 .unwrap_or_else(|| panic!("{kind} has no phase split"));
             let program = w.program(&InputSet::reference());
             let mut collector = ProfileCollector::with_phase_split(w.name().to_owned(), split);
-            self.traces.replay_into(
-                kind,
-                InputSet::reference(),
-                self.limits,
-                &program,
-                &mut collector,
-            );
+            self.traces
+                .replay_into(
+                    kind,
+                    InputSet::reference(),
+                    self.limits,
+                    &program,
+                    &mut collector,
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
             collector.into_phase_images()
         })
     }
@@ -276,6 +287,7 @@ impl Suite {
         self.annotated
             .get_or_compute((kind, th_key(threshold)), || {
                 let merged = self.merged_image(kind);
+                let _span = vp_obs::span("annotate");
                 let base = Workload::new(kind)
                     .program(&InputSet::train(0))
                     .without_directives();
@@ -313,29 +325,56 @@ impl Suite {
     ) -> PredictorStats {
         let program = self.reference_program(kind, threshold);
         let mut tracer = PredictorTracer::new(config.build());
-        self.traces.replay_into(
-            kind,
-            InputSet::reference(),
-            self.limits,
-            &program,
-            &mut tracer,
-        );
-        tracer.into_stats()
+        {
+            let _span = vp_obs::span("predict");
+            self.traces
+                .replay_into(
+                    kind,
+                    InputSet::reference(),
+                    self.limits,
+                    &program,
+                    &mut tracer,
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+        vp_obs::gauge("predictor.occupancy.max").set_max(tracer.occupancy() as u64);
+        let stats = tracer.into_stats();
+        publish_predictor_metrics(&stats);
+        stats
     }
 
     /// Replays the reference input through the abstract ILP machine.
     pub fn ilp(&self, kind: WorkloadKind, config: IlpConfig, threshold: Option<f64>) -> IlpResult {
         let program = self.reference_program(kind, threshold);
         let mut analyzer = IlpAnalyzer::new(config);
-        self.traces.replay_into(
-            kind,
-            InputSet::reference(),
-            self.limits,
-            &program,
-            &mut analyzer,
-        );
+        let _span = vp_obs::span("ilp");
+        self.traces
+            .replay_into(
+                kind,
+                InputSet::reference(),
+                self.limits,
+                &program,
+                &mut analyzer,
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
         analyzer.finish()
     }
+}
+
+/// Folds one run's predictor statistics into the process-wide
+/// observability counters (table pressure + per-classification hit rates).
+fn publish_predictor_metrics(stats: &PredictorStats) {
+    vp_obs::counter("predictor.accesses").add(stats.accesses);
+    vp_obs::counter("predictor.hits").add(stats.hits);
+    vp_obs::counter("predictor.allocations").add(stats.allocations);
+    vp_obs::counter("predictor.evictions").add(stats.evictions);
+    vp_obs::counter("predictor.set_conflicts").add(stats.set_conflicts);
+    vp_obs::counter("predictor.stride.accesses").add(stats.stride_accesses);
+    vp_obs::counter("predictor.stride.correct").add(stats.stride_correct);
+    vp_obs::counter("predictor.last_value.accesses").add(stats.last_value_accesses);
+    vp_obs::counter("predictor.last_value.correct").add(stats.last_value_correct);
+    vp_obs::counter("predictor.unclassified.accesses").add(stats.unclassified_accesses);
+    vp_obs::counter("predictor.unclassified.correct").add(stats.unclassified_correct);
 }
 
 impl Default for Suite {
@@ -358,7 +397,7 @@ mod tests {
         // Training profiles are simulated straight into the collector
         // (their single consumer): nothing is recorded without a spill
         // directory asking for cross-process reuse.
-        assert_eq!(s.trace_stats().requests(), 0);
+        assert_eq!(s.trace_stats().requests, 0);
     }
 
     #[test]

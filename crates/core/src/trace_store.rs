@@ -20,17 +20,26 @@
 //! deduplicate in flight (one thread simulates, the rest wait on a
 //! condition variable), and requests for different keys proceed in
 //! parallel because the lock is never held across a simulation.
+//!
+//! ## Observability
+//!
+//! Usage counters live *inside* the store's mutex and are updated under
+//! the same lock acquisitions the request path already takes, so a
+//! [`TraceStore::stats`] snapshot is always internally consistent — at
+//! any instant `requests == memory_hits + misses` holds exactly, even
+//! while worker threads are mid-request. Captures are additionally
+//! wrapped in a `vp_obs` span (`capture`) so manifest phase timings show
+//! where simulation wall-clock goes.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use vp_isa::Program;
-use vp_sim::{RunLimits, Trace, Tracer};
+use vp_sim::{RunLimits, SimError, Trace, Tracer};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
 
 /// Identity of one memoised simulation.
@@ -80,25 +89,116 @@ impl fmt::Display for TraceKey {
     }
 }
 
+/// Why a trace could not be produced or replayed.
+///
+/// Carries the [`TraceKey`] so a faulting workload reports *which* run
+/// went wrong instead of poisoning worker threads with an anonymous
+/// panic.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The functional simulation faulted while capturing the trace
+    /// (well-formed workloads never fault; this indicates a generator
+    /// bug — but the report should still name the key).
+    Capture {
+        /// The run that faulted.
+        key: TraceKey,
+        /// The simulator fault.
+        source: SimError,
+    },
+    /// A memoised trace failed to replay against the supplied program
+    /// (the program does not match the trace's architectural history).
+    Replay {
+        /// The run whose trace failed to replay.
+        key: TraceKey,
+        /// The replay failure.
+        source: io::Error,
+    },
+}
+
+impl TraceError {
+    /// The key of the failing run.
+    #[must_use]
+    pub fn key(&self) -> TraceKey {
+        match self {
+            TraceError::Capture { key, .. } | TraceError::Replay { key, .. } => *key,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Capture { key, source } => {
+                write!(f, "{key} faulted while tracing: {source}")
+            }
+            TraceError::Replay { key, source } => {
+                write!(f, "{key} failed to replay: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Capture { source, .. } => Some(source),
+            TraceError::Replay { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Counters describing how the store has been used.
+///
+/// Produced only by [`TraceStore::stats`], which snapshots every field
+/// under one lock acquisition: the invariant
+/// `requests == memory_hits + misses` holds in every snapshot, no matter
+/// how many threads are mid-`get`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceStoreStats {
+    /// Total requests presented to the store.
+    pub requests: u64,
     /// Requests served from the in-memory LRU.
     pub memory_hits: u64,
-    /// Requests served by deserialising a spilled trace from disk.
+    /// Requests that missed memory (and went to disk or simulation).
+    pub misses: u64,
+    /// Misses served by deserialising a spilled trace from disk.
     pub disk_hits: u64,
-    /// Requests that ran the functional simulation.
+    /// Misses that ran the functional simulation.
     pub captures: u64,
     /// Traces dropped from memory by the LRU byte budget.
     pub evictions: u64,
+    /// Traces written to the spill directory.
+    pub spills: u64,
+    /// Spill attempts that failed (IO errors; memory-only fallback).
+    pub spill_failures: u64,
+    /// Requests that slept waiting for another thread's in-flight
+    /// production of the same key.
+    pub dedup_waits: u64,
+    /// Traces resident in memory at snapshot time.
+    pub resident: u64,
+    /// Approximate bytes resident in memory at snapshot time.
+    pub resident_bytes: u64,
 }
 
-impl TraceStoreStats {
-    /// Total requests.
-    #[must_use]
-    pub fn requests(&self) -> u64 {
-        self.memory_hits + self.disk_hits + self.captures
-    }
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterBlock {
+    requests: u64,
+    memory_hits: u64,
+    misses: u64,
+    disk_hits: u64,
+    captures: u64,
+    evictions: u64,
+    spills: u64,
+    spill_failures: u64,
+    dedup_waits: u64,
+}
+
+/// Where a freshly produced trace came from (folded into the counters at
+/// publish time, under the state lock).
+#[derive(Debug, Clone, Copy)]
+enum Provenance {
+    Disk,
+    Captured { spilled: bool, spill_failed: bool },
 }
 
 struct Entry {
@@ -113,6 +213,7 @@ struct State {
     in_flight: HashSet<TraceKey>,
     bytes: usize,
     tick: u64,
+    counters: CounterBlock,
 }
 
 /// A thread-safe, byte-budgeted LRU of simulation traces with optional
@@ -125,29 +226,28 @@ struct State {
 /// use vp_sim::{InstrMix, RunLimits};
 /// use vp_workloads::{InputSet, Workload, WorkloadKind};
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let store = TraceStore::new();
 /// let kind = WorkloadKind::Compress;
-/// let trace = store.get(kind, InputSet::reference(), RunLimits::default());
+/// let trace = store.get(kind, InputSet::reference(), RunLimits::default())?;
 /// // Second request: served from memory, no simulation.
-/// let again = store.get(kind, InputSet::reference(), RunLimits::default());
+/// let again = store.get(kind, InputSet::reference(), RunLimits::default())?;
 /// assert_eq!(store.stats().captures, 1);
 /// assert_eq!(store.stats().memory_hits, 1);
 ///
 /// // Replay substitutes for re-simulation.
 /// let program = Workload::new(kind).program(&InputSet::reference());
 /// let mut mix = InstrMix::new();
-/// trace.replay(&program, &mut mix).unwrap();
+/// trace.replay(&program, &mut mix)?;
 /// assert_eq!(mix.total() as usize, again.len());
+/// # Ok(())
+/// # }
 /// ```
 pub struct TraceStore {
     max_bytes: usize,
     spill_dir: Option<PathBuf>,
     state: Mutex<State>,
     available: Condvar,
-    memory_hits: AtomicU64,
-    disk_hits: AtomicU64,
-    captures: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl TraceStore {
@@ -171,10 +271,6 @@ impl TraceStore {
             spill_dir: None,
             state: Mutex::new(State::default()),
             available: Condvar::new(),
-            memory_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            captures: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -193,14 +289,25 @@ impl TraceStore {
         self.spill_dir.as_deref()
     }
 
-    /// Usage counters.
+    /// A consistent snapshot of every usage counter, taken under one
+    /// lock acquisition. `requests == memory_hits + misses` holds in
+    /// every snapshot.
     #[must_use]
     pub fn stats(&self) -> TraceStoreStats {
+        let state = self.state.lock().expect("trace store poisoned");
+        let c = state.counters;
         TraceStoreStats {
-            memory_hits: self.memory_hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            captures: self.captures.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            requests: c.requests,
+            memory_hits: c.memory_hits,
+            misses: c.misses,
+            disk_hits: c.disk_hits,
+            captures: c.captures,
+            evictions: c.evictions,
+            spills: c.spills,
+            spill_failures: c.spill_failures,
+            dedup_waits: c.dedup_waits,
+            resident: state.entries.len() as u64,
+            resident_bytes: state.bytes as u64,
         }
     }
 
@@ -224,18 +331,26 @@ impl TraceStore {
     /// simulating at most once per key per process (and, with a spill
     /// directory, at most once ever).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload faults during simulation — well-formed
-    /// workloads never fault, so a fault indicates a generator bug.
-    pub fn get(&self, kind: WorkloadKind, input: InputSet, limits: RunLimits) -> Arc<Trace> {
+    /// Returns [`TraceError::Capture`] (naming the key) if the workload
+    /// faults during simulation — well-formed workloads never fault, so
+    /// a fault indicates a generator bug, but it is reported instead of
+    /// panicking inside worker threads.
+    pub fn get(
+        &self,
+        kind: WorkloadKind,
+        input: InputSet,
+        limits: RunLimits,
+    ) -> Result<Arc<Trace>, TraceError> {
         let key = TraceKey::new(kind, input, limits);
         match self.lookup_or_claim(&key) {
-            Ok(trace) => trace,
+            Ok(trace) => Ok(trace),
             Err(claim) => {
-                let trace = Arc::new(self.load_or_capture(&key));
-                self.publish(claim, Arc::clone(&trace));
-                trace
+                let (trace, provenance) = self.load_or_capture(&key)?;
+                let trace = Arc::new(trace);
+                self.publish(claim, Arc::clone(&trace), provenance);
+                Ok(trace)
             }
         }
     }
@@ -250,10 +365,12 @@ impl TraceStore {
     /// pays a single pass (not capture *plus* replay). Subsequent
     /// consumers replay from memory or disk.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload faults during simulation or the trace does
-    /// not replay against `program` — both indicate generator bugs.
+    /// Returns [`TraceError::Capture`] if the workload faults during
+    /// simulation, or [`TraceError::Replay`] if the memoised trace does
+    /// not replay against `program` — both indicate generator bugs, and
+    /// both name the key instead of poisoning worker threads.
     pub fn replay_into(
         &self,
         kind: WorkloadKind,
@@ -261,21 +378,22 @@ impl TraceStore {
         limits: RunLimits,
         program: &Program,
         tracer: &mut impl Tracer,
-    ) -> Arc<Trace> {
+    ) -> Result<Arc<Trace>, TraceError> {
         let key = TraceKey::new(kind, input, limits);
         match self.lookup_or_claim(&key) {
             Ok(trace) => {
                 trace
                     .replay(program, tracer)
-                    .unwrap_or_else(|e| panic!("{key} failed to replay: {e}"));
-                trace
+                    .map_err(|source| TraceError::Replay { key, source })?;
+                Ok(trace)
             }
             Err(claim) => {
                 // Simulate once, feeding the caller's tracer while
                 // recording (`Trace::capture_with`); a disk hit replays.
-                let trace = Arc::new(self.load_or_capture_with(&key, program, tracer));
-                self.publish(claim, Arc::clone(&trace));
-                trace
+                let (trace, provenance) = self.load_or_capture_with(&key, program, tracer)?;
+                let trace = Arc::new(trace);
+                self.publish(claim, Arc::clone(&trace), provenance);
+                Ok(trace)
             }
         }
     }
@@ -284,35 +402,56 @@ impl TraceStore {
     /// caller to produce it (and [`publish`](Self::publish) it).
     fn lookup_or_claim(&self, key: &TraceKey) -> Result<Arc<Trace>, InFlightGuard<'_>> {
         let mut state = self.state.lock().expect("trace store poisoned");
+        let mut waited = false;
         loop {
             if state.entries.contains_key(key) {
                 state.tick += 1;
                 let tick = state.tick;
+                // Request and hit are counted under the same lock hold,
+                // so snapshots never observe one without the other.
+                state.counters.requests += 1;
+                state.counters.memory_hits += 1;
                 let entry = state.entries.get_mut(key).expect("just checked");
                 entry.last_used = tick;
-                self.memory_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&entry.trace));
             }
             if state.in_flight.insert(*key) {
                 // We are the producer for this key; the guard keeps
-                // waiters from deadlocking if production panics.
+                // waiters from deadlocking if production fails.
+                state.counters.requests += 1;
+                state.counters.misses += 1;
                 return Err(InFlightGuard {
                     store: self,
                     key: *key,
                 });
+            }
+            if !waited {
+                waited = true;
+                state.counters.dedup_waits += 1;
             }
             state = self.available.wait(state).expect("trace store poisoned");
         }
     }
 
     /// Inserts a freshly produced trace and releases the claim.
-    fn publish(&self, claim: InFlightGuard<'_>, trace: Arc<Trace>) {
+    fn publish(&self, claim: InFlightGuard<'_>, trace: Arc<Trace>, provenance: Provenance) {
         let bytes = trace.approx_bytes();
         let key = claim.key;
         let mut state = self.state.lock().expect("trace store poisoned");
         state.tick += 1;
         let tick = state.tick;
         state.bytes += bytes;
+        match provenance {
+            Provenance::Disk => state.counters.disk_hits += 1,
+            Provenance::Captured {
+                spilled,
+                spill_failed,
+            } => {
+                state.counters.captures += 1;
+                state.counters.spills += u64::from(spilled);
+                state.counters.spill_failures += u64::from(spill_failed);
+            }
+        }
         state.entries.insert(
             key,
             Entry {
@@ -333,35 +472,37 @@ impl TraceStore {
         key: &TraceKey,
         program: &Program,
         tracer: &mut impl Tracer,
-    ) -> Trace {
+    ) -> Result<(Trace, Provenance), TraceError> {
         if let Some(trace) = self.try_disk_load(key) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
             trace
                 .replay(program, tracer)
-                .unwrap_or_else(|e| panic!("{key} failed to replay a spilled trace: {e}"));
-            return trace;
+                .map_err(|source| TraceError::Replay { key: *key, source })?;
+            return Ok((trace, Provenance::Disk));
         }
         let limits = RunLimits::with_max(key.max_instructions);
-        let trace = Trace::capture_with(program, limits, tracer)
-            .unwrap_or_else(|e| panic!("{key} faulted while tracing: {e}"));
-        self.captures.fetch_add(1, Ordering::Relaxed);
-        self.try_disk_store(key, &trace);
-        trace
+        let trace = {
+            let _span = vp_obs::span("capture");
+            Trace::capture_with(program, limits, tracer)
+                .map_err(|source| TraceError::Capture { key: *key, source })?
+        };
+        let provenance = self.try_disk_store(key, &trace);
+        Ok((trace, provenance))
     }
 
     /// Loads from the spill directory or captures by simulation.
-    fn load_or_capture(&self, key: &TraceKey) -> Trace {
+    fn load_or_capture(&self, key: &TraceKey) -> Result<(Trace, Provenance), TraceError> {
         if let Some(trace) = self.try_disk_load(key) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            return trace;
+            return Ok((trace, Provenance::Disk));
         }
         let program = Workload::new(key.kind).program(&key.input);
         let limits = RunLimits::with_max(key.max_instructions);
-        let trace = Trace::capture(&program, limits)
-            .unwrap_or_else(|e| panic!("{key} faulted while tracing: {e}"));
-        self.captures.fetch_add(1, Ordering::Relaxed);
-        self.try_disk_store(key, &trace);
-        trace
+        let trace = {
+            let _span = vp_obs::span("capture");
+            Trace::capture(&program, limits)
+                .map_err(|source| TraceError::Capture { key: *key, source })?
+        };
+        let provenance = self.try_disk_store(key, &trace);
+        Ok((trace, provenance))
     }
 
     fn try_disk_load(&self, key: &TraceKey) -> Option<Trace> {
@@ -374,6 +515,7 @@ impl TraceStore {
             Ok(trace) => Some(trace),
             Err(_) => {
                 // Corrupt or truncated spill file: drop it and re-simulate.
+                vp_obs::obs_warn!("dropping corrupt trace spill file {path:?}");
                 let _ = fs::remove_file(&path);
                 None
             }
@@ -381,12 +523,19 @@ impl TraceStore {
     }
 
     /// Best-effort spill; IO failures silently fall back to memory-only.
-    fn try_disk_store(&self, key: &TraceKey, trace: &Trace) {
+    /// Returns the capture provenance (whether the spill stuck).
+    fn try_disk_store(&self, key: &TraceKey, trace: &Trace) -> Provenance {
         let Some(dir) = self.spill_dir.as_ref() else {
-            return;
+            return Provenance::Captured {
+                spilled: false,
+                spill_failed: false,
+            };
         };
         if fs::create_dir_all(dir).is_err() {
-            return;
+            return Provenance::Captured {
+                spilled: false,
+                spill_failed: true,
+            };
         }
         let tmp = dir.join(format!("{}.tmp", key.file_name()));
         let finished = dir.join(key.file_name());
@@ -399,6 +548,15 @@ impl TraceStore {
         };
         if write().is_err() {
             let _ = fs::remove_file(&tmp);
+            Provenance::Captured {
+                spilled: false,
+                spill_failed: true,
+            }
+        } else {
+            Provenance::Captured {
+                spilled: true,
+                spill_failed: false,
+            }
         }
     }
 
@@ -415,7 +573,7 @@ impl TraceStore {
             let Some(victim) = victim else { break };
             if let Some(entry) = state.entries.remove(&victim) {
                 state.bytes = state.bytes.saturating_sub(entry.bytes);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                state.counters.evictions += 1;
             }
         }
     }
@@ -432,14 +590,13 @@ impl fmt::Debug for TraceStore {
         f.debug_struct("TraceStore")
             .field("max_bytes", &self.max_bytes)
             .field("spill_dir", &self.spill_dir)
-            .field("resident", &self.resident())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-/// Clears the in-flight mark for `key` even if production panicked, so
-/// waiting threads retry instead of deadlocking.
+/// Clears the in-flight mark for `key` even if production failed or
+/// panicked, so waiting threads retry instead of deadlocking.
 struct InFlightGuard<'a> {
     store: &'a TraceStore,
     key: TraceKey,

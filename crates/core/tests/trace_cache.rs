@@ -25,7 +25,7 @@ fn replayed_profile(
 ) -> vp_profile::ProfileImage {
     let w = Workload::new(kind);
     let program = w.program(&input);
-    let trace = store.get(kind, input, RunLimits::default());
+    let trace = store.get(kind, input, RunLimits::default()).unwrap();
     let mut c = ProfileCollector::new("fresh");
     trace.replay(&program, &mut c).unwrap();
     c.into_image()
@@ -61,16 +61,16 @@ fn lru_evicts_oldest_when_over_budget() {
     let a = (WorkloadKind::Compress, InputSet::train(0));
     let b = (WorkloadKind::Compress, InputSet::train(1));
 
-    store.get(a.0, a.1, limits);
+    store.get(a.0, a.1, limits).unwrap();
     assert_eq!(store.resident(), 1);
-    store.get(b.0, b.1, limits);
+    store.get(b.0, b.1, limits).unwrap();
     assert_eq!(store.resident(), 1, "budget of 1 byte keeps a single trace");
     let stats = store.stats();
     assert_eq!(stats.captures, 2);
     assert_eq!(stats.evictions, 1);
 
     // `a` was evicted: requesting it again re-captures.
-    store.get(a.0, a.1, limits);
+    store.get(a.0, a.1, limits).unwrap();
     assert_eq!(store.stats().captures, 3);
     // ... while `b`'s eviction means the LRU held the newest entry.
     assert_eq!(store.stats().evictions, 2);
@@ -82,7 +82,9 @@ fn lru_keeps_recently_used_entries_under_budget() {
     let store = TraceStore::new();
     let limits = RunLimits::default();
     for i in 0..3 {
-        store.get(WorkloadKind::Compress, InputSet::train(i), limits);
+        store
+            .get(WorkloadKind::Compress, InputSet::train(i), limits)
+            .unwrap();
     }
     assert_eq!(store.resident(), 3);
     assert_eq!(store.stats().evictions, 0);
@@ -99,14 +101,14 @@ fn disk_spill_round_trips_across_stores() {
     let limits = RunLimits::default();
 
     let first = TraceStore::new().with_spill_dir(&dir);
-    let captured = first.get(kind, input, limits);
+    let captured = first.get(kind, input, limits).unwrap();
     assert_eq!(first.stats().captures, 1);
     let spilled = dir.join(provp_core::TraceKey::new(kind, input, limits).file_name());
     assert!(spilled.is_file(), "trace must be spilled to {spilled:?}");
 
     // A brand-new store (fresh process, conceptually) loads from disk.
     let second = TraceStore::new().with_spill_dir(&dir);
-    let loaded = second.get(kind, input, limits);
+    let loaded = second.get(kind, input, limits).unwrap();
     assert_eq!(*captured, *loaded, "disk round-trip must be lossless");
     let stats = second.stats();
     assert_eq!(stats.captures, 0, "no re-simulation with a warm disk cache");
@@ -115,7 +117,7 @@ fn disk_spill_round_trips_across_stores() {
     // A corrupt spill file falls back to simulation instead of failing.
     std::fs::write(&spilled, b"garbage").unwrap();
     let third = TraceStore::new().with_spill_dir(&dir);
-    let recaptured = third.get(kind, input, limits);
+    let recaptured = third.get(kind, input, limits).unwrap();
     assert_eq!(*captured, *recaptured);
     assert_eq!(third.stats().captures, 1);
 
@@ -131,7 +133,7 @@ fn concurrent_requests_simulate_once() {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let store = Arc::clone(&store);
-                s.spawn(move || store.get(kind, input, RunLimits::default()))
+                s.spawn(move || store.get(kind, input, RunLimits::default()).unwrap())
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()

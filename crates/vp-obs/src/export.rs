@@ -1,0 +1,150 @@
+//! Exporters: human-readable stderr table and JSON manifest file.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::manifest::RunManifest;
+
+/// Renders the manifest as a human-readable report (the stderr
+/// exporter).
+#[must_use]
+pub fn render_table(manifest: &RunManifest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {} run report ({} args, {:.1} ms wall, peak RSS {:.1} MiB) ==",
+        manifest.bin,
+        manifest.args.len(),
+        manifest.wall_ms,
+        manifest.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    if !manifest.phases.is_empty() {
+        let _ = writeln!(out, "-- phases --");
+        let width = manifest
+            .phases
+            .iter()
+            .map(|p| p.path.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>7}  {:>12}  {:>12}  {:>12}",
+            "phase", "count", "total ms", "min ms", "max ms"
+        );
+        for p in &manifest.phases {
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>7}  {:>12.2}  {:>12.2}  {:>12.2}",
+                p.path, p.count, p.total_ms, p.min_ms, p.max_ms
+            );
+        }
+    }
+
+    if !manifest.counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        let width = manifest.counters.keys().map(String::len).max().unwrap_or(0);
+        for (k, v) in &manifest.counters {
+            let _ = writeln!(out, "{k:width$}  {v}");
+        }
+    }
+
+    if !manifest.gauges.is_empty() {
+        let _ = writeln!(out, "-- gauges --");
+        let width = manifest.gauges.keys().map(String::len).max().unwrap_or(0);
+        for (k, v) in &manifest.gauges {
+            let _ = writeln!(out, "{k:width$}  {v}");
+        }
+    }
+
+    for name in manifest.histograms.keys() {
+        let _ = writeln!(out, "-- histogram {name} --");
+        if let Some(h) = manifest.histogram(name) {
+            let _ = write!(out, "{h}");
+        }
+    }
+
+    let _ = writeln!(out, "-- derived --");
+    let _ = writeln!(
+        out,
+        "sim throughput      {:.0} instr/s",
+        manifest.sim_instr_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "trace-store hit rate {:.1}%",
+        100.0 * manifest.trace_hit_rate()
+    );
+    out
+}
+
+/// Prints the human-readable report to stderr (never stdout).
+pub fn print_table(manifest: &RunManifest) {
+    eprint!("{}", render_table(manifest));
+}
+
+/// Writes the JSON manifest to `path` (atomically, via a sibling
+/// temp file) with a trailing newline.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_manifest(manifest: &RunManifest, path: &Path) -> io::Result<()> {
+    let mut text = manifest.to_json();
+    text.push('\n');
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, &text)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::PhaseEntry;
+
+    fn manifest() -> RunManifest {
+        let mut m = RunManifest {
+            bin: "demo".to_owned(),
+            wall_ms: 12.0,
+            ..RunManifest::default()
+        };
+        m.phases.push(PhaseEntry {
+            path: "demo/work".to_owned(),
+            count: 2,
+            total_ms: 10.0,
+            min_ms: 4.0,
+            max_ms: 6.0,
+        });
+        m.counters.insert("sim.instructions".to_owned(), 100);
+        m.counters.insert("sim.wall_ns".to_owned(), 1_000_000_000);
+        m
+    }
+
+    #[test]
+    fn table_lists_phases_counters_and_derived_rates() {
+        let table = render_table(&manifest());
+        assert!(table.contains("demo run report"));
+        assert!(table.contains("demo/work"));
+        assert!(table.contains("sim.instructions"));
+        assert!(table.contains("100 instr/s"));
+    }
+
+    #[test]
+    fn write_manifest_round_trips_via_file() {
+        let path = std::env::temp_dir().join(format!("vp-obs-export-{}.json", std::process::id()));
+        write_manifest(&manifest(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        let back = RunManifest::parse(text.trim_end()).unwrap();
+        assert_eq!(back, manifest());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,137 @@
+//! A tiny level-filtered stderr logger (`PROVP_LOG=warn|info|debug`).
+//!
+//! Bench binaries route all their human-facing diagnostics through this
+//! helper instead of hand-rolled `eprintln!`, so one environment
+//! variable controls verbosity everywhere. Errors always print; the
+//! default level is `warn`. Nothing here ever writes to stdout —
+//! experiment output stays byte-identical at any log level.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Log severities, in decreasing order of urgency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures; always printed.
+    Error,
+    /// Suspicious-but-survivable conditions (the default threshold).
+    Warn,
+    /// Progress and summary notes.
+    Info,
+    /// Per-phase detail.
+    Debug,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// The threshold parsed from `PROVP_LOG` (cached; default `warn`).
+#[must_use]
+pub fn threshold() -> Level {
+    static THRESHOLD: OnceLock<Level> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("PROVP_LOG")
+            .ok()
+            .as_deref()
+            .and_then(Level::parse)
+            .unwrap_or(Level::Warn)
+    })
+}
+
+/// Whether messages at `level` currently print.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    level <= threshold()
+}
+
+/// Writes one line to stderr if `level` passes the filter. Prefer the
+/// [`crate::obs_error!`] family of macros.
+pub fn log(level: Level, args: fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("provp[{}]: {args}", level.tag());
+    }
+}
+
+/// Logs at error level (always printed).
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at warn level (printed by default).
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at info level (needs `PROVP_LOG=info` or `debug`).
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at debug level (needs `PROVP_LOG=debug`).
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_urgency() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parses_common_spellings() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn errors_always_pass_the_filter() {
+        // Threshold is at least Error regardless of PROVP_LOG.
+        assert!(enabled(Level::Error));
+    }
+
+    #[test]
+    fn macros_compile_with_formatting() {
+        // Smoke test: goes to stderr only, never panics.
+        crate::obs_debug!("value = {}", 42);
+        crate::obs_info!("phase {} done", "profile");
+    }
+}

@@ -1,0 +1,407 @@
+//! The machine-readable JSON run manifest.
+//!
+//! One manifest describes one bench-binary invocation: which binary ran
+//! with which arguments, how wall-clock distributed over phases
+//! (spans), every counter/gauge/histogram the run recorded, derived
+//! rates (simulator throughput, cache hit rate) and peak RSS. Schema is
+//! documented in `OBSERVABILITY.md`; the `schema` field is versioned so
+//! downstream tooling can detect incompatible changes.
+//!
+//! Manifests round-trip through the serde-free parser in [`crate::json`]
+//! — [`RunManifest::to_json`] then [`RunManifest::parse`] reproduces the
+//! manifest exactly (modulo float formatting, which is shortest-roundtrip
+//! and therefore lossless).
+
+use std::collections::BTreeMap;
+
+use vp_stats::DecileHistogram;
+
+use crate::json::{Json, ParseError};
+use crate::registry::Snapshot;
+
+/// The versioned schema identifier.
+pub const SCHEMA: &str = "provp-run-manifest/v1";
+
+/// Wall-time aggregate of one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEntry {
+    /// Hierarchical span path (`repro-all/table_2_1`).
+    pub path: String,
+    /// Completed instances.
+    pub count: u64,
+    /// Total wall time in milliseconds.
+    pub total_ms: f64,
+    /// Shortest instance, milliseconds.
+    pub min_ms: f64,
+    /// Longest instance, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Everything one bench-binary run observed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// The binary that produced this manifest.
+    pub bin: String,
+    /// Its command-line arguments.
+    pub args: Vec<String>,
+    /// End-to-end wall time of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Peak resident set size in bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+    /// Per-phase wall time, from the span registry.
+    pub phases: Vec<PhaseEntry>,
+    /// All counters.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges.
+    pub gauges: BTreeMap<String, u64>,
+    /// All histograms (ten decile bins each).
+    pub histograms: BTreeMap<String, [u64; 10]>,
+}
+
+const NS_PER_MS: f64 = 1_000_000.0;
+
+impl RunManifest {
+    /// Builds a manifest from a registry snapshot.
+    #[must_use]
+    pub fn from_snapshot(
+        bin: impl Into<String>,
+        args: Vec<String>,
+        wall_ms: f64,
+        snapshot: &Snapshot,
+    ) -> RunManifest {
+        RunManifest {
+            bin: bin.into(),
+            args,
+            wall_ms,
+            peak_rss_bytes: crate::rss::peak_rss_bytes(),
+            phases: snapshot
+                .spans
+                .iter()
+                .map(|(path, stat)| PhaseEntry {
+                    path: path.clone(),
+                    count: stat.count,
+                    total_ms: stat.total_ns as f64 / NS_PER_MS,
+                    min_ms: stat.min_ns as f64 / NS_PER_MS,
+                    max_ms: stat.max_ns as f64 / NS_PER_MS,
+                })
+                .collect(),
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+            histograms: snapshot
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.counts()))
+                .collect(),
+        }
+    }
+
+    /// Simulator throughput in retired instructions per second, derived
+    /// from the `sim.instructions` / `sim.wall_ns` counters (0 when the
+    /// run simulated nothing).
+    #[must_use]
+    pub fn sim_instr_per_sec(&self) -> f64 {
+        let instructions = self.counters.get("sim.instructions").copied().unwrap_or(0);
+        let wall_ns = self.counters.get("sim.wall_ns").copied().unwrap_or(0);
+        if wall_ns == 0 {
+            0.0
+        } else {
+            instructions as f64 / (wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// TraceStore hit rate over all requests (memory + disk hits), in
+    /// `[0, 1]`; 0 when the store was never used.
+    #[must_use]
+    pub fn trace_hit_rate(&self) -> f64 {
+        let get = |k: &str| self.counters.get(k).copied().unwrap_or(0);
+        let requests = get("trace_store.requests");
+        if requests == 0 {
+            0.0
+        } else {
+            (get("trace_store.memory_hits") + get("trace_store.disk_hits")) as f64 / requests as f64
+        }
+    }
+
+    /// Serialises to the versioned JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let phases: Vec<Json> = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("path", p.path.as_str())
+                    .with("count", p.count)
+                    .with("total_ms", p.total_ms)
+                    .with("min_ms", p.min_ms)
+                    .with("max_ms", p.max_ms)
+            })
+            .collect();
+        let map = |m: &BTreeMap<String, u64>| {
+            Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect())
+        };
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, bins)| {
+                    (
+                        k.clone(),
+                        Json::Arr(bins.iter().map(|&b| Json::from(b)).collect()),
+                    )
+                })
+                .collect(),
+        );
+        let derived = Json::obj()
+            .with("sim_instr_per_sec", self.sim_instr_per_sec())
+            .with("trace_hit_rate", self.trace_hit_rate());
+        Json::obj()
+            .with("schema", SCHEMA)
+            .with("bin", self.bin.as_str())
+            .with(
+                "args",
+                Json::Arr(self.args.iter().map(|a| Json::from(a.as_str())).collect()),
+            )
+            .with("wall_ms", self.wall_ms)
+            .with("peak_rss_bytes", self.peak_rss_bytes)
+            .with("phases", Json::Arr(phases))
+            .with("counters", map(&self.counters))
+            .with("gauges", map(&self.gauges))
+            .with("histograms", histograms)
+            .with("derived", derived)
+            .to_string()
+    }
+
+    /// Parses a manifest back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, an unknown `schema`, or structurally
+    /// wrong fields (with a field-naming message).
+    pub fn parse(text: &str) -> Result<RunManifest, ManifestError> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ManifestError::field("schema"))?;
+        if schema != SCHEMA {
+            return Err(ManifestError::Schema(schema.to_owned()));
+        }
+        let field = |k: &'static str| doc.get(k).ok_or(ManifestError::Field(k));
+        let bin = field("bin")?
+            .as_str()
+            .ok_or_else(|| ManifestError::field("bin"))?
+            .to_owned();
+        let args = field("args")?
+            .as_arr()
+            .ok_or_else(|| ManifestError::field("args"))?
+            .iter()
+            .map(|a| a.as_str().map(str::to_owned))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| ManifestError::field("args"))?;
+        let wall_ms = field("wall_ms")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("wall_ms"))?;
+        let peak_rss_bytes = field("peak_rss_bytes")?
+            .as_u64()
+            .ok_or_else(|| ManifestError::field("peak_rss_bytes"))?;
+        let phases = field("phases")?
+            .as_arr()
+            .ok_or_else(|| ManifestError::field("phases"))?
+            .iter()
+            .map(parse_phase)
+            .collect::<Result<Vec<_>, _>>()?;
+        let counters = field("counters")?
+            .as_u64_map()
+            .ok_or_else(|| ManifestError::field("counters"))?;
+        let gauges = field("gauges")?
+            .as_u64_map()
+            .ok_or_else(|| ManifestError::field("gauges"))?;
+        let histograms = match field("histograms")? {
+            Json::Obj(members) => members
+                .iter()
+                .map(|(k, v)| parse_bins(v).map(|bins| (k.clone(), bins)))
+                .collect::<Result<BTreeMap<_, _>, _>>()?,
+            _ => return Err(ManifestError::field("histograms")),
+        };
+        Ok(RunManifest {
+            bin,
+            args,
+            wall_ms,
+            peak_rss_bytes,
+            phases,
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Rebuilds the decile histograms for analysis code.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<DecileHistogram> {
+        let bins = self.histograms.get(key)?;
+        let mut h = DecileHistogram::new();
+        for (i, &count) in bins.iter().enumerate() {
+            for _ in 0..count.min(1_000_000) {
+                h.add(i as f64 * 10.0 + 5.0);
+            }
+        }
+        Some(h)
+    }
+}
+
+fn parse_phase(v: &Json) -> Result<PhaseEntry, ManifestError> {
+    let field = |k: &'static str| v.get(k).ok_or(ManifestError::Field(k));
+    Ok(PhaseEntry {
+        path: field("path")?
+            .as_str()
+            .ok_or_else(|| ManifestError::field("path"))?
+            .to_owned(),
+        count: field("count")?
+            .as_u64()
+            .ok_or_else(|| ManifestError::field("count"))?,
+        total_ms: field("total_ms")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("total_ms"))?,
+        min_ms: field("min_ms")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("min_ms"))?,
+        max_ms: field("max_ms")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("max_ms"))?,
+    })
+}
+
+fn parse_bins(v: &Json) -> Result<[u64; 10], ManifestError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| ManifestError::field("histogram bins"))?;
+    if arr.len() != 10 {
+        return Err(ManifestError::field("histogram bins (want 10)"));
+    }
+    let mut bins = [0u64; 10];
+    for (slot, item) in bins.iter_mut().zip(arr) {
+        *slot = item
+            .as_u64()
+            .ok_or_else(|| ManifestError::field("histogram bin"))?;
+    }
+    Ok(bins)
+}
+
+/// Why a manifest failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestError {
+    /// The JSON itself was malformed.
+    Json(ParseError),
+    /// The `schema` field named an unknown version.
+    Schema(String),
+    /// A required field was missing or had the wrong type.
+    Field(&'static str),
+    /// Like [`ManifestError::Field`] with a dynamic description.
+    FieldNamed(String),
+}
+
+impl ManifestError {
+    fn field(name: &'static str) -> ManifestError {
+        ManifestError::Field(name)
+    }
+}
+
+impl From<ParseError> for ManifestError {
+    fn from(e: ParseError) -> Self {
+        ManifestError::Json(e)
+    }
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Json(e) => write!(f, "{e}"),
+            ManifestError::Schema(s) => {
+                write!(f, "unknown manifest schema `{s}` (want `{SCHEMA}`)")
+            }
+            ManifestError::Field(name) => write!(f, "missing or mistyped manifest field `{name}`"),
+            ManifestError::FieldNamed(name) => {
+                write!(f, "missing or mistyped manifest field `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut counters = BTreeMap::new();
+        counters.insert("sim.instructions".to_owned(), 2_000_000u64);
+        counters.insert("sim.wall_ns".to_owned(), 500_000_000u64);
+        counters.insert("trace_store.requests".to_owned(), 10u64);
+        counters.insert("trace_store.memory_hits".to_owned(), 7u64);
+        counters.insert("trace_store.disk_hits".to_owned(), 1u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("predictor.occupancy.max".to_owned(), 512u64);
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "predictor.accuracy".to_owned(),
+            [1, 0, 0, 0, 0, 0, 0, 0, 0, 4],
+        );
+        RunManifest {
+            bin: "repro-all".to_owned(),
+            args: vec![
+                "--jobs=4".to_owned(),
+                "--metrics-out=/tmp/m.json".to_owned(),
+            ],
+            wall_ms: 1234.5,
+            peak_rss_bytes: 77_000_000,
+            phases: vec![PhaseEntry {
+                path: "repro-all/table_2_1".to_owned(),
+                count: 1,
+                total_ms: 100.25,
+                min_ms: 100.25,
+                max_ms: 100.25,
+            }],
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_hand_parser() {
+        let m = sample();
+        let text = m.to_json();
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = sample();
+        assert!((m.sim_instr_per_sec() - 4_000_000.0).abs() < 1e-6);
+        assert!((m.trace_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(RunManifest::default().sim_instr_per_sec(), 0.0);
+        assert_eq!(RunManifest::default().trace_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_fields() {
+        let err = RunManifest::parse(r#"{"schema":"other/v9"}"#).unwrap_err();
+        assert!(matches!(err, ManifestError::Schema(_)));
+        let err = RunManifest::parse(r#"{"schema":"provp-run-manifest/v1"}"#).unwrap_err();
+        assert!(matches!(err, ManifestError::Field("bin")));
+        assert!(RunManifest::parse("not json").is_err());
+    }
+
+    #[test]
+    fn from_snapshot_converts_units() {
+        let r = crate::Registry::new();
+        r.record_span("x", 2_000_000); // 2 ms
+        let snap = r.snapshot();
+        let m = RunManifest::from_snapshot("b", vec![], 9.0, &snap);
+        assert_eq!(m.phases.len(), 1);
+        assert_eq!(m.phases[0].path, "x");
+        assert!((m.phases[0].total_ms - 2.0).abs() < 1e-9);
+    }
+}

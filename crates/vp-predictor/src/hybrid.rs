@@ -87,7 +87,9 @@ impl ValuePredictor for HybridPredictor {
             Directive::LastValue => self.last_value.access(addr, directive, actual),
             Directive::None => Access::default(),
         };
-        self.stats.record(&a);
+        self.stats.record_classified(directive, &a);
+        self.stats.set_conflicts =
+            self.stride.stats().set_conflicts + self.last_value.stats().set_conflicts;
         a
     }
 
@@ -99,6 +101,10 @@ impl ValuePredictor for HybridPredictor {
         self.stride.reset();
         self.last_value.reset();
         self.stats = PredictorStats::new();
+    }
+
+    fn occupancy(&self) -> usize {
+        self.stride_occupancy() + self.last_value_occupancy()
     }
 }
 

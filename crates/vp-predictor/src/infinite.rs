@@ -93,7 +93,7 @@ impl<E: PredEntry> ValuePredictor for InfinitePredictor<E> {
                     .insert(addr, (E::allocate(actual), self.counter_template()));
             }
         }
-        self.stats.record(&a);
+        self.stats.record_classified(directive, &a);
         a
     }
 
@@ -104,6 +104,10 @@ impl<E: PredEntry> ValuePredictor for InfinitePredictor<E> {
     fn reset(&mut self) {
         self.entries.clear();
         self.stats = PredictorStats::new();
+    }
+
+    fn occupancy(&self) -> usize {
+        self.entries.len()
     }
 }
 

@@ -78,4 +78,11 @@ pub trait ValuePredictor {
 
     /// Forgets all dynamic state (table contents, counters, statistics).
     fn reset(&mut self);
+
+    /// Number of currently occupied table entries (0 for predictors with
+    /// no table state to report). Used by the observability layer to gauge
+    /// table pressure; never consulted by the experiments themselves.
+    fn occupancy(&self) -> usize {
+        0
+    }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use vp_isa::Directive;
+
 /// What the predictor hardware did for one dynamic value-producing
 /// instruction.
 ///
@@ -74,6 +76,21 @@ pub struct PredictorStats {
     pub speculated_correct: u64,
     /// Correct raw predictions driven by a non-zero stride.
     pub nonzero_stride_correct: u64,
+    /// Accesses whose profile directive classified them stride-predictable.
+    pub stride_accesses: u64,
+    /// Raw-correct accesses among the stride-classified ones.
+    pub stride_correct: u64,
+    /// Accesses whose directive classified them last-value-predictable.
+    pub last_value_accesses: u64,
+    /// Raw-correct accesses among the last-value-classified ones.
+    pub last_value_correct: u64,
+    /// Accesses carrying no predictability directive.
+    pub unclassified_accesses: u64,
+    /// Raw-correct accesses among the unclassified ones.
+    pub unclassified_correct: u64,
+    /// Set-index conflicts in the backing table (new keys landing in sets
+    /// that already hold other tags); always zero for infinite predictors.
+    pub set_conflicts: u64,
 }
 
 impl PredictorStats {
@@ -94,6 +111,28 @@ impl PredictorStats {
         self.speculated += u64::from(a.speculated());
         self.speculated_correct += u64::from(a.speculated_correct());
         self.nonzero_stride_correct += u64::from(a.correct && a.nonzero_stride);
+    }
+
+    /// Folds one access outcome into the totals, additionally attributing
+    /// it to its profile-classification bucket (stride / last-value /
+    /// unclassified) so per-class hit rates can be exported.
+    pub fn record_classified(&mut self, directive: Directive, a: &Access) {
+        self.record(a);
+        let correct = u64::from(a.correct);
+        match directive {
+            Directive::Stride => {
+                self.stride_accesses += 1;
+                self.stride_correct += correct;
+            }
+            Directive::LastValue => {
+                self.last_value_accesses += 1;
+                self.last_value_correct += correct;
+            }
+            Directive::None => {
+                self.unclassified_accesses += 1;
+                self.unclassified_correct += correct;
+            }
+        }
     }
 
     /// Raw predictions that missed the actual value (including accesses with
@@ -204,6 +243,22 @@ mod tests {
         assert_eq!(s.raw_incorrect_suppressed, 1);
         assert!((s.misprediction_classification_accuracy() - 0.5).abs() < 1e-12);
         assert!((s.correct_classification_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_classified_buckets_by_directive() {
+        let mut s = PredictorStats::new();
+        s.record_classified(Directive::Stride, &access(true, true, true));
+        s.record_classified(Directive::Stride, &access(true, true, false));
+        s.record_classified(Directive::LastValue, &access(true, true, true));
+        s.record_classified(Directive::None, &access(false, false, false));
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.stride_accesses, 2);
+        assert_eq!(s.stride_correct, 1);
+        assert_eq!(s.last_value_accesses, 1);
+        assert_eq!(s.last_value_correct, 1);
+        assert_eq!(s.unclassified_accesses, 1);
+        assert_eq!(s.unclassified_correct, 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct SetAssocTable<E> {
     sets: Vec<Vec<Slot<E>>>,
     clock: u64,
     evictions: u64,
+    conflicts: u64,
 }
 
 impl<E> SetAssocTable<E> {
@@ -46,6 +47,7 @@ impl<E> SetAssocTable<E> {
                 .collect(),
             clock: 0,
             evictions: 0,
+            conflicts: 0,
         }
     }
 
@@ -87,6 +89,12 @@ impl<E> SetAssocTable<E> {
             return Some((key, old));
         }
         if set.len() < ways {
+            if !set.is_empty() {
+                // A distinct key landed in a set that already holds other
+                // tags — set-index aliasing the geometry experiments care
+                // about, even before it forces an eviction.
+                self.conflicts += 1;
+            }
             set.push(Slot {
                 tag: key,
                 stamp: clock,
@@ -109,6 +117,7 @@ impl<E> SetAssocTable<E> {
             },
         );
         self.evictions += 1;
+        self.conflicts += 1;
         Some((old.tag, old.payload))
     }
 
@@ -124,6 +133,15 @@ impl<E> SetAssocTable<E> {
         self.evictions
     }
 
+    /// Number of set-index conflicts observed so far: insertions of a new
+    /// key into a set already holding at least one other tag (a superset
+    /// of [`evictions`](Self::evictions) that also counts shared-set
+    /// co-residency in partially-filled sets).
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
     /// Empties the table and resets statistics.
     pub fn clear(&mut self) {
         for set in &mut self.sets {
@@ -131,6 +149,7 @@ impl<E> SetAssocTable<E> {
         }
         self.clock = 0;
         self.evictions = 0;
+        self.conflicts = 0;
     }
 }
 
@@ -188,7 +207,24 @@ mod tests {
         t.clear();
         assert_eq!(t.occupancy(), 0);
         assert_eq!(t.evictions(), 0);
+        assert_eq!(t.conflicts(), 0);
         assert!(t.probe(0).is_none());
+    }
+
+    #[test]
+    fn conflicts_count_shared_set_inserts() {
+        // 2 sets x 2 ways; keys 0,2,4 all map to set 0.
+        let mut t = SetAssocTable::new(TableGeometry::new(4, 2));
+        t.insert(0, 'a'); // empty set: no conflict
+        assert_eq!(t.conflicts(), 0);
+        t.insert(2, 'b'); // co-resident with 0: conflict, no eviction
+        assert_eq!(t.conflicts(), 1);
+        assert_eq!(t.evictions(), 0);
+        t.insert(0, 'c'); // replacement of the same tag: not a conflict
+        assert_eq!(t.conflicts(), 1);
+        t.insert(4, 'd'); // full set: conflict + eviction
+        assert_eq!(t.conflicts(), 2);
+        assert_eq!(t.evictions(), 1);
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl<E: PredEntry> ValuePredictor for TablePredictor<E> {
         if !self.classifier.admits(directive) {
             // Untagged under directive classification: invisible to the
             // table. This is the better-utilisation effect of Table 5.1.
-            self.stats.record(&a);
+            self.stats.record_classified(directive, &a);
             return a;
         }
         let key = u64::from(addr.index());
@@ -104,7 +104,8 @@ impl<E: PredEntry> ValuePredictor for TablePredictor<E> {
                 }
             }
         }
-        self.stats.record(&a);
+        self.stats.record_classified(directive, &a);
+        self.stats.set_conflicts = self.table.conflicts();
         a
     }
 
@@ -115,6 +116,10 @@ impl<E: PredEntry> ValuePredictor for TablePredictor<E> {
     fn reset(&mut self) {
         self.table.clear();
         self.stats = PredictorStats::new();
+    }
+
+    fn occupancy(&self) -> usize {
+        TablePredictor::occupancy(self)
     }
 }
 

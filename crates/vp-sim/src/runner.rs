@@ -112,20 +112,28 @@ pub fn run_on(
     tracer: &mut impl Tracer,
     limits: RunLimits,
 ) -> Result<RunSummary, SimError> {
+    let started = std::time::Instant::now();
     let mut retired = 0u64;
-    while retired < limits.max_instructions {
+    let status = loop {
+        if retired >= limits.max_instructions {
+            break RunStatus::BudgetExhausted;
+        }
         let outcome = step(machine, program, |ev| tracer.retire(ev))?;
         retired += 1;
         if outcome == StepOutcome::Halted {
-            return Ok(RunSummary {
-                instructions: retired,
-                status: RunStatus::Halted,
-            });
+            break RunStatus::Halted;
         }
-    }
+    };
+    // Throughput accounting for the observability layer: one bump per
+    // completed run, outside the retire loop, so per-instruction cost is
+    // untouched.
+    vp_obs::counter("sim.runs").add(1);
+    vp_obs::counter("sim.instructions").add(retired);
+    vp_obs::counter("sim.wall_ns")
+        .add(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
     Ok(RunSummary {
         instructions: retired,
-        status: RunStatus::BudgetExhausted,
+        status,
     })
 }
 
