@@ -7,13 +7,28 @@
 //!               [--max-regression=0.30]
 //! ```
 //!
-//! Exit status: 0 when throughput is within bounds (or the baseline
-//! records none), 1 on a regression, 2 on usage/parse errors.
+//! Accepts both manifest schema versions (v1 aggregates-only and v2 with
+//! the `samples` series).
+//!
+//! Exit status:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | throughput within bounds (or the baseline records none) |
+//! | 1 | regression beyond `--max-regression` |
+//! | 2 | usage error, or the *current* manifest is missing/unparsable |
+//! | 3 | the *baseline* manifest is missing (unreadable) |
+//! | 4 | the *baseline* manifest is unparsable |
+//!
+//! Codes 3 and 4 let CI distinguish "the gate could not run" (fix the
+//! baseline, e.g. after a schema change) from "the gate ran and failed"
+//! (a real regression); both print a `PROVP_LOG`-visible warning on
+//! stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vp_obs::{obs_error, RunManifest};
+use vp_obs::{obs_error, obs_warn, RunManifest};
 
 struct Args {
     manifest: PathBuf,
@@ -52,6 +67,23 @@ fn load(path: &std::path::Path) -> Result<RunManifest, String> {
     RunManifest::parse(text.trim_end()).map_err(|e| format!("cannot parse {path:?}: {e}"))
 }
 
+/// Why the baseline could not be used (each maps to a distinct exit
+/// code, so CI can tell "fix the baseline" from "fix the regression").
+#[derive(Debug, PartialEq)]
+enum BaselineError {
+    /// The file could not be read (missing, unreadable): exit 3.
+    Missing(String),
+    /// The file was read but is not a valid manifest: exit 4.
+    Unparsable(String),
+}
+
+fn load_baseline(path: &std::path::Path) -> Result<RunManifest, BaselineError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| BaselineError::Missing(format!("cannot read baseline {path:?}: {e}")))?;
+    RunManifest::parse(text.trim_end())
+        .map_err(|e| BaselineError::Unparsable(format!("cannot parse baseline {path:?}: {e}")))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -60,11 +92,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (current, baseline) = match (load(&args.manifest), load(&args.baseline)) {
-        (Ok(c), Ok(b)) => (c, b),
-        (Err(e), _) | (_, Err(e)) => {
+    let current = match load(&args.manifest) {
+        Ok(c) => c,
+        Err(e) => {
             obs_error!("{e}");
             return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(&args.baseline) {
+        Ok(b) => b,
+        Err(BaselineError::Missing(msg)) => {
+            obs_warn!("{msg}; the throughput gate cannot run (exit 3)");
+            return ExitCode::from(3);
+        }
+        Err(BaselineError::Unparsable(msg)) => {
+            obs_warn!("{msg}; refresh BENCH_baseline.json (exit 4)");
+            return ExitCode::from(4);
         }
     };
 
@@ -112,5 +155,32 @@ mod tests {
             "--max-regression=2".to_owned()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn missing_baseline_is_distinguished_from_unparsable() {
+        let dir = std::env::temp_dir().join(format!("metrics-check-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file -> Missing (exit 3 path).
+        let err = load_baseline(&dir.join("nope.json")).unwrap_err();
+        assert!(matches!(err, BaselineError::Missing(_)), "{err:?}");
+
+        // Present but garbage -> Unparsable (exit 4 path).
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ not a manifest").unwrap();
+        let err = load_baseline(&bad).unwrap_err();
+        assert!(matches!(err, BaselineError::Unparsable(_)), "{err:?}");
+
+        // A valid manifest loads fine through the same path.
+        let good = dir.join("good.json");
+        let manifest = RunManifest {
+            bin: "x".to_owned(),
+            ..RunManifest::default()
+        };
+        std::fs::write(&good, manifest.to_json()).unwrap();
+        assert_eq!(load_baseline(&good).unwrap(), manifest);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

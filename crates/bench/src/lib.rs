@@ -28,12 +28,21 @@
 //!                            peak RSS) to FILE after the run
 //! --metrics-table            print the same report human-readably to
 //!                            stderr
+//! --trace-out=FILE           record span begin/end and pipeline events
+//!                            into a bounded in-memory ring and write a
+//!                            Chrome `trace_event` JSON file (open in
+//!                            Perfetto or chrome://tracing) after the run
+//! --sample-ms=N              snapshot every counter/gauge every N ms on
+//!                            a background thread and embed the series as
+//!                            the `samples` array of a
+//!                            `provp-run-manifest/v2` manifest
 //! ```
 //!
-//! With neither metrics flag set, the observability layer stays passive
-//! and stdout is byte-identical to an uninstrumented run. Diagnostics on
-//! stderr are level-filtered via `PROVP_LOG=error|warn|info|debug`
-//! (default `warn`).
+//! With none of the observability flags set, the layer stays passive
+//! and stdout is byte-identical to an uninstrumented run — the event
+//! ring, sampler and exporters only write to the requested files and to
+//! stderr, never stdout. Diagnostics on stderr are level-filtered via
+//! `PROVP_LOG=error|warn|info|debug` (default `warn`).
 
 pub mod micro;
 
@@ -59,6 +68,12 @@ pub struct Options {
     pub metrics_out: Option<PathBuf>,
     /// Whether to print the human-readable metrics report to stderr.
     pub metrics_table: bool,
+    /// Where to write the Chrome `trace_event` JSON document, if
+    /// anywhere (also enables the in-memory event ring).
+    pub trace_out: Option<PathBuf>,
+    /// Mid-run registry sampling cadence in milliseconds, if sampling
+    /// was requested (promotes the manifest to schema v2).
+    pub sample_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -70,6 +85,8 @@ impl Default for Options {
             trace_cache: None,
             metrics_out: None,
             metrics_table: false,
+            trace_out: None,
+            sample_ms: None,
         }
     }
 }
@@ -117,10 +134,23 @@ impl Options {
                 opts.metrics_out = Some(PathBuf::from(path));
             } else if arg == "--metrics-table" {
                 opts.metrics_table = true;
+            } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+                if path.is_empty() {
+                    return Err("empty --trace-out path".to_owned());
+                }
+                opts.trace_out = Some(PathBuf::from(path));
+            } else if let Some(n) = arg.strip_prefix("--sample-ms=") {
+                opts.sample_ms = Some(
+                    n.parse()
+                        .ok()
+                        .filter(|&ms| ms >= 1)
+                        .ok_or_else(|| format!("bad --sample-ms value `{n}` (want >= 1)"))?,
+                );
             } else {
                 return Err(format!(
                     "unknown argument `{arg}` (try --workloads=, --train-runs=, \
-                     --jobs=, --trace-cache=, --metrics-out=, --metrics-table)"
+                     --jobs=, --trace-cache=, --metrics-out=, --metrics-table, \
+                     --trace-out=, --sample-ms=)"
                 ));
             }
         }
@@ -153,12 +183,13 @@ impl Options {
 
 /// Runs one experiment binary end to end: parses the process arguments,
 /// builds the suite, executes `body` under a root span named after the
-/// binary, and — when `--metrics-out=`/`--metrics-table` ask for it —
-/// folds the suite's trace-store statistics into the metric registry and
-/// emits the run manifest.
+/// binary, and — when the observability flags ask for it — folds the
+/// suite's trace-store statistics into the metric registry, records the
+/// event stream, samples the registry mid-run and emits the run
+/// manifest and Chrome trace.
 ///
-/// With neither metrics flag set this adds nothing observable: no files,
-/// no stderr, and stdout exactly as `body` printed it.
+/// With no observability flags set this adds nothing observable: no
+/// files, no stderr, and stdout exactly as `body` printed it.
 pub fn run_experiment(bin: &'static str, body: impl FnOnce(&Options, &Suite)) {
     let opts = Options::from_env();
     run_experiment_with(bin, &opts, body);
@@ -168,28 +199,84 @@ pub fn run_experiment(bin: &'static str, body: impl FnOnce(&Options, &Suite)) {
 /// layer extra argument handling on top of [`Options`]).
 pub fn run_experiment_with(bin: &'static str, opts: &Options, body: impl FnOnce(&Options, &Suite)) {
     let started = Instant::now();
+    if opts.trace_out.is_some() {
+        vp_obs::events::enable();
+    }
     let suite = opts.suite();
+    // The sampler hook republishes the trace store's lock-consistent
+    // counter block right before every snapshot (on the sampler thread),
+    // so invariants like `memory_hits + misses == requests` hold in
+    // every sample, not just at end of run. Publishing is idempotent
+    // (`record_absolute`), so the hook and the end-of-run publish never
+    // double count.
+    let sampler = opts.sample_ms.map(|ms| {
+        let store = suite.trace_store();
+        vp_obs::Sampler::start_with_hook(
+            std::time::Duration::from_millis(ms),
+            vp_obs::global(),
+            move || publish_trace_store_stats(&store.stats()),
+        )
+    });
+    vp_obs::events::instant("experiment.start", 0);
     {
         let _root = vp_obs::span(bin);
         body(opts, &suite);
     }
-    emit_metrics(bin, opts, &suite, started);
+    vp_obs::events::instant("experiment.finish", 0);
+    let samples = sampler.map_or_else(Vec::new, vp_obs::Sampler::stop);
+    // Drain + export the event stream *before* the manifest snapshot so
+    // `trace.dropped_events` lands in the manifest's counters.
+    emit_trace(opts);
+    emit_metrics(bin, opts, &suite, started, samples);
+}
+
+/// Drains the global event stream and writes the Chrome trace when
+/// `--trace-out=` asked for one. A no-op otherwise.
+fn emit_trace(opts: &Options) {
+    let Some(path) = &opts.trace_out else { return };
+    let (events, dropped) = vp_obs::events::drain_global();
+    vp_obs::counter("trace.dropped_events").record_absolute(dropped);
+    if dropped > 0 {
+        vp_obs::obs_warn!(
+            "event ring dropped {dropped} events (oldest first); the Chrome \
+             trace at {} is truncated",
+            path.display()
+        );
+    }
+    if let Err(e) = vp_obs::write_chrome_trace(&events, dropped, path) {
+        obs_error!("failed to write Chrome trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
 }
 
 /// Publishes the suite's trace-store counters into the global registry and
 /// writes/prints the manifest as requested. A no-op without metrics flags.
-fn emit_metrics(bin: &str, opts: &Options, suite: &Suite, started: Instant) {
+fn emit_metrics(
+    bin: &str,
+    opts: &Options,
+    suite: &Suite,
+    started: Instant,
+    samples: Vec<vp_obs::Sample>,
+) {
     if opts.metrics_out.is_none() && !opts.metrics_table {
+        if !samples.is_empty() {
+            vp_obs::obs_warn!(
+                "--sample-ms collected {} samples but neither --metrics-out= nor \
+                 --metrics-table was given; the series is discarded",
+                samples.len()
+            );
+        }
         return;
     }
-    publish_trace_store_stats(suite);
+    publish_trace_store_stats(&suite.trace_stats());
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let manifest = RunManifest::from_snapshot(
         bin,
         std::env::args().skip(1).collect(),
         wall_ms,
         &vp_obs::global().snapshot(),
-    );
+    )
+    .with_samples(samples);
     if opts.metrics_table {
         vp_obs::print_table(&manifest);
     }
@@ -201,20 +288,25 @@ fn emit_metrics(bin: &str, opts: &Options, suite: &Suite, started: Instant) {
     }
 }
 
-/// Folds one suite's cumulative [`provp_core::TraceStoreStats`] into the
-/// metric registry under the `trace_store.*` keys the manifest's derived
-/// hit rate consumes.
-fn publish_trace_store_stats(suite: &Suite) {
-    let stats = suite.trace_stats();
-    vp_obs::counter("trace_store.requests").add(stats.requests);
-    vp_obs::counter("trace_store.memory_hits").add(stats.memory_hits);
-    vp_obs::counter("trace_store.misses").add(stats.misses);
-    vp_obs::counter("trace_store.disk_hits").add(stats.disk_hits);
-    vp_obs::counter("trace_store.captures").add(stats.captures);
-    vp_obs::counter("trace_store.evictions").add(stats.evictions);
-    vp_obs::counter("trace_store.spills").add(stats.spills);
-    vp_obs::counter("trace_store.spill_failures").add(stats.spill_failures);
-    vp_obs::counter("trace_store.dedup_waits").add(stats.dedup_waits);
+/// Publishes one trace store's cumulative [`provp_core::TraceStoreStats`]
+/// block into the metric registry under the `trace_store.*` keys the
+/// manifest's derived hit rate consumes.
+///
+/// Publishing is *idempotent* (`record_absolute` / `set_max` raise, never
+/// accumulate): the stats block is already cumulative, and both the
+/// sampler hook and the end-of-run exporter call this with snapshots of
+/// the same monotone totals.
+fn publish_trace_store_stats(stats: &provp_core::TraceStoreStats) {
+    let c = |key: &'static str, v: u64| vp_obs::counter(key).record_absolute(v);
+    c("trace_store.requests", stats.requests);
+    c("trace_store.memory_hits", stats.memory_hits);
+    c("trace_store.misses", stats.misses);
+    c("trace_store.disk_hits", stats.disk_hits);
+    c("trace_store.captures", stats.captures);
+    c("trace_store.evictions", stats.evictions);
+    c("trace_store.spills", stats.spills);
+    c("trace_store.spill_failures", stats.spill_failures);
+    c("trace_store.dedup_waits", stats.dedup_waits);
     vp_obs::gauge("trace_store.resident").set_max(stats.resident);
     vp_obs::gauge("trace_store.resident_bytes").set_max(stats.resident_bytes);
 }
@@ -259,5 +351,18 @@ mod tests {
         assert!(Options::parse(["--jobs=0".into()]).is_err());
         assert!(Options::parse(["--jobs=lots".into()]).is_err());
         assert!(Options::parse(["--trace-cache=".into()]).is_err());
+        assert!(Options::parse(["--trace-out=".into()]).is_err());
+        assert!(Options::parse(["--sample-ms=0".into()]).is_err());
+        assert!(Options::parse(["--sample-ms=soon".into()]).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let o = Options::parse(["--trace-out=t.json".into(), "--sample-ms=50".into()]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.json".as_ref()));
+        assert_eq!(o.sample_ms, Some(50));
+        let o = Options::parse([]).unwrap();
+        assert_eq!(o.trace_out, None);
+        assert_eq!(o.sample_ms, None);
     }
 }

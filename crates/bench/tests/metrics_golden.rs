@@ -1,12 +1,16 @@
 //! Guards the observability layer's central contract: requesting a run
 //! manifest must not perturb experiment output. Runs the real `repro-all`
-//! binary twice — with and without `--metrics-out` — and asserts stdout
-//! is byte-identical, then sanity-checks the emitted manifest.
+//! binary with and without observability flags (`--metrics-out`,
+//! `--trace-out`, `--sample-ms`) and asserts stdout is byte-identical,
+//! then sanity-checks the emitted manifest, the time-series samples, the
+//! Chrome trace, and the `manifest-diff` attribution tool.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::Command;
 
-use vp_obs::RunManifest;
+use vp_obs::json::Json;
+use vp_obs::{RunManifest, SCHEMA_V2};
 
 const ARGS: &[&str] = &["--workloads=compress,ijpeg", "--train-runs=2", "--jobs=2"];
 
@@ -104,4 +108,232 @@ fn parse_manifest(path: &Path) -> RunManifest {
     let text = std::fs::read_to_string(path).expect("manifest written");
     assert!(text.ends_with('\n'), "manifest ends with newline");
     RunManifest::parse(text.trim_end()).expect("manifest parses")
+}
+
+/// Full observability run: `--trace-out` + `--sample-ms` + `--metrics-out`
+/// together must still leave experiment stdout byte-identical, while
+/// producing a v2 manifest whose time series is internally consistent and
+/// a Chrome trace that satisfies the `trace_event` validity contract
+/// (every `B` matched by an `E` on its thread, timestamps monotone per
+/// thread).
+#[test]
+fn trace_and_samples_leave_stdout_byte_identical() {
+    let pid = std::process::id();
+    let manifest_path = std::env::temp_dir().join(format!("provp-trace-golden-{pid}.json"));
+    let trace_path = std::env::temp_dir().join(format!("provp-trace-golden-{pid}.trace.json"));
+    let _ = std::fs::remove_file(&manifest_path);
+    let _ = std::fs::remove_file(&trace_path);
+
+    let plain = run_repro_all(&[]);
+    let instrumented = run_repro_all(&[
+        format!("--metrics-out={}", manifest_path.display()),
+        format!("--trace-out={}", trace_path.display()),
+        "--sample-ms=25".to_owned(),
+    ]);
+
+    assert!(plain.status.success(), "plain run failed");
+    assert!(instrumented.status.success(), "instrumented run failed");
+    assert_eq!(
+        plain.stdout, instrumented.stdout,
+        "--trace-out/--sample-ms must not change experiment stdout"
+    );
+
+    // -- v2 manifest with an internally consistent time series --
+    let manifest = parse_manifest(&manifest_path);
+    std::fs::remove_file(&manifest_path).unwrap();
+    assert_eq!(manifest.schema(), SCHEMA_V2, "samples promote to v2");
+    assert!(
+        manifest.samples.len() >= 2,
+        "immediate + final samples guarantee >= 2 points, got {}",
+        manifest.samples.len()
+    );
+    let counter = |m: &BTreeMap<String, u64>, k: &str| m.get(k).copied().unwrap_or(0);
+    for s in &manifest.samples {
+        assert_eq!(
+            counter(&s.counters, "trace_store.memory_hits")
+                + counter(&s.counters, "trace_store.misses"),
+            counter(&s.counters, "trace_store.requests"),
+            "mid-run sample at t={}ms must balance (lock-consistent hook)",
+            s.t_ms
+        );
+    }
+    for pair in manifest.samples.windows(2) {
+        assert!(
+            pair[0].t_ms <= pair[1].t_ms,
+            "sample series must be monotone"
+        );
+        assert!(
+            counter(&pair[0].counters, "trace_store.requests")
+                <= counter(&pair[1].counters, "trace_store.requests"),
+            "monotone counters must not go backwards across samples"
+        );
+    }
+    // The ring-drop counter is always published on traced runs (0 when
+    // nothing was lost), so dashboards can rely on the key.
+    assert!(
+        manifest.counters.contains_key("trace.dropped_events"),
+        "traced runs must report trace.dropped_events (even when 0)"
+    );
+
+    // -- Chrome trace validity --
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    std::fs::remove_file(&trace_path).unwrap();
+    assert!(text.ends_with('\n'), "trace ends with newline");
+    let names = assert_chrome_trace_valid(text.trim_end());
+    for expected in ["experiment.start", "experiment.finish", "repro-all"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "trace must record {expected}; saw {names:?}"
+        );
+    }
+}
+
+/// Asserts the Chrome `trace_event` validity contract on a rendered
+/// trace document and returns the event names seen: every record carries
+/// name/ph/ts/pid/tid, every `B` is matched by a later `E` on the same
+/// tid, and timestamps are monotone per tid.
+fn assert_chrome_trace_valid(doc: &str) -> Vec<String> {
+    let parsed = Json::parse(doc).expect("trace is valid JSON");
+    let records = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!records.is_empty(), "trace must not be empty");
+    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut last: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut names = Vec::new();
+    for r in records {
+        let tid = r.get("tid").and_then(Json::as_u64).expect("tid");
+        let ts = r.get("ts").and_then(Json::as_f64).expect("ts");
+        let ph = r.get("ph").and_then(Json::as_str).expect("ph");
+        let name = r.get("name").and_then(Json::as_str).expect("name");
+        assert!(r.get("pid").and_then(Json::as_u64).is_some(), "pid");
+        names.push(name.to_owned());
+        let prev = last.entry(tid).or_insert(0.0);
+        assert!(ts >= *prev, "timestamps must be monotone per thread");
+        *prev = ts;
+        match ph {
+            "B" => *depth.entry(tid).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                assert!(*d > 0, "E without open B on tid {tid}");
+                *d -= 1;
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (tid, d) in depth {
+        assert_eq!(d, 0, "unclosed B on tid {tid}");
+    }
+    names
+}
+
+/// Golden test for the `manifest-diff` attribution tool: a synthesized
+/// regression (one slower phase, one counter swing) must be blamed in
+/// all three output formats, with exit code 0 (differences are reported,
+/// never an error) and usage errors exiting 2.
+#[test]
+fn manifest_diff_attributes_synthesized_regression() {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("provp-diff-golden-{pid}"));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut base = RunManifest {
+        bin: "repro-all".to_owned(),
+        wall_ms: 1_000.0,
+        ..RunManifest::default()
+    };
+    base.phases.push(vp_obs::manifest::PhaseEntry {
+        path: "repro-all/fig_4".to_owned(),
+        count: 1,
+        total_ms: 100.0,
+        min_ms: 100.0,
+        max_ms: 100.0,
+    });
+    base.counters
+        .insert("sim.instructions".to_owned(), 1_000_000);
+    base.counters
+        .insert("sim.wall_ns".to_owned(), 1_000_000_000);
+    base.counters.insert("trace_store.requests".to_owned(), 24);
+
+    let mut cur = base.clone();
+    cur.wall_ms = 1_400.0;
+    cur.phases[0].total_ms = 450.0; // the regression to blame
+    cur.counters.insert("sim.wall_ns".to_owned(), 2_000_000_000); // throughput halved
+    cur.counters.insert("trace_store.requests".to_owned(), 48);
+
+    let base_path = dir.join("base.json");
+    let cur_path = dir.join("cur.json");
+    std::fs::write(&base_path, base.to_json()).unwrap();
+    std::fs::write(&cur_path, cur.to_json()).unwrap();
+
+    let run = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_manifest-diff"))
+            .arg(format!("--baseline={}", base_path.display()))
+            .arg(format!("--manifest={}", cur_path.display()))
+            .args(extra)
+            .output()
+            .expect("manifest-diff runs")
+    };
+
+    // Table (default): the slow phase and moved counters are attributed.
+    let table = run(&[]);
+    assert!(table.status.success(), "diff reports, never errors");
+    let text = String::from_utf8(table.stdout).unwrap();
+    assert!(
+        text.contains("repro-all/fig_4"),
+        "blames the slow phase:\n{text}"
+    );
+    assert!(
+        text.contains("trace_store.requests"),
+        "counter swing listed:\n{text}"
+    );
+    assert!(
+        text.contains("sim_instr_per_sec"),
+        "derived throughput shown:\n{text}"
+    );
+
+    // Markdown: a GitHub table for $GITHUB_STEP_SUMMARY.
+    let md = run(&["--format=markdown"]);
+    assert!(md.status.success());
+    let md_text = String::from_utf8(md.stdout).unwrap();
+    assert!(
+        md_text.contains("### Manifest diff"),
+        "markdown heading:\n{md_text}"
+    );
+    assert!(
+        md_text.contains("| phase |"),
+        "markdown phase table:\n{md_text}"
+    );
+    assert!(md_text.contains("repro-all/fig_4"));
+
+    // JSON: parses, carries its own schema tag, and is never truncated.
+    let json = run(&["--format=json", "--top=1"]);
+    assert!(json.status.success());
+    let json_text = String::from_utf8(json.stdout).unwrap();
+    let doc = Json::parse(json_text.trim_end()).expect("diff JSON parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("provp-manifest-diff/v1")
+    );
+    let counters = doc.get("counters").and_then(Json::as_arr).unwrap();
+    assert!(
+        counters.len() >= 2,
+        "--top must not truncate JSON output: {json_text}"
+    );
+
+    // Usage and read errors exit 2.
+    let missing = Command::new(env!("CARGO_BIN_EXE_manifest-diff"))
+        .arg("--baseline=/nonexistent/base.json")
+        .arg(format!("--manifest={}", cur_path.display()))
+        .output()
+        .expect("manifest-diff runs");
+    assert_eq!(missing.status.code(), Some(2), "unreadable input exits 2");
+    let usage = Command::new(env!("CARGO_BIN_EXE_manifest-diff"))
+        .output()
+        .expect("manifest-diff runs");
+    assert_eq!(usage.status.code(), Some(2), "missing flags exit 2");
+
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -156,7 +156,10 @@ impl ProfileGuidedPipeline {
             .without_directives();
 
         // Phase 2: profile under each training input, replaying memoised
-        // traces when a store is attached.
+        // traces when a store is attached. The event scope brackets the
+        // whole profiling phase in the Chrome trace without adding a new
+        // manifest phase row.
+        let _profiling = vp_obs::events::scope("pipeline.profile");
         let mut images = Vec::with_capacity(self.config.train_runs as usize);
         for input in vp_workloads::InputSet::train_set(self.config.train_runs) {
             let program = workload.program(&input);
@@ -177,10 +180,14 @@ impl ProfileGuidedPipeline {
             }
             images.push(collector.into_image());
         }
+        drop(_profiling);
         let merged = merge::intersect_and_sum(&images);
 
         // Phase 3: insert directives.
-        let annotated = annotate(&base, &merged.image, &self.config.policy);
+        let annotated = {
+            let _annotating = vp_obs::events::scope("pipeline.annotate");
+            annotate(&base, &merged.image, &self.config.policy)
+        };
 
         Ok(PipelineOutcome {
             images,

@@ -185,6 +185,14 @@ impl Suite {
         self.traces.stats()
     }
 
+    /// A handle on the embedded trace store (shared, so a mid-run
+    /// sampler hook can snapshot its internally-consistent stats from a
+    /// background thread).
+    #[must_use]
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        Arc::clone(&self.traces)
+    }
+
     /// Maps `f` over `items` on up to [`Suite::jobs`] threads, returning
     /// results in input order — the building block every experiment grid
     /// uses to fan out per-workload work deterministically.
@@ -362,8 +370,14 @@ impl Suite {
 }
 
 /// Folds one run's predictor statistics into the process-wide
-/// observability counters (table pressure + per-classification hit rates).
+/// observability counters (table pressure + per-classification hit rates)
+/// and marks allocation bursts in the event stream (an instant event per
+/// run carrying that run's allocation count, so the Chrome trace shows
+/// *which* predictor runs churned the table).
 fn publish_predictor_metrics(stats: &PredictorStats) {
+    if stats.allocations > 0 {
+        vp_obs::events::instant("predictor.alloc_burst", stats.allocations);
+    }
     vp_obs::counter("predictor.accesses").add(stats.accesses);
     vp_obs::counter("predictor.hits").add(stats.hits);
     vp_obs::counter("predictor.allocations").add(stats.allocations);

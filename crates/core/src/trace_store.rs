@@ -29,7 +29,12 @@
 //! any instant `requests == memory_hits + misses` holds exactly, even
 //! while worker threads are mid-request. Captures are additionally
 //! wrapped in a `vp_obs` span (`capture`) so manifest phase timings show
-//! where simulation wall-clock goes.
+//! where simulation wall-clock goes, and the store emits instant events
+//! (`trace_store.evict` / `trace_store.spill` / `trace_store.disk_hit`,
+//! each carrying the trace's approximate byte size) into the
+//! `vp_obs::events` stream so a Chrome trace shows *when* cache churn
+//! happened. Event emission is lock-free and a no-op unless a
+//! `--trace-out` run enabled the stream.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -474,6 +479,7 @@ impl TraceStore {
         tracer: &mut impl Tracer,
     ) -> Result<(Trace, Provenance), TraceError> {
         if let Some(trace) = self.try_disk_load(key) {
+            vp_obs::events::instant("trace_store.disk_hit", trace.approx_bytes() as u64);
             trace
                 .replay(program, tracer)
                 .map_err(|source| TraceError::Replay { key: *key, source })?;
@@ -492,6 +498,7 @@ impl TraceStore {
     /// Loads from the spill directory or captures by simulation.
     fn load_or_capture(&self, key: &TraceKey) -> Result<(Trace, Provenance), TraceError> {
         if let Some(trace) = self.try_disk_load(key) {
+            vp_obs::events::instant("trace_store.disk_hit", trace.approx_bytes() as u64);
             return Ok((trace, Provenance::Disk));
         }
         let program = Workload::new(key.kind).program(&key.input);
@@ -553,6 +560,7 @@ impl TraceStore {
                 spill_failed: true,
             }
         } else {
+            vp_obs::events::instant("trace_store.spill", trace.approx_bytes() as u64);
             Provenance::Captured {
                 spilled: true,
                 spill_failed: false,
@@ -574,6 +582,9 @@ impl TraceStore {
             if let Some(entry) = state.entries.remove(&victim) {
                 state.bytes = state.bytes.saturating_sub(entry.bytes);
                 state.counters.evictions += 1;
+                // Lock-free push into the (possibly disabled) event
+                // stream; cheap enough to emit under the state lock.
+                vp_obs::events::instant("trace_store.evict", entry.bytes as u64);
             }
         }
     }

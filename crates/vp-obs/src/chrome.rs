@@ -1,0 +1,245 @@
+//! Chrome `trace_event` JSON export of the event stream.
+//!
+//! Converts a drained [`crate::events`] buffer into the JSON object
+//! format consumed by Perfetto and `chrome://tracing`: a top-level
+//! `traceEvents` array of `B`/`E`/`i` phase records with microsecond
+//! timestamps. Because the ring buffer drops its *oldest* events, a
+//! drained stream can open mid-span — [`chrome_trace`] therefore
+//! sanitises the stream per thread before export:
+//!
+//! - an `E` with no matching open `B` on its thread is dropped (its
+//!   begin was overwritten);
+//! - a `B` still open at the end of the stream gets a synthetic closing
+//!   `E` at the last observed timestamp, so viewers never see an
+//!   unbounded span;
+//! - timestamps are already monotone per thread (each thread reads the
+//!   shared monotonic clock in emission order); the exporter asserts
+//!   nothing but preserves emission order, which the validity test
+//!   (`all B matched by E, timestamps monotone per thread`) checks.
+//!
+//! The exporter never writes to stdout; [`write_chrome_trace`] uses the
+//! same atomic temp-file rename as the manifest exporter.
+
+use std::io;
+use std::path::Path;
+
+use crate::events::{Event, EventKind};
+use crate::json::Json;
+
+/// The process id recorded in every trace event (the format wants one;
+/// a single provp run is always a single process).
+const PID: u64 = 1;
+
+/// Sanitises `events` (see the module docs) and renders the Chrome
+/// `trace_event` JSON document, including a `provp.dropped_events`
+/// metadata entry when the ring buffer lost events.
+#[must_use]
+pub fn chrome_trace(events: &[Event], dropped: u64) -> String {
+    let mut records: Vec<Json> = Vec::with_capacity(events.len());
+    // Per-tid stack depth of currently-open B events; E events beyond
+    // depth 0 have no surviving begin and are dropped.
+    let mut depth: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    // Per-tid stack of names still open, for synthetic closes.
+    let mut open: std::collections::BTreeMap<u64, Vec<&'static str>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+
+    for event in events {
+        let entry = last_ts.entry(event.tid).or_insert(0);
+        *entry = (*entry).max(event.ts_ns);
+        match event.kind {
+            EventKind::Begin => {
+                *depth.entry(event.tid).or_insert(0) += 1;
+                open.entry(event.tid).or_default().push(event.name);
+                records.push(phase_record("B", event));
+            }
+            EventKind::End => {
+                let d = depth.entry(event.tid).or_insert(0);
+                if *d == 0 {
+                    continue; // orphan: begin was overwritten
+                }
+                *d -= 1;
+                open.entry(event.tid).or_default().pop();
+                records.push(phase_record("E", event));
+            }
+            EventKind::Instant => {
+                let mut r = phase_record("i", event);
+                if let Json::Obj(members) = &mut r {
+                    members.push(("s".to_owned(), Json::from("t")));
+                }
+                records.push(r);
+            }
+        }
+    }
+
+    // Synthetically close anything still open, innermost first.
+    for (tid, names) in &open {
+        let ts = last_ts.get(tid).copied().unwrap_or(0);
+        for name in names.iter().rev() {
+            records.push(phase_record(
+                "E",
+                &Event {
+                    ts_ns: ts,
+                    tid: *tid,
+                    kind: EventKind::End,
+                    name,
+                    arg: 0,
+                },
+            ));
+        }
+    }
+
+    let mut doc = Json::obj()
+        .with("traceEvents", Json::Arr(records))
+        .with("displayTimeUnit", "ms");
+    if dropped > 0 {
+        if let Json::Obj(members) = &mut doc {
+            members.push(("provp.dropped_events".to_owned(), Json::from(dropped)));
+        }
+    }
+    doc.to_string()
+}
+
+fn phase_record(ph: &str, event: &Event) -> Json {
+    Json::obj()
+        .with("name", event.name)
+        .with("ph", ph)
+        // Chrome wants microseconds; keep sub-us precision as a float.
+        .with("ts", event.ts_ns as f64 / 1_000.0)
+        .with("pid", PID)
+        .with("tid", event.tid)
+        .with("args", Json::obj().with("value", event.arg))
+}
+
+/// Writes the Chrome trace for `events` to `path` (atomically, via a
+/// sibling temp file) with a trailing newline.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; the temp file is removed when the
+/// final rename fails.
+pub fn write_chrome_trace(events: &[Event], dropped: u64, path: &Path) -> io::Result<()> {
+    let mut text = chrome_trace(events, dropped);
+    text.push('\n');
+    crate::export::write_atomically(path, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(kind: EventKind, name: &'static str, tid: u64, ts_ns: u64) -> Event {
+        Event {
+            ts_ns,
+            tid,
+            kind,
+            name,
+            arg: 0,
+        }
+    }
+
+    /// Asserts the Chrome-format validity contract on a rendered trace:
+    /// every `B` is matched by a later `E` on the same tid, and
+    /// timestamps are monotone per tid. Returns the parsed records.
+    fn assert_valid(doc: &str) -> Vec<Json> {
+        let parsed = Json::parse(doc).expect("trace is valid JSON");
+        let records = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array")
+            .to_vec();
+        let mut depth: std::collections::BTreeMap<u64, i64> = std::collections::BTreeMap::new();
+        let mut last: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for r in &records {
+            let tid = r.get("tid").and_then(Json::as_u64).expect("tid");
+            let ts = r.get("ts").and_then(Json::as_f64).expect("ts");
+            let ph = r.get("ph").and_then(Json::as_str).expect("ph");
+            assert!(r.get("name").and_then(Json::as_str).is_some(), "name");
+            assert!(r.get("pid").and_then(Json::as_u64).is_some(), "pid");
+            let prev = last.entry(tid).or_insert(0.0);
+            assert!(ts >= *prev, "timestamps must be monotone per thread");
+            *prev = ts;
+            match ph {
+                "B" => *depth.entry(tid).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_insert(0);
+                    assert!(*d > 0, "E without open B on tid {tid}");
+                    *d -= 1;
+                }
+                "i" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        for (tid, d) in depth {
+            assert_eq!(d, 0, "unclosed B on tid {tid}");
+        }
+        records
+    }
+
+    #[test]
+    fn well_formed_stream_round_trips() {
+        let events = [
+            e(EventKind::Begin, "run", 0, 100),
+            e(EventKind::Begin, "profile", 0, 200),
+            e(EventKind::Instant, "evict", 1, 250),
+            e(EventKind::End, "profile", 0, 300),
+            e(EventKind::End, "run", 0, 400),
+        ];
+        let doc = chrome_trace(&events, 0);
+        let records = assert_valid(&doc);
+        assert_eq!(records.len(), 5);
+        assert!((records[0].get("ts").unwrap().as_f64().unwrap() - 0.1).abs() < 1e-12);
+        assert!(!doc.contains("provp.dropped_events"));
+    }
+
+    #[test]
+    fn orphan_ends_are_dropped() {
+        // The ring dropped the B for the outer span; its E must not leak.
+        let events = [
+            e(EventKind::End, "lost-outer", 0, 100),
+            e(EventKind::Begin, "inner", 0, 150),
+            e(EventKind::End, "inner", 0, 200),
+        ];
+        let records = assert_valid(&chrome_trace(&events, 3));
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("name").unwrap().as_str(), Some("inner"));
+    }
+
+    #[test]
+    fn unclosed_begins_get_synthetic_ends() {
+        let events = [
+            e(EventKind::Begin, "outer", 0, 100),
+            e(EventKind::Begin, "inner", 0, 200),
+            e(EventKind::Instant, "tick", 0, 300),
+        ];
+        let records = assert_valid(&chrome_trace(&events, 0));
+        // 3 originals + 2 synthetic closes, innermost first.
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[3].get("name").unwrap().as_str(), Some("inner"));
+        assert_eq!(records[4].get("name").unwrap().as_str(), Some("outer"));
+        // Synthetic closes land at the last observed timestamp.
+        assert!((records[4].get("ts").unwrap().as_f64().unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_count_is_recorded_as_metadata() {
+        let doc = chrome_trace(&[], 42);
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("provp.dropped_events").and_then(Json::as_u64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn write_is_atomic_with_trailing_newline() -> Result<(), Box<dyn std::error::Error>> {
+        let path = std::env::temp_dir().join(format!("vp-obs-chrome-{}.json", std::process::id()));
+        let events = [e(EventKind::Begin, "x", 0, 1), e(EventKind::End, "x", 0, 2)];
+        write_chrome_trace(&events, 0, &path)?;
+        let text = std::fs::read_to_string(&path)?;
+        assert!(text.ends_with('\n'));
+        assert_valid(text.trim_end());
+        std::fs::remove_file(&path)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,578 @@
+//! Regression attribution between two run manifests.
+//!
+//! `metrics-check` can say *that* simulator throughput regressed; this
+//! module says *where the time went*. [`ManifestDiff::compute`] compares
+//! a baseline manifest against a current one and produces a blame
+//! table: per-phase wall-clock deltas (sorted by absolute movement, so
+//! the guiltiest phase is first), per-counter and per-gauge deltas, and
+//! the derived-rate movement (`sim_instr_per_sec`, `trace_hit_rate`).
+//!
+//! Three renderers serve three consumers:
+//!
+//! - [`ManifestDiff::render_table`] — aligned text for a terminal or CI
+//!   log (the `manifest-diff` binary's default);
+//! - [`ManifestDiff::render_markdown`] — a GitHub-flavoured table for
+//!   `$GITHUB_STEP_SUMMARY`;
+//! - [`ManifestDiff::to_json`] — machine-readable, for downstream
+//!   tooling.
+//!
+//! The diff accepts any mix of v1/v2 manifests (samples do not
+//! participate in the diff; they exist to localise a regression *within*
+//! one run, whereas the diff localises it *between* runs).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::manifest::RunManifest;
+
+/// One phase's wall-clock movement between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Hierarchical span path.
+    pub path: String,
+    /// Baseline total milliseconds (0 when the phase is new).
+    pub base_ms: f64,
+    /// Current total milliseconds (0 when the phase disappeared).
+    pub cur_ms: f64,
+    /// `cur_ms - base_ms`.
+    pub delta_ms: f64,
+    /// Relative change (`delta_ms / base_ms`); `None` when the phase is
+    /// new (no baseline to be relative to).
+    pub pct: Option<f64>,
+}
+
+/// One counter's (or gauge's) movement between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDelta {
+    /// Metric key.
+    pub key: String,
+    /// Baseline value (0 when newly recorded).
+    pub base: u64,
+    /// Current value (0 when no longer recorded).
+    pub cur: u64,
+    /// `cur - base` (signed).
+    pub delta: i128,
+    /// Relative change; `None` when the baseline is 0.
+    pub pct: Option<f64>,
+}
+
+/// One derived rate's movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateDelta {
+    /// Rate name (`sim_instr_per_sec`, `trace_hit_rate`).
+    pub name: &'static str,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Relative change; `None` when the baseline is 0.
+    pub pct: Option<f64>,
+}
+
+/// A full attribution of the differences between two manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestDiff {
+    /// Baseline binary name.
+    pub base_bin: String,
+    /// Current binary name.
+    pub cur_bin: String,
+    /// Baseline end-to-end wall time, milliseconds.
+    pub base_wall_ms: f64,
+    /// Current end-to-end wall time, milliseconds.
+    pub cur_wall_ms: f64,
+    /// Phase deltas, sorted by `|delta_ms|` descending (ties broken by
+    /// path, so output is deterministic).
+    pub phases: Vec<PhaseDelta>,
+    /// Counter deltas, sorted by `|delta|` descending then key; entries
+    /// with no movement are omitted.
+    pub counters: Vec<CounterDelta>,
+    /// Gauge deltas, same ordering and omission rules as counters.
+    pub gauges: Vec<CounterDelta>,
+    /// Derived-rate movement.
+    pub rates: Vec<RateDelta>,
+}
+
+fn pct(base: f64, delta: f64) -> Option<f64> {
+    if base == 0.0 {
+        None
+    } else {
+        Some(delta / base)
+    }
+}
+
+fn fmt_pct(p: Option<f64>) -> String {
+    match p {
+        Some(p) => format!("{:+.1}%", p * 100.0),
+        None => "new".to_owned(),
+    }
+}
+
+fn numeric_deltas(
+    base: &std::collections::BTreeMap<String, u64>,
+    cur: &std::collections::BTreeMap<String, u64>,
+) -> Vec<CounterDelta> {
+    let keys: BTreeSet<&String> = base.keys().chain(cur.keys()).collect();
+    let mut out: Vec<CounterDelta> = keys
+        .into_iter()
+        .filter_map(|k| {
+            let b = base.get(k).copied().unwrap_or(0);
+            let c = cur.get(k).copied().unwrap_or(0);
+            if b == c {
+                return None; // no movement, no blame
+            }
+            let delta = i128::from(c) - i128::from(b);
+            Some(CounterDelta {
+                key: k.clone(),
+                base: b,
+                cur: c,
+                delta,
+                pct: pct(b as f64, delta as f64),
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.delta
+            .abs()
+            .cmp(&a.delta.abs())
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    out
+}
+
+impl ManifestDiff {
+    /// Compares `current` against `baseline` (see the module docs).
+    #[must_use]
+    pub fn compute(baseline: &RunManifest, current: &RunManifest) -> ManifestDiff {
+        let base_by_path: std::collections::BTreeMap<&str, f64> = baseline
+            .phases
+            .iter()
+            .map(|p| (p.path.as_str(), p.total_ms))
+            .collect();
+        let cur_by_path: std::collections::BTreeMap<&str, f64> = current
+            .phases
+            .iter()
+            .map(|p| (p.path.as_str(), p.total_ms))
+            .collect();
+        let paths: BTreeSet<&str> = base_by_path
+            .keys()
+            .chain(cur_by_path.keys())
+            .copied()
+            .collect();
+        let mut phases: Vec<PhaseDelta> = paths
+            .into_iter()
+            .map(|path| {
+                let base_ms = base_by_path.get(path).copied().unwrap_or(0.0);
+                let cur_ms = cur_by_path.get(path).copied().unwrap_or(0.0);
+                let delta_ms = cur_ms - base_ms;
+                PhaseDelta {
+                    path: path.to_owned(),
+                    base_ms,
+                    cur_ms,
+                    delta_ms,
+                    pct: pct(base_ms, delta_ms),
+                }
+            })
+            .collect();
+        phases.sort_by(|a, b| {
+            b.delta_ms
+                .abs()
+                .partial_cmp(&a.delta_ms.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+
+        let rate = |name: &'static str, base: f64, cur: f64| RateDelta {
+            name,
+            base,
+            cur,
+            pct: pct(base, cur - base),
+        };
+        ManifestDiff {
+            base_bin: baseline.bin.clone(),
+            cur_bin: current.bin.clone(),
+            base_wall_ms: baseline.wall_ms,
+            cur_wall_ms: current.wall_ms,
+            phases,
+            counters: numeric_deltas(&baseline.counters, &current.counters),
+            gauges: numeric_deltas(&baseline.gauges, &current.gauges),
+            rates: vec![
+                rate(
+                    "sim_instr_per_sec",
+                    baseline.sim_instr_per_sec(),
+                    current.sim_instr_per_sec(),
+                ),
+                rate(
+                    "trace_hit_rate",
+                    baseline.trace_hit_rate(),
+                    current.trace_hit_rate(),
+                ),
+            ],
+        }
+    }
+
+    /// End-to-end wall-clock movement in milliseconds.
+    #[must_use]
+    pub fn wall_delta_ms(&self) -> f64 {
+        self.cur_wall_ms - self.base_wall_ms
+    }
+
+    /// Renders an aligned text blame table, showing at most `top`
+    /// phases/counters/gauges each (0 means unlimited).
+    #[must_use]
+    pub fn render_table(&self, top: usize) -> String {
+        let take = |n: usize| if top == 0 { n } else { n.min(top) };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== manifest diff: {} ({:.1} ms) -> {} ({:.1} ms), wall {:+.1} ms ({}) ==",
+            self.base_bin,
+            self.base_wall_ms,
+            self.cur_bin,
+            self.cur_wall_ms,
+            self.wall_delta_ms(),
+            fmt_pct(pct(self.base_wall_ms, self.wall_delta_ms())),
+        );
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "-- phases (by |delta|) --");
+            let width = self
+                .phases
+                .iter()
+                .take(take(self.phases.len()))
+                .map(|p| p.path.len())
+                .max()
+                .unwrap_or(5)
+                .max(5);
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>12}  {:>12}  {:>12}  {:>8}",
+                "phase", "base ms", "current ms", "delta ms", "delta"
+            );
+            for p in self.phases.iter().take(take(self.phases.len())) {
+                let _ = writeln!(
+                    out,
+                    "{:width$}  {:>12.2}  {:>12.2}  {:>+12.2}  {:>8}",
+                    p.path,
+                    p.base_ms,
+                    p.cur_ms,
+                    p.delta_ms,
+                    fmt_pct(p.pct)
+                );
+            }
+        }
+        for (title, rows) in [("counters", &self.counters), ("gauges", &self.gauges)] {
+            if rows.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "-- {title} (by |delta|) --");
+            let width = rows
+                .iter()
+                .take(take(rows.len()))
+                .map(|c| c.key.len())
+                .max()
+                .unwrap_or(3)
+                .max(3);
+            for c in rows.iter().take(take(rows.len())) {
+                let _ = writeln!(
+                    out,
+                    "{:width$}  {:>14} -> {:>14}  ({:+}, {})",
+                    c.key,
+                    c.base,
+                    c.cur,
+                    c.delta,
+                    fmt_pct(c.pct)
+                );
+            }
+        }
+        let _ = writeln!(out, "-- derived --");
+        for r in &self.rates {
+            let _ = writeln!(
+                out,
+                "{:18}  {:.3} -> {:.3}  ({})",
+                r.name,
+                r.base,
+                r.cur,
+                fmt_pct(r.pct)
+            );
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured Markdown blame table (for
+    /// `$GITHUB_STEP_SUMMARY`), showing at most `top` rows per section
+    /// (0 means unlimited).
+    #[must_use]
+    pub fn render_markdown(&self, top: usize) -> String {
+        let take = |n: usize| if top == 0 { n } else { n.min(top) };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "### Manifest diff: `{}` vs `{}`",
+            self.base_bin, self.cur_bin
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Wall clock: {:.1} ms \u{2192} {:.1} ms (**{:+.1} ms**, {})",
+            self.base_wall_ms,
+            self.cur_wall_ms,
+            self.wall_delta_ms(),
+            fmt_pct(pct(self.base_wall_ms, self.wall_delta_ms())),
+        );
+        let _ = writeln!(out);
+        if !self.phases.is_empty() {
+            let _ = writeln!(
+                out,
+                "| phase | base ms | current ms | \u{394} ms | \u{394} |"
+            );
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+            for p in self.phases.iter().take(take(self.phases.len())) {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {:.2} | {:.2} | {:+.2} | {} |",
+                    p.path,
+                    p.base_ms,
+                    p.cur_ms,
+                    p.delta_ms,
+                    fmt_pct(p.pct)
+                );
+            }
+            let _ = writeln!(out);
+        }
+        for (title, rows) in [("counter", &self.counters), ("gauge", &self.gauges)] {
+            if rows.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "| {title} | base | current | \u{394} | \u{394}% |");
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+            for c in rows.iter().take(take(rows.len())) {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {} | {} | {:+} | {} |",
+                    c.key,
+                    c.base,
+                    c.cur,
+                    c.delta,
+                    fmt_pct(c.pct)
+                );
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "| derived rate | base | current | \u{394}% |");
+        let _ = writeln!(out, "|---|---:|---:|---:|");
+        for r in &self.rates {
+            let _ = writeln!(
+                out,
+                "| `{}` | {:.3} | {:.3} | {} |",
+                r.name,
+                r.base,
+                r.cur,
+                fmt_pct(r.pct)
+            );
+        }
+        out
+    }
+
+    /// Serialises the full diff (no `top` truncation) as a JSON
+    /// document under the `provp-manifest-diff/v1` schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let phases: Vec<Json> = self
+            .phases
+            .iter()
+            .map(|p| {
+                let mut o = Json::obj()
+                    .with("path", p.path.as_str())
+                    .with("base_ms", p.base_ms)
+                    .with("cur_ms", p.cur_ms)
+                    .with("delta_ms", p.delta_ms);
+                if let Some(pc) = p.pct {
+                    o = o.with("pct", pc);
+                }
+                o
+            })
+            .collect();
+        let numeric = |rows: &[CounterDelta]| {
+            Json::Arr(
+                rows.iter()
+                    .map(|c| {
+                        let mut o = Json::obj()
+                            .with("key", c.key.as_str())
+                            .with("base", c.base)
+                            .with("cur", c.cur)
+                            // i128 deltas always fit f64's integer range
+                            // here (u64 inputs); render as float.
+                            .with("delta", c.delta as f64);
+                        if let Some(pc) = c.pct {
+                            o = o.with("pct", pc);
+                        }
+                        o
+                    })
+                    .collect(),
+            )
+        };
+        let rates: Vec<Json> = self
+            .rates
+            .iter()
+            .map(|r| {
+                let mut o = Json::obj()
+                    .with("name", r.name)
+                    .with("base", r.base)
+                    .with("cur", r.cur);
+                if let Some(pc) = r.pct {
+                    o = o.with("pct", pc);
+                }
+                o
+            })
+            .collect();
+        Json::obj()
+            .with("schema", "provp-manifest-diff/v1")
+            .with("base_bin", self.base_bin.as_str())
+            .with("cur_bin", self.cur_bin.as_str())
+            .with("base_wall_ms", self.base_wall_ms)
+            .with("cur_wall_ms", self.cur_wall_ms)
+            .with("wall_delta_ms", self.wall_delta_ms())
+            .with("phases", Json::Arr(phases))
+            .with("counters", numeric(&self.counters))
+            .with("gauges", numeric(&self.gauges))
+            .with("rates", Json::Arr(rates))
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::PhaseEntry;
+
+    fn manifest(wall_ms: f64, phase_ms: &[(&str, f64)], counters: &[(&str, u64)]) -> RunManifest {
+        RunManifest {
+            bin: "repro-all".to_owned(),
+            wall_ms,
+            phases: phase_ms
+                .iter()
+                .map(|(path, ms)| PhaseEntry {
+                    path: (*path).to_owned(),
+                    count: 1,
+                    total_ms: *ms,
+                    min_ms: *ms,
+                    max_ms: *ms,
+                })
+                .collect(),
+            counters: counters
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            ..RunManifest::default()
+        }
+    }
+
+    fn base_and_current() -> (RunManifest, RunManifest) {
+        let base = manifest(
+            100.0,
+            &[("run/profile", 60.0), ("run/simulate", 30.0)],
+            &[
+                ("sim.instructions", 1_000),
+                ("sim.wall_ns", 1_000_000_000),
+                ("trace_store.requests", 10),
+                ("trace_store.memory_hits", 9),
+            ],
+        );
+        let cur = manifest(
+            150.0,
+            &[
+                ("run/profile", 61.0),
+                ("run/simulate", 75.0),
+                ("run/export", 5.0),
+            ],
+            &[
+                ("sim.instructions", 1_000),
+                ("sim.wall_ns", 2_000_000_000),
+                ("trace_store.requests", 10),
+                ("trace_store.memory_hits", 4),
+            ],
+        );
+        (base, cur)
+    }
+
+    #[test]
+    fn blames_largest_phase_first() {
+        let (base, cur) = base_and_current();
+        let diff = ManifestDiff::compute(&base, &cur);
+        assert!((diff.wall_delta_ms() - 50.0).abs() < 1e-9);
+        // simulate moved +45, export is new (+5), profile +1.
+        assert_eq!(diff.phases[0].path, "run/simulate");
+        assert!((diff.phases[0].delta_ms - 45.0).abs() < 1e-9);
+        assert_eq!(diff.phases[1].path, "run/export");
+        assert_eq!(diff.phases[1].pct, None, "new phase has no baseline");
+        assert_eq!(diff.phases[2].path, "run/profile");
+    }
+
+    #[test]
+    fn unchanged_counters_are_omitted_and_movement_sorted() {
+        let (base, cur) = base_and_current();
+        let diff = ManifestDiff::compute(&base, &cur);
+        let keys: Vec<&str> = diff.counters.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, ["sim.wall_ns", "trace_store.memory_hits"]);
+        assert_eq!(diff.counters[1].delta, -5);
+    }
+
+    #[test]
+    fn derived_rates_track_throughput_halving() {
+        let (base, cur) = base_and_current();
+        let diff = ManifestDiff::compute(&base, &cur);
+        let sim = &diff.rates[0];
+        assert_eq!(sim.name, "sim_instr_per_sec");
+        assert!((sim.base - 1_000.0).abs() < 1e-9);
+        assert!((sim.cur - 500.0).abs() < 1e-9);
+        assert!((sim.pct.unwrap() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renders_all_three_formats() {
+        let (base, cur) = base_and_current();
+        let diff = ManifestDiff::compute(&base, &cur);
+
+        let table = diff.render_table(0);
+        assert!(table.contains("run/simulate"));
+        assert!(table.contains("+45.00"));
+        assert!(table.contains("sim_instr_per_sec"));
+
+        let md = diff.render_markdown(0);
+        assert!(md.starts_with("### Manifest diff"));
+        assert!(md.contains("| `run/simulate` |"));
+        assert!(md.contains("| `sim.wall_ns` |"));
+
+        let json = Json::parse(&diff.to_json()).expect("diff JSON parses");
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("provp-manifest-diff/v1")
+        );
+        assert_eq!(
+            json.get("phases").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn top_limits_rows_per_section() {
+        let (base, cur) = base_and_current();
+        let diff = ManifestDiff::compute(&base, &cur);
+        let table = diff.render_table(1);
+        assert!(table.contains("run/simulate"));
+        assert!(!table.contains("run/profile"));
+        let md = diff.render_markdown(1);
+        assert!(md.contains("run/simulate"));
+        assert!(!md.contains("run/profile"));
+    }
+
+    #[test]
+    fn identical_manifests_diff_to_nothing() {
+        let (base, _) = base_and_current();
+        let diff = ManifestDiff::compute(&base, &base.clone());
+        assert_eq!(diff.wall_delta_ms(), 0.0);
+        assert!(diff.counters.is_empty());
+        assert!(diff.gauges.is_empty());
+        assert!(diff.phases.iter().all(|p| p.delta_ms == 0.0));
+    }
+}

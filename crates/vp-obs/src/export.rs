@@ -94,8 +94,20 @@ pub fn print_table(manifest: &RunManifest) {
 pub fn write_manifest(manifest: &RunManifest, path: &Path) -> io::Result<()> {
     let mut text = manifest.to_json();
     text.push('\n');
+    write_atomically(path, &text)
+}
+
+/// Writes `text` to `path` via a sibling `*.json.tmp` file followed by
+/// an atomic rename, so a crash mid-write never leaves a truncated
+/// document behind. Shared by the manifest and Chrome-trace exporters.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; the temp file is removed when the
+/// final rename fails.
+pub fn write_atomically(path: &Path, text: &str) -> io::Result<()> {
     let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, &text)?;
+    std::fs::write(&tmp, text)?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),
         Err(e) => {
@@ -138,13 +150,42 @@ mod tests {
     }
 
     #[test]
-    fn write_manifest_round_trips_via_file() {
+    fn write_manifest_round_trips_via_file() -> Result<(), Box<dyn std::error::Error>> {
         let path = std::env::temp_dir().join(format!("vp-obs-export-{}.json", std::process::id()));
-        write_manifest(&manifest(), &path).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
+        write_manifest(&manifest(), &path)?;
+        let text = std::fs::read_to_string(&path)?;
         assert!(text.ends_with('\n'));
-        let back = RunManifest::parse(text.trim_end()).unwrap();
+        let back = RunManifest::parse(text.trim_end())?;
         assert_eq!(back, manifest());
-        let _ = std::fs::remove_file(&path);
+        std::fs::remove_file(&path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file_on_success() -> Result<(), Box<dyn std::error::Error>> {
+        let path =
+            std::env::temp_dir().join(format!("vp-obs-export-clean-{}.json", std::process::id()));
+        write_atomically(&path, "{}\n")?;
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_file(&path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn atomic_write_cleans_temp_file_when_rename_fails() -> Result<(), Box<dyn std::error::Error>> {
+        // The sibling temp file is writable, but the final rename fails
+        // because the target path is an existing *directory*; the
+        // helper must clean the temp file up before reporting the error.
+        let dir = std::env::temp_dir().join(format!("vp-obs-export-fail-{}", std::process::id()));
+        let target = dir.join("out.json");
+        std::fs::create_dir_all(&target)?;
+        let err = write_atomically(&target, "{}\n");
+        assert!(err.is_err(), "renaming a file onto a directory must fail");
+        assert!(
+            !target.with_extension("json.tmp").exists(),
+            "temp file must be cleaned up on failure"
+        );
+        std::fs::remove_dir_all(&dir)?;
+        Ok(())
     }
 }

@@ -23,6 +23,22 @@
 //!    predictor table health and peak RSS. The JSON round-trips through
 //!    the in-tree hand-rolled parser in [`json`] — no serde.
 //!
+//! On top of the aggregates sit three time-resolved layers, all opt-in
+//! and all bounded:
+//!
+//! - **Events** ([`events`]) — a lock-free, fixed-capacity ring buffer
+//!   of span begin/end and pipeline instant events, exported as a Chrome
+//!   `trace_event` JSON document ([`chrome`]) loadable in Perfetto.
+//!   Disabled by default; when the ring overflows it drops the *oldest*
+//!   events and reports the loss (`trace.dropped_events`).
+//! - **Sampling** ([`sampler`]) — a background thread snapshotting the
+//!   counter/gauge registry mid-run, embedded as the `samples` series of
+//!   a `provp-run-manifest/v2` document (v1 documents stay valid and
+//!   byte-identical on round-trip).
+//! - **Diffing** ([`diff`]) — attribution of wall-clock and counter
+//!   deltas between two manifests, powering the `manifest-diff` binary
+//!   and CI regression blame tables.
+//!
 //! Instrumentation is observation-only by design: nothing in this crate
 //! writes to stdout, and nothing feeds back into simulation results, so
 //! golden experiment output stays byte-identical whether or not a
@@ -42,6 +58,9 @@
 //! assert_eq!(snap.spans["example/phase"].count, 1);
 //! ```
 
+pub mod chrome;
+pub mod diff;
+pub mod events;
 pub mod export;
 pub mod json;
 pub mod log;
@@ -49,11 +68,15 @@ pub mod manifest;
 pub mod metrics;
 pub mod registry;
 pub mod rss;
+pub mod sampler;
 pub mod span;
 
+pub use chrome::{chrome_trace, write_chrome_trace};
+pub use diff::ManifestDiff;
 pub use export::{print_table, render_table, write_manifest};
 pub use log::Level;
-pub use manifest::RunManifest;
+pub use manifest::{RunManifest, SCHEMA_V1, SCHEMA_V2};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 pub use registry::{global, Registry, Snapshot, SpanStat};
+pub use sampler::{Sample, Sampler};
 pub use span::{span, SpanGuard};

@@ -11,6 +11,20 @@
 //! — [`RunManifest::to_json`] then [`RunManifest::parse`] reproduces the
 //! manifest exactly (modulo float formatting, which is shortest-roundtrip
 //! and therefore lossless).
+//!
+//! ## Versioning
+//!
+//! Two schema versions exist and the parser accepts both:
+//!
+//! - **v1** (PR 2) — end-of-run aggregates only.
+//! - **v2** — adds the `samples` array: a mid-run time series of the
+//!   counter/gauge registry collected by [`crate::sampler`].
+//!
+//! The version is *derived from content*: a manifest with samples
+//! serialises as v2, one without as v1 — so documents produced before
+//! sampling existed re-serialise byte-identically, a v1 document parses
+//! as a manifest with an empty `samples` array, and v2-aware tooling
+//! (`manifest-diff`, `metrics-check`) transparently reads either.
 
 use std::collections::BTreeMap;
 
@@ -18,9 +32,17 @@ use vp_stats::DecileHistogram;
 
 use crate::json::{Json, ParseError};
 use crate::registry::Snapshot;
+use crate::sampler::Sample;
 
-/// The versioned schema identifier.
-pub const SCHEMA: &str = "provp-run-manifest/v1";
+/// The v1 schema identifier (aggregates only).
+pub const SCHEMA_V1: &str = "provp-run-manifest/v1";
+
+/// The v2 schema identifier (aggregates plus the `samples` time series).
+pub const SCHEMA_V2: &str = "provp-run-manifest/v2";
+
+/// The oldest schema identifier (kept for downstream code spelled
+/// against PR 2's single-version constant).
+pub const SCHEMA: &str = SCHEMA_V1;
 
 /// Wall-time aggregate of one span path.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +78,9 @@ pub struct RunManifest {
     pub gauges: BTreeMap<String, u64>,
     /// All histograms (ten decile bins each).
     pub histograms: BTreeMap<String, [u64; 10]>,
+    /// Mid-run counter/gauge time series (empty in v1 documents; a
+    /// manifest with samples serialises under the v2 schema).
+    pub samples: Vec<Sample>,
 }
 
 const NS_PER_MS: f64 = 1_000_000.0;
@@ -92,6 +117,26 @@ impl RunManifest {
                 .iter()
                 .map(|(k, h)| (k.clone(), h.counts()))
                 .collect(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Attaches a mid-run time series (promoting the manifest to the v2
+    /// schema when `samples` is non-empty).
+    #[must_use]
+    pub fn with_samples(mut self, samples: Vec<Sample>) -> RunManifest {
+        self.samples = samples;
+        self
+    }
+
+    /// The schema version this manifest serialises under: v2 when it
+    /// carries samples, v1 otherwise (see the module docs).
+    #[must_use]
+    pub fn schema(&self) -> &'static str {
+        if self.samples.is_empty() {
+            SCHEMA_V1
+        } else {
+            SCHEMA_V2
         }
     }
 
@@ -154,8 +199,8 @@ impl RunManifest {
         let derived = Json::obj()
             .with("sim_instr_per_sec", self.sim_instr_per_sec())
             .with("trace_hit_rate", self.trace_hit_rate());
-        Json::obj()
-            .with("schema", SCHEMA)
+        let mut doc = Json::obj()
+            .with("schema", self.schema())
             .with("bin", self.bin.as_str())
             .with(
                 "args",
@@ -166,12 +211,26 @@ impl RunManifest {
             .with("phases", Json::Arr(phases))
             .with("counters", map(&self.counters))
             .with("gauges", map(&self.gauges))
-            .with("histograms", histograms)
-            .with("derived", derived)
-            .to_string()
+            .with("histograms", histograms);
+        if !self.samples.is_empty() {
+            let samples: Vec<Json> = self
+                .samples
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .with("t_ms", s.t_ms)
+                        .with("counters", map(&s.counters))
+                        .with("gauges", map(&s.gauges))
+                })
+                .collect();
+            doc = doc.with("samples", Json::Arr(samples));
+        }
+        doc.with("derived", derived).to_string()
     }
 
-    /// Parses a manifest back from its JSON form.
+    /// Parses a manifest back from its JSON form. Accepts both schema
+    /// versions: a v1 document parses as a manifest with an empty
+    /// `samples` array.
     ///
     /// # Errors
     ///
@@ -183,7 +242,7 @@ impl RunManifest {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or_else(|| ManifestError::field("schema"))?;
-        if schema != SCHEMA {
+        if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
             return Err(ManifestError::Schema(schema.to_owned()));
         }
         let field = |k: &'static str| doc.get(k).ok_or(ManifestError::Field(k));
@@ -223,6 +282,17 @@ impl RunManifest {
                 .collect::<Result<BTreeMap<_, _>, _>>()?,
             _ => return Err(ManifestError::field("histograms")),
         };
+        // `samples` is optional (absent in v1 documents; a v2 document
+        // without it is treated as an empty series).
+        let samples = match doc.get("samples") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| ManifestError::field("samples"))?
+                .iter()
+                .map(parse_sample)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(RunManifest {
             bin,
             args,
@@ -232,6 +302,7 @@ impl RunManifest {
             counters,
             gauges,
             histograms,
+            samples,
         })
     }
 
@@ -268,6 +339,21 @@ fn parse_phase(v: &Json) -> Result<PhaseEntry, ManifestError> {
         max_ms: field("max_ms")?
             .as_f64()
             .ok_or_else(|| ManifestError::field("max_ms"))?,
+    })
+}
+
+fn parse_sample(v: &Json) -> Result<Sample, ManifestError> {
+    let field = |k: &'static str| v.get(k).ok_or(ManifestError::Field(k));
+    Ok(Sample {
+        t_ms: field("t_ms")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("t_ms"))?,
+        counters: field("counters")?
+            .as_u64_map()
+            .ok_or_else(|| ManifestError::field("sample counters"))?,
+        gauges: field("gauges")?
+            .as_u64_map()
+            .ok_or_else(|| ManifestError::field("sample gauges"))?,
     })
 }
 
@@ -317,7 +403,10 @@ impl std::fmt::Display for ManifestError {
         match self {
             ManifestError::Json(e) => write!(f, "{e}"),
             ManifestError::Schema(s) => {
-                write!(f, "unknown manifest schema `{s}` (want `{SCHEMA}`)")
+                write!(
+                    f,
+                    "unknown manifest schema `{s}` (want `{SCHEMA_V1}` or `{SCHEMA_V2}`)"
+                )
             }
             ManifestError::Field(name) => write!(f, "missing or mistyped manifest field `{name}`"),
             ManifestError::FieldNamed(name) => {
@@ -365,7 +454,29 @@ mod tests {
             counters,
             gauges,
             histograms,
+            samples: Vec::new(),
         }
+    }
+
+    fn sample_v2() -> RunManifest {
+        let mut m = sample();
+        let mut counters = BTreeMap::new();
+        counters.insert("trace_store.requests".to_owned(), 4u64);
+        counters.insert("trace_store.memory_hits".to_owned(), 3u64);
+        counters.insert("trace_store.misses".to_owned(), 1u64);
+        m.samples = vec![
+            Sample {
+                t_ms: 10.5,
+                counters: counters.clone(),
+                gauges: BTreeMap::new(),
+            },
+            Sample {
+                t_ms: 20.25,
+                counters,
+                gauges: m.gauges.clone(),
+            },
+        ];
+        m
     }
 
     #[test]
@@ -373,6 +484,35 @@ mod tests {
         let m = sample();
         let text = m.to_json();
         let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn v2_round_trips_with_samples() {
+        let m = sample_v2();
+        assert_eq!(m.schema(), SCHEMA_V2);
+        let text = m.to_json();
+        assert!(text.contains(r#""schema":"provp-run-manifest/v2""#));
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.samples.len(), 2);
+        // Canonical: re-serialisation is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn v1_documents_parse_with_empty_samples() {
+        let m = sample();
+        assert_eq!(m.schema(), SCHEMA_V1);
+        let text = m.to_json();
+        assert!(text.contains(r#""schema":"provp-run-manifest/v1""#));
+        assert!(!text.contains("samples"));
+        let back = RunManifest::parse(&text).unwrap();
+        assert!(back.samples.is_empty());
+        // And a v2 document that happens to carry no samples is still
+        // accepted (forward tolerance).
+        let forced_v2 = text.replace("provp-run-manifest/v1", "provp-run-manifest/v2");
+        let back = RunManifest::parse(&forced_v2).unwrap();
         assert_eq!(back, m);
     }
 

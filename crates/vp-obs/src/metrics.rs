@@ -44,6 +44,18 @@ impl Counter {
         self.add(1);
     }
 
+    /// Publishes an externally-tracked monotone total, raising the
+    /// counter to `v` if `v` is larger and never lowering it.
+    ///
+    /// Use this when a subsystem keeps its own internally-consistent
+    /// totals (e.g. the trace store's stats block, snapshotted under one
+    /// lock) and republishing must be *idempotent*: the mid-run sampler
+    /// hook and the end-of-run exporter can both publish the same totals
+    /// without double counting, which `add` would do.
+    pub fn record_absolute(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
@@ -128,6 +140,18 @@ mod tests {
         assert_eq!(c.get(), u64::MAX, "must saturate, not wrap");
         c.inc();
         assert_eq!(c.get(), u64::MAX, "stays pinned at the ceiling");
+    }
+
+    #[test]
+    fn record_absolute_is_idempotent_and_monotone() {
+        let c = counter("metrics-test-abs");
+        c.record_absolute(10);
+        c.record_absolute(10);
+        assert_eq!(c.get(), 10, "republishing the same total is a no-op");
+        c.record_absolute(7);
+        assert_eq!(c.get(), 10, "never lowers");
+        c.record_absolute(25);
+        assert_eq!(c.get(), 25);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Property tests for the run-manifest schema: arbitrary manifests must
+//! survive `to_json` → `parse` → `to_json` byte-identically (the format
+//! is canonical and the float formatting shortest-roundtrip), and the
+//! v1/v2 versioning rules must hold for any content.
+//!
+//! Generated integers stay below 2^53: JSON numbers are f64 (in the
+//! in-tree parser and in every JavaScript consumer alike), so the
+//! manifest contract only covers integer-exact round-trips inside the
+//! f64-representable range. Real counters stay far below that (2^53 ns
+//! is over 100 days of simulator wall clock).
+
+use std::collections::BTreeMap;
+
+use vp_obs::manifest::PhaseEntry;
+use vp_obs::sampler::Sample;
+use vp_obs::{RunManifest, SCHEMA_V1, SCHEMA_V2};
+use vp_rng::{prop, Rng};
+
+const KEYS: &[&str] = &[
+    "sim.instructions",
+    "sim.wall_ns",
+    "trace_store.requests",
+    "trace_store.memory_hits",
+    "trace_store.misses",
+    "predictor.accesses",
+    "predictor.hits",
+    "trace.dropped_events",
+];
+
+fn arb_map(rng: &mut Rng) -> BTreeMap<String, u64> {
+    let n = rng.below(KEYS.len() as u64 + 1) as usize;
+    let mut keys = KEYS.to_vec();
+    rng.shuffle(&mut keys);
+    keys.into_iter()
+        .take(n)
+        .map(|k| (k.to_owned(), rng.below(1 << 53)))
+        .collect()
+}
+
+fn arb_sample(rng: &mut Rng) -> Sample {
+    Sample {
+        t_ms: rng.gen_f64() * 60_000.0,
+        counters: arb_map(rng),
+        gauges: arb_map(rng),
+    }
+}
+
+fn arb_manifest(rng: &mut Rng) -> RunManifest {
+    let phases = (0..rng.below(4))
+        .map(|i| {
+            let min = rng.gen_f64() * 10.0;
+            let max = min + rng.gen_f64() * 100.0;
+            PhaseEntry {
+                path: format!("run/phase-{i}"),
+                count: 1 + rng.below(9),
+                total_ms: max * 2.0,
+                min_ms: min,
+                max_ms: max,
+            }
+        })
+        .collect();
+    let histograms = (0..rng.below(3))
+        .map(|i| {
+            let mut bins = [0u64; 10];
+            for b in &mut bins {
+                *b = rng.below(1_000);
+            }
+            (format!("hist-{i}"), bins)
+        })
+        .collect();
+    let samples = (0..rng.below(4)).map(|_| arb_sample(rng)).collect();
+    RunManifest {
+        bin: format!("bin-{}", rng.below(100)),
+        args: (0..rng.below(3)).map(|i| format!("--arg-{i}")).collect(),
+        wall_ms: rng.gen_f64() * 1e5,
+        peak_rss_bytes: rng.below(1 << 53),
+        phases,
+        counters: arb_map(rng),
+        gauges: arb_map(rng),
+        histograms,
+        samples,
+    }
+}
+
+#[test]
+fn serialisation_is_canonical_for_arbitrary_manifests() {
+    prop::forall("manifest round-trip", arb_manifest).check(|m| {
+        let text = m.to_json();
+        let back = RunManifest::parse(&text).expect("serialised manifest parses");
+        assert_eq!(&back, m, "parse must reconstruct the manifest exactly");
+        assert_eq!(
+            back.to_json(),
+            text,
+            "re-serialisation must be byte-identical"
+        );
+    });
+}
+
+#[test]
+fn schema_version_is_derived_from_samples() {
+    prop::forall("manifest versioning", arb_manifest).check(|m| {
+        let text = m.to_json();
+        if m.samples.is_empty() {
+            assert_eq!(m.schema(), SCHEMA_V1);
+            assert!(text.contains(SCHEMA_V1));
+            assert!(!text.contains("\"samples\""));
+        } else {
+            assert_eq!(m.schema(), SCHEMA_V2);
+            assert!(text.contains(SCHEMA_V2));
+        }
+
+        // Stripping the samples always yields a v1 document that parses
+        // back as a manifest with an empty series (v1 compatibility for
+        // any content).
+        let v1 = m.clone().with_samples(Vec::new());
+        let v1_text = v1.to_json();
+        assert!(v1_text.contains(SCHEMA_V1));
+        let back = RunManifest::parse(&v1_text).expect("v1 form parses");
+        assert!(back.samples.is_empty());
+        assert_eq!(back, v1);
+    });
+}
