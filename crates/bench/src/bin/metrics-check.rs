@@ -4,19 +4,29 @@
 //!
 //! ```text
 //! metrics-check --manifest=/tmp/manifest.json --baseline=BENCH_baseline.json \
-//!               [--max-regression=0.30]
+//!               [--max-regression=0.30] \
+//!               [--phase=repro-all/classification/predict] \
+//!               [--max-phase-regression=0.25]
 //! ```
 //!
 //! Accepts both manifest schema versions (v1 aggregates-only and v2 with
 //! the `samples` series).
 //!
+//! Besides the simulator-throughput gate, `--phase=` (repeatable) gates
+//! the wall time of individual span paths: the current manifest's
+//! `total_ms` for each named phase must not exceed the baseline's by more
+//! than `--max-phase-regression` (default 0.25). A phase absent from the
+//! *baseline* is skipped with a warning (new phases have no reference);
+//! a phase absent from the *current* manifest is a usage error (exit 2)
+//! because the gate was asked to check something the run never measured.
+//!
 //! Exit status:
 //!
 //! | code | meaning |
 //! |---|---|
-//! | 0 | throughput within bounds (or the baseline records none) |
-//! | 1 | regression beyond `--max-regression` |
-//! | 2 | usage error, or the *current* manifest is missing/unparsable |
+//! | 0 | throughput and every gated phase within bounds |
+//! | 1 | regression beyond `--max-regression` / `--max-phase-regression` |
+//! | 2 | usage error, or the *current* manifest is missing/unparsable, or a `--phase=` is absent from it |
 //! | 3 | the *baseline* manifest is missing (unreadable) |
 //! | 4 | the *baseline* manifest is unparsable |
 //!
@@ -34,10 +44,13 @@ struct Args {
     manifest: PathBuf,
     baseline: PathBuf,
     max_regression: f64,
+    phases: Vec<String>,
+    max_phase_regression: f64,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let (mut manifest, mut baseline, mut max_regression) = (None, None, 0.30_f64);
+    let (mut phases, mut max_phase_regression) = (Vec::new(), 0.25_f64);
     for arg in args {
         if let Some(p) = arg.strip_prefix("--manifest=") {
             manifest = Some(PathBuf::from(p));
@@ -49,9 +62,20 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 .ok()
                 .filter(|r| (0.0..1.0).contains(r))
                 .ok_or_else(|| format!("bad --max-regression value `{v}` (want 0.0..1.0)"))?;
+        } else if let Some(p) = arg.strip_prefix("--phase=") {
+            if p.is_empty() {
+                return Err("empty --phase path".to_owned());
+            }
+            phases.push(p.to_owned());
+        } else if let Some(v) = arg.strip_prefix("--max-phase-regression=") {
+            max_phase_regression =
+                v.parse().ok().filter(|r| *r >= 0.0).ok_or_else(|| {
+                    format!("bad --max-phase-regression value `{v}` (want >= 0.0)")
+                })?;
         } else {
             return Err(format!(
-                "unknown argument `{arg}` (try --manifest=, --baseline=, --max-regression=)"
+                "unknown argument `{arg}` (try --manifest=, --baseline=, --max-regression=, \
+                 --phase=, --max-phase-regression=)"
             ));
         }
     }
@@ -59,6 +83,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         manifest: manifest.ok_or("missing --manifest=FILE")?,
         baseline: baseline.ok_or("missing --baseline=FILE")?,
         max_regression,
+        phases,
+        max_phase_regression,
     })
 }
 
@@ -111,24 +137,67 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut failed = false;
+
     let base_rate = baseline.sim_instr_per_sec();
     let cur_rate = current.sim_instr_per_sec();
     if base_rate <= 0.0 {
         println!("metrics-check: baseline records no simulator throughput; skipping gate");
-        return ExitCode::SUCCESS;
-    }
-    let floor = base_rate * (1.0 - args.max_regression);
-    println!(
-        "metrics-check: sim throughput {cur_rate:.0} instr/s vs baseline {base_rate:.0} \
-         (floor {floor:.0}, max regression {:.0}%)",
-        100.0 * args.max_regression
-    );
-    if cur_rate < floor {
-        obs_error!(
-            "simulator throughput regressed {:.1}% (limit {:.0}%)",
-            100.0 * (1.0 - cur_rate / base_rate),
+    } else {
+        let floor = base_rate * (1.0 - args.max_regression);
+        println!(
+            "metrics-check: sim throughput {cur_rate:.0} instr/s vs baseline {base_rate:.0} \
+             (floor {floor:.0}, max regression {:.0}%)",
             100.0 * args.max_regression
         );
+        if cur_rate < floor {
+            obs_error!(
+                "simulator throughput regressed {:.1}% (limit {:.0}%)",
+                100.0 * (1.0 - cur_rate / base_rate),
+                100.0 * args.max_regression
+            );
+            failed = true;
+        }
+    }
+
+    // Per-phase wall-time gates: every --phase= must stay within
+    // --max-phase-regression of the baseline's total_ms.
+    for path in &args.phases {
+        let Some(cur) = current.phases.iter().find(|p| p.path == *path) else {
+            obs_error!(
+                "--phase={path} is absent from the current manifest {:?} \
+                 (was the run invoked with the right binary and flags?)",
+                args.manifest
+            );
+            return ExitCode::from(2);
+        };
+        let Some(base) = baseline.phases.iter().find(|p| p.path == *path) else {
+            obs_warn!("phase `{path}` is absent from the baseline; skipping its gate");
+            continue;
+        };
+        if base.total_ms <= 0.0 {
+            obs_warn!("phase `{path}` has a zero baseline; skipping its gate");
+            continue;
+        }
+        let ceiling = base.total_ms * (1.0 + args.max_phase_regression);
+        println!(
+            "metrics-check: phase {path} {:.2} ms vs baseline {:.2} ms \
+             (ceiling {ceiling:.2}, max regression {:.0}%)",
+            cur.total_ms,
+            base.total_ms,
+            100.0 * args.max_phase_regression
+        );
+        if cur.total_ms > ceiling {
+            obs_error!(
+                "phase `{path}` regressed {:.1}% (limit {:.0}%)",
+                100.0 * (cur.total_ms / base.total_ms - 1.0),
+                100.0 * args.max_phase_regression
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -148,6 +217,8 @@ mod tests {
         .unwrap();
         assert_eq!(a.manifest, PathBuf::from("/tmp/m.json"));
         assert!((a.max_regression - 0.5).abs() < 1e-12);
+        assert!(a.phases.is_empty());
+        assert!((a.max_phase_regression - 0.25).abs() < 1e-12);
         assert!(parse_args(["--manifest=m".to_owned()]).is_err());
         assert!(parse_args([
             "--manifest=m".to_owned(),
@@ -182,5 +253,38 @@ mod tests {
         assert_eq!(load_baseline(&good).unwrap(), manifest);
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parses_phase_gates() {
+        let a = parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--phase=repro-all/classification/predict".to_owned(),
+            "--phase=repro-all/finite_table/predict".to_owned(),
+            "--max-phase-regression=0.4".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(
+            a.phases,
+            vec![
+                "repro-all/classification/predict".to_owned(),
+                "repro-all/finite_table/predict".to_owned()
+            ]
+        );
+        assert!((a.max_phase_regression - 0.4).abs() < 1e-12);
+
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--phase=".to_owned(),
+        ])
+        .is_err());
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-phase-regression=-1".to_owned(),
+        ])
+        .is_err());
     }
 }

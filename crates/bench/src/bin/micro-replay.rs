@@ -1,0 +1,89 @@
+//! Micro-benchmarks for the predictor replay path: AoS event replay vs
+//! the columnar value-event scan, and the 1/2/4/8-shard parallel merge.
+//!
+//! ```text
+//! cargo run --release -p provp-bench --bin micro-replay [workload]
+//! ```
+//!
+//! Captures one reference-input trace, then replays it repeatedly through
+//! the §5.2 hardware-baseline predictor four ways:
+//!
+//! - `aos`: materialised `Vec<TraceEvent>` through the full retirement
+//!   tracer glue (the pre-columnar path),
+//! - `columnar-replay`: the columnar trace through the same tracer glue
+//!   (reconstruction cost without the `Vec<TraceEvent>` materialisation),
+//! - `columnar-1shard`: the sequential value-event scan of
+//!   [`provp_core::replay_predictor`],
+//! - `columnar-Nshard`: the PC-sharded parallel scan at 2/4/8 shards.
+//!
+//! Every variant's [`vp_predictor::PredictorStats`] are asserted equal
+//! before timing starts — the bench doubles as an end-to-end check that
+//! sharding is bit-identical to a sequential replay.
+
+use provp_bench::micro::{black_box, Group};
+use provp_core::{replay_predictor, PredictorTracer};
+use vp_predictor::PredictorConfig;
+use vp_sim::{replay, RunLimits, Trace, TraceEvent};
+use vp_workloads::{InputSet, Workload, WorkloadKind};
+
+fn main() {
+    let kind = std::env::args()
+        .nth(1)
+        .map(|name| {
+            WorkloadKind::from_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"))
+        })
+        .unwrap_or(WorkloadKind::Compress);
+    let program = Workload::new(kind).program(&InputSet::reference());
+    let trace = Trace::capture(&program, RunLimits::default()).expect("capture");
+    let events: Vec<TraceEvent> = trace.iter().collect();
+    let config = PredictorConfig::spec_table_stride_fsm();
+    println!(
+        "micro-replay: {kind}, {} events ({} with a destination value)",
+        trace.len(),
+        trace.columns().dest_count()
+    );
+
+    // Cross-check first: every variant must produce identical statistics.
+    let mut aos = PredictorTracer::new(config.build());
+    replay(&program, &events, &mut aos).expect("aos replay");
+    let baseline = *aos.stats();
+    for shards in [1usize, 2, 4, 8] {
+        let out = replay_predictor(&trace, &program, &config, shards, shards).expect("replay");
+        assert_eq!(
+            out.stats, baseline,
+            "{shards}-shard replay diverged from the AoS baseline"
+        );
+    }
+
+    let mut group = Group::new("replay").samples(10);
+    group.bench("aos", || {
+        let mut tracer = PredictorTracer::new(config.build());
+        replay(&program, &events, &mut tracer).expect("aos replay");
+        black_box(tracer.stats().hits)
+    });
+    group.bench("columnar-replay", || {
+        let mut tracer = PredictorTracer::new(config.build());
+        trace
+            .replay(&program, &mut tracer)
+            .expect("columnar replay");
+        black_box(tracer.stats().hits)
+    });
+    group.bench("columnar-1shard", || {
+        black_box(
+            replay_predictor(&trace, &program, &config, 1, 1)
+                .expect("replay")
+                .stats
+                .hits,
+        )
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench(&format!("columnar-{shards}shard"), || {
+            black_box(
+                replay_predictor(&trace, &program, &config, shards, shards)
+                    .expect("replay")
+                    .stats
+                    .hits,
+            )
+        });
+    }
+}

@@ -29,11 +29,13 @@ pub mod exec;
 pub mod experiments;
 pub mod harness;
 pub mod pipeline;
+pub mod replay;
 pub mod suite;
 pub mod trace_store;
 
 pub use exec::parallel_map;
 pub use harness::PredictorTracer;
 pub use pipeline::{PipelineConfig, PipelineError, PipelineOutcome, ProfileGuidedPipeline};
+pub use replay::{auto_shards, replay_predictor, ReplayOutcome};
 pub use suite::Suite;
 pub use trace_store::{TraceError, TraceKey, TraceStore, TraceStoreStats};

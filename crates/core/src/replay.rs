@@ -1,0 +1,219 @@
+//! PC-sharded parallel predictor replay.
+//!
+//! Both predictor families of the paper key their dynamic state purely by
+//! **static instruction address** — the infinite predictors keep one cell
+//! per address, the finite tables one set per `addr mod sets` (tags, LRU
+//! stamps and conflict counts all live inside a set). Replaying a trace
+//! through a predictor is therefore embarrassingly parallel once the
+//! trace's value events are partitioned by that key: every shard replays
+//! against an independent predictor instance, observes exactly the
+//! accesses a sequential run would have routed to its state partition *in
+//! the same order*, and the per-shard [`PredictorStats`] merge by field
+//! addition ([`PredictorStats::merge`]) into totals **bit-identical** to
+//! a sequential replay, at any shard count.
+//!
+//! The shard key is supplied by [`PredictorConfig::shard_key`]; the
+//! partition itself is a zero-copy view over the columnar trace
+//! ([`vp_sim::TraceColumns::shard_by_pc`]). Shards run on the same
+//! deterministic worker pool as the experiment grids
+//! ([`crate::exec::parallel_map`]), and [`auto_shards`] degrades to a
+//! single shard inside an already-parallel grid worker so nested fan-out
+//! never oversubscribes the machine.
+
+use std::io;
+use std::time::Instant;
+
+use vp_isa::{Directive, Program};
+use vp_predictor::{PredictorConfig, PredictorStats};
+use vp_sim::Trace;
+
+use crate::exec::{in_worker, parallel_map};
+
+/// Traces below this many events are replayed unsharded: the per-shard
+/// flag-column rescan and thread hand-off would cost more than they save.
+pub const MIN_SHARD_EVENTS: usize = 1 << 16;
+
+/// The result of a (possibly sharded) predictor replay.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayOutcome {
+    /// Merged predictor statistics, bit-identical to a sequential replay.
+    pub stats: PredictorStats,
+    /// Total occupied table entries across shards (state partitions are
+    /// disjoint, so the sum equals a single predictor's occupancy).
+    pub occupancy: usize,
+    /// How many shards actually ran.
+    pub shards: usize,
+}
+
+/// Picks a shard count for a replay: `jobs` shards when sharding can help,
+/// 1 when it cannot (serial run, tiny trace) or must not (already inside a
+/// [`parallel_map`] worker, where nested fan-out would oversubscribe the
+/// pool). Output never depends on the choice — only wall-clock does.
+#[must_use]
+pub fn auto_shards(jobs: usize, events: usize) -> usize {
+    if jobs <= 1 || events < MIN_SHARD_EVENTS || in_worker() {
+        1
+    } else {
+        jobs
+    }
+}
+
+/// Replays `trace`'s value events through `config`'s predictor, sharded
+/// `shards` ways by the configuration's state-partition key and fanned
+/// out over up to `jobs` worker threads.
+///
+/// Directives are pre-resolved from `program` into a dense table once, so
+/// the per-event work is a columnar scan plus the predictor access — no
+/// instruction fetch, no retirement reconstruction.
+///
+/// With `shards == 1` the replay is a plain sequential scan (no pool, no
+/// partition filter); any `shards >= 1` produces bit-identical
+/// [`ReplayOutcome::stats`].
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` when a value event's address does
+/// not name an instruction of `program` (a foreign trace).
+pub fn replay_predictor(
+    trace: &Trace,
+    program: &Program,
+    config: &PredictorConfig,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<ReplayOutcome> {
+    let directives: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
+    let shards = shards.max(1);
+    let cols = trace.columns();
+
+    if shards == 1 {
+        let mut predictor = config.build();
+        for (addr, value) in cols.value_events() {
+            let directive = *directives
+                .get(addr.index() as usize)
+                .ok_or_else(|| outside_text(addr))?;
+            predictor.access(addr, directive, value);
+        }
+        vp_obs::counter("replay.shards").add(1);
+        return Ok(ReplayOutcome {
+            stats: *predictor.stats(),
+            occupancy: predictor.occupancy(),
+            shards: 1,
+        });
+    }
+
+    let views = cols.shard_by_pc(shards, |addr| config.shard_key(addr));
+    let parts = parallel_map(jobs.max(1), &views, |shard| -> io::Result<_> {
+        let started = Instant::now();
+        let mut predictor = config.build();
+        for (addr, value) in shard.values() {
+            let directive = *directives
+                .get(addr.index() as usize)
+                .ok_or_else(|| outside_text(addr))?;
+            predictor.access(addr, directive, value);
+        }
+        Ok((
+            *predictor.stats(),
+            predictor.occupancy(),
+            started.elapsed().as_micros() as u64,
+        ))
+    });
+
+    let mut stats = PredictorStats::new();
+    let mut occupancy = 0usize;
+    let (mut fastest, mut slowest) = (u64::MAX, 0u64);
+    for part in parts {
+        let (shard_stats, shard_occupancy, micros) = part?;
+        stats.merge(&shard_stats);
+        occupancy += shard_occupancy;
+        fastest = fastest.min(micros);
+        slowest = slowest.max(micros);
+    }
+    let skew_us = slowest.saturating_sub(fastest);
+    vp_obs::counter("replay.shards").add(shards as u64);
+    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
+    vp_obs::events::instant("replay.shard_skew", skew_us);
+    Ok(ReplayOutcome {
+        stats,
+        occupancy,
+        shards,
+    })
+}
+
+fn outside_text(addr: vp_isa::InstrAddr) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("trace event at {addr} outside program text"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::asm::assemble;
+    use vp_predictor::{ClassifierKind, TableGeometry};
+    use vp_sim::RunLimits;
+
+    fn sample() -> (Program, Trace) {
+        let p = assemble(
+            "li r1, 0\nli r2, 200\n\
+             top: addi.st r1, r1, 1\nadd r3, r1, r1\nbne r1, r2, top\nhalt\n",
+        )
+        .unwrap();
+        let trace = Trace::capture(&p, RunLimits::default()).unwrap();
+        (p, trace)
+    }
+
+    #[test]
+    fn sharded_replay_matches_sequential() {
+        let (p, trace) = sample();
+        for config in [
+            PredictorConfig::spec_table_stride_fsm(),
+            PredictorConfig::spec_table_stride_profile(),
+            PredictorConfig::InfiniteStride {
+                classifier: ClassifierKind::two_bit_counter(),
+            },
+            PredictorConfig::Hybrid {
+                stride: TableGeometry::new(8, 2),
+                last_value: TableGeometry::new(12, 2),
+            },
+        ] {
+            let seq = replay_predictor(&trace, &p, &config, 1, 1).unwrap();
+            for shards in [2usize, 3, 4, 8] {
+                for jobs in [1usize, 4] {
+                    let par = replay_predictor(&trace, &p, &config, shards, jobs).unwrap();
+                    assert_eq!(
+                        par.stats,
+                        seq.stats,
+                        "{} diverged at {shards} shards / {jobs} jobs",
+                        config.label()
+                    );
+                    assert_eq!(par.occupancy, seq.occupancy, "{}", config.label());
+                    assert_eq!(par.shards, shards);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_traces_are_rejected() {
+        let (_, trace) = sample();
+        let other = assemble("halt\n").unwrap();
+        let cfg = PredictorConfig::spec_table_stride_fsm();
+        for shards in [1usize, 4] {
+            let e = replay_predictor(&trace, &other, &cfg, shards, 2).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn auto_shards_policy() {
+        // Serial runs and tiny traces stay unsharded.
+        assert_eq!(auto_shards(1, MIN_SHARD_EVENTS * 2), 1);
+        assert_eq!(auto_shards(8, MIN_SHARD_EVENTS - 1), 1);
+        // Parallel runs over big traces shard by jobs.
+        assert_eq!(auto_shards(4, MIN_SHARD_EVENTS), 4);
+        // Inside a grid worker: degrade to one shard.
+        let nested = parallel_map(2, &[0u8; 4], |_| auto_shards(4, MIN_SHARD_EVENTS));
+        assert!(nested.iter().all(|&n| n == 1));
+    }
+}

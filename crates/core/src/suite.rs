@@ -26,8 +26,7 @@ use vp_sim::{run, RunLimits, Trace};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
 
 use crate::exec::parallel_map;
-use crate::trace_store::{TraceStore, TraceStoreStats};
-use crate::PredictorTracer;
+use crate::trace_store::{TraceError, TraceKey, TraceStore, TraceStoreStats};
 
 /// Threshold key with stable hashing (per-mille accuracy).
 fn th_key(threshold: f64) -> u32 {
@@ -332,23 +331,28 @@ impl Suite {
         threshold: Option<f64>,
     ) -> PredictorStats {
         let program = self.reference_program(kind, threshold);
-        let mut tracer = PredictorTracer::new(config.build());
-        {
+        // Materialise (or fetch) the memoised trace first, outside the
+        // predict phase: capture cost is accounted to its own `capture`
+        // span, and the replay below touches only the columnar value
+        // events — no instruction fetch, no retirement reconstruction.
+        let trace = self.trace(kind, InputSet::reference());
+        let outcome = {
             let _span = vp_obs::span("predict");
-            self.traces
-                .replay_into(
-                    kind,
-                    InputSet::reference(),
-                    self.limits,
-                    &program,
-                    &mut tracer,
-                )
-                .unwrap_or_else(|e| panic!("{e}"));
-        }
-        vp_obs::gauge("predictor.occupancy.max").set_max(tracer.occupancy() as u64);
-        let stats = tracer.into_stats();
-        publish_predictor_metrics(&stats);
-        stats
+            let shards = crate::replay::auto_shards(self.jobs, trace.len());
+            crate::replay::replay_predictor(&trace, &program, &config, shards, self.jobs)
+                .unwrap_or_else(|source| {
+                    panic!(
+                        "{}",
+                        TraceError::Replay {
+                            key: TraceKey::new(kind, InputSet::reference(), self.limits),
+                            source,
+                        }
+                    )
+                })
+        };
+        vp_obs::gauge("predictor.occupancy.max").set_max(outcome.occupancy as u64);
+        publish_predictor_metrics(&outcome.stats);
+        outcome.stats
     }
 
     /// Replays the reference input through the abstract ILP machine.

@@ -4,6 +4,8 @@
 //! builds it with [`PredictorConfig::build`]; this keeps sweep harnesses
 //! (threshold sweeps, geometry ablations) free of generics.
 
+use vp_isa::InstrAddr;
+
 use crate::entry::TwoDeltaStrideEntry;
 use crate::{
     ClassifierKind, HybridPredictor, InfinitePredictor, LastValueEntry, StrideEntry, TableGeometry,
@@ -106,6 +108,35 @@ impl PredictorConfig {
         }
     }
 
+    /// The state-partition key of `addr` for this configuration: two
+    /// static addresses can share predictor state (table set, LRU stamps,
+    /// classifier cells) **only if** their keys are equal, so a replay
+    /// sharded by `shard_key(addr) % n` is bit-identical to a sequential
+    /// one for any shard count `n` (see `PredictorStats::merge`).
+    ///
+    /// - Infinite predictors keep fully independent per-address state:
+    ///   the key is the address itself.
+    /// - Finite tables interact exactly within a set (tags, LRU stamps
+    ///   and conflicts are all per-set): the key is the set index.
+    /// - The hybrid's two tables may have different set counts; addresses
+    ///   interact when they share a set in *either* table, and the
+    ///   transitive closure of "equal mod `sets_stride`" and "equal mod
+    ///   `sets_lv`" is "equal mod gcd" — the key is
+    ///   `addr % gcd(sets_stride, sets_lv)`.
+    #[must_use]
+    pub fn shard_key(&self, addr: InstrAddr) -> u64 {
+        let a = u64::from(addr.index());
+        match *self {
+            PredictorConfig::InfiniteStride { .. } | PredictorConfig::InfiniteLastValue { .. } => a,
+            PredictorConfig::TableStride { geometry, .. }
+            | PredictorConfig::TableLastValue { geometry, .. }
+            | PredictorConfig::TableTwoDelta { geometry, .. } => geometry.set_of(a) as u64,
+            PredictorConfig::Hybrid { stride, last_value } => {
+                a % gcd(stride.sets() as u64, last_value.sets() as u64)
+            }
+        }
+    }
+
     /// A short human-readable label for experiment output.
     #[must_use]
     pub fn label(&self) -> String {
@@ -139,6 +170,14 @@ impl PredictorConfig {
             }
         }
     }
+}
+
+/// Greatest common divisor (Euclid); both table set counts are positive.
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
 }
 
 fn classifier_label(c: ClassifierKind) -> &'static str {
@@ -181,6 +220,40 @@ mod tests {
             }
             assert_eq!(p.stats().accesses, 10, "{}", cfg.label());
             assert!(!cfg.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn shard_keys_respect_state_partitions() {
+        // Infinite: per-address state, key is the address.
+        let inf = PredictorConfig::InfiniteStride {
+            classifier: ClassifierKind::two_bit_counter(),
+        };
+        assert_eq!(inf.shard_key(InstrAddr::new(1234)), 1234);
+
+        // Finite table: key is the set index (modulo sets).
+        let table = PredictorConfig::spec_table_stride_fsm();
+        assert_eq!(table.shard_key(InstrAddr::new(3)), 3);
+        assert_eq!(table.shard_key(InstrAddr::new(256 + 3)), 3);
+
+        // Hybrid: key is addr mod gcd of the two set counts.
+        let hybrid = PredictorConfig::Hybrid {
+            stride: TableGeometry::new(64, 2),     // 32 sets
+            last_value: TableGeometry::new(96, 2), // 48 sets
+        };
+        // gcd(32, 48) = 16: addresses equal mod 16 share a key.
+        assert_eq!(
+            hybrid.shard_key(InstrAddr::new(5)),
+            hybrid.shard_key(InstrAddr::new(5 + 16))
+        );
+        assert_ne!(
+            hybrid.shard_key(InstrAddr::new(5)),
+            hybrid.shard_key(InstrAddr::new(6))
+        );
+        // Soundness: equal key is implied by sharing a set in either table.
+        for (a, b) in [(7u32, 7 + 32), (9, 9 + 48), (11, 11 + 96)] {
+            let (a, b) = (InstrAddr::new(a), InstrAddr::new(b));
+            assert_eq!(hybrid.shard_key(a), hybrid.shard_key(b));
         }
     }
 

@@ -12,8 +12,20 @@ use vp_isa::{Directive, InstrAddr};
 
 use crate::{Access, ClassifierKind, PredEntry, PredictorStats, SatCounter, ValuePredictor};
 
+/// Static addresses below this index live in the dense direct-indexed
+/// array; anything above (possible through the public API, never produced
+/// by the workloads, whose static addresses index the program text) spills
+/// to a hash map so a single absurd address cannot balloon the array.
+const DENSE_LIMIT: usize = 1 << 20;
+
 /// An infinite prediction table over entry type `E`, with a pluggable
 /// classification mechanism.
+///
+/// Since static addresses are indices into a program's text, per-address
+/// state lives in a dense array indexed directly by the address — a hot
+/// replay loop touches it without hashing. (Addresses past an implausibly
+/// large bound fall back to a spill map, so the array tracks the program
+/// size rather than the address space.)
 ///
 /// # Examples
 ///
@@ -33,7 +45,9 @@ use crate::{Access, ClassifierKind, PredEntry, PredictorStats, SatCounter, Value
 #[derive(Debug, Clone)]
 pub struct InfinitePredictor<E> {
     classifier: ClassifierKind,
-    entries: HashMap<InstrAddr, (E, SatCounter)>,
+    dense: Vec<Option<(E, SatCounter)>>,
+    spill: HashMap<InstrAddr, (E, SatCounter)>,
+    tracked: usize,
     stats: PredictorStats,
 }
 
@@ -43,7 +57,9 @@ impl<E: PredEntry> InfinitePredictor<E> {
     pub fn new(classifier: ClassifierKind) -> Self {
         InfinitePredictor {
             classifier,
-            entries: HashMap::new(),
+            dense: Vec::new(),
+            spill: HashMap::new(),
+            tracked: 0,
             stats: PredictorStats::new(),
         }
     }
@@ -51,7 +67,7 @@ impl<E: PredEntry> InfinitePredictor<E> {
     /// Number of static instructions tracked so far.
     #[must_use]
     pub fn tracked(&self) -> usize {
-        self.entries.len()
+        self.tracked
     }
 
     fn counter_template(&self) -> SatCounter {
@@ -64,8 +80,17 @@ impl<E: PredEntry> InfinitePredictor<E> {
 
 impl<E: PredEntry> ValuePredictor for InfinitePredictor<E> {
     fn access(&mut self, addr: InstrAddr, directive: Directive, actual: u64) -> Access {
+        let index = addr.index() as usize;
+        if index >= DENSE_LIMIT {
+            return self.access_spill(addr, directive, actual);
+        }
         let mut a = Access::default();
-        match self.entries.get_mut(&addr) {
+        let template = self.counter_template();
+        if index >= self.dense.len() {
+            self.dense.resize_with(index + 1, || None);
+        }
+        let slot = &mut self.dense[index];
+        match slot {
             Some((entry, counter)) => {
                 a.hit = true;
                 let predicted = entry.predict();
@@ -89,8 +114,8 @@ impl<E: PredEntry> ValuePredictor for InfinitePredictor<E> {
                     ClassifierKind::Directive => directive.is_predictable(),
                 };
                 a.allocated = true;
-                self.entries
-                    .insert(addr, (E::allocate(actual), self.counter_template()));
+                *slot = Some((E::allocate(actual), template));
+                self.tracked += 1;
             }
         }
         self.stats.record_classified(directive, &a);
@@ -102,12 +127,51 @@ impl<E: PredEntry> ValuePredictor for InfinitePredictor<E> {
     }
 
     fn reset(&mut self) {
-        self.entries.clear();
+        self.dense.clear();
+        self.spill.clear();
+        self.tracked = 0;
         self.stats = PredictorStats::new();
     }
 
     fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.tracked
+    }
+}
+
+impl<E: PredEntry> InfinitePredictor<E> {
+    /// The (cold) spill-map flavour of [`ValuePredictor::access`], for
+    /// addresses past [`DENSE_LIMIT`]. Behaviourally identical to the
+    /// dense path.
+    fn access_spill(&mut self, addr: InstrAddr, directive: Directive, actual: u64) -> Access {
+        let mut a = Access::default();
+        match self.spill.get_mut(&addr) {
+            Some((entry, counter)) => {
+                a.hit = true;
+                let predicted = entry.predict();
+                a.predicted = Some(predicted);
+                a.correct = predicted == actual;
+                a.nonzero_stride = entry.nonzero_stride();
+                a.recommended = match self.classifier {
+                    ClassifierKind::SatCounter { .. } => counter.predicts(),
+                    ClassifierKind::Directive => directive.is_predictable(),
+                    ClassifierKind::Always => true,
+                };
+                counter.record(a.correct);
+                entry.train(actual);
+            }
+            None => {
+                a.recommended = match self.classifier {
+                    ClassifierKind::SatCounter { .. } | ClassifierKind::Always => false,
+                    ClassifierKind::Directive => directive.is_predictable(),
+                };
+                a.allocated = true;
+                self.spill
+                    .insert(addr, (E::allocate(actual), self.counter_template()));
+                self.tracked += 1;
+            }
+        }
+        self.stats.record_classified(directive, &a);
+        a
     }
 }
 

@@ -2,12 +2,9 @@
 
 use crate::TableGeometry;
 
-#[derive(Debug, Clone)]
-struct Slot<E> {
-    tag: u64,
-    stamp: u64,
-    payload: E,
-}
+/// Sentinel for [`SetAssocTable::set_mask`]: the set count is not a power
+/// of two, index by modulo instead of masking.
+const NO_MASK: u64 = u64::MAX;
 
 /// A set-associative, tag-matched table with per-set true-LRU replacement —
 /// the "cache table" organisation of the paper's Figure 2.1, generic over
@@ -17,6 +14,15 @@ struct Slot<E> {
 /// Keys are full instruction addresses; tags store the full key (a simulator
 /// can afford full tags, and partial tags would only add aliasing noise to
 /// the experiments).
+///
+/// Storage is flat and columnar — one contiguous tag array, one stamp
+/// array, one payload array, each laid out `sets × ways` with the occupied
+/// slots of a set packed at the front of its segment. A lookup therefore
+/// touches a handful of adjacent cache lines instead of chasing a per-set
+/// heap allocation, and the tag scan never loads payload bytes it does not
+/// need. (The replacement behaviour is identical to the nested-vector
+/// layout this replaced: stamps are unique, so "first slot with the
+/// minimal stamp" picks the same victim.)
 ///
 /// # Examples
 ///
@@ -30,7 +36,19 @@ struct Slot<E> {
 #[derive(Debug, Clone)]
 pub struct SetAssocTable<E> {
     geometry: TableGeometry,
-    sets: Vec<Vec<Slot<E>>>,
+    /// `sets - 1` when the set count is a power of two (`set index =
+    /// key & mask`, the common experiment geometries), [`NO_MASK`] when
+    /// indexing must fall back to the general modulo.
+    set_mask: u64,
+    /// Full-key tags, `sets × ways`; only the first `len[set]` slots of a
+    /// set's segment are meaningful.
+    tags: Box<[u64]>,
+    /// LRU stamps, parallel to `tags`.
+    stamps: Box<[u64]>,
+    /// Payloads, parallel to `tags` (`None` = never occupied).
+    payloads: Box<[Option<E>]>,
+    /// Occupied-slot count per set.
+    len: Box<[u32]>,
     clock: u64,
     evictions: u64,
     conflicts: u64,
@@ -40,11 +58,19 @@ impl<E> SetAssocTable<E> {
     /// Creates an empty table.
     #[must_use]
     pub fn new(geometry: TableGeometry) -> Self {
+        let entries = geometry.entries();
+        let sets = geometry.sets();
         SetAssocTable {
             geometry,
-            sets: (0..geometry.sets())
-                .map(|_| Vec::with_capacity(geometry.ways()))
-                .collect(),
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                NO_MASK
+            },
+            tags: vec![0; entries].into_boxed_slice(),
+            stamps: vec![0; entries].into_boxed_slice(),
+            payloads: std::iter::repeat_with(|| None).take(entries).collect(),
+            len: vec![0; sets].into_boxed_slice(),
             clock: 0,
             evictions: 0,
             conflicts: 0,
@@ -57,22 +83,41 @@ impl<E> SetAssocTable<E> {
         self.geometry
     }
 
+    /// The set `key` maps to; equals [`TableGeometry::set_of`] but masks
+    /// instead of dividing when the set count is a power of two.
+    #[inline]
+    fn set_index(&self, key: u64) -> usize {
+        if self.set_mask != NO_MASK {
+            (key & self.set_mask) as usize
+        } else {
+            self.geometry.set_of(key)
+        }
+    }
+
     /// Looks up `key`, refreshing its LRU position on a hit.
     pub fn lookup(&mut self, key: u64) -> Option<&mut E> {
         self.clock += 1;
-        let clock = self.clock;
-        let set = &mut self.sets[self.geometry.set_of(key)];
-        set.iter_mut().find(|s| s.tag == key).map(|s| {
-            s.stamp = clock;
-            &mut s.payload
-        })
+        let set = self.set_index(key);
+        let base = set * self.geometry.ways();
+        let end = base + self.len[set] as usize;
+        for i in base..end {
+            if self.tags[i] == key {
+                self.stamps[i] = self.clock;
+                return self.payloads[i].as_mut();
+            }
+        }
+        None
     }
 
     /// Looks up `key` without touching replacement state.
     #[must_use]
     pub fn probe(&self, key: u64) -> Option<&E> {
-        let set = &self.sets[self.geometry.set_of(key)];
-        set.iter().find(|s| s.tag == key).map(|s| &s.payload)
+        let set = self.set_index(key);
+        let base = set * self.geometry.ways();
+        let end = base + self.len[set] as usize;
+        (base..end)
+            .find(|&i| self.tags[i] == key)
+            .and_then(|i| self.payloads[i].as_ref())
     }
 
     /// Inserts (or replaces) the payload for `key`, evicting the set's LRU
@@ -80,51 +125,50 @@ impl<E> SetAssocTable<E> {
     /// if any.
     pub fn insert(&mut self, key: u64, payload: E) -> Option<(u64, E)> {
         self.clock += 1;
-        let clock = self.clock;
+        let set = self.set_index(key);
         let ways = self.geometry.ways();
-        let set = &mut self.sets[self.geometry.set_of(key)];
-        if let Some(slot) = set.iter_mut().find(|s| s.tag == key) {
-            slot.stamp = clock;
-            let old = std::mem::replace(&mut slot.payload, payload);
-            return Some((key, old));
+        let base = set * ways;
+        let n = self.len[set] as usize;
+        if let Some(i) = (base..base + n).find(|&i| self.tags[i] == key) {
+            self.stamps[i] = self.clock;
+            let old = self.payloads[i].replace(payload);
+            return old.map(|e| (key, e));
         }
-        if set.len() < ways {
-            if !set.is_empty() {
+        if n < ways {
+            if n > 0 {
                 // A distinct key landed in a set that already holds other
                 // tags — set-index aliasing the geometry experiments care
                 // about, even before it forces an eviction.
                 self.conflicts += 1;
             }
-            set.push(Slot {
-                tag: key,
-                stamp: clock,
-                payload,
-            });
+            let i = base + n;
+            self.tags[i] = key;
+            self.stamps[i] = self.clock;
+            self.payloads[i] = Some(payload);
+            self.len[set] = (n + 1) as u32;
             return None;
         }
-        let victim = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.stamp)
-            .map(|(i, _)| i)
-            .expect("full set is non-empty");
-        let old = std::mem::replace(
-            &mut set[victim],
-            Slot {
-                tag: key,
-                stamp: clock,
-                payload,
-            },
-        );
+        // Full set: evict the first slot holding the minimal stamp (stamps
+        // are unique, so "first" never actually ties).
+        let mut victim = base;
+        for i in base + 1..base + ways {
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
+        let old_tag = self.tags[victim];
+        let old = self.payloads[victim].replace(payload);
+        self.tags[victim] = key;
+        self.stamps[victim] = self.clock;
         self.evictions += 1;
         self.conflicts += 1;
-        Some((old.tag, old.payload))
+        old.map(|e| (old_tag, e))
     }
 
     /// Number of occupied entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len.iter().map(|&n| n as usize).sum()
     }
 
     /// Number of LRU evictions performed so far.
@@ -144,8 +188,9 @@ impl<E> SetAssocTable<E> {
 
     /// Empties the table and resets statistics.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        self.len.fill(0);
+        for p in &mut self.payloads {
+            *p = None;
         }
         self.clock = 0;
         self.evictions = 0;

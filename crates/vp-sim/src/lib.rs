@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub mod columns;
 pub mod error;
 pub mod exec;
 pub mod machine;
@@ -48,11 +49,15 @@ pub mod record;
 pub mod runner;
 pub mod tracer;
 
+pub use columns::{PcShard, TraceColumns};
 pub use error::SimError;
 pub use exec::{MemAccess, Retirement, StepOutcome};
 pub use machine::Machine;
 pub use memory::Memory;
 pub use mix::InstrMix;
-pub use record::{read_trace, replay, write_trace, Trace, TraceEvent, TraceRecorder};
+pub use record::{
+    read_columns, read_trace, replay, write_columns, write_trace, Trace, TraceError, TraceEvent,
+    TraceRecorder, MAX_TRACE_EVENTS,
+};
 pub use runner::{run, RunLimits, RunStatus, RunSummary};
 pub use tracer::{ChainTracer, FnTracer, NullTracer, Tracer};

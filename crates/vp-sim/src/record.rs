@@ -1,19 +1,28 @@
-//! Trace recording and replay.
+//! Trace recording, replay and the versioned spill format.
 //!
 //! SHADE could emit trace files that analyzers consumed offline; this
 //! module is that capability for `vp-sim`: capture a retirement trace once
-//! ([`TraceRecorder`]), then [`replay`] it into any number of tracers
+//! ([`TraceRecorder`]), then replay it into any number of tracers
 //! (profilers, predictors, the ILP machine) without re-simulating, or ship
 //! it through any `std::io` stream with [`write_trace`] / [`read_trace`].
+//!
+//! Traces are held columnar ([`TraceColumns`]) and spilled in a compact
+//! varint + delta encoded format (`provptr2`); the reader also accepts the
+//! original fixed-width AoS format (`provptr1`), so spill directories
+//! written by earlier versions keep working. Malformed inputs surface as a
+//! typed [`TraceError`] — in particular, on-disk length prefixes are never
+//! trusted for allocation, so a corrupt header cannot OOM the reader.
 
+use std::collections::HashMap;
+use std::fmt;
 use std::io::{self, Read, Write};
-use std::mem;
 
 use vp_isa::{InstrAddr, Program, Reg, RegClass};
 
+use crate::columns::{F_ALL, F_BRANCH, F_DEST, F_DEST_FP, F_MEM, F_MEM_STORE, F_TAKEN};
 use crate::exec::{MemAccess, Retirement};
 use crate::runner::{run, RunLimits};
-use crate::{SimError, Tracer};
+use crate::{SimError, TraceColumns, Tracer};
 
 /// One retired instruction, in owned form (no borrow of the program).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,13 +56,90 @@ impl TraceEvent {
     }
 }
 
-/// A tracer that stores the whole trace in memory.
+/// Why a serialised trace could not be read.
+///
+/// Distinguishes "the stream ended early" ([`TraceError::Truncated`])
+/// from "the bytes are inconsistent" ([`TraceError::Corrupt`]) and, most
+/// importantly, rejects absurd length prefixes
+/// ([`TraceError::AbsurdLength`]) *before* any allocation is sized from
+/// them.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The stream does not start with a known trace magic.
+    BadMagic,
+    /// A length prefix exceeds [`MAX_TRACE_EVENTS`]; the prefix is
+    /// rejected outright instead of sizing an allocation from it.
+    AbsurdLength {
+        /// The length the header claimed.
+        claimed: u64,
+        /// The largest length the reader accepts.
+        limit: u64,
+    },
+    /// The stream ended before the data its header promised.
+    Truncated {
+        /// Which section of the trace was being read.
+        context: &'static str,
+    },
+    /// The bytes were read but are internally inconsistent.
+    Corrupt {
+        /// What was inconsistent.
+        context: String,
+    },
+    /// An underlying I/O failure other than a clean end-of-stream.
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "bad trace magic"),
+            TraceError::AbsurdLength { claimed, limit } => {
+                write!(f, "absurd trace length {claimed} (limit {limit})")
+            }
+            TraceError::Truncated { context } => write!(f, "truncated trace: {context}"),
+            TraceError::Corrupt { context } => write!(f, "corrupt trace: {context}"),
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> io::Error {
+        match e {
+            TraceError::Io(io) => io,
+            TraceError::Truncated { .. } => {
+                io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string())
+            }
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Largest event count any length prefix may claim (2³³ events ≈ 170× the
+/// simulator's default run budget); larger prefixes are garbage headers,
+/// rejected as [`TraceError::AbsurdLength`].
+pub const MAX_TRACE_EVENTS: u64 = 1 << 33;
+
+/// Largest element count pre-allocated from an (already bounded) length
+/// prefix before the data proves itself by actually parsing.
+const PREALLOC_CAP: usize = 1 << 20;
+
+/// A tracer that stores the whole trace in memory (columnar).
 ///
 /// # Examples
 ///
 /// ```
 /// use vp_isa::asm::assemble;
-/// use vp_sim::record::{replay, TraceRecorder};
+/// use vp_sim::record::TraceRecorder;
 /// use vp_sim::{run, InstrMix, RunLimits};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,15 +147,17 @@ impl TraceEvent {
 /// let mut rec = TraceRecorder::new();
 /// run(&p, &mut rec, RunLimits::default())?;
 /// // Replay into a different consumer without re-simulating.
+/// let total = rec.len();
+/// let cols = rec.into_columns();
 /// let mut mix = InstrMix::new();
-/// replay(&p, rec.events(), &mut mix)?;
-/// assert_eq!(mix.total() as usize, rec.events().len());
+/// cols.replay(&p, &mut mix)?;
+/// assert_eq!(mix.total() as usize, total);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TraceRecorder {
-    events: Vec<TraceEvent>,
+    columns: TraceColumns,
 }
 
 impl TraceRecorder {
@@ -79,28 +167,52 @@ impl TraceRecorder {
         TraceRecorder::default()
     }
 
-    /// The recorded events.
+    /// Number of recorded events.
     #[must_use]
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    pub fn len(&self) -> usize {
+        self.columns.len()
     }
 
-    /// Consumes the recorder, returning the trace.
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The recorded trace, columnar.
+    #[must_use]
+    pub fn columns(&self) -> &TraceColumns {
+        &self.columns
+    }
+
+    /// Consumes the recorder, returning the columnar trace.
+    #[must_use]
+    pub fn into_columns(self) -> TraceColumns {
+        self.columns
+    }
+
+    /// Consumes the recorder, returning the trace as owned events
+    /// (materialises the AoS form; prefer [`TraceRecorder::into_columns`]
+    /// on hot paths).
     #[must_use]
     pub fn into_events(self) -> Vec<TraceEvent> {
-        self.events
+        self.columns.iter().collect()
     }
 }
 
 impl Tracer for TraceRecorder {
     fn retire(&mut self, ev: &Retirement<'_>) {
-        self.events.push(TraceEvent::from_retirement(ev));
+        self.columns.push_retirement(ev);
     }
 }
 
-/// Replays a recorded trace into `tracer`, reconstructing full
+/// Replays a recorded AoS event slice into `tracer`, reconstructing full
 /// [`Retirement`] records against `program` (which must be the program the
 /// trace was recorded from, or at least one with the same text length).
+///
+/// Columnar traces replay via [`TraceColumns::replay`] without
+/// materialising events; this slice form remains for callers that already
+/// hold `Vec<TraceEvent>`.
 ///
 /// # Errors
 ///
@@ -141,6 +253,10 @@ pub fn replay(
 /// captured from a bare program replays bit-identically against any
 /// directive-annotated variant of the same program.
 ///
+/// Internally the trace is columnar ([`TraceColumns`]); value-prediction
+/// replay walks [`TraceColumns::value_events`] directly instead of
+/// reconstructing retirements.
+///
 /// # Examples
 ///
 /// ```
@@ -159,7 +275,7 @@ pub fn replay(
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    columns: TraceColumns,
 }
 
 impl Trace {
@@ -172,9 +288,9 @@ impl Trace {
     pub fn capture(program: &Program, limits: RunLimits) -> Result<Trace, SimError> {
         let mut rec = TraceRecorder::new();
         run(program, &mut rec, limits)?;
-        let mut events = rec.into_events();
-        events.shrink_to_fit();
-        Ok(Trace { events })
+        let mut columns = rec.into_columns();
+        columns.shrink_to_fit();
+        Ok(Trace { columns })
     }
 
     /// Captures a trace while simultaneously feeding every retirement to
@@ -196,89 +312,413 @@ impl Trace {
             &mut crate::ChainTracer::new(&mut rec, tracer),
             limits,
         )?;
-        let mut events = rec.into_events();
-        events.shrink_to_fit();
-        Ok(Trace { events })
+        let mut columns = rec.into_columns();
+        columns.shrink_to_fit();
+        Ok(Trace { columns })
     }
 
-    /// Wraps an already-recorded event list.
+    /// Wraps an already-recorded event list (converted to columnar form).
     #[must_use]
-    pub fn from_events(mut events: Vec<TraceEvent>) -> Trace {
-        events.shrink_to_fit();
-        Trace { events }
+    pub fn from_events(events: Vec<TraceEvent>) -> Trace {
+        Trace {
+            columns: TraceColumns::from_events(&events),
+        }
     }
 
-    /// The recorded events.
+    /// Wraps an already-built column set.
     #[must_use]
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    pub fn from_columns(columns: TraceColumns) -> Trace {
+        Trace { columns }
+    }
+
+    /// The columnar representation.
+    #[must_use]
+    pub fn columns(&self) -> &TraceColumns {
+        &self.columns
+    }
+
+    /// Iterates the trace as owned [`TraceEvent`]s.
+    #[must_use]
+    pub fn iter(&self) -> crate::columns::Events<'_> {
+        self.columns.iter()
     }
 
     /// Number of retired instructions in the trace.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.columns.len()
     }
 
     /// Whether the trace is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.columns.is_empty()
     }
 
     /// Approximate resident size in bytes (for cache accounting).
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        mem::size_of::<Trace>() + self.events.capacity() * mem::size_of::<TraceEvent>()
+        self.columns.approx_bytes()
     }
 
     /// Replays the trace into `tracer` against `program`.
     ///
     /// # Errors
     ///
-    /// See [`replay`].
+    /// See [`TraceColumns::replay`].
     pub fn replay(&self, program: &Program, tracer: &mut impl Tracer) -> io::Result<()> {
-        replay(program, &self.events, tracer)
+        self.columns.replay(program, tracer)
     }
 
-    /// Serialises the trace in the compact binary format.
+    /// Serialises the trace in the compact columnar binary format
+    /// (`provptr2`).
     ///
     /// # Errors
     ///
     /// Propagates writer errors.
     pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
-        write_trace(w, &self.events)
+        write_columns(w, &self.columns)
     }
 
-    /// Deserialises a trace written by [`Trace::write_to`].
+    /// Deserialises a trace written by [`Trace::write_to`] — either
+    /// format version.
     ///
     /// # Errors
     ///
-    /// See [`read_trace`].
-    pub fn read_from<R: Read>(r: R) -> io::Result<Trace> {
+    /// See [`read_columns`].
+    pub fn read_from<R: Read>(r: R) -> Result<Trace, TraceError> {
         Ok(Trace {
-            events: read_trace(r)?,
+            columns: read_columns(r)?,
         })
     }
 }
 
-const MAGIC: &[u8; 8] = b"provptr1";
+/// Legacy fixed-width AoS format (one flag byte + fixed-width fields per
+/// event). Still readable; never written except by the doc-hidden legacy
+/// writer kept for fixture tests.
+const MAGIC_V1: &[u8; 8] = b"provptr1";
 
-// Flag bits of the per-event header byte.
-const F_DEST: u8 = 1 << 0;
-const F_DEST_FP: u8 = 1 << 1;
-const F_MEM: u8 = 1 << 2;
-const F_MEM_STORE: u8 = 1 << 3;
-const F_BRANCH: u8 = 1 << 4;
-const F_TAKEN: u8 = 1 << 5;
+/// Current columnar format: varint section lengths, raw flag column,
+/// zigzag-varint delta-encoded address/value columns.
+const MAGIC_V2: &[u8; 8] = b"provptr2";
 
-/// Serialises a trace to a writer (pass `&mut writer` to keep it).
+/// Serialises a trace (as events) to a writer in the current columnar
+/// format (pass `&mut writer` to keep it).
 ///
 /// # Errors
 ///
 /// Propagates writer errors.
-pub fn write_trace<W: Write>(mut w: W, events: &[TraceEvent]) -> io::Result<()> {
-    w.write_all(MAGIC)?;
+pub fn write_trace<W: Write>(w: W, events: &[TraceEvent]) -> io::Result<()> {
+    write_columns(w, &TraceColumns::from_events(events))
+}
+
+/// Deserialises a trace from a reader (either format version; pass
+/// `&mut reader` to keep it).
+///
+/// # Errors
+///
+/// A typed [`TraceError`]: bad magic, absurd length prefix, truncation,
+/// corruption, or an underlying I/O failure.
+pub fn read_trace<R: Read>(r: R) -> Result<Vec<TraceEvent>, TraceError> {
+    Ok(read_columns(r)?.iter().collect())
+}
+
+/// Serialises a columnar trace in the current (`provptr2`) format.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_columns<W: Write>(mut w: W, cols: &TraceColumns) -> io::Result<()> {
+    let c = cols.raw_parts();
+    w.write_all(MAGIC_V2)?;
+    write_varint(&mut w, c.flags.len() as u64)?;
+    write_varint(&mut w, c.dest_val.len() as u64)?;
+    write_varint(&mut w, c.mem_addr.len() as u64)?;
+    write_varint(&mut w, c.stored.len() as u64)?;
+    // Flag column, verbatim.
+    w.write_all(c.flags)?;
+    // Address column: delta vs the previous event's address (consecutive
+    // instructions differ by ±small values almost always).
+    let mut prev = 0i64;
+    for &a in c.addr {
+        let v = i64::from(a);
+        write_varint(&mut w, zigzag(v - prev))?;
+        prev = v;
+    }
+    // Next-PC column: delta vs the fallthrough (`addr + 1`), which is
+    // zero for every non-taken-branch instruction.
+    for (i, &np) in c.next_pc.iter().enumerate() {
+        write_varint(&mut w, zigzag(i64::from(np) - (i64::from(c.addr[i]) + 1)))?;
+    }
+    // Destination register column, verbatim.
+    w.write_all(c.dest_reg)?;
+    // Destination values: delta vs the same static instruction's previous
+    // value (strides and repeated last-values — the very predictability
+    // the paper measures — make these deltas tiny).
+    let mut last: HashMap<u32, u64> = HashMap::new();
+    let mut d = 0usize;
+    for (i, &flags) in c.flags.iter().enumerate() {
+        if flags & F_DEST != 0 {
+            let value = c.dest_val[d];
+            d += 1;
+            let prev = last.insert(c.addr[i], value).unwrap_or(0);
+            write_varint(&mut w, zigzag(value.wrapping_sub(prev) as i64))?;
+        }
+    }
+    // Memory addresses and stored values: delta vs the previous one.
+    let mut prev = 0u64;
+    for &a in c.mem_addr {
+        write_varint(&mut w, zigzag(a.wrapping_sub(prev) as i64))?;
+        prev = a;
+    }
+    let mut prev = 0u64;
+    for &v in c.stored {
+        write_varint(&mut w, zigzag(v.wrapping_sub(prev) as i64))?;
+        prev = v;
+    }
+    Ok(())
+}
+
+/// Deserialises a columnar trace, accepting both the current `provptr2`
+/// format and the legacy `provptr1` AoS format.
+///
+/// # Errors
+///
+/// A typed [`TraceError`]. Length prefixes are bounded by
+/// [`MAX_TRACE_EVENTS`] and never trusted for allocation: the reader
+/// pre-allocates at most a small capped amount until the stream has
+/// actually produced the promised bytes.
+pub fn read_columns<R: Read>(mut r: R) -> Result<TraceColumns, TraceError> {
+    let mut magic = [0u8; 8];
+    read_exact_or(&mut r, &mut magic, "magic")?;
+    if &magic == MAGIC_V2 {
+        read_columns_v2(r)
+    } else if &magic == MAGIC_V1 {
+        Ok(TraceColumns::from_events(&read_events_v1(r)?))
+    } else {
+        Err(TraceError::BadMagic)
+    }
+}
+
+fn read_columns_v2<R: Read>(mut r: R) -> Result<TraceColumns, TraceError> {
+    let n = read_varint(&mut r, "event count")?;
+    if n > MAX_TRACE_EVENTS {
+        return Err(TraceError::AbsurdLength {
+            claimed: n,
+            limit: MAX_TRACE_EVENTS,
+        });
+    }
+    let n_dest = read_varint(&mut r, "dest count")?;
+    let n_mem = read_varint(&mut r, "mem count")?;
+    let n_store = read_varint(&mut r, "store count")?;
+    if n_dest > n || n_mem > n || n_store > n_mem {
+        return Err(TraceError::Corrupt {
+            context: format!(
+                "sparse counts ({n_dest} dest, {n_mem} mem, {n_store} store) \
+                 exceed event count {n}"
+            ),
+        });
+    }
+    let n = n as usize;
+
+    // Flag column: read what the stream actually holds (capped initial
+    // allocation), then check we got everything the header promised.
+    let mut flags = Vec::with_capacity(n.min(PREALLOC_CAP));
+    r.by_ref()
+        .take(n as u64)
+        .read_to_end(&mut flags)
+        .map_err(TraceError::Io)?;
+    if flags.len() < n {
+        return Err(TraceError::Truncated {
+            context: "flag column",
+        });
+    }
+    // Validate every flag byte and count the populations the sparse
+    // columns must match.
+    let (mut cd, mut cm, mut cs) = (0u64, 0u64, 0u64);
+    for &f in &flags {
+        if f & !F_ALL != 0
+            || (f & F_DEST_FP != 0 && f & F_DEST == 0)
+            || (f & F_MEM_STORE != 0 && f & F_MEM == 0)
+            || (f & F_TAKEN != 0 && f & F_BRANCH == 0)
+        {
+            return Err(TraceError::Corrupt {
+                context: format!("invalid flag byte {f:#04x}"),
+            });
+        }
+        cd += u64::from(f & F_DEST != 0);
+        cm += u64::from(f & F_MEM != 0);
+        cs += u64::from(f & F_MEM_STORE != 0);
+    }
+    if (cd, cm, cs) != (n_dest, n_mem, n_store) {
+        return Err(TraceError::Corrupt {
+            context: format!(
+                "flag populations ({cd} dest, {cm} mem, {cs} store) disagree \
+                 with header counts ({n_dest}, {n_mem}, {n_store})"
+            ),
+        });
+    }
+    // The flag column proved `n` is real data, so exact reservations for
+    // the remaining columns are safe.
+    let (n_dest, n_mem, n_store) = (n_dest as usize, n_mem as usize, n_store as usize);
+
+    let mut addr = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        let d = unzigzag(read_varint(&mut r, "addr column")?);
+        let v = prev
+            .checked_add(d)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| TraceError::Corrupt {
+                context: "instruction address out of range".to_owned(),
+            })?;
+        addr.push(v);
+        prev = i64::from(v);
+    }
+
+    let mut next_pc = Vec::with_capacity(n);
+    for &a in &addr {
+        let d = unzigzag(read_varint(&mut r, "next-pc column")?);
+        let v = (i64::from(a) + 1)
+            .checked_add(d)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| TraceError::Corrupt {
+                context: "next-pc out of range".to_owned(),
+            })?;
+        next_pc.push(v);
+    }
+
+    let mut dest_reg = Vec::with_capacity(n_dest);
+    r.by_ref()
+        .take(n_dest as u64)
+        .read_to_end(&mut dest_reg)
+        .map_err(TraceError::Io)?;
+    if dest_reg.len() < n_dest {
+        return Err(TraceError::Truncated {
+            context: "destination register column",
+        });
+    }
+    for &reg in &dest_reg {
+        if Reg::try_new(reg).is_none() {
+            return Err(TraceError::Corrupt {
+                context: format!("register {reg} out of range"),
+            });
+        }
+    }
+
+    let mut dest_val = Vec::with_capacity(n_dest);
+    let mut last: HashMap<u32, u64> = HashMap::new();
+    for (i, &f) in flags.iter().enumerate() {
+        if f & F_DEST != 0 {
+            let d = unzigzag(read_varint(&mut r, "destination value column")?) as u64;
+            let prev = last.get(&addr[i]).copied().unwrap_or(0);
+            let value = prev.wrapping_add(d);
+            last.insert(addr[i], value);
+            dest_val.push(value);
+        }
+    }
+
+    let mut mem_addr = Vec::with_capacity(n_mem);
+    let mut prev = 0u64;
+    for _ in 0..n_mem {
+        let d = unzigzag(read_varint(&mut r, "memory address column")?) as u64;
+        prev = prev.wrapping_add(d);
+        mem_addr.push(prev);
+    }
+
+    let mut stored = Vec::with_capacity(n_store);
+    let mut prev = 0u64;
+    for _ in 0..n_store {
+        let d = unzigzag(read_varint(&mut r, "stored value column")?) as u64;
+        prev = prev.wrapping_add(d);
+        stored.push(prev);
+    }
+
+    Ok(TraceColumns::from_raw_parts(
+        flags, addr, next_pc, dest_reg, dest_val, mem_addr, stored,
+    ))
+}
+
+/// Reads the body of a legacy `provptr1` trace (magic already consumed).
+fn read_events_v1<R: Read>(mut r: R) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut count = [0u8; 8];
+    read_exact_or(&mut r, &mut count, "event count")?;
+    let count = u64::from_le_bytes(count);
+    if count > MAX_TRACE_EVENTS {
+        return Err(TraceError::AbsurdLength {
+            claimed: count,
+            limit: MAX_TRACE_EVENTS,
+        });
+    }
+    // Never size an allocation from the (untrusted) prefix: start capped,
+    // let actual parsed events grow the vector.
+    let mut events = Vec::with_capacity((count as usize).min(PREALLOC_CAP));
+    for _ in 0..count {
+        let mut header = [0u8; 9];
+        read_exact_or(&mut r, &mut header, "event header")?;
+        let flags = header[0];
+        let addr = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
+        let next_pc = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes"));
+        let dest = if flags & F_DEST != 0 {
+            let mut buf = [0u8; 9];
+            read_exact_or(&mut r, &mut buf, "destination payload")?;
+            let reg = Reg::try_new(buf[0]).ok_or_else(|| TraceError::Corrupt {
+                context: format!("register {} out of range", buf[0]),
+            })?;
+            let value = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+            let class = if flags & F_DEST_FP != 0 {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            };
+            Some((class, reg, value))
+        } else {
+            None
+        };
+        let (mem, stored) = if flags & F_MEM != 0 {
+            let mut buf = [0u8; 8];
+            read_exact_or(&mut r, &mut buf, "memory payload")?;
+            let store = flags & F_MEM_STORE != 0;
+            let stored = if store {
+                let mut v = [0u8; 8];
+                read_exact_or(&mut r, &mut v, "stored value")?;
+                Some(u64::from_le_bytes(v))
+            } else {
+                None
+            };
+            (
+                Some(MemAccess {
+                    addr: u64::from_le_bytes(buf),
+                    store,
+                }),
+                stored,
+            )
+        } else {
+            (None, None)
+        };
+        let taken = (flags & F_BRANCH != 0).then_some(flags & F_TAKEN != 0);
+        events.push(TraceEvent {
+            addr: InstrAddr::new(addr),
+            dest,
+            mem,
+            stored,
+            taken,
+            next_pc: InstrAddr::new(next_pc),
+        });
+    }
+    Ok(events)
+}
+
+/// Writes the legacy `provptr1` fixed-width format. Kept (hidden) so
+/// tests can produce legacy fixtures and prove the backward-compatible
+/// read path; production code always writes `provptr2`.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+#[doc(hidden)]
+pub fn write_trace_legacy_v1<W: Write>(mut w: W, events: &[TraceEvent]) -> io::Result<()> {
+    w.write_all(MAGIC_V1)?;
     w.write_all(&(events.len() as u64).to_le_bytes())?;
     for ev in events {
         let mut flags = 0u8;
@@ -317,79 +757,59 @@ pub fn write_trace<W: Write>(mut w: W, events: &[TraceEvent]) -> io::Result<()> 
     Ok(())
 }
 
-/// Deserialises a trace from a reader (pass `&mut reader` to keep it).
-///
-/// # Errors
-///
-/// [`io::Error`] of kind `InvalidData` for a bad magic or malformed event;
-/// reader errors are propagated.
-pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<TraceEvent>> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad trace magic",
-        ));
+// --- varint / zigzag helpers -------------------------------------------
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
     }
-    let mut count = [0u8; 8];
-    r.read_exact(&mut count)?;
-    let count = u64::from_le_bytes(count);
-    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        let mut header = [0u8; 9];
-        r.read_exact(&mut header)?;
-        let flags = header[0];
-        let addr = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
-        let next_pc = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes"));
-        let dest = if flags & F_DEST != 0 {
-            let mut buf = [0u8; 9];
-            r.read_exact(&mut buf)?;
-            let reg = Reg::try_new(buf[0]).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "register out of range in trace")
-            })?;
-            let value = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
-            let class = if flags & F_DEST_FP != 0 {
-                RegClass::Fp
-            } else {
-                RegClass::Int
-            };
-            Some((class, reg, value))
-        } else {
-            None
-        };
-        let (mem, stored) = if flags & F_MEM != 0 {
-            let mut buf = [0u8; 8];
-            r.read_exact(&mut buf)?;
-            let store = flags & F_MEM_STORE != 0;
-            let stored = if store {
-                let mut v = [0u8; 8];
-                r.read_exact(&mut v)?;
-                Some(u64::from_le_bytes(v))
-            } else {
-                None
-            };
-            (
-                Some(MemAccess {
-                    addr: u64::from_le_bytes(buf),
-                    store,
-                }),
-                stored,
-            )
-        } else {
-            (None, None)
-        };
-        let taken = (flags & F_BRANCH != 0).then_some(flags & F_TAKEN != 0);
-        events.push(TraceEvent {
-            addr: InstrAddr::new(addr),
-            dest,
-            mem,
-            stored,
-            taken,
-            next_pc: InstrAddr::new(next_pc),
-        });
+}
+
+fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64, TraceError> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        read_exact_or(r, &mut byte, context)?;
+        let low = u64::from(byte[0] & 0x7f);
+        if shift > 63 || (shift == 63 && low > 1) {
+            return Err(TraceError::Corrupt {
+                context: format!("varint overflow in {context}"),
+            });
+        }
+        out |= low << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
     }
-    Ok(events)
+}
+
+fn zigzag(v: i64) -> u64 {
+    (v.wrapping_shl(1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn read_exact_or<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { context }
+        } else {
+            TraceError::Io(e)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -418,6 +838,31 @@ top: fld f1, (r0)\nfadd f2, f2, f1\nsd r1, 5(r1)\naddi r1, r1, 1\nbne r1, r2, to
     }
 
     #[test]
+    fn columnar_format_is_smaller_than_legacy() {
+        let (_, events) = record(SAMPLE);
+        let mut v2 = Vec::new();
+        write_trace(&mut v2, &events).unwrap();
+        let mut v1 = Vec::new();
+        write_trace_legacy_v1(&mut v1, &events).unwrap();
+        assert!(
+            v2.len() < v1.len(),
+            "columnar spill ({}) not smaller than legacy ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn legacy_v1_format_reads_back() {
+        let (_, events) = record(SAMPLE);
+        let mut bytes = Vec::new();
+        write_trace_legacy_v1(&mut bytes, &events).unwrap();
+        assert_eq!(read_trace(bytes.as_slice()).unwrap(), events);
+        let trace = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(trace, Trace::from_events(events));
+    }
+
+    #[test]
     fn replay_matches_live_tracing() {
         let (p, events) = record(SAMPLE);
         let mut live = InstrMix::new();
@@ -438,26 +883,86 @@ top: fld f1, (r0)\nfadd f2, f2, f1\nsd r1, 5(r1)\naddi r1, r1, 1\nbne r1, r2, to
     #[test]
     fn bad_magic_is_rejected() {
         let e = read_trace(&b"notatrace........"[..]).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(e, TraceError::BadMagic), "{e}");
     }
 
     #[test]
-    fn truncated_stream_is_an_error() {
+    fn truncated_stream_is_a_typed_error() {
         let (_, events) = record(SAMPLE);
         let mut bytes = Vec::new();
         write_trace(&mut bytes, &events).unwrap();
         bytes.truncate(bytes.len() - 3);
-        assert!(read_trace(bytes.as_slice()).is_err());
+        let e = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Truncated { .. }), "{e}");
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_rejected_without_allocation() {
+        // v2: claim u64::MAX events, provide nothing.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        write_varint(&mut bytes, u64::MAX).unwrap();
+        let e = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::AbsurdLength { .. }), "{e}");
+
+        // v1: same attack on the legacy length prefix.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let e = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::AbsurdLength { .. }), "{e}");
+    }
+
+    #[test]
+    fn plausible_length_with_missing_data_is_truncation_not_oom() {
+        // A count below the absurdity limit but with no payload must fail
+        // on the actual byte shortage, not pre-allocate count elements.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        write_varint(&mut bytes, MAX_TRACE_EVENTS).unwrap(); // n
+        write_varint(&mut bytes, 0).unwrap(); // n_dest
+        write_varint(&mut bytes, 0).unwrap(); // n_mem
+        write_varint(&mut bytes, 0).unwrap(); // n_store
+        let e = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Truncated { .. }), "{e}");
+    }
+
+    #[test]
+    fn inconsistent_flag_populations_are_corrupt() {
+        // One event whose flags claim a dest write, but a header that
+        // promises zero dest entries.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        write_varint(&mut bytes, 1).unwrap(); // n
+        write_varint(&mut bytes, 0).unwrap(); // n_dest
+        write_varint(&mut bytes, 0).unwrap(); // n_mem
+        write_varint(&mut bytes, 0).unwrap(); // n_store
+        bytes.push(F_DEST);
+        let e = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Corrupt { .. }), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_corrupt() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        write_varint(&mut bytes, 1).unwrap();
+        write_varint(&mut bytes, 0).unwrap();
+        write_varint(&mut bytes, 0).unwrap();
+        write_varint(&mut bytes, 0).unwrap();
+        bytes.push(0x80); // undefined bit
+        let e = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Corrupt { .. }), "{e}");
     }
 
     #[test]
     fn trace_capture_matches_recorder_and_round_trips() {
         let (p, events) = record(SAMPLE);
         let trace = Trace::capture(&p, RunLimits::default()).unwrap();
-        assert_eq!(trace.events(), &events[..]);
+        assert_eq!(trace.iter().collect::<Vec<_>>(), events);
         assert_eq!(trace.len(), events.len());
         assert!(!trace.is_empty());
-        assert!(trace.approx_bytes() > events.len());
+        assert!(trace.approx_bytes() > 0);
 
         let mut live = InstrMix::new();
         run(&p, &mut live, RunLimits::default()).unwrap();
@@ -481,5 +986,28 @@ top: fld f1, (r0)\nfadd f2, f2, f1\nsd r1, 5(r1)\naddi r1, r1, 1\nbne r1, r2, to
             .any(|e| matches!(e.mem, Some(MemAccess { store: true, .. }))));
         assert!(events.iter().any(|e| e.taken == Some(true)));
         assert!(events.iter().any(|e| e.taken == Some(false)));
+    }
+
+    #[test]
+    fn varint_round_trips_across_the_range() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut bytes = Vec::new();
+            write_varint(&mut bytes, v).unwrap();
+            assert!(bytes.len() <= 10);
+            assert_eq!(read_varint(&mut bytes.as_slice(), "t").unwrap(), v);
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
     }
 }

@@ -4,8 +4,8 @@
 
 use vp_isa::{InstrAddr, Reg, RegClass};
 use vp_rng::{prop, Rng};
-use vp_sim::record::{read_trace, write_trace, TraceEvent};
-use vp_sim::MemAccess;
+use vp_sim::record::{read_trace, write_trace, write_trace_legacy_v1, TraceEvent};
+use vp_sim::{MemAccess, Trace, TraceError};
 
 fn arb_event(rng: &mut Rng) -> TraceEvent {
     let mem = rng.gen_bool(0.5).then(|| MemAccess {
@@ -69,6 +69,57 @@ fn prop_truncation_is_detected() {
         if cut < bytes.len() {
             bytes.truncate(cut);
             assert!(read_trace(bytes.as_slice()).is_err());
+        }
+    });
+}
+
+/// Files written in the legacy fixed-width v1 format (`provptr1`) must
+/// keep reading back event-for-event through the current reader — on-disk
+/// trace caches written before the columnar format survive an upgrade.
+#[test]
+fn prop_legacy_v1_spill_files_read_back() {
+    prop::forall("legacy v1 spill files read back", |rng| {
+        arb_events(rng, 0, 120)
+    })
+    .check(|events| {
+        let mut bytes = Vec::new();
+        write_trace_legacy_v1(&mut bytes, events).unwrap();
+        assert_eq!(&bytes[..8], b"provptr1");
+        let back = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(&back, events);
+    });
+}
+
+/// The columnar v2 format round-trips through the [`Trace`] wrapper, and
+/// truncating the byte stream surfaces as a typed [`TraceError`] (never a
+/// panic, never a silently short parse).
+#[test]
+fn prop_columnar_trace_round_trips_and_detects_truncation() {
+    prop::forall("columnar trace round-trips", |rng| {
+        (arb_events(rng, 1, 120), rng.gen_f64())
+    })
+    .check(|(events, cut_fraction)| {
+        let trace = Trace::from_events(events.clone());
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        assert_eq!(&bytes[..8], b"provptr2");
+        let back = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.columns(), trace.columns());
+
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            bytes.truncate(cut);
+            let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TraceError::BadMagic
+                        | TraceError::Truncated { .. }
+                        | TraceError::Corrupt { .. }
+                        | TraceError::Io(_)
+                ),
+                "unexpected error shape: {err}"
+            );
         }
     });
 }

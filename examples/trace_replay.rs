@@ -5,15 +5,16 @@
 //! ```
 //!
 //! Simulates one workload a single time while recording its retirement
-//! trace, serialises the trace to bytes, then replays it into three
-//! different consumers — the profiler, a predictor, and the ILP machine —
-//! without touching the simulator again.
+//! trace (columnar), serialises the trace to bytes in the varint + delta
+//! spill format, then replays it into three different consumers — the
+//! profiler, a predictor, and the ILP machine — without touching the
+//! simulator again.
 
 use provp::core::PredictorTracer;
 use provp::ilp::{IlpAnalyzer, IlpConfig};
 use provp::predictor::PredictorConfig;
 use provp::profile::ProfileCollector;
-use provp::sim::{read_trace, replay, run, write_trace, RunLimits, TraceRecorder};
+use provp::sim::{read_columns, run, write_columns, RunLimits, TraceRecorder};
 use provp::workloads::{InputSet, Workload, WorkloadKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,35 +25,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(WorkloadKind::Compress);
     let program = Workload::new(kind).program(&InputSet::reference());
 
-    // Simulate once, recording the trace.
+    // Simulate once, recording the trace in columnar form.
     let mut recorder = TraceRecorder::new();
     let summary = run(&program, &mut recorder, RunLimits::default())?;
     println!("recorded {kind}: {summary}");
 
     // Ship it through a byte stream (a file, a pipe, ...).
     let mut bytes = Vec::new();
-    write_trace(&mut bytes, recorder.events())?;
+    write_columns(&mut bytes, recorder.columns())?;
     println!(
         "trace size: {} bytes ({:.1} B/instr)",
         bytes.len(),
         bytes.len() as f64 / summary.instructions() as f64
     );
-    let events = read_trace(bytes.as_slice())?;
+    let columns = read_columns(bytes.as_slice())?;
 
     // Consumer 1: the phase-2 profiler.
     let mut profiler = ProfileCollector::new(kind.name());
-    replay(&program, &events, &mut profiler)?;
+    columns.replay(&program, &mut profiler)?;
     let image = profiler.into_image();
     println!("profiler:  {} static value producers", image.len());
 
-    // Consumer 2: the finite-table predictor.
-    let mut predictor = PredictorTracer::new(PredictorConfig::spec_table_stride_fsm().build());
-    replay(&program, &events, &mut predictor)?;
+    // Consumer 2: the finite-table predictor — fed from the value-event
+    // columns alone, the same fast path the experiment suite replays.
+    let mut predictor = PredictorConfig::spec_table_stride_fsm().build();
+    for (addr, value) in columns.value_events() {
+        let directive = program.text()[addr.index() as usize].directive;
+        predictor.access(addr, directive, value);
+    }
     println!("predictor: {}", predictor.stats());
+
+    // A full-retirement replay through the tracer glue gives the same
+    // statistics as the columnar value-event scan.
+    let mut tracer = PredictorTracer::new(PredictorConfig::spec_table_stride_fsm().build());
+    columns.replay(&program, &mut tracer)?;
+    assert_eq!(tracer.stats(), predictor.stats());
 
     // Consumer 3: the abstract ILP machine.
     let mut ilp = IlpAnalyzer::new(IlpConfig::paper_no_vp());
-    replay(&program, &events, &mut ilp)?;
+    columns.replay(&program, &mut ilp)?;
     println!("ilp:       {}", ilp.finish());
     Ok(())
 }
