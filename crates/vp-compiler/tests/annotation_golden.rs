@@ -1,0 +1,157 @@
+//! Golden pins for the phase-3 annotation pass across the paper's
+//! threshold sweep (90%…50%), plus the re-annotation idempotence
+//! property.
+//!
+//! The workload is built so its value producers land in distinct
+//! stride-accuracy tiers: a loop counter (~98%), quotient producers whose
+//! output changes every 16 / 8 / 6 / 4 iterations (~87% / 75% / 66% /
+//! 50%), a constant reload (100% with zero stride → last-value) and a
+//! noisy geometric sequence (never predictable). Each threshold therefore
+//! admits a strictly larger set of producers, and the goldens pin both
+//! the per-instruction directive vector and the summary counts.
+
+use vp_compiler::{annotate, ThresholdPolicy};
+use vp_isa::asm::assemble;
+use vp_isa::{Directive, Program};
+use vp_profile::{ProfileCollector, ProfileImage};
+use vp_rng::prop;
+use vp_sim::{run, RunLimits};
+
+/// A 64-iteration loop whose producers span the accuracy spectrum.
+fn tiered_workload() -> Program {
+    assemble(
+        "\
+.name tiered
+.data 42
+  li   r1, 0          ; @0  loop counter seed
+  li   r2, 64         ; @1  trip count
+  li   r3, 16         ; @2  divisor: output changes every 16 iters
+  li   r4, 8          ; @3  divisor: every 8
+  li   r5, 6          ; @4  divisor: every 6
+  li   r6, 4          ; @5  divisor: every 4
+  li   r9, 1          ; @6  geometric seed
+top:
+  addi r1, r1, 1      ; @7  perfect stride (+1)
+  div  r10, r1, r3    ; @8  ~87.5% tier
+  div  r11, r1, r4    ; @9  ~75% tier
+  div  r12, r1, r5    ; @10 ~66% tier
+  div  r13, r1, r6    ; @11 ~50% tier
+  ld   r14, (r0)      ; @12 constant reload: zero-stride last-value
+  muli r9, r9, 7      ; @13 noisy: never predictable
+  bne  r1, r2, top    ; @14
+  halt                ; @15
+",
+    )
+    .expect("workload must assemble")
+}
+
+fn profile(program: &Program) -> ProfileImage {
+    let mut collector = ProfileCollector::new("train");
+    run(program, &mut collector, RunLimits::default()).expect("training run must complete");
+    collector.into_image()
+}
+
+/// Renders the directive vector: one char per instruction —
+/// `.` untagged, `S` stride, `L` last-value.
+fn directive_string(program: &Program) -> String {
+    program
+        .text()
+        .iter()
+        .map(|ins| match ins.directive {
+            Directive::None => '.',
+            Directive::Stride => 'S',
+            Directive::LastValue => 'L',
+        })
+        .collect()
+}
+
+#[test]
+fn paper_threshold_sweep_matches_goldens() {
+    let program = tiered_workload();
+    let image = profile(&program);
+
+    // (threshold, directive vector, stride tags, last-value tags).
+    let goldens: &[(f64, &str, usize, usize)] = &[
+        (0.9, ".......S....L...", 1, 1),
+        (0.8, ".......SL...L...", 1, 2),
+        (0.7, ".......SLL..L...", 1, 3),
+        (0.6, ".......SLLL.L...", 1, 4),
+        (0.5, ".......SLLLLL...", 1, 5),
+    ];
+    assert_eq!(
+        ThresholdPolicy::PAPER_SWEEP.as_slice(),
+        goldens
+            .iter()
+            .map(|(t, ..)| *t)
+            .collect::<Vec<_>>()
+            .as_slice(),
+        "goldens must cover exactly the paper's sweep"
+    );
+
+    let mut previous_tagged = usize::MAX;
+    for (threshold, want, want_stride, want_lv) in goldens {
+        let annotated = annotate(&program, &image, &ThresholdPolicy::new(*threshold));
+        let got = directive_string(annotated.program());
+        let summary = annotated.summary();
+        assert_eq!(
+            &got, want,
+            "directive vector changed at threshold {threshold}"
+        );
+        assert_eq!(summary.stride_tagged, *want_stride, "at {threshold}");
+        assert_eq!(summary.last_value_tagged, *want_lv, "at {threshold}");
+        // Lowering the threshold can only admit more producers.
+        assert!(
+            previous_tagged == usize::MAX || summary.tagged() >= previous_tagged,
+            "sweep must be monotone"
+        );
+        previous_tagged = summary.tagged();
+    }
+}
+
+#[test]
+fn reannotation_is_idempotent_across_random_policies() {
+    let program = tiered_workload();
+    let image = profile(&program);
+
+    prop::forall("reannotation is idempotent", |rng| {
+        (
+            rng.gen_range(0u8..=100),
+            rng.gen_range(0u8..=100),
+            rng.gen_range(0u64..=100),
+        )
+    })
+    .check(|&(accuracy, stride_ratio, min_execs)| {
+        let policy = ThresholdPolicy::new(f64::from(accuracy) / 100.0)
+            .with_stride_ratio_threshold(f64::from(stride_ratio) / 100.0)
+            .with_min_execs(min_execs);
+
+        let once = annotate(&program, &image, &policy);
+        let twice = annotate(once.program(), &image, &policy);
+        assert_eq!(
+            directive_string(twice.program()),
+            directive_string(once.program()),
+            "directives drifted under re-annotation with {policy}"
+        );
+        assert_eq!(
+            twice.summary(),
+            once.summary(),
+            "summary drifted under re-annotation with {policy}"
+        );
+    });
+}
+
+#[test]
+fn annotation_only_touches_directive_bits() {
+    let program = tiered_workload();
+    let image = profile(&program);
+    for threshold in ThresholdPolicy::PAPER_SWEEP {
+        let annotated = annotate(&program, &image, &ThresholdPolicy::new(threshold));
+        let stripped = annotated.program().with_directives(|_, _| Directive::None);
+        let original = program.with_directives(|_, _| Directive::None);
+        assert_eq!(
+            stripped.text(),
+            original.text(),
+            "annotation at {threshold} must not rewrite instructions"
+        );
+    }
+}

@@ -117,6 +117,45 @@ impl Program {
         self.with_directives(|_, _| Directive::None)
     }
 
+    /// Returns the addresses of instructions whose static control flow is
+    /// ill-formed: PC-relative branch/jump targets outside the text
+    /// segment, or a fallthrough off the end of text by a non-control
+    /// instruction (including the final instruction when it is not `halt`
+    /// or an unconditional jump).
+    ///
+    /// An empty result means every statically-known successor stays inside
+    /// the program, so the only possible [`Jalr`](crate::Opcode::Jalr)
+    /// faults are data-dependent. Program generators and trace shrinkers
+    /// use this to produce (and preserve) well-formed control flow without
+    /// re-running the simulator.
+    #[must_use]
+    pub fn control_flow_violations(&self) -> Vec<InstrAddr> {
+        let len = self.text.len();
+        let in_text = |addr: Option<InstrAddr>| addr.is_some_and(|a| (a.index() as usize) < len);
+        let mut bad = Vec::new();
+        for (addr, ins) in self.iter() {
+            let target_ok = match ins.op {
+                op if op.is_branch() || op == crate::Opcode::Jal => i32::try_from(ins.imm)
+                    .ok()
+                    .is_some_and(|d| in_text(addr.offset(d))),
+                // Jalr targets are register values; unverifiable statically.
+                _ => true,
+            };
+            // Everything except halt and jal falls through (conditional
+            // branches fall through when not taken; jalr never does, but
+            // its dynamic target is unverifiable anyway, so require the
+            // static successor too).
+            let fallthrough_ok = match ins.op {
+                crate::Opcode::Halt | crate::Opcode::Jal => true,
+                _ => (addr.index() as usize) + 1 < len,
+            };
+            if !target_ok || !fallthrough_ok {
+                bad.push(addr);
+            }
+        }
+        bad
+    }
+
     /// Counts instructions carrying each directive: `(none, last_value,
     /// stride)`.
     #[must_use]
@@ -199,6 +238,52 @@ mod tests {
         let p = sample();
         let tagged = p.with_directives(|_, _| Directive::LastValue);
         assert_eq!(tagged.without_directives(), p);
+    }
+
+    #[test]
+    fn control_flow_validation_flags_escapes() {
+        // Well-formed: a backward branch and a final halt.
+        let good = Program::new(
+            "good",
+            vec![
+                Instr::rd_imm(Opcode::Li, Reg::new(1), 2),
+                Instr::alu_ri(Opcode::Addi, Reg::new(1), Reg::new(1), -1),
+                Instr::branch(Opcode::Bne, Reg::new(1), Reg::ZERO, -1),
+                Instr::halt(),
+            ],
+            vec![],
+        );
+        assert!(good.control_flow_violations().is_empty());
+
+        // A branch past the end of text.
+        let escaping_branch = Program::new(
+            "bad-branch",
+            vec![
+                Instr::branch(Opcode::Beq, Reg::ZERO, Reg::ZERO, 10),
+                Instr::halt(),
+            ],
+            vec![],
+        );
+        assert_eq!(
+            escaping_branch.control_flow_violations(),
+            vec![InstrAddr::new(0)]
+        );
+
+        // A final instruction that falls off the end of text.
+        let no_halt = Program::new(
+            "bad-tail",
+            vec![Instr::rd_imm(Opcode::Li, Reg::new(1), 1)],
+            vec![],
+        );
+        assert_eq!(no_halt.control_flow_violations(), vec![InstrAddr::new(0)]);
+
+        // A jal with an in-range target is fine even in the last slot.
+        let jal_tail = Program::new(
+            "jal-tail",
+            vec![Instr::halt(), Instr::rd_imm(Opcode::Jal, Reg::new(1), -1)],
+            vec![],
+        );
+        assert!(jal_tail.control_flow_violations().is_empty());
     }
 
     #[test]

@@ -295,7 +295,7 @@ mod tests {
                 .map(|_| rng.gen_range(0..64u64))
                 .collect::<Vec<u64>>()
         })
-        .check(|keys| {
+        .check_shrinking(|keys| {
             let g = TableGeometry::new(16, 4);
             let mut t = SetAssocTable::new(g);
             for &k in keys {
@@ -317,7 +317,7 @@ mod tests {
                 .map(|_| rng.gen_range(0..1024u64))
                 .collect::<Vec<u64>>()
         })
-        .check(|keys| {
+        .check_shrinking(|keys| {
             let g = TableGeometry::new(8, 2);
             let mut t = SetAssocTable::new(g);
             let mut mru: HashMap<usize, u64> = HashMap::new();

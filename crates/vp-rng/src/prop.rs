@@ -3,10 +3,13 @@
 //! Replaces the `proptest` dependency (unavailable offline) for the
 //! differential and invariant suites: generate `cases` random values from a
 //! seeded [`Rng`], run the property on each, and on failure report the case
-//! number, the seed that reproduces it, and the generated value.
+//! number, a copy-pasteable single-case repro command, and the generated
+//! value.
 //!
-//! No shrinking — failures print the exact generated value, which for this
-//! workspace's small generators is enough to reproduce and debug.
+//! Failures found by [`Property::check_shrinking`] are additionally
+//! minimized through the [`Shrink`] trait (integer halving, vector
+//! bisection/removal) before being reported, so the printed counterexample
+//! is usually far smaller than the generated one.
 //!
 //! # Examples
 //!
@@ -27,8 +30,128 @@ use crate::Rng;
 /// [`Property::cases`] or the `VP_PROP_CASES` environment variable).
 pub const DEFAULT_CASES: u32 = 96;
 
-/// Base seed of case 0; case `i` uses `BASE_SEED + i`.
+/// Base seed of case 0; case `i` uses `BASE_SEED + i`. Override with
+/// [`Property::seed`] or the `VP_PROP_BASE_SEED` environment variable
+/// (decimal or `0x`-prefixed hex).
 pub const BASE_SEED: u64 = 0x5eed_cafe_0000_0000;
+
+/// Maximum number of candidate evaluations one shrink run may spend.
+const MAX_SHRINK_EVALS: u32 = 4096;
+
+/// Produces structurally smaller candidate values for counterexample
+/// minimization.
+///
+/// `shrink` returns candidates that are *strictly simpler* than `self`
+/// (ordered simplest-first is best but not required); the harness keeps a
+/// candidate only if the property still fails on it, so implementations
+/// never need to preserve failure themselves. An empty vector means fully
+/// shrunk.
+pub trait Shrink: Sized {
+    /// Candidate simplifications of `self`.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v > 1 {
+                        out.push(v / 2);
+                    }
+                    out.push(v - 1);
+                    out.dedup();
+                }
+                out
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v < 0 {
+                        // A positive value of the same magnitude is simpler.
+                        if let Some(p) = v.checked_neg() {
+                            out.push(p);
+                        }
+                    }
+                    out.push(v / 2);
+                    out.push(v - v.signum());
+                    out.dedup();
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_unsigned!(u8, u16, u32, u64, usize);
+impl_shrink_signed!(i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        // Aggressive first: drop half the elements at a time.
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n - n / 2..].to_vec());
+        } else {
+            out.push(Vec::new());
+        }
+        // Then drop single elements.
+        for i in 0..n {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Finally shrink elements in place.
+        for i in 0..n {
+            for candidate in self[i].shrink() {
+                let mut v = self.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b));
+        }
+        out
+    }
+}
 
 /// A named property under test: a generator plus (via [`Property::check`])
 /// an assertion.
@@ -39,17 +162,32 @@ pub struct Property<G> {
     base_seed: u64,
 }
 
+/// Parses `VP_PROP_BASE_SEED`-style values: decimal, or `0x`-prefixed hex
+/// (underscore separators allowed).
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim().replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 /// Starts a property: `gen` derives one arbitrary test case from an [`Rng`].
 pub fn forall<T, G: Fn(&mut Rng) -> T>(name: &'static str, generate: G) -> Property<G> {
     let cases = std::env::var("VP_PROP_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_CASES);
+    let base_seed = std::env::var("VP_PROP_BASE_SEED")
+        .ok()
+        .and_then(|v| parse_seed(&v))
+        .unwrap_or(BASE_SEED);
     Property {
         name,
         generate,
         cases,
-        base_seed: BASE_SEED,
+        base_seed,
     }
 }
 
@@ -69,6 +207,26 @@ impl<G> Property<G> {
         self
     }
 
+    /// Prints the failure report: where it failed, the (possibly shrunk)
+    /// counterexample, and a copy-pasteable command that replays exactly the
+    /// failing case.
+    fn report_failure<T: std::fmt::Debug>(&self, case: u32, seed: u64, value: &T) {
+        // A `cargo test` filter derived from the property name: most suites
+        // name the enclosing test after the property.
+        let filter: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        eprintln!(
+            "property `{}` failed at case {case}/{} (seed {seed:#x})\n\
+             counterexample: {value:?}\n\
+             repro (this case only):\n\
+             \x20   VP_PROP_CASES=1 VP_PROP_BASE_SEED={seed:#x} cargo test {filter}",
+            self.name, self.cases
+        );
+    }
+
     /// Runs the property on every generated case; panics (re-raising the
     /// case's own panic) after printing a reproduction header on failure.
     ///
@@ -85,15 +243,66 @@ impl<G> Property<G> {
             let value = (self.generate)(&mut rng);
             let result = catch_unwind(AssertUnwindSafe(|| property(&value)));
             if let Err(panic) = result {
-                eprintln!(
-                    "property `{}` failed at case {case}/{} (seed {seed:#x})\n\
-                     generated value: {value:?}",
-                    self.name, self.cases
-                );
+                self.report_failure(case, seed, &value);
                 resume_unwind(panic);
             }
         }
     }
+
+    /// Like [`Property::check`], but minimizes the failing value through
+    /// [`Shrink`] before reporting, so the printed counterexample is the
+    /// smallest one (reachable by greedy shrinking) that still fails.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic produced by the *shrunk* counterexample.
+    pub fn check_shrinking<T: std::fmt::Debug + Shrink + Clone>(self, property: impl Fn(&T))
+    where
+        G: Fn(&mut Rng) -> T,
+    {
+        for case in 0..self.cases {
+            let seed = self.base_seed.wrapping_add(u64::from(case));
+            let mut rng = Rng::seed_from_u64(seed);
+            let value = (self.generate)(&mut rng);
+            if catch_unwind(AssertUnwindSafe(|| property(&value))).is_ok() {
+                continue;
+            }
+            let (shrunk, steps) = shrink_to_minimal(value, &property);
+            eprintln!("shrunk failing case in {steps} step(s)");
+            self.report_failure(case, seed, &shrunk);
+            // Re-run the minimal case outside catch_unwind so the panic the
+            // test harness reports belongs to the printed counterexample.
+            property(&shrunk);
+            unreachable!("shrunk counterexample no longer fails");
+        }
+    }
+}
+
+/// Greedily minimizes `value` under `property`, keeping any candidate that
+/// still fails. Returns the minimal value and the number of accepted steps.
+fn shrink_to_minimal<T: Shrink>(mut value: T, property: &impl Fn(&T)) -> (T, u32) {
+    // Candidate probes that *pass* would spam the default panic message for
+    // every rejected candidate; silence the hook while probing.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut accepted = 0u32;
+    let mut evals = 0u32;
+    'outer: loop {
+        for candidate in value.shrink() {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if catch_unwind(AssertUnwindSafe(|| property(&candidate))).is_err() {
+                value = candidate;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(saved_hook);
+    (value, accepted)
 }
 
 #[cfg(test)]
@@ -142,5 +351,66 @@ mod tests {
             values.into_inner()
         };
         assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn integer_shrinking_halves_toward_zero() {
+        let candidates = 100u64.shrink();
+        assert!(candidates.contains(&0));
+        assert!(candidates.contains(&50));
+        assert!(candidates.contains(&99));
+        assert!(0u64.shrink().is_empty());
+        assert_eq!((-8i64).shrink().first(), Some(&0));
+        assert!((-8i64).shrink().contains(&8));
+    }
+
+    #[test]
+    fn vec_shrinking_bisects_and_removes() {
+        let v = vec![10u64, 20, 30, 40];
+        let candidates = v.shrink();
+        // Halving produces both halves.
+        assert!(candidates.contains(&vec![10, 20]));
+        assert!(candidates.contains(&vec![30, 40]));
+        // Single-element removal.
+        assert!(candidates.contains(&vec![10, 30, 40]));
+        // Element-wise shrinking.
+        assert!(candidates.contains(&vec![0, 20, 30, 40]));
+        assert!(Vec::<u64>::new().shrink().is_empty());
+    }
+
+    #[test]
+    fn shrink_to_minimal_finds_boundary() {
+        // Property "v < 57" fails for any v >= 57; the minimal failing value
+        // is exactly 57.
+        let (minimal, steps) = shrink_to_minimal(1_000_000u64, &|v: &u64| assert!(*v < 57));
+        assert_eq!(minimal, 57);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrinking_check_minimizes_vec_counterexamples() {
+        // Any vec containing an element >= 100 fails; minimal failing vec is
+        // the single element [100].
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall("no big elements", |rng| {
+                (0..20)
+                    .map(|_| rng.gen_range(0..500u64))
+                    .collect::<Vec<_>>()
+            })
+            .cases(10)
+            .check_shrinking(|v: &Vec<u64>| assert!(v.iter().all(|&x| x < 100)));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("123"), Some(123));
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(
+            parse_seed("0x5eed_cafe_0000_0001"),
+            Some(0x5eed_cafe_0000_0001)
+        );
+        assert_eq!(parse_seed("zzz"), None);
     }
 }

@@ -7,11 +7,15 @@
 //! it through any `std::io` stream with [`write_trace`] / [`read_trace`].
 //!
 //! Traces are held columnar ([`TraceColumns`]) and spilled in a compact
-//! varint + delta encoded format (`provptr2`); the reader also accepts the
-//! original fixed-width AoS format (`provptr1`), so spill directories
-//! written by earlier versions keep working. Malformed inputs surface as a
-//! typed [`TraceError`] — in particular, on-disk length prefixes are never
-//! trusted for allocation, so a corrupt header cannot OOM the reader.
+//! varint + delta encoded format protected by a trailing FNV-1a-64
+//! checksum (`provptr3`); the reader also accepts the unchecksummed
+//! columnar format (`provptr2`) and the original fixed-width AoS format
+//! (`provptr1`), so spill directories written by earlier versions keep
+//! working. Malformed inputs surface as a typed [`TraceError`] — in
+//! particular, on-disk length prefixes are never trusted for allocation,
+//! so a corrupt header cannot OOM the reader, and (for `provptr3`) a bit
+//! flip anywhere in the body fails the checksum instead of silently
+//! decoding to wrong values.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -370,8 +374,8 @@ impl Trace {
         self.columns.replay(program, tracer)
     }
 
-    /// Serialises the trace in the compact columnar binary format
-    /// (`provptr2`).
+    /// Serialises the trace in the compact checksummed columnar binary
+    /// format (`provptr3`).
     ///
     /// # Errors
     ///
@@ -380,8 +384,8 @@ impl Trace {
         write_columns(w, &self.columns)
     }
 
-    /// Deserialises a trace written by [`Trace::write_to`] — either
-    /// format version.
+    /// Deserialises a trace written by [`Trace::write_to`] — any format
+    /// version.
     ///
     /// # Errors
     ///
@@ -393,14 +397,146 @@ impl Trace {
     }
 }
 
+/// The first point at which two retirement streams disagree.
+///
+/// `None` on one side means that stream ended while the other still had
+/// events (a length mismatch is itself a divergence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDivergence {
+    /// Index of the first differing event.
+    pub index: usize,
+    /// The left stream's event at `index`, if it had one.
+    pub left: Option<TraceEvent>,
+    /// The right stream's event at `index`, if it had one.
+    pub right: Option<TraceEvent>,
+}
+
+impl fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "traces diverge at event {}: left = {:?}, right = {:?}",
+            self.index, self.left, self.right
+        )
+    }
+}
+
+/// Finds the first event where two retirement streams differ, or `None`
+/// when they are identical (including length).
+///
+/// This is the differential-testing primitive: run the optimized simulator
+/// and an independent reference over the same program and compare their
+/// streams field-for-field. Accepts anything yielding [`TraceEvent`]s, so
+/// a columnar [`Trace`] compares directly against a row-oriented
+/// `Vec<TraceEvent>` without converting either side:
+///
+/// ```
+/// use vp_sim::record::{first_divergence, Trace};
+/// use vp_sim::RunLimits;
+/// use vp_isa::asm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("li r1, 2\nhalt\n")?;
+/// let a = Trace::capture(&p, RunLimits::default())?;
+/// let b = Trace::capture(&p, RunLimits::default())?;
+/// assert!(first_divergence(a.iter(), b.iter()).is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn first_divergence<A, B>(a: A, b: B) -> Option<TraceDivergence>
+where
+    A: IntoIterator<Item = TraceEvent>,
+    B: IntoIterator<Item = TraceEvent>,
+{
+    let mut a = a.into_iter();
+    let mut b = b.into_iter();
+    let mut index = 0usize;
+    loop {
+        match (a.next(), b.next()) {
+            (None, None) => return None,
+            (left, right) if left == right => index += 1,
+            (left, right) => return Some(TraceDivergence { index, left, right }),
+        }
+    }
+}
+
 /// Legacy fixed-width AoS format (one flag byte + fixed-width fields per
 /// event). Still readable; never written except by the doc-hidden legacy
 /// writer kept for fixture tests.
 const MAGIC_V1: &[u8; 8] = b"provptr1";
 
-/// Current columnar format: varint section lengths, raw flag column,
-/// zigzag-varint delta-encoded address/value columns.
+/// Legacy columnar format: varint section lengths, raw flag column,
+/// zigzag-varint delta-encoded address/value columns. Still readable;
+/// never written except by the doc-hidden legacy writer.
 const MAGIC_V2: &[u8; 8] = b"provptr2";
+
+/// Current format: the `provptr2` columnar body followed by an FNV-1a-64
+/// checksum over every body byte, so corruption that would decode as
+/// plausible-but-wrong column data is caught instead of silently accepted.
+const MAGIC_V3: &[u8; 8] = b"provptr3";
+
+// --- FNV-1a-64 streaming checksum --------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_fold(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Forwards writes while folding every written byte into an FNV-1a-64
+/// hash, so the trailing checksum costs no buffering.
+struct HashingWriter<W> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        self.hash = fnv1a_fold(self.hash, &buf[..written]);
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Forwards reads while folding every consumed byte into an FNV-1a-64
+/// hash; the v3 reader compares the body hash against the trailer.
+struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let filled = self.inner.read(buf)?;
+        self.hash = fnv1a_fold(self.hash, &buf[..filled]);
+        Ok(filled)
+    }
+}
 
 /// Serialises a trace (as events) to a writer in the current columnar
 /// format (pass `&mut writer` to keep it).
@@ -423,14 +559,36 @@ pub fn read_trace<R: Read>(r: R) -> Result<Vec<TraceEvent>, TraceError> {
     Ok(read_columns(r)?.iter().collect())
 }
 
-/// Serialises a columnar trace in the current (`provptr2`) format.
+/// Serialises a columnar trace in the current (`provptr3`) format: the
+/// columnar body followed by an FNV-1a-64 checksum over the body bytes.
 ///
 /// # Errors
 ///
 /// Propagates writer errors.
 pub fn write_columns<W: Write>(mut w: W, cols: &TraceColumns) -> io::Result<()> {
-    let c = cols.raw_parts();
+    w.write_all(MAGIC_V3)?;
+    let mut hw = HashingWriter::new(&mut w);
+    write_columns_body(&mut hw, cols)?;
+    let checksum = hw.hash;
+    w.write_all(&checksum.to_le_bytes())
+}
+
+/// Writes the legacy unchecksummed `provptr2` format. Kept (hidden) so
+/// tests can prove the backward-compatible read path; production code
+/// always writes `provptr3`.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+#[doc(hidden)]
+pub fn write_columns_legacy_v2<W: Write>(mut w: W, cols: &TraceColumns) -> io::Result<()> {
     w.write_all(MAGIC_V2)?;
+    write_columns_body(&mut w, cols)
+}
+
+/// The shared v2/v3 columnar body (everything after the magic).
+fn write_columns_body<W: Write>(mut w: W, cols: &TraceColumns) -> io::Result<()> {
+    let c = cols.raw_parts();
     write_varint(&mut w, c.flags.len() as u64)?;
     write_varint(&mut w, c.dest_val.len() as u64)?;
     write_varint(&mut w, c.mem_addr.len() as u64)?;
@@ -479,25 +637,47 @@ pub fn write_columns<W: Write>(mut w: W, cols: &TraceColumns) -> io::Result<()> 
     Ok(())
 }
 
-/// Deserialises a columnar trace, accepting both the current `provptr2`
-/// format and the legacy `provptr1` AoS format.
+/// Deserialises a columnar trace, accepting the current checksummed
+/// `provptr3` format, the legacy `provptr2` columnar format and the legacy
+/// `provptr1` AoS format.
 ///
 /// # Errors
 ///
 /// A typed [`TraceError`]. Length prefixes are bounded by
 /// [`MAX_TRACE_EVENTS`] and never trusted for allocation: the reader
 /// pre-allocates at most a small capped amount until the stream has
-/// actually produced the promised bytes.
+/// actually produced the promised bytes. For `provptr3` the trailing
+/// checksum is mandatory: a missing trailer is [`TraceError::Truncated`],
+/// a mismatching one is [`TraceError::Corrupt`].
 pub fn read_columns<R: Read>(mut r: R) -> Result<TraceColumns, TraceError> {
     let mut magic = [0u8; 8];
     read_exact_or(&mut r, &mut magic, "magic")?;
-    if &magic == MAGIC_V2 {
+    if &magic == MAGIC_V3 {
+        read_columns_v3(r)
+    } else if &magic == MAGIC_V2 {
         read_columns_v2(r)
     } else if &magic == MAGIC_V1 {
         Ok(TraceColumns::from_events(&read_events_v1(r)?))
     } else {
         Err(TraceError::BadMagic)
     }
+}
+
+fn read_columns_v3<R: Read>(r: R) -> Result<TraceColumns, TraceError> {
+    let mut hr = HashingReader::new(r);
+    let cols = read_columns_v2(&mut hr)?;
+    let body_hash = hr.hash;
+    let mut trailer = [0u8; 8];
+    read_exact_or(&mut hr, &mut trailer, "checksum trailer")?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != body_hash {
+        return Err(TraceError::Corrupt {
+            context: format!(
+                "checksum mismatch: stored {stored:#018x}, computed {body_hash:#018x}"
+            ),
+        });
+    }
+    Ok(cols)
 }
 
 fn read_columns_v2<R: Read>(mut r: R) -> Result<TraceColumns, TraceError> {
@@ -986,6 +1166,80 @@ top: fld f1, (r0)\nfadd f2, f2, f1\nsd r1, 5(r1)\naddi r1, r1, 1\nbne r1, r2, to
             .any(|e| matches!(e.mem, Some(MemAccess { store: true, .. }))));
         assert!(events.iter().any(|e| e.taken == Some(true)));
         assert!(events.iter().any(|e| e.taken == Some(false)));
+    }
+
+    #[test]
+    fn current_format_is_v3_and_legacy_v2_reads_back() {
+        let (_, events) = record(SAMPLE);
+        let mut v3 = Vec::new();
+        write_trace(&mut v3, &events).unwrap();
+        assert_eq!(&v3[..8], MAGIC_V3);
+
+        let mut v2 = Vec::new();
+        write_columns_legacy_v2(&mut v2, &TraceColumns::from_events(&events)).unwrap();
+        assert_eq!(&v2[..8], MAGIC_V2);
+        assert_eq!(read_trace(v2.as_slice()).unwrap(), events);
+        // v3 = v2 body + 8-byte checksum trailer.
+        assert_eq!(v3.len(), v2.len() + 8);
+    }
+
+    #[test]
+    fn body_bit_flip_fails_the_checksum() {
+        let (_, events) = record(SAMPLE);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &events).unwrap();
+        // Flip one bit in every body byte position in turn; each corrupted
+        // stream must fail with a typed error, never decode silently.
+        for i in 8..bytes.len() {
+            bytes[i] ^= 0x10;
+            let result = read_trace(bytes.as_slice());
+            match result {
+                Err(
+                    TraceError::AbsurdLength { .. }
+                    | TraceError::Truncated { .. }
+                    | TraceError::Corrupt { .. },
+                ) => {}
+                other => panic!("flip at byte {i}: expected typed error, got {other:?}"),
+            }
+            bytes[i] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn missing_checksum_trailer_is_truncation() {
+        let (_, events) = record(SAMPLE);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &events).unwrap();
+        bytes.truncate(bytes.len() - 8);
+        let e = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Truncated { .. }), "{e}");
+    }
+
+    #[test]
+    fn divergence_finds_first_difference() {
+        let (_, events) = record(SAMPLE);
+        assert_eq!(
+            first_divergence(events.iter().copied(), events.iter().copied()),
+            None
+        );
+
+        // A mutated value diverges at its own index.
+        let mut mutated = events.clone();
+        mutated[3].next_pc = InstrAddr::new(9999);
+        let d = first_divergence(events.iter().copied(), mutated.iter().copied()).unwrap();
+        assert_eq!(d.index, 3);
+        assert_eq!(d.left, Some(events[3]));
+        assert_eq!(d.right, Some(mutated[3]));
+
+        // A shorter stream diverges at the missing tail.
+        let d = first_divergence(
+            events.iter().copied(),
+            events[..events.len() - 1].iter().copied(),
+        )
+        .unwrap();
+        assert_eq!(d.index, events.len() - 1);
+        assert_eq!(d.right, None);
+        assert!(d.to_string().contains("diverge at event"));
     }
 
     #[test]

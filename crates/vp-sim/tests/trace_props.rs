@@ -90,9 +90,9 @@ fn prop_legacy_v1_spill_files_read_back() {
     });
 }
 
-/// The columnar v2 format round-trips through the [`Trace`] wrapper, and
-/// truncating the byte stream surfaces as a typed [`TraceError`] (never a
-/// panic, never a silently short parse).
+/// The checksummed columnar v3 format round-trips through the [`Trace`]
+/// wrapper, and truncating the byte stream surfaces as a typed
+/// [`TraceError`] (never a panic, never a silently short parse).
 #[test]
 fn prop_columnar_trace_round_trips_and_detects_truncation() {
     prop::forall("columnar trace round-trips", |rng| {
@@ -102,7 +102,7 @@ fn prop_columnar_trace_round_trips_and_detects_truncation() {
         let trace = Trace::from_events(events.clone());
         let mut bytes = Vec::new();
         trace.write_to(&mut bytes).unwrap();
-        assert_eq!(&bytes[..8], b"provptr2");
+        assert_eq!(&bytes[..8], b"provptr3");
         let back = Trace::read_from(bytes.as_slice()).unwrap();
         assert_eq!(back.columns(), trace.columns());
 

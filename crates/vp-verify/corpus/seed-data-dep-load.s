@@ -1,0 +1,12 @@
+; seed corpus: data-dependent load addresses — the value loaded decides
+; the next address, defeating any stride pattern.
+.data 3 5 1 7 2 6 0 4
+  li r1, 0
+  li r2, 12
+  li r8, 0
+top:
+  andi r16, r8, 7
+  ld r8, (r16)
+  addi r1, r1, 1
+  bne r1, r2, top
+  halt

@@ -1,0 +1,16 @@
+; seed corpus: directive-tagged producers routed through the hybrid —
+; a stride-tagged counter, a last-value-tagged constant and an untagged
+; noisy divide in one loop.
+.data 17 0 0 0
+  li r1, 0
+  li r2, 20
+  li r9, 1
+top:
+  addi.st r8, r1, 100
+  ld.lv r10, (r0)
+  muli r9, r9, 7
+  div r11, r9, r8
+  rem r12, r9, r2
+  addi r1, r1, 1
+  bne r1, r2, top
+  halt

@@ -1,0 +1,17 @@
+; seed corpus: trap-free arithmetic edge cases — divide/remainder by
+; zero, i64::MIN / -1, shift amounts beyond 63, NaN conversion.
+  li r8, -9223372036854775808
+  li r9, -1
+  div r10, r8, r9
+  rem r11, r8, r9
+  div r12, r8, r0
+  rem r13, r8, r0
+  li r14, 65
+  sll r15, r9, r14
+  sra r15, r8, r14
+  cvt.i.f f1, r0
+  fdiv f2, f1, f1
+  cvt.f.i r8, f2
+  fmin f3, f2, f1
+  fmax f4, f2, f1
+  halt

@@ -1,0 +1,9 @@
+; seed corpus: indirect control flow — jal linking plus a jalr through a
+; register target, the only dynamically-resolved edge in the ISA.
+  li r19, 4
+  jal r17, next
+next:
+  jalr r18, r19, 0
+  add r8, r17, r18
+  mul r9, r8, r8
+  halt

@@ -1,0 +1,15 @@
+; seed corpus: FP accumulation loop with a store/load round trip —
+; exercises fld/fadd/sd/ld, both branch outcomes, and fp dest events.
+.data 4607182418800017408 4611686018427387904 4613937818241073152 0
+  li r1, 0
+  li r2, 10
+top:
+  fld f1, (r1)
+  fadd f2, f2, f1
+  fmul f3, f2, f2
+  sd r1, 16(r1)
+  ld r8, 16(r1)
+  addi r1, r1, 1
+  bne r1, r2, top
+  cvt.f.i r9, f2
+  halt

@@ -1,0 +1,105 @@
+//! Repro corpus management: minimised failing programs, written as plain
+//! assembler files that `vp_isa::asm::assemble` reads back.
+//!
+//! When the fuzzer finds a divergence it shrinks the program and drops the
+//! result here. Committed corpus files are replayed by `cargo test`
+//! forever after (see `tests/corpus_replay.rs`), so a fixed bug stays
+//! fixed — the corpus is the regression suite the fuzzer writes for you.
+//!
+//! Corpus policy: files are named `<kind>-<case seed>.s`, carry their
+//! provenance in leading comment lines, and must be *committed* once the
+//! underlying bug is fixed. Files for still-open bugs live in a scratch
+//! directory (or a CI artifact), not in the tree.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use vp_isa::Program;
+
+/// Writes `program` as `<dir>/<stem>.s` with `note` as a header comment.
+///
+/// Creates `dir` if needed. The file round-trips through the assembler:
+/// [`load_corpus`] reproduces the program's text and data exactly.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_repro(dir: &Path, stem: &str, program: &Program, note: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.s"));
+    let mut contents = String::new();
+    for line in note.lines() {
+        contents.push_str("; ");
+        contents.push_str(line);
+        contents.push('\n');
+    }
+    contents.push_str(&program.to_string());
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Loads every `*.s` file under `dir`, in path order (deterministic
+/// replay order), assembling each into a [`Program`].
+///
+/// A missing directory is an empty corpus, not an error.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; an unparseable corpus file is reported
+/// as [`io::ErrorKind::InvalidData`] naming the file.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, Program)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "s"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let src = fs::read_to_string(&path)?;
+        let program = vp_isa::asm::assemble(&src).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corpus file {} does not assemble: {e}", path.display()),
+            )
+        })?;
+        out.push((path, program));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen_program, GenConfig};
+    use vp_rng::Rng;
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("vp-verify-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut rng = Rng::seed_from_u64(3);
+        let p = gen_program(&mut rng, &GenConfig::default(), "rt");
+        let path = write_repro(&dir, "case-3", &p, "two\nlines of note").unwrap();
+        assert!(path.ends_with("case-3.s"));
+
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1.text(), p.text());
+        assert_eq!(loaded[0].1.data(), p.data());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = Path::new("/nonexistent/vp-verify-corpus");
+        assert!(load_corpus(dir).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Coverage accounting for fuzzed executions: which opcodes retired, and
+//! which opcode→opcode retirement edges occurred.
+//!
+//! Coverage steers the generator, not the oracle: after each case the
+//! fuzz loop asks for the [least-covered](Coverage::least_covered) opcode
+//! and biases the next program toward it, so rare instructions (`rem`,
+//! `cvt.f.i`, `jalr`, …) don't stay rare just because the default weights
+//! favour the common mix.
+
+use std::collections::BTreeMap;
+
+use vp_isa::{Opcode, Program};
+use vp_sim::record::TraceEvent;
+
+/// Cumulative dynamic coverage over all executed fuzz cases.
+///
+/// Keys are opcode discriminants (`Opcode` itself is not `Ord`); use
+/// [`Coverage::least_covered`] and [`Coverage::distinct`] rather than the
+/// maps directly.
+#[derive(Debug, Default)]
+pub struct Coverage {
+    opcodes: BTreeMap<u8, u64>,
+    edges: BTreeMap<(u8, u8), u64>,
+}
+
+fn code(op: Opcode) -> u8 {
+    op as u8
+}
+
+impl Coverage {
+    /// An empty coverage map.
+    #[must_use]
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Folds one execution into the map and returns its *novelty*: the
+    /// number of previously unseen opcodes plus previously unseen edges.
+    pub fn observe<'a>(
+        &mut self,
+        program: &Program,
+        events: impl IntoIterator<Item = &'a TraceEvent>,
+    ) -> usize {
+        let mut novelty = 0;
+        let mut prev: Option<u8> = None;
+        for ev in events {
+            let Some(ins) = program.fetch(ev.addr) else {
+                continue;
+            };
+            let op = code(ins.op);
+            let count = self.opcodes.entry(op).or_insert(0);
+            if *count == 0 {
+                novelty += 1;
+            }
+            *count += 1;
+            if let Some(p) = prev {
+                let edge = self.edges.entry((p, op)).or_insert(0);
+                if *edge == 0 {
+                    novelty += 1;
+                }
+                *edge += 1;
+            }
+            prev = Some(op);
+        }
+        novelty
+    }
+
+    /// The opcode with the lowest dynamic retirement count (unseen opcodes
+    /// count as zero). `Halt` is excluded — every run retires exactly one,
+    /// and steering toward it is useless.
+    #[must_use]
+    pub fn least_covered(&self) -> Option<Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|&op| op != Opcode::Halt)
+            .min_by_key(|&op| self.opcodes.get(&code(op)).copied().unwrap_or(0))
+    }
+
+    /// `(distinct opcodes, distinct edges)` seen so far — the coverage
+    /// figure reported by the fuzz harness.
+    #[must_use]
+    pub fn distinct(&self) -> (usize, usize) {
+        (self.opcodes.len(), self.edges.len())
+    }
+
+    /// Dynamic retirement count for one opcode.
+    #[must_use]
+    pub fn count(&self, op: Opcode) -> u64 {
+        self.opcodes.get(&code(op)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::{RunLimits, Trace};
+
+    #[test]
+    fn observe_counts_opcodes_and_edges() {
+        let p = vp_isa::asm::assemble("li r1, 2\ntop: addi r1, r1, -1\nbne r1, r0, top\nhalt\n")
+            .unwrap();
+        let trace = Trace::capture(&p, RunLimits::default()).unwrap();
+        let events: Vec<_> = trace.iter().collect();
+        let mut cov = Coverage::new();
+        let novelty = cov.observe(&p, events.iter());
+        // 4 distinct opcodes + edges li->addi, addi->bne, bne->addi, bne->halt.
+        assert_eq!(novelty, 4 + 4);
+        assert_eq!(cov.distinct(), (4, 4));
+        assert_eq!(cov.count(Opcode::Addi), 2);
+
+        // A second identical run adds nothing new.
+        assert_eq!(cov.observe(&p, events.iter()), 0);
+    }
+
+    #[test]
+    fn least_covered_prefers_unseen_opcodes() {
+        let p = vp_isa::asm::assemble("li r1, 1\nhalt\n").unwrap();
+        let trace = Trace::capture(&p, RunLimits::default()).unwrap();
+        let events: Vec<_> = trace.iter().collect();
+        let mut cov = Coverage::new();
+        cov.observe(&p, events.iter());
+        let least = cov.least_covered().unwrap();
+        assert_ne!(least, Opcode::Li);
+        assert_ne!(least, Opcode::Halt);
+        assert_eq!(cov.count(least), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The differential oracle: one fuzzed program, every optimised layer of
+//! the stack checked against its reference model.
+//!
+//! A single [`run_case`] performs, in order:
+//!
+//! 1. **Simulation differential** — the optimised [`vp_sim`] machine (with
+//!    the columnar [`TraceRecorder`] attached) against the row-oriented
+//!    [`ref_run`](crate::refsim::ref_run) interpreter: identical run
+//!    status, retired-instruction count, retirement event stream, final
+//!    register files and final memory.
+//! 2. **Serialisation oracle** — the captured columnar trace must survive
+//!    a `write_to`/`read_from` round trip bit-identically (the `provptr3`
+//!    encoder and its checksum are on this path).
+//! 3. **Predictor differential** — for a panel of predictor
+//!    configurations, the naive [`ref_predict`](crate::refpred::ref_predict)
+//!    models against (a) the real predictor fed directly, (b) sequential
+//!    [`replay_predictor`], and (c) PC-sharded parallel
+//!    [`replay_predictor`]: identical [`PredictorStats`] and occupancy.
+//!
+//! Any mismatch is returned as a typed [`Divergence`]; `Ok` carries the
+//! captured trace so the fuzz loop can fold it into coverage.
+
+use std::fmt;
+
+use provp_core::replay_predictor;
+use vp_isa::{Directive, InstrAddr, Program, Reg, RegClass};
+use vp_predictor::{ClassifierKind, PredictorConfig, PredictorStats, TableGeometry};
+use vp_sim::record::{first_divergence, TraceDivergence, TraceRecorder};
+use vp_sim::{runner, Machine, RunLimits, Trace};
+
+use crate::refpred::ref_predict;
+use crate::refsim::ref_run;
+
+/// A mismatch between the optimised stack and its reference model.
+#[derive(Debug)]
+pub enum Divergence {
+    /// Run status / fault / retired-count mismatch.
+    Status {
+        /// Optimised outcome rendered for humans.
+        optimized: String,
+        /// Reference outcome rendered for humans.
+        reference: String,
+    },
+    /// The retirement event streams differ.
+    Events(Box<TraceDivergence>),
+    /// A final register differs (`class` is "int" or "fp").
+    Register {
+        /// Register file ("int" or "fp").
+        class: &'static str,
+        /// Register index.
+        index: u8,
+        /// Optimised final value (raw bits for fp).
+        optimized: u64,
+        /// Reference final value.
+        reference: u64,
+    },
+    /// A final memory word differs.
+    Memory {
+        /// Word address.
+        addr: u64,
+        /// Optimised value.
+        optimized: u64,
+        /// Reference value.
+        reference: u64,
+    },
+    /// The trace did not survive a serialisation round trip.
+    Serialization(String),
+    /// A predictor's statistics or occupancy differ from the reference
+    /// model.
+    Predictor {
+        /// `PredictorConfig::label()` of the diverging configuration.
+        label: String,
+        /// Which path diverged: "direct", "replay" or "sharded-replay".
+        mode: &'static str,
+        /// Human-readable field-level detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Status {
+                optimized,
+                reference,
+            } => write!(
+                f,
+                "run status diverges: optimized {optimized}, reference {reference}"
+            ),
+            Divergence::Events(d) => write!(f, "{d}"),
+            Divergence::Register {
+                class,
+                index,
+                optimized,
+                reference,
+            } => write!(
+                f,
+                "{class} register {index} diverges: optimized {optimized:#x}, reference {reference:#x}"
+            ),
+            Divergence::Memory {
+                addr,
+                optimized,
+                reference,
+            } => write!(
+                f,
+                "memory word {addr:#x} diverges: optimized {optimized:#x}, reference {reference:#x}"
+            ),
+            Divergence::Serialization(detail) => {
+                write!(f, "trace serialisation diverges: {detail}")
+            }
+            Divergence::Predictor {
+                label,
+                mode,
+                detail,
+            } => write!(f, "predictor `{label}` ({mode}) diverges: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// The predictor configurations every fuzz case is checked under: both
+/// paper baselines, infinite tables under both classification mechanisms,
+/// a small thrash-prone table, a non-power-of-two geometry (modulo set
+/// indexing), and the directive-routed hybrid.
+#[must_use]
+pub fn oracle_configs() -> Vec<PredictorConfig> {
+    vec![
+        PredictorConfig::spec_table_stride_fsm(),
+        PredictorConfig::spec_table_stride_profile(),
+        PredictorConfig::InfiniteStride {
+            classifier: ClassifierKind::two_bit_counter(),
+        },
+        PredictorConfig::InfiniteLastValue {
+            classifier: ClassifierKind::Always,
+        },
+        PredictorConfig::TableLastValue {
+            geometry: TableGeometry::new(8, 2),
+            classifier: ClassifierKind::two_bit_counter(),
+        },
+        PredictorConfig::TableTwoDelta {
+            geometry: TableGeometry::new(12, 2),
+            classifier: ClassifierKind::Directive,
+        },
+        PredictorConfig::Hybrid {
+            stride: TableGeometry::new(4, 2),
+            last_value: TableGeometry::new(8, 2),
+        },
+    ]
+}
+
+/// Runs the full differential oracle on one program.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found; `Ok` carries the captured
+/// trace.
+pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Divergence> {
+    let limits = RunLimits::with_max(max_instructions);
+
+    // --- 1. simulation differential ---
+    let mut machine = Machine::for_program(program);
+    let mut recorder = TraceRecorder::new();
+    let optimized = runner::run_on(&mut machine, program, &mut recorder, limits);
+    let reference = ref_run(program, max_instructions);
+
+    let status_matches = match (&optimized, &reference.status) {
+        (Ok(s), Ok(r)) => s.status() == *r && s.instructions() == reference.retired,
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    };
+    if !status_matches {
+        return Err(Divergence::Status {
+            optimized: match &optimized {
+                Ok(s) => format!("{:?} after {} instructions", s.status(), s.instructions()),
+                Err(e) => format!("fault: {e}"),
+            },
+            reference: match &reference.status {
+                Ok(r) => format!("{:?} after {} instructions", r, reference.retired),
+                Err(e) => format!("fault: {e}"),
+            },
+        });
+    }
+
+    let cols = recorder.into_columns();
+    if let Some(d) = first_divergence(reference.events.iter().cloned(), cols.iter()) {
+        return Err(Divergence::Events(Box::new(d)));
+    }
+
+    for r in 0..32u8 {
+        let opt = machine.read_reg(RegClass::Int, Reg::new(r));
+        let reference_value = reference.int_regs[usize::from(r)];
+        if opt != reference_value {
+            return Err(Divergence::Register {
+                class: "int",
+                index: r,
+                optimized: opt,
+                reference: reference_value,
+            });
+        }
+        let opt_fp = machine.read_reg(RegClass::Fp, Reg::new(r));
+        let ref_fp = reference.fp_regs[usize::from(r)];
+        if opt_fp != ref_fp {
+            return Err(Divergence::Register {
+                class: "fp",
+                index: r,
+                optimized: opt_fp,
+                reference: ref_fp,
+            });
+        }
+    }
+
+    for (&addr, &value) in &reference.memory {
+        let opt = machine.memory().peek(addr);
+        if opt != value {
+            return Err(Divergence::Memory {
+                addr,
+                optimized: opt,
+                reference: value,
+            });
+        }
+    }
+
+    // --- 2. serialisation oracle ---
+    let trace = Trace::from_columns(cols);
+    let mut bytes = Vec::new();
+    if let Err(e) = trace.write_to(&mut bytes) {
+        return Err(Divergence::Serialization(format!("write failed: {e}")));
+    }
+    match Trace::read_from(bytes.as_slice()) {
+        Ok(back) if back.columns() == trace.columns() => {}
+        Ok(_) => {
+            return Err(Divergence::Serialization(
+                "round trip decoded different columns".into(),
+            ))
+        }
+        Err(e) => return Err(Divergence::Serialization(format!("read failed: {e}"))),
+    }
+
+    // --- 3. predictor differential ---
+    let directives: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
+    let values: Vec<(InstrAddr, u64)> = trace.columns().value_events().collect();
+    let expected_values = reference.events.iter().filter(|e| e.dest.is_some()).count();
+    if values.len() != expected_values {
+        return Err(Divergence::Serialization(format!(
+            "value_events yields {} events, reference saw {expected_values} dest writes",
+            values.len()
+        )));
+    }
+
+    for config in oracle_configs() {
+        let (ref_stats, ref_occ) = ref_predict(&directives, &values, &config);
+
+        // (a) the real predictor, fed directly.
+        let mut direct = config.build();
+        for &(addr, value) in &values {
+            let d = directives
+                .get(addr.index() as usize)
+                .copied()
+                .unwrap_or(Directive::None);
+            direct.access(addr, d, value);
+        }
+        check_predictor(
+            &config,
+            "direct",
+            (*direct.stats(), direct.occupancy()),
+            (ref_stats, ref_occ),
+        )?;
+
+        // (b) sequential replay, (c) PC-sharded parallel replay.
+        for (mode, shards, jobs) in [("replay", 1usize, 1usize), ("sharded-replay", 3, 2)] {
+            let outcome =
+                replay_predictor(&trace, program, &config, shards, jobs).map_err(|e| {
+                    Divergence::Predictor {
+                        label: config.label(),
+                        mode,
+                        detail: format!("replay failed: {e}"),
+                    }
+                })?;
+            check_predictor(
+                &config,
+                mode,
+                (outcome.stats, outcome.occupancy),
+                (ref_stats, ref_occ),
+            )?;
+        }
+    }
+
+    Ok(trace)
+}
+
+fn check_predictor(
+    config: &PredictorConfig,
+    mode: &'static str,
+    (opt_stats, opt_occ): (PredictorStats, usize),
+    (ref_stats, ref_occ): (PredictorStats, usize),
+) -> Result<(), Divergence> {
+    if opt_stats != ref_stats {
+        return Err(Divergence::Predictor {
+            label: config.label(),
+            mode,
+            detail: format!("stats differ:\noptimized {opt_stats:#?}\nreference {ref_stats:#?}"),
+        });
+    }
+    if opt_occ != ref_occ {
+        return Err(Divergence::Predictor {
+            label: config.label(),
+            mode,
+            detail: format!("occupancy differs: optimized {opt_occ}, reference {ref_occ}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen_program, GenConfig};
+    use vp_rng::Rng;
+
+    #[test]
+    fn hand_written_kernels_pass_the_oracle() {
+        for src in [
+            // The FP loop from the workload suite's shape.
+            ".f64 1.5\nli r1, 0\nli r2, 12\ntop: fld f1, (r0)\nfadd f2, f2, f1\n\
+             sd r1, 5(r1)\nld r3, 5(r1)\naddi r1, r1, 1\nbne r1, r2, top\nhalt\n",
+            // Faulting program: both stacks must fault identically.
+            "li r1, -5\njalr r0, r1, 0\nhalt\n",
+            // Budget exhaustion: both stacks must stop at the same count.
+            "top: addi r8, r8, 1\nbeq r0, r0, top\nhalt\n",
+        ] {
+            let p = vp_isa::asm::assemble(src).unwrap();
+            if let Err(d) = run_case(&p, 5_000) {
+                panic!("oracle diverged on hand-written kernel: {d}\n{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzed_programs_pass_the_oracle() {
+        let cfg = GenConfig::default();
+        for seed in 0..60u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let p = gen_program(&mut rng, &cfg, "oracle");
+            if let Err(d) = run_case(&p, 100_000) {
+                panic!("oracle diverged at seed {seed}: {d}\n{p}");
+            }
+        }
+    }
+
+    /// The oracle must actually *catch* bugs: feed it a program pair where
+    /// the "reference" is the real semantics and the optimised side is
+    /// simulated with a deliberately corrupted trace.
+    #[test]
+    fn a_corrupted_event_stream_is_caught() {
+        let p = vp_isa::asm::assemble("li r8, 7\naddi r8, r8, 1\nhalt\n").unwrap();
+        let trace = run_case(&p, 1_000).expect("clean program must pass");
+        let mut events: Vec<_> = trace.iter().collect();
+        events[1].dest = events[1].dest.map(|(c, r, v)| (c, r, v ^ 1));
+        let reference = crate::refsim::ref_run(&p, 1_000);
+        let d = first_divergence(reference.events, events).expect("must detect the flip");
+        assert_eq!(d.index, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Replays the committed repro corpus through the full differential
+//! oracle on every `cargo test` run.
+//!
+//! The corpus is the fuzzer's regression suite: each file is either a
+//! seed kernel covering an ISA corner or a minimised repro of a fixed
+//! divergence. A file that starts diverging again means an old bug came
+//! back — the failure message names the file.
+
+use std::path::Path;
+
+use vp_verify::{load_corpus, run_case};
+
+const CORPUS_BUDGET: u64 = 200_000;
+
+#[test]
+fn every_corpus_program_passes_the_oracle() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let corpus = load_corpus(&dir).expect("corpus directory must load");
+    assert!(
+        !corpus.is_empty(),
+        "committed corpus is missing from {}",
+        dir.display()
+    );
+    for (path, program) in &corpus {
+        if let Err(d) = run_case(program, CORPUS_BUDGET) {
+            panic!("corpus program {} diverges: {d}\n{program}", path.display());
+        }
+    }
+}
+
+#[test]
+fn corpus_files_are_well_formed() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    for (path, program) in load_corpus(&dir).expect("corpus directory must load") {
+        assert!(
+            program.control_flow_violations().is_empty(),
+            "{} has ill-formed control flow",
+            path.display()
+        );
+    }
+}
