@@ -11,7 +11,8 @@
 //!          [--corpus=DIR] [--metrics-out=FILE]
 //! ```
 //!
-//! Every flag also accepts the space-separated form (`--cases 10000`).
+//! Every flag also accepts the space-separated form (`--cases 10000`),
+//! via the crate-wide [`provp_bench::args::normalize`] helper.
 //! A run is fully reproduced by `(seed, cases)`; a single failing case is
 //! reproduced by `--cases=1 --seed=<case_seed>` using the per-case seed
 //! printed in the report (see TESTING.md).
@@ -34,42 +35,28 @@ struct Args {
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut fuzz = FuzzOptions::default();
     let mut metrics_out = None;
-    let mut args = args.into_iter();
-    while let Some(arg) = args.next() {
-        // Accept both `--flag=VALUE` and `--flag VALUE`.
-        let (flag, value) = match arg.split_once('=') {
-            Some((flag, value)) => (flag.to_owned(), value.to_owned()),
-            None => {
-                let value = args
-                    .next()
-                    .ok_or_else(|| format!("flag `{arg}` is missing a value"))?;
-                (arg, value)
-            }
-        };
-        match flag.as_str() {
-            "--cases" => {
-                fuzz.cases = value
-                    .parse()
-                    .map_err(|e| format!("bad --cases value `{value}`: {e}"))?;
-            }
-            "--seed" => {
-                fuzz.seed = value
-                    .parse()
-                    .map_err(|e| format!("bad --seed value `{value}`: {e}"))?;
-            }
-            "--max-shrink-steps" => {
-                fuzz.max_shrink_steps = value
-                    .parse()
-                    .map_err(|e| format!("bad --max-shrink-steps value `{value}`: {e}"))?;
-            }
-            "--corpus" => fuzz.corpus = Some(PathBuf::from(value)),
-            "--metrics-out" => metrics_out = Some(PathBuf::from(value)),
-            other => {
-                return Err(format!(
-                    "unknown argument `{other}` (try --cases=, --seed=, \
-                     --max-shrink-steps=, --corpus=, --metrics-out=)"
-                ));
-            }
+    for arg in provp_bench::args::normalize(args, &[])? {
+        if let Some(v) = arg.strip_prefix("--cases=") {
+            fuzz.cases = v
+                .parse()
+                .map_err(|e| format!("bad --cases value `{v}`: {e}"))?;
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            fuzz.seed = v
+                .parse()
+                .map_err(|e| format!("bad --seed value `{v}`: {e}"))?;
+        } else if let Some(v) = arg.strip_prefix("--max-shrink-steps=") {
+            fuzz.max_shrink_steps = v
+                .parse()
+                .map_err(|e| format!("bad --max-shrink-steps value `{v}`: {e}"))?;
+        } else if let Some(v) = arg.strip_prefix("--corpus=") {
+            fuzz.corpus = Some(PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
+            metrics_out = Some(PathBuf::from(v));
+        } else {
+            return Err(format!(
+                "unknown argument `{arg}` (try --cases=, --seed=, \
+                 --max-shrink-steps=, --corpus=, --metrics-out=)"
+            ));
         }
     }
     Ok(Args { fuzz, metrics_out })

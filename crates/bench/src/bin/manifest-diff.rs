@@ -16,8 +16,11 @@
 //! - `--top=N` limits table/markdown output to the N biggest movers per
 //!   section (default 15; 0 means unlimited; JSON is never truncated).
 //!
-//! Accepts both manifest schema versions. This is a reporting tool, not
-//! experiment instrumentation: it prints its result to stdout.
+//! Accepts every manifest schema version and both flag forms
+//! (`--flag=V` and `--flag V`). When both manifests carry `attribution`
+//! arrays (schema v3) the report includes a per-PC accuracy-blame
+//! section. This is a reporting tool, not experiment instrumentation:
+//! it prints its result to stdout.
 //!
 //! Exit status: 0 on success (differences are *reported*, never an
 //! error), 2 on usage/read/parse errors.
@@ -45,7 +48,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let (mut baseline, mut manifest) = (None, None);
     let mut format = Format::Table;
     let mut top = 15usize;
-    for arg in args {
+    for arg in provp_bench::args::normalize(args, &[])? {
         if let Some(p) = arg.strip_prefix("--baseline=") {
             baseline = Some(PathBuf::from(p));
         } else if let Some(p) = arg.strip_prefix("--manifest=") {
@@ -125,8 +128,14 @@ mod tests {
         assert_eq!(a.format, Format::Markdown);
         assert_eq!(a.top, 3);
 
-        // Defaults.
-        let a = parse_args(["--baseline=b".to_owned(), "--manifest=m".to_owned()]).unwrap();
+        // Defaults, and the space-separated flag form.
+        let a = parse_args([
+            "--baseline".to_owned(),
+            "b".to_owned(),
+            "--manifest=m".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(a.baseline, PathBuf::from("b"));
         assert_eq!(a.format, Format::Table);
         assert_eq!(a.top, 15);
 

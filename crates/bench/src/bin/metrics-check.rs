@@ -6,11 +6,13 @@
 //! metrics-check --manifest=/tmp/manifest.json --baseline=BENCH_baseline.json \
 //!               [--max-regression=0.30] \
 //!               [--phase=repro-all/classification/predict] \
-//!               [--max-phase-regression=0.25]
+//!               [--max-phase-regression=0.25] \
+//!               [--max-accuracy-drop=0.005]
 //! ```
 //!
-//! Accepts both manifest schema versions (v1 aggregates-only and v2 with
-//! the `samples` series).
+//! Accepts every manifest schema version (v1 aggregates-only, v2 with
+//! the `samples` series, v3 with the `attribution` array) and both flag
+//! forms (`--flag=V` and `--flag V`).
 //!
 //! Besides the simulator-throughput gate, `--phase=` (repeatable) gates
 //! the wall time of individual span paths: the current manifest's
@@ -19,6 +21,16 @@
 //! *baseline* is skipped with a warning (new phases have no reference);
 //! a phase absent from the *current* manifest is a usage error (exit 2)
 //! because the gate was asked to check something the run never measured.
+//!
+//! `--max-accuracy-drop=F` gates aggregate *prediction* accuracy: the
+//! run-wide effective accuracy (`predictor.speculated_correct /
+//! predictor.speculated`) must not fall more than `F` (an absolute
+//! fraction, e.g. `0.005` = half a percentage point) below the
+//! baseline's. When the gate fails and the current manifest carries an
+//! `attribution` array, the report names the guiltiest PCs (hottest
+//! mispredictors with their dominant cause and profile drift) so the
+//! regression arrives pre-blamed. A baseline without the predictor
+//! counters skips the gate with a warning (refresh it to re-arm).
 //!
 //! Exit status:
 //!
@@ -46,12 +58,14 @@ struct Args {
     max_regression: f64,
     phases: Vec<String>,
     max_phase_regression: f64,
+    max_accuracy_drop: Option<f64>,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let (mut manifest, mut baseline, mut max_regression) = (None, None, 0.30_f64);
     let (mut phases, mut max_phase_regression) = (Vec::new(), 0.25_f64);
-    for arg in args {
+    let mut max_accuracy_drop = None;
+    for arg in provp_bench::args::normalize(args, &[])? {
         if let Some(p) = arg.strip_prefix("--manifest=") {
             manifest = Some(PathBuf::from(p));
         } else if let Some(p) = arg.strip_prefix("--baseline=") {
@@ -72,10 +86,19 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 v.parse().ok().filter(|r| *r >= 0.0).ok_or_else(|| {
                     format!("bad --max-phase-regression value `{v}` (want >= 0.0)")
                 })?;
+        } else if let Some(v) = arg.strip_prefix("--max-accuracy-drop=") {
+            max_accuracy_drop = Some(
+                v.parse()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        format!("bad --max-accuracy-drop value `{v}` (want 0.0..=1.0)")
+                    })?,
+            );
         } else {
             return Err(format!(
                 "unknown argument `{arg}` (try --manifest=, --baseline=, --max-regression=, \
-                 --phase=, --max-phase-regression=)"
+                 --phase=, --max-phase-regression=, --max-accuracy-drop=)"
             ));
         }
     }
@@ -85,7 +108,52 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         max_regression,
         phases,
         max_phase_regression,
+        max_accuracy_drop,
     })
+}
+
+/// Run-wide effective prediction accuracy from a manifest's counters
+/// (`None` when the run recorded no speculated predictions — e.g. a
+/// pre-v3 baseline whose counters predate the accuracy gate).
+fn effective_accuracy(m: &RunManifest) -> Option<f64> {
+    let speculated = *m.counters.get("predictor.speculated")?;
+    let correct = *m.counters.get("predictor.speculated_correct")?;
+    (speculated > 0).then(|| correct as f64 / speculated as f64)
+}
+
+/// Prints per-PC blame lines for an accuracy regression from the current
+/// manifest's attribution array (a no-op when the run was not attributed).
+fn blame_accuracy(current: &RunManifest) {
+    if current.attribution.is_empty() {
+        println!(
+            "metrics-check: no attribution in the manifest; rerun with --attribution \
+             to blame specific PCs"
+        );
+        return;
+    }
+    let mut rows: Vec<(&vp_obs::AttributionRun, &vp_obs::AttributionPc)> = current
+        .attribution
+        .iter()
+        .flat_map(|run| run.pcs.iter().map(move |pc| (run, pc)))
+        .collect();
+    rows.sort_by(|(_, a), (_, b)| {
+        b.speculated_incorrect()
+            .cmp(&a.speculated_incorrect())
+            .then_with(|| a.pc.cmp(&b.pc))
+    });
+    for (run, pc) in rows.iter().take(5) {
+        let cause = pc.dominant_cause().unwrap_or("-");
+        let drift = pc
+            .drift
+            .map_or_else(|| "-".to_owned(), |d| format!("{:+.1}pp", d * 100.0));
+        println!(
+            "metrics-check: blame {} @{:#x} [{}]  {} wrong speculations, cause {cause}, drift {drift}",
+            run.label(),
+            pc.pc,
+            pc.directive,
+            pc.speculated_incorrect(),
+        );
+    }
 }
 
 fn load(path: &std::path::Path) -> Result<RunManifest, String> {
@@ -157,6 +225,44 @@ fn main() -> ExitCode {
                 100.0 * args.max_regression
             );
             failed = true;
+        }
+    }
+
+    // Aggregate prediction-accuracy gate (opt-in via --max-accuracy-drop):
+    // catches correctness drift that throughput gates cannot see.
+    if let Some(max_drop) = args.max_accuracy_drop {
+        match (effective_accuracy(&baseline), effective_accuracy(&current)) {
+            (Some(base_acc), Some(cur_acc)) => {
+                let floor = base_acc - max_drop;
+                println!(
+                    "metrics-check: effective accuracy {:.2}% vs baseline {:.2}% \
+                     (floor {:.2}%, max drop {:.2}pp)",
+                    100.0 * cur_acc,
+                    100.0 * base_acc,
+                    100.0 * floor,
+                    100.0 * max_drop
+                );
+                if cur_acc < floor {
+                    obs_error!(
+                        "effective accuracy dropped {:.2}pp (limit {:.2}pp)",
+                        100.0 * (base_acc - cur_acc),
+                        100.0 * max_drop
+                    );
+                    blame_accuracy(&current);
+                    failed = true;
+                }
+            }
+            (None, _) => obs_warn!(
+                "baseline records no predictor.speculated* counters; skipping the \
+                 accuracy gate (refresh BENCH_baseline.json to re-arm it)"
+            ),
+            (_, None) => {
+                obs_error!(
+                    "--max-accuracy-drop given but the current manifest records no \
+                     predictor.speculated* counters (was the run a predictor experiment?)"
+                );
+                return ExitCode::from(2);
+            }
         }
     }
 
@@ -253,6 +359,36 @@ mod tests {
         assert_eq!(load_baseline(&good).unwrap(), manifest);
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn accuracy_gate_flag_and_counters() {
+        let a = parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-accuracy-drop".to_owned(), // space-separated form
+            "0.01".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(a.max_accuracy_drop, Some(0.01));
+        let a = parse_args(["--manifest=m".to_owned(), "--baseline=b".to_owned()]).unwrap();
+        assert_eq!(a.max_accuracy_drop, None);
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-accuracy-drop=2".to_owned(),
+        ])
+        .is_err());
+
+        let mut m = RunManifest {
+            bin: "x".to_owned(),
+            ..RunManifest::default()
+        };
+        assert_eq!(effective_accuracy(&m), None);
+        m.counters.insert("predictor.speculated".to_owned(), 200);
+        m.counters
+            .insert("predictor.speculated_correct".to_owned(), 150);
+        assert_eq!(effective_accuracy(&m), Some(0.75));
     }
 
     #[test]

@@ -36,7 +36,17 @@
 //!                            a background thread and embed the series as
 //!                            the `samples` array of a
 //!                            `provp-run-manifest/v2` manifest
+//! --attribution              classify every predictor misprediction by
+//!                            per-PC cause and embed the result as the
+//!                            `attribution` array of a
+//!                            `provp-run-manifest/v3` manifest (see
+//!                            OBSERVABILITY.md)
+//! --attribution-top=N        PCs exported per attributed run, hottest
+//!                            mispredictors first (default 20; 0 = all)
 //! ```
+//!
+//! Every flag also accepts the space-separated form (`--jobs 4`); see
+//! [`args::normalize`].
 //!
 //! With none of the observability flags set, the layer stays passive
 //! and stdout is byte-identical to an uninstrumented run — the event
@@ -44,6 +54,7 @@
 //! stderr, never stdout. Diagnostics on stderr are level-filtered via
 //! `PROVP_LOG=error|warn|info|debug` (default `warn`).
 
+pub mod args;
 pub mod micro;
 
 use std::path::PathBuf;
@@ -74,6 +85,12 @@ pub struct Options {
     /// Mid-run registry sampling cadence in milliseconds, if sampling
     /// was requested (promotes the manifest to schema v2).
     pub sample_ms: Option<u64>,
+    /// Whether to collect per-PC misprediction attribution (promotes the
+    /// manifest to schema v3). Observation-only: stdout stays
+    /// byte-identical either way.
+    pub attribution: bool,
+    /// PCs exported per attributed run (0 = all).
+    pub attribution_top: usize,
 }
 
 impl Default for Options {
@@ -87,6 +104,8 @@ impl Default for Options {
             metrics_table: false,
             trace_out: None,
             sample_ms: None,
+            attribution: false,
+            attribution_top: 20,
         }
     }
 }
@@ -100,7 +119,7 @@ impl Options {
     /// names.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
         let mut opts = Options::default();
-        for arg in args {
+        for arg in args::normalize(args, &["--metrics-table", "--attribution"])? {
             if let Some(list) = arg.strip_prefix("--workloads=") {
                 opts.kinds = list
                     .split(',')
@@ -146,11 +165,17 @@ impl Options {
                         .filter(|&ms| ms >= 1)
                         .ok_or_else(|| format!("bad --sample-ms value `{n}` (want >= 1)"))?,
                 );
+            } else if arg == "--attribution" {
+                opts.attribution = true;
+            } else if let Some(n) = arg.strip_prefix("--attribution-top=") {
+                opts.attribution_top = n.parse().map_err(|_| {
+                    format!("bad --attribution-top value `{n}` (want an integer; 0 = all)")
+                })?;
             } else {
                 return Err(format!(
                     "unknown argument `{arg}` (try --workloads=, --train-runs=, \
                      --jobs=, --trace-cache=, --metrics-out=, --metrics-table, \
-                     --trace-out=, --sample-ms=)"
+                     --trace-out=, --sample-ms=, --attribution, --attribution-top=)"
                 ));
             }
         }
@@ -201,6 +226,9 @@ pub fn run_experiment_with(bin: &'static str, opts: &Options, body: impl FnOnce(
     let started = Instant::now();
     if opts.trace_out.is_some() {
         vp_obs::events::enable();
+    }
+    if opts.attribution {
+        provp_core::attribution::enable(opts.attribution_top);
     }
     let suite = opts.suite();
     // The sampler hook republishes the trace store's lock-consistent
@@ -258,12 +286,20 @@ fn emit_metrics(
     started: Instant,
     samples: Vec<vp_obs::Sample>,
 ) {
+    let attribution = provp_core::attribution::drain();
     if opts.metrics_out.is_none() && !opts.metrics_table {
         if !samples.is_empty() {
             vp_obs::obs_warn!(
                 "--sample-ms collected {} samples but neither --metrics-out= nor \
                  --metrics-table was given; the series is discarded",
                 samples.len()
+            );
+        }
+        if !attribution.is_empty() {
+            vp_obs::obs_warn!(
+                "--attribution collected {} runs but neither --metrics-out= nor \
+                 --metrics-table was given; the tables are discarded",
+                attribution.len()
             );
         }
         return;
@@ -276,7 +312,8 @@ fn emit_metrics(
         wall_ms,
         &vp_obs::global().snapshot(),
     )
-    .with_samples(samples);
+    .with_samples(samples)
+    .with_attribution(attribution);
     if opts.metrics_table {
         vp_obs::print_table(&manifest);
     }
@@ -364,5 +401,31 @@ mod tests {
         let o = Options::parse([]).unwrap();
         assert_eq!(o.trace_out, None);
         assert_eq!(o.sample_ms, None);
+        assert!(!o.attribution);
+        assert_eq!(o.attribution_top, 20);
+
+        let o = Options::parse(["--attribution".into(), "--attribution-top=5".into()]).unwrap();
+        assert!(o.attribution);
+        assert_eq!(o.attribution_top, 5);
+        assert!(Options::parse(["--attribution-top=few".into()]).is_err());
+    }
+
+    #[test]
+    fn accepts_space_separated_flag_values() {
+        let o = Options::parse([
+            "--jobs".into(),
+            "4".into(),
+            "--metrics-table".into(),
+            "--attribution".into(),
+            "--workloads".into(),
+            "gcc".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.jobs, 4);
+        assert!(o.metrics_table);
+        assert!(o.attribution);
+        assert_eq!(o.kinds, vec![WorkloadKind::Gcc]);
+        // A dangling value-taking flag is a usage error, not a panic.
+        assert!(Options::parse(["--jobs".into()]).is_err());
     }
 }

@@ -1,16 +1,19 @@
 //! Guards the observability layer's central contract: requesting a run
 //! manifest must not perturb experiment output. Runs the real `repro-all`
 //! binary with and without observability flags (`--metrics-out`,
-//! `--trace-out`, `--sample-ms`) and asserts stdout is byte-identical,
-//! then sanity-checks the emitted manifest, the time-series samples, the
-//! Chrome trace, and the `manifest-diff` attribution tool.
+//! `--trace-out`, `--sample-ms`, `--attribution`) and asserts stdout is
+//! byte-identical, then sanity-checks the emitted manifest, the
+//! time-series samples, the Chrome trace, the per-PC attribution layer
+//! (deterministic across `--jobs`, totals reconciling exactly with the
+//! predictor counters), and the `manifest-diff` / `attribution-report`
+//! reporting tools.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::Command;
 
 use vp_obs::json::Json;
-use vp_obs::{RunManifest, SCHEMA_V2};
+use vp_obs::{RunManifest, SCHEMA_V2, SCHEMA_V3};
 
 const ARGS: &[&str] = &["--workloads=compress,ijpeg", "--train-runs=2", "--jobs=2"];
 
@@ -102,6 +105,10 @@ fn metrics_out_leaves_stdout_byte_identical() {
         manifest.gauges.get("predictor.occupancy.max").copied() > Some(0),
         "table occupancy observed"
     );
+    // Without --attribution the manifest carries no attribution array
+    // (and therefore stays at a pre-v3 schema).
+    assert!(manifest.attribution.is_empty(), "attribution is opt-in");
+    assert_ne!(manifest.schema(), SCHEMA_V3);
 }
 
 fn parse_manifest(path: &Path) -> RunManifest {
@@ -227,6 +234,138 @@ fn assert_chrome_trace_valid(doc: &str) -> Vec<String> {
         assert_eq!(d, 0, "unclosed B on tid {tid}");
     }
     names
+}
+
+/// The per-PC attribution layer end to end: `--attribution` must leave
+/// experiment stdout byte-identical, promote the manifest to schema v3,
+/// produce attribution tables that are byte-identical between `--jobs=1`
+/// and `--jobs=2` (shard-merge determinism), reconcile exactly with the
+/// aggregate predictor counters, and render through `attribution-report`
+/// in all three formats.
+#[test]
+fn attribution_is_deterministic_and_reconciles() {
+    let pid = std::process::id();
+    let path_j2 = std::env::temp_dir().join(format!("provp-attr-golden-j2-{pid}.json"));
+    let path_j1 = std::env::temp_dir().join(format!("provp-attr-golden-j1-{pid}.json"));
+    let _ = std::fs::remove_file(&path_j2);
+    let _ = std::fs::remove_file(&path_j1);
+
+    let plain = run_repro_all(&[]);
+    let attributed = run_repro_all(&[
+        "--attribution".to_owned(),
+        format!("--metrics-out={}", path_j2.display()),
+    ]);
+    // --jobs=1 overrides the baseline --jobs=2 (later flag wins).
+    let serial = run_repro_all(&[
+        "--jobs=1".to_owned(),
+        "--attribution".to_owned(),
+        format!("--metrics-out={}", path_j1.display()),
+    ]);
+
+    assert!(plain.status.success() && attributed.status.success() && serial.status.success());
+    assert_eq!(
+        plain.stdout, attributed.stdout,
+        "--attribution must not change experiment stdout"
+    );
+    assert_eq!(
+        plain.stdout, serial.stdout,
+        "stdout must stay byte-identical at any job count"
+    );
+
+    let m2 = parse_manifest(&path_j2);
+    let m1 = parse_manifest(&path_j1);
+    std::fs::remove_file(&path_j1).unwrap();
+
+    assert_eq!(m2.schema(), SCHEMA_V3, "attribution promotes to v3");
+    assert!(!m2.attribution.is_empty(), "attribution collected");
+
+    // Shard-merge determinism: the attribution arrays at jobs=1 and
+    // jobs=2 must be byte-identical (same runs, same order, same
+    // counts, same drift), even though wall times differ.
+    let render = |m: &RunManifest| {
+        Json::Arr(m.attribution.iter().map(|r| r.to_json()).collect()).to_string()
+    };
+    assert_eq!(
+        render(&m1),
+        render(&m2),
+        "attribution must be bit-identical across --jobs"
+    );
+
+    // Exact reconciliation with the aggregate predictor counters: the
+    // per-run totals sum to the run-wide counters, and every raw miss is
+    // charged to exactly one cause.
+    let counter = |k: &str| m2.counters.get(k).copied().unwrap_or(0);
+    let sum = |f: fn(&vp_obs::AttributionTotals) -> u64| {
+        m2.attribution.iter().map(|r| f(&r.totals)).sum::<u64>()
+    };
+    assert_eq!(sum(|t| t.accesses), counter("predictor.accesses"));
+    assert_eq!(sum(|t| t.hits), counter("predictor.hits"));
+    assert_eq!(sum(|t| t.raw_correct), counter("predictor.raw_correct"));
+    assert_eq!(sum(|t| t.speculated), counter("predictor.speculated"));
+    assert_eq!(
+        sum(|t| t.speculated_correct),
+        counter("predictor.speculated_correct")
+    );
+    for run in &m2.attribution {
+        assert_eq!(
+            run.totals.causes.values().sum::<u64>(),
+            run.totals.accesses - run.totals.raw_correct,
+            "{}: every raw miss charged to exactly one cause",
+            run.label()
+        );
+        for pc in &run.pcs {
+            assert_eq!(
+                pc.causes.values().sum::<u64>(),
+                pc.accesses - pc.raw_correct,
+                "{} @{:#x}: per-PC causes must partition the misses",
+                run.label(),
+                pc.pc
+            );
+        }
+    }
+    // Profile-guided runs must carry drift for profiled PCs.
+    assert!(
+        m2.attribution
+            .iter()
+            .filter(|r| r.threshold.is_some())
+            .any(|r| r.pcs.iter().any(|pc| pc.drift.is_some())),
+        "profile-guided runs must report drift"
+    );
+
+    // -- attribution-report golden --
+    let report = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_attribution-report"))
+            .arg(format!("--manifest={}", path_j2.display()))
+            .args(extra)
+            .output()
+            .expect("attribution-report runs");
+        assert!(out.status.success(), "attribution-report failed");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let table = report(&[]);
+    assert!(
+        table.contains("== attribution:"),
+        "table report renders runs:\n{table}"
+    );
+    let md = report(&["--format=markdown", "--top=10"]);
+    assert!(
+        md.contains("### Attribution:"),
+        "markdown report renders runs:\n{md}"
+    );
+    let json = report(&["--format=json"]);
+    let doc = Json::parse(json.trim_end()).expect("report JSON parses");
+    assert_eq!(
+        doc.as_arr().map(<[Json]>::len),
+        Some(m2.attribution.len()),
+        "JSON report carries every run"
+    );
+    // Usage errors exit 2.
+    let usage = Command::new(env!("CARGO_BIN_EXE_attribution-report"))
+        .output()
+        .expect("attribution-report runs");
+    assert_eq!(usage.status.code(), Some(2), "missing --manifest exits 2");
+
+    std::fs::remove_file(&path_j2).unwrap();
 }
 
 /// Golden test for the `manifest-diff` attribution tool: a synthesized

@@ -25,6 +25,7 @@
 //! replay into every consumer — and [`exec::parallel_map`] fans the
 //! experiment grid over scoped threads with byte-identical output.
 
+pub mod attribution;
 pub mod exec;
 pub mod experiments;
 pub mod harness;
@@ -36,6 +37,6 @@ pub mod trace_store;
 pub use exec::parallel_map;
 pub use harness::PredictorTracer;
 pub use pipeline::{PipelineConfig, PipelineError, PipelineOutcome, ProfileGuidedPipeline};
-pub use replay::{auto_shards, replay_predictor, ReplayOutcome};
+pub use replay::{auto_shards, replay_predictor, replay_predictor_attributed, ReplayOutcome};
 pub use suite::Suite;
 pub use trace_store::{TraceError, TraceKey, TraceStore, TraceStoreStats};

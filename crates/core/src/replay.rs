@@ -24,7 +24,7 @@ use std::io;
 use std::time::Instant;
 
 use vp_isa::{Directive, Program};
-use vp_predictor::{PredictorConfig, PredictorStats};
+use vp_predictor::{AttributionTable, PredictorConfig, PredictorStats};
 use vp_sim::Trace;
 
 use crate::exec::{in_worker, parallel_map};
@@ -139,6 +139,95 @@ pub fn replay_predictor(
     })
 }
 
+/// Like [`replay_predictor`], additionally observing every access into a
+/// per-PC [`AttributionTable`].
+///
+/// This is a separate function (rather than a flag) so the unattributed
+/// hot path keeps its exact instruction stream: with attribution off,
+/// nothing here runs. The attribution contract mirrors the stats one —
+/// PC-sharding routes each static address wholly into one shard, so the
+/// merged table is **bit-identical** to a sequential replay's at any
+/// shard/job count, and [`AttributionTable::reconcile`] holds against the
+/// merged [`ReplayOutcome::stats`].
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` when a value event's address does
+/// not name an instruction of `program` (a foreign trace).
+pub fn replay_predictor_attributed(
+    trace: &Trace,
+    program: &Program,
+    config: &PredictorConfig,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<(ReplayOutcome, AttributionTable)> {
+    let directives: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
+    let shards = shards.max(1);
+    let cols = trace.columns();
+
+    if shards == 1 {
+        let mut predictor = config.build();
+        let mut table = AttributionTable::new();
+        for (addr, value) in cols.value_events() {
+            let directive = *directives
+                .get(addr.index() as usize)
+                .ok_or_else(|| outside_text(addr))?;
+            let access = predictor.access(addr, directive, value);
+            table.observe(addr, directive, &access, value);
+        }
+        vp_obs::counter("replay.shards").add(1);
+        let outcome = ReplayOutcome {
+            stats: *predictor.stats(),
+            occupancy: predictor.occupancy(),
+            shards: 1,
+        };
+        return Ok((outcome, table));
+    }
+
+    let views = cols.shard_by_pc(shards, |addr| config.shard_key(addr));
+    let parts = parallel_map(jobs.max(1), &views, |shard| -> io::Result<_> {
+        let started = Instant::now();
+        let mut predictor = config.build();
+        let mut table = AttributionTable::new();
+        for (addr, value) in shard.values() {
+            let directive = *directives
+                .get(addr.index() as usize)
+                .ok_or_else(|| outside_text(addr))?;
+            let access = predictor.access(addr, directive, value);
+            table.observe(addr, directive, &access, value);
+        }
+        Ok((
+            *predictor.stats(),
+            predictor.occupancy(),
+            table,
+            started.elapsed().as_micros() as u64,
+        ))
+    });
+
+    let mut stats = PredictorStats::new();
+    let mut occupancy = 0usize;
+    let mut table = AttributionTable::new();
+    let (mut fastest, mut slowest) = (u64::MAX, 0u64);
+    for part in parts {
+        let (shard_stats, shard_occupancy, shard_table, micros) = part?;
+        stats.merge(&shard_stats);
+        occupancy += shard_occupancy;
+        table.merge(&shard_table);
+        fastest = fastest.min(micros);
+        slowest = slowest.max(micros);
+    }
+    let skew_us = slowest.saturating_sub(fastest);
+    vp_obs::counter("replay.shards").add(shards as u64);
+    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
+    vp_obs::events::instant("replay.shard_skew", skew_us);
+    let outcome = ReplayOutcome {
+        stats,
+        occupancy,
+        shards,
+    };
+    Ok((outcome, table))
+}
+
 fn outside_text(addr: vp_isa::InstrAddr) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
@@ -190,6 +279,39 @@ mod tests {
                     assert_eq!(par.occupancy, seq.occupancy, "{}", config.label());
                     assert_eq!(par.shards, shards);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn attributed_replay_matches_plain_and_reconciles() {
+        let (p, trace) = sample();
+        for config in [
+            PredictorConfig::spec_table_stride_fsm(),
+            PredictorConfig::spec_table_stride_profile(),
+            PredictorConfig::Hybrid {
+                stride: TableGeometry::new(8, 2),
+                last_value: TableGeometry::new(12, 2),
+            },
+        ] {
+            let plain = replay_predictor(&trace, &p, &config, 1, 1).unwrap();
+            let (seq, seq_table) = replay_predictor_attributed(&trace, &p, &config, 1, 1).unwrap();
+            // Observation-only: attribution never perturbs the stats.
+            assert_eq!(seq.stats, plain.stats, "{}", config.label());
+            assert_eq!(seq.occupancy, plain.occupancy);
+            seq_table
+                .reconcile(&seq.stats)
+                .unwrap_or_else(|e| panic!("{}: {e}", config.label()));
+            for shards in [2usize, 3, 8] {
+                let (par, par_table) =
+                    replay_predictor_attributed(&trace, &p, &config, shards, 4).unwrap();
+                assert_eq!(par.stats, seq.stats, "{}", config.label());
+                assert_eq!(
+                    par_table,
+                    seq_table,
+                    "{} attribution diverged at {shards} shards",
+                    config.label()
+                );
             }
         }
     }

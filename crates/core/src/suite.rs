@@ -336,20 +336,50 @@ impl Suite {
         // span, and the replay below touches only the columnar value
         // events — no instruction fetch, no retirement reconstruction.
         let trace = self.trace(kind, InputSet::reference());
-        let outcome = {
+        let replay_panic = |source| -> ! {
+            panic!(
+                "{}",
+                TraceError::Replay {
+                    key: TraceKey::new(kind, InputSet::reference(), self.limits),
+                    source,
+                }
+            )
+        };
+        // The attributed replay is a separate code path so that with
+        // attribution off the hot loop runs the exact seed instruction
+        // stream (observation-only contract: byte-identical stdout,
+        // negligible wall-clock delta).
+        let (outcome, table) = {
             let _span = vp_obs::span("predict");
             let shards = crate::replay::auto_shards(self.jobs, trace.len());
-            crate::replay::replay_predictor(&trace, &program, &config, shards, self.jobs)
-                .unwrap_or_else(|source| {
-                    panic!(
-                        "{}",
-                        TraceError::Replay {
-                            key: TraceKey::new(kind, InputSet::reference(), self.limits),
-                            source,
-                        }
-                    )
-                })
+            if crate::attribution::enabled() {
+                crate::replay::replay_predictor_attributed(
+                    &trace, &program, &config, shards, self.jobs,
+                )
+                .map(|(o, t)| (o, Some(t)))
+                .unwrap_or_else(|source| replay_panic(source))
+            } else {
+                crate::replay::replay_predictor(&trace, &program, &config, shards, self.jobs)
+                    .map(|o| (o, None))
+                    .unwrap_or_else(|source| replay_panic(source))
+            }
         };
+        if let Some(table) = table {
+            // Drift compares the Phase-2 training profile's promised
+            // accuracy against what the reference replay observed;
+            // merged_image is memoised, so this costs one lookup per
+            // exported PC (outside the predict span either way).
+            let top = crate::attribution::top_k().unwrap_or(0);
+            let merged = self.merged_image(kind);
+            crate::attribution::record(crate::attribution::run_from_table(
+                Workload::new(kind).name(),
+                &config.label(),
+                threshold,
+                &table,
+                top,
+                |addr, directive| merged.get(addr).map(|p| p.profiled_accuracy(directive)),
+            ));
+        }
         vp_obs::gauge("predictor.occupancy.max").set_max(outcome.occupancy as u64);
         publish_predictor_metrics(&outcome.stats);
         outcome.stats
@@ -384,6 +414,9 @@ fn publish_predictor_metrics(stats: &PredictorStats) {
     }
     vp_obs::counter("predictor.accesses").add(stats.accesses);
     vp_obs::counter("predictor.hits").add(stats.hits);
+    vp_obs::counter("predictor.raw_correct").add(stats.raw_correct);
+    vp_obs::counter("predictor.speculated").add(stats.speculated);
+    vp_obs::counter("predictor.speculated_correct").add(stats.speculated_correct);
     vp_obs::counter("predictor.allocations").add(stats.allocations);
     vp_obs::counter("predictor.evictions").add(stats.evictions);
     vp_obs::counter("predictor.set_conflicts").add(stats.set_conflicts);

@@ -16,13 +16,19 @@
 //! - [`ManifestDiff::to_json`] — machine-readable, for downstream
 //!   tooling.
 //!
-//! The diff accepts any mix of v1/v2 manifests (samples do not
+//! The diff accepts any mix of v1/v2/v3 manifests (samples do not
 //! participate in the diff; they exist to localise a regression *within*
-//! one run, whereas the diff localises it *between* runs).
+//! one run, whereas the diff localises it *between* runs). When both
+//! sides carry v3 `attribution` runs, the diff additionally blames
+//! accuracy movement on specific PCs and misprediction causes: replays
+//! are matched by workload × config × threshold and each matched pair
+//! contributes per-PC raw-accuracy deltas over the union of the two
+//! top-K lists.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+use crate::attribution::AttributionRun;
 use crate::json::Json;
 use crate::manifest::RunManifest;
 
@@ -70,6 +76,53 @@ pub struct RateDelta {
     pub pct: Option<f64>,
 }
 
+/// One static instruction's accuracy movement between two attributed
+/// replays of the same workload × config point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcAccuracyDelta {
+    /// Static instruction address.
+    pub pc: u64,
+    /// The PC's directive in the current run (baseline's when the PC
+    /// left the current top-K).
+    pub directive: String,
+    /// Baseline raw accuracy; `None` when the PC is new to the top-K.
+    pub base_accuracy: Option<f64>,
+    /// Current raw accuracy; `None` when the PC left the top-K.
+    pub cur_accuracy: Option<f64>,
+    /// `cur - base` (missing side treated as 0, matching counters).
+    pub delta: f64,
+    /// The dominant misprediction cause in the current run (baseline's
+    /// when absent from the current top-K), when any miss was charged.
+    pub cause: Option<String>,
+}
+
+/// Accuracy movement of one attributed replay (workload × config ×
+/// threshold) between baseline and current manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionDelta {
+    /// `workload/config@threshold` run label.
+    pub run: String,
+    /// Baseline whole-table raw accuracy.
+    pub base_accuracy: f64,
+    /// Current whole-table raw accuracy.
+    pub cur_accuracy: f64,
+    /// Baseline effective (used-prediction) accuracy.
+    pub base_effective: f64,
+    /// Current effective accuracy.
+    pub cur_effective: f64,
+    /// Per-PC blame over the union of the two runs' top-K lists,
+    /// sorted by `|delta|` descending then PC; unmoved PCs omitted.
+    pub pcs: Vec<PcAccuracyDelta>,
+}
+
+impl AttributionDelta {
+    /// Whole-table raw-accuracy movement (current minus baseline).
+    #[must_use]
+    pub fn accuracy_delta(&self) -> f64 {
+        self.cur_accuracy - self.base_accuracy
+    }
+}
+
 /// A full attribution of the differences between two manifests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ManifestDiff {
@@ -91,6 +144,9 @@ pub struct ManifestDiff {
     pub gauges: Vec<CounterDelta>,
     /// Derived-rate movement.
     pub rates: Vec<RateDelta>,
+    /// Per-replay accuracy blame (v3 manifests only; empty when either
+    /// side carries no attribution, or nothing moved).
+    pub attribution: Vec<AttributionDelta>,
 }
 
 fn pct(base: f64, delta: f64) -> Option<f64> {
@@ -105,6 +161,15 @@ fn fmt_pct(p: Option<f64>) -> String {
     match p {
         Some(p) => format!("{:+.1}%", p * 100.0),
         None => "new".to_owned(),
+    }
+}
+
+/// Formats an optional per-PC accuracy (`None` = the PC was outside
+/// that side's top-K list).
+fn fmt_opt_acc(a: Option<f64>) -> String {
+    match a {
+        Some(a) => format!("{:.1}%", 100.0 * a),
+        None => "-".to_owned(),
     }
 }
 
@@ -137,6 +202,77 @@ fn numeric_deltas(
             .cmp(&a.delta.abs())
             .then_with(|| a.key.cmp(&b.key))
     });
+    out
+}
+
+fn attribution_deltas(base: &[AttributionRun], cur: &[AttributionRun]) -> Vec<AttributionDelta> {
+    // Runs are matched by workload × config × threshold (bit-exact:
+    // thresholds come from the same sweep constants on both sides).
+    let key = |r: &AttributionRun| {
+        (
+            r.workload.clone(),
+            r.config.clone(),
+            r.threshold.map(f64::to_bits),
+        )
+    };
+    let mut out = Vec::new();
+    for c in cur {
+        let Some(b) = base.iter().find(|b| key(b) == key(c)) else {
+            continue; // new run: nothing to blame against
+        };
+        let base_by_pc: std::collections::BTreeMap<u64, &crate::attribution::AttributionPc> =
+            b.pcs.iter().map(|p| (p.pc, p)).collect();
+        let cur_by_pc: std::collections::BTreeMap<u64, &crate::attribution::AttributionPc> =
+            c.pcs.iter().map(|p| (p.pc, p)).collect();
+        let union: BTreeSet<u64> = base_by_pc.keys().chain(cur_by_pc.keys()).copied().collect();
+        let mut pcs: Vec<PcAccuracyDelta> = union
+            .into_iter()
+            .filter_map(|pc| {
+                let bp = base_by_pc.get(&pc);
+                let cp = cur_by_pc.get(&pc);
+                let base_accuracy = bp.map(|p| p.raw_accuracy());
+                let cur_accuracy = cp.map(|p| p.raw_accuracy());
+                let delta = cur_accuracy.unwrap_or(0.0) - base_accuracy.unwrap_or(0.0);
+                if delta.abs() < 1e-12 {
+                    return None; // no movement, no blame
+                }
+                let witness = cp.or(bp)?;
+                Some(PcAccuracyDelta {
+                    pc,
+                    directive: witness.directive.clone(),
+                    base_accuracy,
+                    cur_accuracy,
+                    delta,
+                    cause: witness.dominant_cause().map(str::to_owned),
+                })
+            })
+            .collect();
+        pcs.sort_by(|a, b| {
+            b.delta
+                .abs()
+                .partial_cmp(&a.delta.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.pc.cmp(&b.pc))
+        });
+        let base_accuracy = b.totals.raw_accuracy();
+        let cur_accuracy = c.totals.raw_accuracy();
+        let base_effective = b.totals.effective_accuracy();
+        let cur_effective = c.totals.effective_accuracy();
+        let moved = (cur_accuracy - base_accuracy).abs() > 1e-12
+            || (cur_effective - base_effective).abs() > 1e-12
+            || !pcs.is_empty();
+        if !moved {
+            continue;
+        }
+        out.push(AttributionDelta {
+            run: c.label(),
+            base_accuracy,
+            cur_accuracy,
+            base_effective,
+            cur_effective,
+            pcs,
+        });
+    }
     out
 }
 
@@ -208,6 +344,7 @@ impl ManifestDiff {
                     current.trace_hit_rate(),
                 ),
             ],
+            attribution: attribution_deltas(&baseline.attribution, &current.attribution),
         }
     }
 
@@ -284,6 +421,34 @@ impl ManifestDiff {
                 );
             }
         }
+        if !self.attribution.is_empty() {
+            let _ = writeln!(out, "-- attribution (accuracy blame) --");
+            for a in self.attribution.iter().take(take(self.attribution.len())) {
+                let _ = writeln!(
+                    out,
+                    "{}  raw {:.1}% -> {:.1}% ({:+.1}pp), effective {:.1}% -> {:.1}% ({:+.1}pp)",
+                    a.run,
+                    100.0 * a.base_accuracy,
+                    100.0 * a.cur_accuracy,
+                    100.0 * a.accuracy_delta(),
+                    100.0 * a.base_effective,
+                    100.0 * a.cur_effective,
+                    100.0 * (a.cur_effective - a.base_effective),
+                );
+                for p in a.pcs.iter().take(take(a.pcs.len())) {
+                    let _ = writeln!(
+                        out,
+                        "  @{:<7} [{}]  {} -> {}  ({:+.1}pp, {})",
+                        p.pc,
+                        p.directive,
+                        fmt_opt_acc(p.base_accuracy),
+                        fmt_opt_acc(p.cur_accuracy),
+                        100.0 * p.delta,
+                        p.cause.as_deref().unwrap_or("no misses"),
+                    );
+                }
+            }
+        }
         let _ = writeln!(out, "-- derived --");
         for r in &self.rates {
             let _ = writeln!(
@@ -358,6 +523,40 @@ impl ManifestDiff {
             }
             let _ = writeln!(out);
         }
+        if !self.attribution.is_empty() {
+            let _ = writeln!(
+                out,
+                "| attributed run | raw acc | \u{394} raw | effective acc | \u{394} eff | guiltiest pc |"
+            );
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|---|");
+            for a in self.attribution.iter().take(take(self.attribution.len())) {
+                let guiltiest = a
+                    .pcs
+                    .first()
+                    .map(|p| {
+                        format!(
+                            "`@{}` {:+.1}pp ({})",
+                            p.pc,
+                            100.0 * p.delta,
+                            p.cause.as_deref().unwrap_or("no misses")
+                        )
+                    })
+                    .unwrap_or_else(|| "-".to_owned());
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {:.1}% \u{2192} {:.1}% | {:+.1}pp | {:.1}% \u{2192} {:.1}% | {:+.1}pp | {} |",
+                    a.run,
+                    100.0 * a.base_accuracy,
+                    100.0 * a.cur_accuracy,
+                    100.0 * a.accuracy_delta(),
+                    100.0 * a.base_effective,
+                    100.0 * a.cur_effective,
+                    100.0 * (a.cur_effective - a.base_effective),
+                    guiltiest,
+                );
+            }
+            let _ = writeln!(out);
+        }
         let _ = writeln!(out, "| derived rate | base | current | \u{394}% |");
         let _ = writeln!(out, "|---|---:|---:|---:|");
         for r in &self.rates {
@@ -425,7 +624,7 @@ impl ManifestDiff {
                 o
             })
             .collect();
-        Json::obj()
+        let mut doc = Json::obj()
             .with("schema", "provp-manifest-diff/v1")
             .with("base_bin", self.base_bin.as_str())
             .with("cur_bin", self.cur_bin.as_str())
@@ -435,8 +634,44 @@ impl ManifestDiff {
             .with("phases", Json::Arr(phases))
             .with("counters", numeric(&self.counters))
             .with("gauges", numeric(&self.gauges))
-            .with("rates", Json::Arr(rates))
-            .to_string()
+            .with("rates", Json::Arr(rates));
+        if !self.attribution.is_empty() {
+            let runs: Vec<Json> = self
+                .attribution
+                .iter()
+                .map(|a| {
+                    let pcs: Vec<Json> = a
+                        .pcs
+                        .iter()
+                        .map(|p| {
+                            let mut o = Json::obj()
+                                .with("pc", p.pc)
+                                .with("directive", p.directive.as_str());
+                            if let Some(acc) = p.base_accuracy {
+                                o = o.with("base_accuracy", acc);
+                            }
+                            if let Some(acc) = p.cur_accuracy {
+                                o = o.with("cur_accuracy", acc);
+                            }
+                            o = o.with("delta", p.delta);
+                            if let Some(cause) = &p.cause {
+                                o = o.with("cause", cause.as_str());
+                            }
+                            o
+                        })
+                        .collect();
+                    Json::obj()
+                        .with("run", a.run.as_str())
+                        .with("base_accuracy", a.base_accuracy)
+                        .with("cur_accuracy", a.cur_accuracy)
+                        .with("base_effective", a.base_effective)
+                        .with("cur_effective", a.cur_effective)
+                        .with("pcs", Json::Arr(pcs))
+                })
+                .collect();
+            doc = doc.with("attribution", Json::Arr(runs));
+        }
+        doc.to_string()
     }
 }
 
@@ -574,5 +809,74 @@ mod tests {
         assert!(diff.counters.is_empty());
         assert!(diff.gauges.is_empty());
         assert!(diff.phases.iter().all(|p| p.delta_ms == 0.0));
+        assert!(diff.attribution.is_empty());
+    }
+
+    fn attributed(raw_correct: u64, pc_correct: u64) -> RunManifest {
+        use crate::attribution::{AttributionPc, AttributionRun, AttributionTotals};
+        let mut causes = std::collections::BTreeMap::new();
+        causes.insert("stride-break".to_owned(), 100 - pc_correct);
+        let (base, _) = base_and_current();
+        base.clone().with_attribution(vec![AttributionRun {
+            workload: "compress".to_owned(),
+            config: "stride[512x2]/profile".to_owned(),
+            threshold: Some(0.9),
+            totals: AttributionTotals {
+                pcs: 1,
+                accesses: 1000,
+                hits: 900,
+                raw_correct,
+                speculated: 800,
+                speculated_correct: raw_correct.min(800),
+                causes: causes.clone(),
+            },
+            pcs: vec![AttributionPc {
+                pc: 42,
+                directive: "stride".to_owned(),
+                accesses: 100,
+                hits: 95,
+                raw_correct: pc_correct,
+                speculated: 90,
+                speculated_correct: pc_correct.min(90),
+                causes,
+                profiled_accuracy: Some(0.95),
+                drift: None,
+            }],
+        }])
+    }
+
+    #[test]
+    fn attribution_blames_the_moved_pc() {
+        let diff = ManifestDiff::compute(&attributed(900, 90), &attributed(700, 40));
+        assert_eq!(diff.attribution.len(), 1);
+        let a = &diff.attribution[0];
+        assert_eq!(a.run, "compress/stride[512x2]/profile@0.90");
+        assert!((a.accuracy_delta() + 0.2).abs() < 1e-9);
+        assert_eq!(a.pcs.len(), 1);
+        assert_eq!(a.pcs[0].pc, 42);
+        assert!((a.pcs[0].delta + 0.5).abs() < 1e-9);
+        assert_eq!(a.pcs[0].cause.as_deref(), Some("stride-break"));
+
+        let table = diff.render_table(0);
+        assert!(table.contains("-- attribution (accuracy blame) --"));
+        assert!(table.contains("@42"));
+        let md = diff.render_markdown(0);
+        assert!(md.contains("| `compress/stride[512x2]/profile@0.90` |"));
+        assert!(md.contains("`@42`"));
+        let json = Json::parse(&diff.to_json()).unwrap();
+        let runs = json.get("attribution").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(
+            runs[0].get("pcs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn identical_attribution_is_omitted() {
+        let diff = ManifestDiff::compute(&attributed(900, 90), &attributed(900, 90));
+        assert!(diff.attribution.is_empty());
+        assert!(!diff.render_table(0).contains("accuracy blame"));
+        assert!(!diff.to_json().contains("\"attribution\""));
     }
 }

@@ -77,6 +77,37 @@ pub fn render_table(manifest: &RunManifest) -> String {
         "trace-store hit rate {:.1}%",
         100.0 * manifest.trace_hit_rate()
     );
+
+    // Data-loss footer: any recorded event/sample loss must be visible
+    // without opening the manifest (a zero is printed too, so "tracing
+    // was on and nothing was lost" is distinguishable from "not traced").
+    let dropped = manifest.counters.get("trace.dropped_events");
+    let discarded = manifest.counters.get("sampler.discarded_samples");
+    if dropped.is_some() || discarded.is_some() {
+        let _ = writeln!(out, "-- data loss --");
+        if let Some(n) = dropped {
+            let _ = writeln!(
+                out,
+                "trace events dropped  {n}{}",
+                if *n > 0 {
+                    " (ring overflowed; oldest events were lost)"
+                } else {
+                    ""
+                }
+            );
+        }
+        if let Some(n) = discarded {
+            let _ = writeln!(
+                out,
+                "samples discarded     {n}{}",
+                if *n > 0 {
+                    " (sampler at capacity; raise --sample-ms)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
     out
 }
 
@@ -147,6 +178,20 @@ mod tests {
         assert!(table.contains("demo/work"));
         assert!(table.contains("sim.instructions"));
         assert!(table.contains("100 instr/s"));
+        // No event/sampler counters recorded: no data-loss footer.
+        assert!(!table.contains("-- data loss --"));
+    }
+
+    #[test]
+    fn table_footer_surfaces_event_and_sample_loss() {
+        let mut m = manifest();
+        m.counters.insert("trace.dropped_events".to_owned(), 12);
+        m.counters.insert("sampler.discarded_samples".to_owned(), 0);
+        let table = render_table(&m);
+        assert!(table.contains("-- data loss --"));
+        assert!(table.contains("trace events dropped  12 (ring overflowed"));
+        // A recorded zero is shown plainly, without the loss hint.
+        assert!(table.contains("samples discarded     0\n"));
     }
 
     #[test]

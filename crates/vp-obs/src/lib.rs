@@ -38,6 +38,10 @@
 //! - **Diffing** ([`diff`]) — attribution of wall-clock and counter
 //!   deltas between two manifests, powering the `manifest-diff` binary
 //!   and CI regression blame tables.
+//! - **Prediction attribution** ([`attribution`]) — passive per-PC
+//!   misprediction-cause and profile-drift results, embedded as the
+//!   `attribution` array of a `provp-run-manifest/v3` document and
+//!   rendered by the `attribution-report` binary.
 //!
 //! Instrumentation is observation-only by design: nothing in this crate
 //! writes to stdout, and nothing feeds back into simulation results, so
@@ -58,6 +62,7 @@
 //! assert_eq!(snap.spans["example/phase"].count, 1);
 //! ```
 
+pub mod attribution;
 pub mod chrome;
 pub mod diff;
 pub mod events;
@@ -71,11 +76,12 @@ pub mod rss;
 pub mod sampler;
 pub mod span;
 
+pub use attribution::{AttributionPc, AttributionRun, AttributionTotals};
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use diff::ManifestDiff;
 pub use export::{print_table, render_table, write_manifest};
 pub use log::Level;
-pub use manifest::{RunManifest, SCHEMA_V1, SCHEMA_V2};
+pub use manifest::{RunManifest, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 pub use registry::{global, Registry, Snapshot, SpanStat};
 pub use sampler::{Sample, Sampler};

@@ -14,22 +14,28 @@
 //!
 //! ## Versioning
 //!
-//! Two schema versions exist and the parser accepts both:
+//! Three schema versions exist and the parser accepts all of them:
 //!
 //! - **v1** (PR 2) — end-of-run aggregates only.
 //! - **v2** — adds the `samples` array: a mid-run time series of the
 //!   counter/gauge registry collected by [`crate::sampler`].
+//! - **v3** — adds the `attribution` array: per-PC misprediction
+//!   attribution and profile drift per predictor replay (see
+//!   [`crate::attribution`]).
 //!
-//! The version is *derived from content*: a manifest with samples
-//! serialises as v2, one without as v1 — so documents produced before
-//! sampling existed re-serialise byte-identically, a v1 document parses
-//! as a manifest with an empty `samples` array, and v2-aware tooling
-//! (`manifest-diff`, `metrics-check`) transparently reads either.
+//! The version is *derived from content*: a manifest with attribution
+//! runs serialises as v3, one with samples (but no attribution) as v2,
+//! and one with neither as v1 — so documents produced before either
+//! layer existed re-serialise byte-identically, older documents parse
+//! as manifests with the newer arrays empty, and version-aware tooling
+//! (`manifest-diff`, `metrics-check`, `attribution-report`)
+//! transparently reads any of the three.
 
 use std::collections::BTreeMap;
 
 use vp_stats::DecileHistogram;
 
+use crate::attribution::AttributionRun;
 use crate::json::{Json, ParseError};
 use crate::registry::Snapshot;
 use crate::sampler::Sample;
@@ -39,6 +45,9 @@ pub const SCHEMA_V1: &str = "provp-run-manifest/v1";
 
 /// The v2 schema identifier (aggregates plus the `samples` time series).
 pub const SCHEMA_V2: &str = "provp-run-manifest/v2";
+
+/// The v3 schema identifier (v2 plus the `attribution` array).
+pub const SCHEMA_V3: &str = "provp-run-manifest/v3";
 
 /// The oldest schema identifier (kept for downstream code spelled
 /// against PR 2's single-version constant).
@@ -81,6 +90,10 @@ pub struct RunManifest {
     /// Mid-run counter/gauge time series (empty in v1 documents; a
     /// manifest with samples serialises under the v2 schema).
     pub samples: Vec<Sample>,
+    /// Per-PC attribution of one or more predictor replays (empty in
+    /// v1/v2 documents; a manifest with attribution serialises under
+    /// the v3 schema).
+    pub attribution: Vec<AttributionRun>,
 }
 
 const NS_PER_MS: f64 = 1_000_000.0;
@@ -118,6 +131,7 @@ impl RunManifest {
                 .map(|(k, h)| (k.clone(), h.counts()))
                 .collect(),
             samples: Vec::new(),
+            attribution: Vec::new(),
         }
     }
 
@@ -129,14 +143,25 @@ impl RunManifest {
         self
     }
 
-    /// The schema version this manifest serialises under: v2 when it
-    /// carries samples, v1 otherwise (see the module docs).
+    /// Attaches per-PC attribution runs (promoting the manifest to the
+    /// v3 schema when `attribution` is non-empty).
+    #[must_use]
+    pub fn with_attribution(mut self, attribution: Vec<AttributionRun>) -> RunManifest {
+        self.attribution = attribution;
+        self
+    }
+
+    /// The schema version this manifest serialises under: v3 when it
+    /// carries attribution, v2 when it carries only samples, v1
+    /// otherwise (see the module docs).
     #[must_use]
     pub fn schema(&self) -> &'static str {
-        if self.samples.is_empty() {
-            SCHEMA_V1
-        } else {
+        if !self.attribution.is_empty() {
+            SCHEMA_V3
+        } else if !self.samples.is_empty() {
             SCHEMA_V2
+        } else {
+            SCHEMA_V1
         }
     }
 
@@ -225,6 +250,17 @@ impl RunManifest {
                 .collect();
             doc = doc.with("samples", Json::Arr(samples));
         }
+        if !self.attribution.is_empty() {
+            doc = doc.with(
+                "attribution",
+                Json::Arr(
+                    self.attribution
+                        .iter()
+                        .map(AttributionRun::to_json)
+                        .collect(),
+                ),
+            );
+        }
         doc.with("derived", derived).to_string()
     }
 
@@ -242,7 +278,7 @@ impl RunManifest {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or_else(|| ManifestError::field("schema"))?;
-        if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
+        if schema != SCHEMA_V1 && schema != SCHEMA_V2 && schema != SCHEMA_V3 {
             return Err(ManifestError::Schema(schema.to_owned()));
         }
         let field = |k: &'static str| doc.get(k).ok_or(ManifestError::Field(k));
@@ -293,6 +329,17 @@ impl RunManifest {
                 .map(parse_sample)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // `attribution` is optional (absent in v1/v2 documents; a v3
+        // document without it is treated as an empty array).
+        let attribution = match doc.get("attribution") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| ManifestError::field("attribution"))?
+                .iter()
+                .map(AttributionRun::parse)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(RunManifest {
             bin,
             args,
@@ -303,6 +350,7 @@ impl RunManifest {
             gauges,
             histograms,
             samples,
+            attribution,
         })
     }
 
@@ -405,7 +453,7 @@ impl std::fmt::Display for ManifestError {
             ManifestError::Schema(s) => {
                 write!(
                     f,
-                    "unknown manifest schema `{s}` (want `{SCHEMA_V1}` or `{SCHEMA_V2}`)"
+                    "unknown manifest schema `{s}` (want `{SCHEMA_V1}`, `{SCHEMA_V2}` or `{SCHEMA_V3}`)"
                 )
             }
             ManifestError::Field(name) => write!(f, "missing or mistyped manifest field `{name}`"),
@@ -455,6 +503,7 @@ mod tests {
             gauges,
             histograms,
             samples: Vec::new(),
+            attribution: Vec::new(),
         }
     }
 
@@ -498,6 +547,55 @@ mod tests {
         assert_eq!(back.samples.len(), 2);
         // Canonical: re-serialisation is byte-identical.
         assert_eq!(back.to_json(), text);
+    }
+
+    fn sample_v3() -> RunManifest {
+        use crate::attribution::{AttributionPc, AttributionRun, AttributionTotals};
+        let mut causes = BTreeMap::new();
+        causes.insert("stride-break".to_owned(), 4u64);
+        sample_v2().with_attribution(vec![AttributionRun {
+            workload: "compress".to_owned(),
+            config: "stride[512x2]/profile".to_owned(),
+            threshold: Some(0.9),
+            totals: AttributionTotals {
+                pcs: 1,
+                accesses: 10,
+                hits: 9,
+                raw_correct: 6,
+                speculated: 8,
+                speculated_correct: 6,
+                causes: causes.clone(),
+            },
+            pcs: vec![AttributionPc {
+                pc: 17,
+                directive: "stride".to_owned(),
+                accesses: 10,
+                hits: 9,
+                raw_correct: 6,
+                speculated: 8,
+                speculated_correct: 6,
+                causes,
+                profiled_accuracy: Some(0.95),
+                drift: Some(0.35),
+            }],
+        }])
+    }
+
+    #[test]
+    fn v3_round_trips_with_attribution() {
+        let m = sample_v3();
+        assert_eq!(m.schema(), SCHEMA_V3);
+        let text = m.to_json();
+        assert!(text.contains(r#""schema":"provp-run-manifest/v3""#));
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.attribution.len(), 1);
+        // Canonical: re-serialisation is byte-identical.
+        assert_eq!(back.to_json(), text);
+        // Attribution without samples is still v3.
+        let mut no_samples = m;
+        no_samples.samples.clear();
+        assert_eq!(no_samples.schema(), SCHEMA_V3);
     }
 
     #[test]

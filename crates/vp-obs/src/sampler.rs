@@ -129,13 +129,20 @@ fn run(
     loop {
         if samples.len() < Sampler::MAX_SAMPLES {
             samples.push(take_sample(registry, hook));
-        } else if !warned {
-            warned = true;
-            crate::obs_warn!(
-                "sampler reached {} samples; later samples are discarded \
-                 (raise --sample-ms to cover longer runs)",
-                Sampler::MAX_SAMPLES
-            );
+        } else {
+            // Count every discard so the loss is visible in the manifest
+            // and the --metrics-table footer, not only in the log.
+            registry
+                .counter_cell("sampler.discarded_samples")
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if !warned {
+                warned = true;
+                crate::obs_warn!(
+                    "sampler reached {} samples; later samples are discarded \
+                     (raise --sample-ms to cover longer runs)",
+                    Sampler::MAX_SAMPLES
+                );
+            }
         }
         let stop = shared.stop.lock().expect("sampler stop flag poisoned");
         if *stop {

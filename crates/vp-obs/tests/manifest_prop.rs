@@ -1,7 +1,7 @@
 //! Property tests for the run-manifest schema: arbitrary manifests must
 //! survive `to_json` → `parse` → `to_json` byte-identically (the format
 //! is canonical and the float formatting shortest-roundtrip), and the
-//! v1/v2 versioning rules must hold for any content.
+//! v1/v2/v3 versioning rules must hold for any content.
 //!
 //! Generated integers stay below 2^53: JSON numbers are f64 (in the
 //! in-tree parser and in every JavaScript consumer alike), so the
@@ -11,9 +11,10 @@
 
 use std::collections::BTreeMap;
 
+use vp_obs::attribution::{AttributionPc, AttributionRun, AttributionTotals, CAUSE_ORDER};
 use vp_obs::manifest::PhaseEntry;
 use vp_obs::sampler::Sample;
-use vp_obs::{RunManifest, SCHEMA_V1, SCHEMA_V2};
+use vp_obs::{RunManifest, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3};
 use vp_rng::{prop, Rng};
 
 const KEYS: &[&str] = &[
@@ -45,6 +46,52 @@ fn arb_sample(rng: &mut Rng) -> Sample {
     }
 }
 
+fn arb_causes(rng: &mut Rng) -> BTreeMap<String, u64> {
+    let mut causes = BTreeMap::new();
+    for c in CAUSE_ORDER {
+        if rng.below(2) == 0 {
+            causes.insert(c.to_owned(), 1 + rng.below(1_000));
+        }
+    }
+    causes
+}
+
+fn arb_attribution_pc(rng: &mut Rng) -> AttributionPc {
+    let accesses = 1 + rng.below(1 << 20);
+    let raw_correct = rng.below(accesses + 1);
+    let speculated = rng.below(accesses + 1);
+    AttributionPc {
+        pc: rng.below(1 << 20),
+        directive: ["none", "lv", "stride"][rng.below(3) as usize].to_owned(),
+        accesses,
+        hits: rng.below(accesses + 1),
+        raw_correct,
+        speculated,
+        speculated_correct: rng.below(speculated + 1),
+        causes: arb_causes(rng),
+        profiled_accuracy: (rng.below(2) == 0).then(|| rng.gen_f64()),
+        drift: (rng.below(2) == 0).then(|| rng.gen_f64() - 0.5),
+    }
+}
+
+fn arb_attribution_run(rng: &mut Rng) -> AttributionRun {
+    AttributionRun {
+        workload: format!("wl-{}", rng.below(4)),
+        config: format!("cfg-{}", rng.below(4)),
+        threshold: (rng.below(2) == 0).then(|| rng.below(100) as f64 / 100.0),
+        totals: AttributionTotals {
+            pcs: rng.below(1 << 20),
+            accesses: rng.below(1 << 40),
+            hits: rng.below(1 << 40),
+            raw_correct: rng.below(1 << 40),
+            speculated: rng.below(1 << 40),
+            speculated_correct: rng.below(1 << 40),
+            causes: arb_causes(rng),
+        },
+        pcs: (0..rng.below(4)).map(|_| arb_attribution_pc(rng)).collect(),
+    }
+}
+
 fn arb_manifest(rng: &mut Rng) -> RunManifest {
     let phases = (0..rng.below(4))
         .map(|i| {
@@ -69,6 +116,9 @@ fn arb_manifest(rng: &mut Rng) -> RunManifest {
         })
         .collect();
     let samples = (0..rng.below(4)).map(|_| arb_sample(rng)).collect();
+    let attribution = (0..rng.below(3))
+        .map(|_| arb_attribution_run(rng))
+        .collect();
     RunManifest {
         bin: format!("bin-{}", rng.below(100)),
         args: (0..rng.below(3)).map(|i| format!("--arg-{i}")).collect(),
@@ -79,6 +129,7 @@ fn arb_manifest(rng: &mut Rng) -> RunManifest {
         gauges: arb_map(rng),
         histograms,
         samples,
+        attribution,
     }
 }
 
@@ -97,22 +148,34 @@ fn serialisation_is_canonical_for_arbitrary_manifests() {
 }
 
 #[test]
-fn schema_version_is_derived_from_samples() {
+fn schema_version_is_derived_from_content() {
     prop::forall("manifest versioning", arb_manifest).check(|m| {
         let text = m.to_json();
-        if m.samples.is_empty() {
+        if !m.attribution.is_empty() {
+            assert_eq!(m.schema(), SCHEMA_V3);
+            assert!(text.contains(SCHEMA_V3));
+        } else if m.samples.is_empty() {
             assert_eq!(m.schema(), SCHEMA_V1);
             assert!(text.contains(SCHEMA_V1));
             assert!(!text.contains("\"samples\""));
+            assert!(!text.contains("\"attribution\""));
         } else {
             assert_eq!(m.schema(), SCHEMA_V2);
             assert!(text.contains(SCHEMA_V2));
+            assert!(!text.contains("\"attribution\""));
         }
 
-        // Stripping the samples always yields a v1 document that parses
-        // back as a manifest with an empty series (v1 compatibility for
-        // any content).
-        let v1 = m.clone().with_samples(Vec::new());
+        // Stripping the newer arrays always yields the older document
+        // form, which parses back with those arrays empty (backward
+        // compatibility for any content).
+        let v2 = m.clone().with_attribution(Vec::new());
+        let v2_text = v2.to_json();
+        assert!(!v2_text.contains(SCHEMA_V3));
+        let back = RunManifest::parse(&v2_text).expect("v2 form parses");
+        assert!(back.attribution.is_empty());
+        assert_eq!(back, v2);
+
+        let v1 = v2.with_samples(Vec::new());
         let v1_text = v1.to_json();
         assert!(v1_text.contains(SCHEMA_V1));
         let back = RunManifest::parse(&v1_text).expect("v1 form parses");

@@ -41,6 +41,7 @@
 //! assert!(p.stats().speculated_correct > 90);
 //! ```
 
+pub mod attribution;
 pub mod classifier;
 pub mod config;
 pub mod counter;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod table;
 pub mod table_predictor;
 
+pub use attribution::{AttributionCause, AttributionTable, AttributionTotals, PcAttribution};
 pub use classifier::ClassifierKind;
 pub use config::PredictorConfig;
 pub use counter::SatCounter;

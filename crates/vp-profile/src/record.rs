@@ -134,6 +134,22 @@ impl InstrProfile {
         ratio(self.nonzero_stride_correct, self.stride_correct)
     }
 
+    /// The accuracy the profile promises under `directive`: the stride
+    /// column for `stride`, the last-value column for `last-value`, and —
+    /// for untagged instructions, where the annotation pass declined both
+    /// schemes — the better of the two columns (the accuracy the best
+    /// single-scheme predictor *would* have achieved). Used by the
+    /// attribution layer to compute per-PC profile drift against observed
+    /// replay accuracy.
+    #[must_use]
+    pub fn profiled_accuracy(&self, directive: vp_isa::Directive) -> f64 {
+        match directive {
+            vp_isa::Directive::Stride => self.stride_accuracy(),
+            vp_isa::Directive::LastValue => self.last_value_accuracy(),
+            vp_isa::Directive::None => self.stride_accuracy().max(self.last_value_accuracy()),
+        }
+    }
+
     /// Merges another record for the same instruction (e.g. from a
     /// different training run).
     ///
@@ -194,6 +210,22 @@ mod tests {
         assert!((p.stride_accuracy() - 0.8).abs() < 1e-12);
         assert!((p.last_value_accuracy() - 0.2).abs() < 1e-12);
         assert!((p.stride_efficiency_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiled_accuracy_follows_the_directive() {
+        use vp_isa::Directive;
+        let p = InstrProfile {
+            category: VpCategory::IntAlu,
+            execs: 100,
+            stride_correct: 80,
+            nonzero_stride_correct: 60,
+            last_value_correct: 20,
+        };
+        assert!((p.profiled_accuracy(Directive::Stride) - 0.8).abs() < 1e-12);
+        assert!((p.profiled_accuracy(Directive::LastValue) - 0.2).abs() < 1e-12);
+        // Untagged: the better single-scheme column.
+        assert!((p.profiled_accuracy(Directive::None) - 0.8).abs() < 1e-12);
     }
 
     #[test]

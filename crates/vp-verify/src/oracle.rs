@@ -16,13 +16,19 @@
 //!    models against (a) the real predictor fed directly, (b) sequential
 //!    [`replay_predictor`], and (c) PC-sharded parallel
 //!    [`replay_predictor`]: identical [`PredictorStats`] and occupancy.
+//! 4. **Attribution oracle** — the attributed replay
+//!    ([`replay_predictor_attributed`]) must leave the stats untouched
+//!    (observation-only), produce a bit-identical per-PC
+//!    [`vp_predictor::AttributionTable`] at any shard/job count, and its
+//!    totals must reconcile *exactly* with the [`PredictorStats`]
+//!    (every access accounted, every raw miss charged to one cause).
 //!
 //! Any mismatch is returned as a typed [`Divergence`]; `Ok` carries the
 //! captured trace so the fuzz loop can fold it into coverage.
 
 use std::fmt;
 
-use provp_core::replay_predictor;
+use provp_core::{replay_predictor, replay_predictor_attributed};
 use vp_isa::{Directive, InstrAddr, Program, Reg, RegClass};
 use vp_predictor::{ClassifierKind, PredictorConfig, PredictorStats, TableGeometry};
 use vp_sim::record::{first_divergence, TraceDivergence, TraceRecorder};
@@ -75,6 +81,15 @@ pub enum Divergence {
         /// Human-readable field-level detail.
         detail: String,
     },
+    /// The per-PC attribution layer broke its contract: the attributed
+    /// replay perturbed the stats, the table differs across shard
+    /// counts, or its totals fail to reconcile with [`PredictorStats`].
+    Attribution {
+        /// `PredictorConfig::label()` of the diverging configuration.
+        label: String,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -113,6 +128,9 @@ impl fmt::Display for Divergence {
                 mode,
                 detail,
             } => write!(f, "predictor `{label}` ({mode}) diverges: {detail}"),
+            Divergence::Attribution { label, detail } => {
+                write!(f, "attribution for `{label}` diverges: {detail}")
+            }
         }
     }
 }
@@ -283,6 +301,36 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
                 (outcome.stats, outcome.occupancy),
                 (ref_stats, ref_occ),
             )?;
+        }
+
+        // --- 4. attribution oracle ---
+        let attr_err = |detail: String| Divergence::Attribution {
+            label: config.label(),
+            detail,
+        };
+        let (seq_out, seq_table) = replay_predictor_attributed(&trace, program, &config, 1, 1)
+            .map_err(|e| attr_err(format!("attributed replay failed: {e}")))?;
+        // Observation-only: attribution must not perturb the replay.
+        check_predictor(
+            &config,
+            "attributed-replay",
+            (seq_out.stats, seq_out.occupancy),
+            (ref_stats, ref_occ),
+        )?;
+        seq_table
+            .reconcile(&seq_out.stats)
+            .map_err(|e| attr_err(format!("totals fail to reconcile with stats: {e}")))?;
+        let (par_out, par_table) = replay_predictor_attributed(&trace, program, &config, 3, 2)
+            .map_err(|e| attr_err(format!("sharded attributed replay failed: {e}")))?;
+        if par_out.stats != seq_out.stats {
+            return Err(attr_err(
+                "sharded attributed replay changed the stats".into(),
+            ));
+        }
+        if par_table != seq_table {
+            return Err(attr_err(
+                "per-PC table differs between 1 and 3 shards".into(),
+            ));
         }
     }
 
