@@ -19,8 +19,12 @@
 //! Accepts every manifest schema version and both flag forms
 //! (`--flag=V` and `--flag V`). When both manifests carry `attribution`
 //! arrays (schema v3) the report includes a per-PC accuracy-blame
-//! section. This is a reporting tool, not experiment instrumentation:
-//! it prints its result to stdout.
+//! section; when both carry a `profile` section (schema v4) it includes
+//! a sample-share blame section ("phase X went from 12% to 31% of
+//! samples"). Comparing across schema versions downgrades gracefully: a
+//! warning notes the skew and sections present on only one side are
+//! skipped rather than reported as deltas. This is a reporting tool,
+//! not experiment instrumentation: it prints its result to stdout.
 //!
 //! Exit status: 0 on success (differences are *reported*, never an
 //! error), 2 on usage/read/parse errors.
@@ -28,7 +32,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vp_obs::{obs_error, ManifestDiff, RunManifest};
+use vp_obs::{obs_error, obs_warn, ManifestDiff, RunManifest};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -103,6 +107,12 @@ fn main() -> ExitCode {
         }
     };
     let diff = ManifestDiff::compute(&baseline, &current);
+    if let Some((base_schema, cur_schema)) = &diff.schema_skew {
+        obs_warn!(
+            "comparing across manifest schema versions ({base_schema} vs {cur_schema}); \
+             sections absent from either side are skipped, not reported as deltas"
+        );
+    }
     match args.format {
         Format::Table => print!("{}", diff.render_table(args.top)),
         Format::Markdown => print!("{}", diff.render_markdown(args.top)),

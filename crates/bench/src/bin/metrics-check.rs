@@ -7,12 +7,13 @@
 //!               [--max-regression=0.30] \
 //!               [--phase=repro-all/classification/predict] \
 //!               [--max-phase-regression=0.25] \
-//!               [--max-accuracy-drop=0.005]
+//!               [--max-accuracy-drop=0.005] \
+//!               [--max-phase-share-regression=0.15]
 //! ```
 //!
 //! Accepts every manifest schema version (v1 aggregates-only, v2 with
-//! the `samples` series, v3 with the `attribution` array) and both flag
-//! forms (`--flag=V` and `--flag V`).
+//! the `samples` series, v3 with the `attribution` array, v4 with the
+//! `profile` section) and both flag forms (`--flag=V` and `--flag V`).
 //!
 //! Besides the simulator-throughput gate, `--phase=` (repeatable) gates
 //! the wall time of individual span paths: the current manifest's
@@ -21,6 +22,18 @@
 //! *baseline* is skipped with a warning (new phases have no reference);
 //! a phase absent from the *current* manifest is a usage error (exit 2)
 //! because the gate was asked to check something the run never measured.
+//!
+//! `--max-phase-share-regression=F` gates the *profile* section (v4
+//! manifests, runs invoked with `--profile-hz=`): no profiled phase's
+//! share of wall-time samples (`total_share`) may grow by more than `F`
+//! (an absolute fraction, e.g. `0.15` = 15 percentage points) over the
+//! baseline's. A phase absent from the baseline profile counts as share
+//! 0 — brand-new hot phases are exactly what the gate exists to catch.
+//! When the gate fails it names the guilty phase and the hottest sampled
+//! stack beneath it. A baseline without a `profile` section skips the
+//! gate with a warning (refresh it to re-arm); a *current* manifest
+//! without one is a usage error (exit 2) because the gate was asked to
+//! check a run that never profiled.
 //!
 //! `--max-accuracy-drop=F` gates aggregate *prediction* accuracy: the
 //! run-wide effective accuracy (`predictor.speculated_correct /
@@ -59,12 +72,14 @@ struct Args {
     phases: Vec<String>,
     max_phase_regression: f64,
     max_accuracy_drop: Option<f64>,
+    max_phase_share_regression: Option<f64>,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let (mut manifest, mut baseline, mut max_regression) = (None, None, 0.30_f64);
     let (mut phases, mut max_phase_regression) = (Vec::new(), 0.25_f64);
     let mut max_accuracy_drop = None;
+    let mut max_phase_share_regression = None;
     for arg in provp_bench::args::normalize(args, &[])? {
         if let Some(p) = arg.strip_prefix("--manifest=") {
             manifest = Some(PathBuf::from(p));
@@ -95,10 +110,20 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                         format!("bad --max-accuracy-drop value `{v}` (want 0.0..=1.0)")
                     })?,
             );
+        } else if let Some(v) = arg.strip_prefix("--max-phase-share-regression=") {
+            max_phase_share_regression = Some(
+                v.parse()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        format!("bad --max-phase-share-regression value `{v}` (want 0.0..=1.0)")
+                    })?,
+            );
         } else {
             return Err(format!(
                 "unknown argument `{arg}` (try --manifest=, --baseline=, --max-regression=, \
-                 --phase=, --max-phase-regression=, --max-accuracy-drop=)"
+                 --phase=, --max-phase-regression=, --max-accuracy-drop=, \
+                 --max-phase-share-regression=)"
             ));
         }
     }
@@ -109,6 +134,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         phases,
         max_phase_regression,
         max_accuracy_drop,
+        max_phase_share_regression,
     })
 }
 
@@ -154,6 +180,67 @@ fn blame_accuracy(current: &RunManifest) {
             pc.speculated_incorrect(),
         );
     }
+}
+
+/// One profiled phase whose sample share grew past the allowed increase.
+#[derive(Debug, PartialEq)]
+struct ShareRegression {
+    path: String,
+    base_share: f64,
+    cur_share: f64,
+    /// The hottest sampled stack at or below the guilty phase, so the
+    /// failure message points at concrete code, not just a span path.
+    hottest_stack: Option<String>,
+}
+
+/// Compares profiled phase shares: every phase in `cur` whose
+/// `total_share` exceeds the baseline's (0 when absent — new hot phases
+/// are regressions too) by more than `max_increase` is returned, largest
+/// growth first.
+fn phase_share_regressions(
+    baseline: &vp_obs::ProfileSection,
+    current: &vp_obs::ProfileSection,
+    max_increase: f64,
+) -> Vec<ShareRegression> {
+    let mut guilty: Vec<ShareRegression> = current
+        .phases
+        .iter()
+        .filter_map(|cur| {
+            let base_share = baseline
+                .phases
+                .iter()
+                .find(|b| b.path == cur.path)
+                .map_or(0.0, |b| b.total_share);
+            (cur.total_share - base_share > max_increase).then(|| ShareRegression {
+                path: cur.path.clone(),
+                base_share,
+                cur_share: cur.total_share,
+                hottest_stack: hottest_stack_under(current, &cur.path),
+            })
+        })
+        .collect();
+    guilty.sort_by(|a, b| {
+        let (da, db) = (a.cur_share - a.base_share, b.cur_share - b.base_share);
+        db.partial_cmp(&da)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    guilty
+}
+
+/// The highest-count hot stack whose frames start with the phase path
+/// (stacks are `;`-joined, phase paths `/`-joined).
+fn hottest_stack_under(profile: &vp_obs::ProfileSection, phase_path: &str) -> Option<String> {
+    let prefix: Vec<&str> = phase_path.split('/').collect();
+    profile
+        .hot_stacks
+        .iter()
+        .filter(|h| {
+            let frames: Vec<&str> = h.stack.split(';').collect();
+            frames.len() >= prefix.len() && frames[..prefix.len()] == prefix[..]
+        })
+        .max_by(|a, b| a.count.cmp(&b.count).then_with(|| b.stack.cmp(&a.stack)))
+        .map(|h| h.stack.clone())
 }
 
 fn load(path: &std::path::Path) -> Result<RunManifest, String> {
@@ -260,6 +347,48 @@ fn main() -> ExitCode {
                 obs_error!(
                     "--max-accuracy-drop given but the current manifest records no \
                      predictor.speculated* counters (was the run a predictor experiment?)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Profile sample-share gate (opt-in via --max-phase-share-regression):
+    // catches a phase quietly eating a bigger slice of the run even when
+    // absolute wall time stays within its own gate.
+    if let Some(max_increase) = args.max_phase_share_regression {
+        match (&baseline.profile, &current.profile) {
+            (Some(base_prof), Some(cur_prof)) => {
+                println!(
+                    "metrics-check: phase-share gate over {} profiled phases \
+                     (max increase {:.0}pp)",
+                    cur_prof.phases.len(),
+                    100.0 * max_increase
+                );
+                for g in phase_share_regressions(base_prof, cur_prof, max_increase) {
+                    obs_error!(
+                        "phase `{}` grew from {:.1}% to {:.1}% of samples \
+                         (+{:.1}pp, limit {:.0}pp)",
+                        g.path,
+                        100.0 * g.base_share,
+                        100.0 * g.cur_share,
+                        100.0 * (g.cur_share - g.base_share),
+                        100.0 * max_increase
+                    );
+                    if let Some(stack) = &g.hottest_stack {
+                        println!("metrics-check: blame hottest stack `{stack}`");
+                    }
+                    failed = true;
+                }
+            }
+            (None, Some(_)) => obs_warn!(
+                "baseline manifest has no profile section; skipping the phase-share \
+                 gate (refresh BENCH_baseline.json with --profile-hz= to re-arm it)"
+            ),
+            (_, None) => {
+                obs_error!(
+                    "--max-phase-share-regression given but the current manifest has no \
+                     profile section (was the run invoked with --profile-hz=?)"
                 );
                 return ExitCode::from(2);
             }
@@ -389,6 +518,90 @@ mod tests {
         m.counters
             .insert("predictor.speculated_correct".to_owned(), 150);
         assert_eq!(effective_accuracy(&m), Some(0.75));
+    }
+
+    fn profile(phases: &[(&str, f64)], stacks: &[(&str, u64)]) -> vp_obs::ProfileSection {
+        vp_obs::ProfileSection {
+            hz: 99,
+            samples: stacks.iter().map(|(_, c)| c).sum(),
+            dropped: 0,
+            threads: 1,
+            hot_stacks: stacks
+                .iter()
+                .map(|(s, c)| vp_obs::HotStack {
+                    stack: (*s).to_owned(),
+                    count: *c,
+                    share: 0.0,
+                })
+                .collect(),
+            phases: phases
+                .iter()
+                .map(|(p, share)| vp_obs::PhaseShare {
+                    path: (*p).to_owned(),
+                    self_share: *share,
+                    total_share: *share,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn phase_share_gate_blames_the_phase_that_grew() {
+        // The doctored scenario from the issue: `run/profile` went from
+        // 12% to 31% of samples while everything else shrank.
+        let base = profile(&[("run", 1.0), ("run/profile", 0.12)], &[]);
+        let cur = profile(
+            &[("run", 1.0), ("run/profile", 0.31)],
+            &[
+                ("run;predict", 40),
+                ("run;profile;merge", 25),
+                ("run;profile", 6),
+            ],
+        );
+        let guilty = phase_share_regressions(&base, &cur, 0.15);
+        assert_eq!(guilty.len(), 1);
+        assert_eq!(guilty[0].path, "run/profile");
+        assert!((guilty[0].base_share - 0.12).abs() < 1e-12);
+        assert!((guilty[0].cur_share - 0.31).abs() < 1e-12);
+        assert_eq!(
+            guilty[0].hottest_stack.as_deref(),
+            Some("run;profile;merge"),
+            "the hottest stack *under* the guilty phase must be named"
+        );
+
+        // Within bounds -> nothing reported.
+        assert!(phase_share_regressions(&base, &cur, 0.25).is_empty());
+    }
+
+    #[test]
+    fn phase_share_gate_counts_new_phases_from_zero() {
+        let base = profile(&[("run", 1.0)], &[]);
+        let cur = profile(&[("run", 1.0), ("run/surprise", 0.2)], &[("other", 1)]);
+        let guilty = phase_share_regressions(&base, &cur, 0.1);
+        assert_eq!(guilty.len(), 1);
+        assert_eq!(guilty[0].path, "run/surprise");
+        assert_eq!(guilty[0].base_share, 0.0);
+        // No sampled stack lives under the new phase: blame stays honest.
+        assert_eq!(guilty[0].hottest_stack, None);
+    }
+
+    #[test]
+    fn parses_phase_share_flag() {
+        let a = parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-phase-share-regression=0.15".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(a.max_phase_share_regression, Some(0.15));
+        let a = parse_args(["--manifest=m".to_owned(), "--baseline=b".to_owned()]).unwrap();
+        assert_eq!(a.max_phase_share_regression, None);
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-phase-share-regression=1.5".to_owned(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -43,6 +43,15 @@
 //!                            OBSERVABILITY.md)
 //! --attribution-top=N        PCs exported per attributed run, hottest
 //!                            mispredictors first (default 20; 0 = all)
+//! --profile-hz=N             sample every thread's open-span stack N
+//!                            times per second on a background profiler
+//!                            thread and embed the folded result as the
+//!                            `profile` section of a
+//!                            `provp-run-manifest/v4` manifest
+//! --profile-out=FILE         write the collapsed-stack samples to FILE
+//!                            (`a;b;c <count>` lines) plus a rendered
+//!                            flamegraph SVG next to it (FILE with a
+//!                            `.svg` extension); requires --profile-hz=
 //! ```
 //!
 //! Every flag also accepts the space-separated form (`--jobs 4`); see
@@ -91,6 +100,13 @@ pub struct Options {
     pub attribution: bool,
     /// PCs exported per attributed run (0 = all).
     pub attribution_top: usize,
+    /// Span-stack sampling cadence in Hz, if profiling was requested
+    /// (promotes the manifest to schema v4). Observation-only: stdout
+    /// stays byte-identical either way.
+    pub profile_hz: Option<u32>,
+    /// Where to write the collapsed-stack profile (and, next to it, the
+    /// flamegraph SVG), if anywhere. Requires `profile_hz`.
+    pub profile_out: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -106,6 +122,8 @@ impl Default for Options {
             sample_ms: None,
             attribution: false,
             attribution_top: 20,
+            profile_hz: None,
+            profile_out: None,
         }
     }
 }
@@ -171,13 +189,31 @@ impl Options {
                 opts.attribution_top = n.parse().map_err(|_| {
                     format!("bad --attribution-top value `{n}` (want an integer; 0 = all)")
                 })?;
+            } else if let Some(n) = arg.strip_prefix("--profile-hz=") {
+                opts.profile_hz = Some(
+                    n.parse()
+                        .ok()
+                        .filter(|&hz| hz >= 1)
+                        .ok_or_else(|| format!("bad --profile-hz value `{n}` (want >= 1)"))?,
+                );
+            } else if let Some(path) = arg.strip_prefix("--profile-out=") {
+                if path.is_empty() {
+                    return Err("empty --profile-out path".to_owned());
+                }
+                opts.profile_out = Some(PathBuf::from(path));
             } else {
                 return Err(format!(
                     "unknown argument `{arg}` (try --workloads=, --train-runs=, \
                      --jobs=, --trace-cache=, --metrics-out=, --metrics-table, \
-                     --trace-out=, --sample-ms=, --attribution, --attribution-top=)"
+                     --trace-out=, --sample-ms=, --attribution, --attribution-top=, \
+                     --profile-hz=, --profile-out=)"
                 ));
             }
+        }
+        if opts.profile_out.is_some() && opts.profile_hz.is_none() {
+            return Err(
+                "--profile-out requires --profile-hz= (nothing would be sampled)".to_owned(),
+            );
         }
         Ok(opts)
     }
@@ -245,17 +281,25 @@ pub fn run_experiment_with(bin: &'static str, opts: &Options, body: impl FnOnce(
             move || publish_trace_store_stats(&store.stats()),
         )
     });
+    // The profiler must arm before the root span opens: span-stack
+    // mirroring only covers spans pushed after arming, so starting it
+    // here makes every sample a full `bin/...` path.
+    let profiler = opts.profile_hz.map(vp_obs::Profiler::start);
     vp_obs::events::instant("experiment.start", 0);
     {
         let _root = vp_obs::span(bin);
         body(opts, &suite);
     }
     vp_obs::events::instant("experiment.finish", 0);
+    let profile = profiler.map(vp_obs::Profiler::stop);
     let samples = sampler.map_or_else(Vec::new, vp_obs::Sampler::stop);
     // Drain + export the event stream *before* the manifest snapshot so
-    // `trace.dropped_events` lands in the manifest's counters.
+    // `trace.dropped_events` lands in the manifest's counters (the
+    // profiler's stop already published `profiler.samples` /
+    // `profiler.dropped_samples` the same way).
     emit_trace(opts);
-    emit_metrics(bin, opts, &suite, started, samples);
+    emit_profile(opts, profile.as_ref());
+    emit_metrics(bin, opts, &suite, started, samples, profile);
 }
 
 /// Drains the global event stream and writes the Chrome trace when
@@ -277,6 +321,37 @@ fn emit_trace(opts: &Options) {
     }
 }
 
+/// Hot stacks exported into the manifest's `profile` section.
+const PROFILE_TOP_K: usize = 20;
+
+/// Writes the collapsed-stack profile and its flamegraph SVG when
+/// `--profile-out=` asked for them. A no-op otherwise.
+fn emit_profile(opts: &Options, profile: Option<&vp_obs::Profile>) {
+    let Some(path) = &opts.profile_out else {
+        return;
+    };
+    let Some(profile) = profile else { return };
+    if let Err(e) = vp_obs::export::write_atomically(path, &profile.folded_text()) {
+        obs_error!("failed to write folded profile to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let svg_path = path.with_extension("svg");
+    let title = format!(
+        "{} @ {} Hz ({} samples, {} threads)",
+        path.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "profile".to_owned()),
+        profile.hz,
+        profile.samples,
+        profile.threads,
+    );
+    let svg = vp_obs::flamegraph_svg(&profile.folded, &title);
+    if let Err(e) = vp_obs::export::write_atomically(&svg_path, &svg) {
+        obs_error!("failed to write flamegraph to {}: {e}", svg_path.display());
+        std::process::exit(1);
+    }
+}
+
 /// Publishes the suite's trace-store counters into the global registry and
 /// writes/prints the manifest as requested. A no-op without metrics flags.
 fn emit_metrics(
@@ -285,6 +360,7 @@ fn emit_metrics(
     suite: &Suite,
     started: Instant,
     samples: Vec<vp_obs::Sample>,
+    profile: Option<vp_obs::Profile>,
 ) {
     let attribution = provp_core::attribution::drain();
     if opts.metrics_out.is_none() && !opts.metrics_table {
@@ -302,6 +378,13 @@ fn emit_metrics(
                 attribution.len()
             );
         }
+        if profile.is_some() && opts.profile_out.is_none() {
+            vp_obs::obs_warn!(
+                "--profile-hz sampled the run but none of --profile-out=, \
+                 --metrics-out= or --metrics-table was given; the profile is \
+                 discarded"
+            );
+        }
         return;
     }
     publish_trace_store_stats(&suite.trace_stats());
@@ -313,7 +396,8 @@ fn emit_metrics(
         &vp_obs::global().snapshot(),
     )
     .with_samples(samples)
-    .with_attribution(attribution);
+    .with_attribution(attribution)
+    .with_profile(profile.map(|p| p.to_section(PROFILE_TOP_K)));
     if opts.metrics_table {
         vp_obs::print_table(&manifest);
     }
@@ -408,6 +492,27 @@ mod tests {
         assert!(o.attribution);
         assert_eq!(o.attribution_top, 5);
         assert!(Options::parse(["--attribution-top=few".into()]).is_err());
+    }
+
+    #[test]
+    fn parses_profiler_flags() {
+        let o =
+            Options::parse(["--profile-hz=99".into(), "--profile-out=p.folded".into()]).unwrap();
+        assert_eq!(o.profile_hz, Some(99));
+        assert_eq!(o.profile_out.as_deref(), Some("p.folded".as_ref()));
+        let o = Options::parse([]).unwrap();
+        assert_eq!(o.profile_hz, None);
+        assert_eq!(o.profile_out, None);
+        // Sampling without exporting is fine: the profile still lands in
+        // the manifest when metrics flags are present.
+        let o = Options::parse(["--profile-hz=50".into()]).unwrap();
+        assert_eq!(o.profile_hz, Some(50));
+
+        assert!(Options::parse(["--profile-hz=0".into()]).is_err());
+        assert!(Options::parse(["--profile-hz=fast".into()]).is_err());
+        assert!(Options::parse(["--profile-out=".into()]).is_err());
+        // --profile-out without a rate would silently sample nothing.
+        assert!(Options::parse(["--profile-out=p.folded".into()]).is_err());
     }
 
     #[test]

@@ -1,19 +1,20 @@
 //! Guards the observability layer's central contract: requesting a run
 //! manifest must not perturb experiment output. Runs the real `repro-all`
 //! binary with and without observability flags (`--metrics-out`,
-//! `--trace-out`, `--sample-ms`, `--attribution`) and asserts stdout is
-//! byte-identical, then sanity-checks the emitted manifest, the
-//! time-series samples, the Chrome trace, the per-PC attribution layer
-//! (deterministic across `--jobs`, totals reconciling exactly with the
-//! predictor counters), and the `manifest-diff` / `attribution-report`
-//! reporting tools.
+//! `--trace-out`, `--sample-ms`, `--attribution`, `--profile-hz`,
+//! `--profile-out`) and asserts stdout is byte-identical, then
+//! sanity-checks the emitted manifest, the time-series samples, the
+//! Chrome trace, the per-PC attribution layer (deterministic across
+//! `--jobs`, totals reconciling exactly with the predictor counters),
+//! the sampling profiler's folded/flamegraph/manifest exports, and the
+//! `manifest-diff` / `attribution-report` reporting tools.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::Command;
 
 use vp_obs::json::Json;
-use vp_obs::{RunManifest, SCHEMA_V2, SCHEMA_V3};
+use vp_obs::{RunManifest, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4};
 
 const ARGS: &[&str] = &["--workloads=compress,ijpeg", "--train-runs=2", "--jobs=2"];
 
@@ -366,6 +367,105 @@ fn attribution_is_deterministic_and_reconciles() {
     assert_eq!(usage.status.code(), Some(2), "missing --manifest exits 2");
 
     std::fs::remove_file(&path_j2).unwrap();
+}
+
+/// The sampling profiler end to end: `--profile-hz`/`--profile-out` must
+/// leave experiment stdout byte-identical, promote the manifest to
+/// schema v4 with an internally consistent `profile` section, write a
+/// collapsed-stack file that round-trips through the flamegraph renderer
+/// deterministically (the re-rendered SVG is byte-identical to the one
+/// the binary wrote), and publish the `profiler.*` loss counters.
+#[test]
+fn profiler_leaves_stdout_byte_identical() {
+    let pid = std::process::id();
+    let manifest_path = std::env::temp_dir().join(format!("provp-prof-golden-{pid}.json"));
+    let folded_path = std::env::temp_dir().join(format!("provp-prof-golden-{pid}.folded"));
+    let svg_path = folded_path.with_extension("svg");
+    let _ = std::fs::remove_file(&manifest_path);
+    let _ = std::fs::remove_file(&folded_path);
+    let _ = std::fs::remove_file(&svg_path);
+
+    let plain = run_repro_all(&[]);
+    let profiled = run_repro_all(&[
+        "--profile-hz=199".to_owned(),
+        format!("--profile-out={}", folded_path.display()),
+        format!("--metrics-out={}", manifest_path.display()),
+    ]);
+
+    assert!(plain.status.success(), "plain run failed");
+    assert!(profiled.status.success(), "profiled run failed");
+    assert_eq!(
+        plain.stdout, profiled.stdout,
+        "--profile-hz/--profile-out must not change experiment stdout"
+    );
+
+    // -- v4 manifest with a consistent profile section --
+    let manifest = parse_manifest(&manifest_path);
+    std::fs::remove_file(&manifest_path).unwrap();
+    assert_eq!(manifest.schema(), SCHEMA_V4, "profile promotes to v4");
+    let profile = manifest.profile.as_ref().expect("profile section present");
+    assert_eq!(profile.hz, 199);
+    assert!(profile.samples > 0, "a multi-second run must be sampled");
+    assert!(profile.threads >= 1);
+    assert!(!profile.hot_stacks.is_empty());
+    assert!(!profile.phases.is_empty());
+    // Every sample opens under the root span, so the root phase carries
+    // (almost) the whole run; small slack for pre/post-span samples.
+    let root = profile
+        .phases
+        .iter()
+        .find(|p| p.path == "repro-all")
+        .expect("root phase profiled");
+    assert!(
+        root.total_share > 0.9,
+        "root span must dominate the samples, got {}",
+        root.total_share
+    );
+    for p in &profile.phases {
+        assert!(
+            p.self_share <= p.total_share + 1e-12,
+            "{}: self_share may not exceed total_share",
+            p.path
+        );
+    }
+    // Loss counters are published even when nothing was dropped, so the
+    // metrics-table footer (and dashboards) can rely on the keys.
+    assert!(
+        manifest.counters.contains_key("profiler.dropped_samples"),
+        "profiled runs must report profiler.dropped_samples (even when 0)"
+    );
+    assert_eq!(
+        manifest.counters.get("profiler.samples").copied(),
+        Some(profile.samples),
+        "manifest counter must agree with the profile section"
+    );
+
+    // -- folded output round-trips through the flamegraph renderer --
+    let folded_text = std::fs::read_to_string(&folded_path).expect("folded file written");
+    std::fs::remove_file(&folded_path).unwrap();
+    let folded = vp_obs::Profile::parse_folded(&folded_text).expect("folded file parses");
+    assert_eq!(
+        folded.values().sum::<u64>(),
+        profile.samples,
+        "folded counts must sum to the sampled total"
+    );
+    assert!(
+        folded.keys().all(|k| k.starts_with("repro-all")),
+        "every stack is rooted at the binary's root span"
+    );
+
+    let svg = std::fs::read_to_string(&svg_path).expect("flamegraph written");
+    std::fs::remove_file(&svg_path).unwrap();
+    let stem = folded_path.file_stem().unwrap().to_string_lossy();
+    let title = format!(
+        "{stem} @ {} Hz ({} samples, {} threads)",
+        profile.hz, profile.samples, profile.threads
+    );
+    assert_eq!(
+        svg,
+        vp_obs::flamegraph_svg(&folded, &title),
+        "re-rendering the folded file must reproduce the SVG byte for byte"
+    );
 }
 
 /// Golden test for the `manifest-diff` attribution tool: a synthesized

@@ -158,8 +158,10 @@ impl ProfileGuidedPipeline {
         // Phase 2: profile under each training input, replaying memoised
         // traces when a store is attached. The event scope brackets the
         // whole profiling phase in the Chrome trace without adding a new
-        // manifest phase row.
+        // manifest phase row; the span makes the phase attributable by
+        // the sampling profiler.
         let _profiling = vp_obs::events::scope("pipeline.profile");
+        let _profiling_span = vp_obs::span("profile");
         let mut images = Vec::with_capacity(self.config.train_runs as usize);
         for input in vp_workloads::InputSet::train_set(self.config.train_runs) {
             let program = workload.program(&input);
@@ -180,12 +182,14 @@ impl ProfileGuidedPipeline {
             }
             images.push(collector.into_image());
         }
+        drop(_profiling_span);
         drop(_profiling);
         let merged = merge::intersect_and_sum(&images);
 
         // Phase 3: insert directives.
         let annotated = {
             let _annotating = vp_obs::events::scope("pipeline.annotate");
+            let _annotating_span = vp_obs::span("annotate");
             annotate(&base, &merged.image, &self.config.policy)
         };
 

@@ -81,6 +81,7 @@ pub fn replay_predictor(
     shards: usize,
     jobs: usize,
 ) -> io::Result<ReplayOutcome> {
+    let _span = vp_obs::span("replay");
     let directives: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
     let shards = shards.max(1);
     let cols = trace.columns();
@@ -161,6 +162,7 @@ pub fn replay_predictor_attributed(
     shards: usize,
     jobs: usize,
 ) -> io::Result<(ReplayOutcome, AttributionTable)> {
+    let _span = vp_obs::span("replay");
     let directives: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
     let shards = shards.max(1);
     let cols = trace.columns();

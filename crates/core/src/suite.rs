@@ -251,6 +251,7 @@ impl Suite {
     /// The intersected-and-summed training profile the compiler consumes.
     pub fn merged_image(&self, kind: WorkloadKind) -> ProfileImage {
         let images = self.train_images(kind);
+        let _span = vp_obs::span("merge");
         merge::intersect_and_sum(&images).image
     }
 

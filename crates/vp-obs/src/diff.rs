@@ -16,21 +16,25 @@
 //! - [`ManifestDiff::to_json`] — machine-readable, for downstream
 //!   tooling.
 //!
-//! The diff accepts any mix of v1/v2/v3 manifests (samples do not
+//! The diff accepts any mix of v1/v2/v3/v4 manifests (samples do not
 //! participate in the diff; they exist to localise a regression *within*
 //! one run, whereas the diff localises it *between* runs). When both
 //! sides carry v3 `attribution` runs, the diff additionally blames
 //! accuracy movement on specific PCs and misprediction causes: replays
 //! are matched by workload × config × threshold and each matched pair
 //! contributes per-PC raw-accuracy deltas over the union of the two
-//! top-K lists.
+//! top-K lists. When both sides carry a v4 `profile` section, the diff
+//! blames sample-share movement per phase ("phase X went from 12% to
+//! 31% of samples"). Version skew between the two sides is never an
+//! error: the diff downgrades to the sections both carry and records
+//! the skew in [`ManifestDiff::schema_skew`] so callers can warn.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use crate::attribution::AttributionRun;
 use crate::json::Json;
-use crate::manifest::RunManifest;
+use crate::manifest::{ProfileSection, RunManifest};
 
 /// One phase's wall-clock movement between baseline and current.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +127,36 @@ impl AttributionDelta {
     }
 }
 
+/// One profiled phase's sample-share movement between two v4 manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShareDelta {
+    /// Slash-separated span path.
+    pub path: String,
+    /// Baseline share of samples passing through this phase (0 when the
+    /// phase is new).
+    pub base_total: f64,
+    /// Current share of samples passing through this phase.
+    pub cur_total: f64,
+    /// Baseline share of samples ending exactly at this phase.
+    pub base_self: f64,
+    /// Current share of samples ending exactly at this phase.
+    pub cur_self: f64,
+}
+
+impl PhaseShareDelta {
+    /// Total-share movement (current minus baseline), in `[-1, 1]`.
+    #[must_use]
+    pub fn delta_total(&self) -> f64 {
+        self.cur_total - self.base_total
+    }
+
+    /// Self-share movement (current minus baseline), in `[-1, 1]`.
+    #[must_use]
+    pub fn delta_self(&self) -> f64 {
+        self.cur_self - self.base_self
+    }
+}
+
 /// A full attribution of the differences between two manifests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ManifestDiff {
@@ -147,6 +181,14 @@ pub struct ManifestDiff {
     /// Per-replay accuracy blame (v3 manifests only; empty when either
     /// side carries no attribution, or nothing moved).
     pub attribution: Vec<AttributionDelta>,
+    /// Per-phase sample-share blame (v4 manifests only; empty when
+    /// either side carries no profile, or nothing moved). Sorted by
+    /// `|delta_total|` descending then path.
+    pub profile: Vec<PhaseShareDelta>,
+    /// `(baseline schema, current schema)` when the two sides serialise
+    /// under different versions — the diff covered only the sections
+    /// both carry (callers surface this as a warning, never an error).
+    pub schema_skew: Option<(String, String)>,
 }
 
 fn pct(base: f64, delta: f64) -> Option<f64> {
@@ -276,6 +318,49 @@ fn attribution_deltas(base: &[AttributionRun], cur: &[AttributionRun]) -> Vec<At
     out
 }
 
+fn profile_deltas(
+    base: Option<&ProfileSection>,
+    cur: Option<&ProfileSection>,
+) -> Vec<PhaseShareDelta> {
+    let (Some(b), Some(c)) = (base, cur) else {
+        return Vec::new(); // one side unprofiled: nothing to blame
+    };
+    let shares = |s: &ProfileSection| -> std::collections::BTreeMap<String, (f64, f64)> {
+        s.phases
+            .iter()
+            .map(|p| (p.path.clone(), (p.total_share, p.self_share)))
+            .collect()
+    };
+    let base_by_path = shares(b);
+    let cur_by_path = shares(c);
+    let paths: BTreeSet<&String> = base_by_path.keys().chain(cur_by_path.keys()).collect();
+    let mut out: Vec<PhaseShareDelta> = paths
+        .into_iter()
+        .filter_map(|path| {
+            let (base_total, base_self) = base_by_path.get(path).copied().unwrap_or((0.0, 0.0));
+            let (cur_total, cur_self) = cur_by_path.get(path).copied().unwrap_or((0.0, 0.0));
+            if (cur_total - base_total).abs() < 1e-12 && (cur_self - base_self).abs() < 1e-12 {
+                return None; // no movement, no blame
+            }
+            Some(PhaseShareDelta {
+                path: path.clone(),
+                base_total,
+                cur_total,
+                base_self,
+                cur_self,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.delta_total()
+            .abs()
+            .partial_cmp(&a.delta_total().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    out
+}
+
 impl ManifestDiff {
     /// Compares `current` against `baseline` (see the module docs).
     #[must_use]
@@ -345,6 +430,9 @@ impl ManifestDiff {
                 ),
             ],
             attribution: attribution_deltas(&baseline.attribution, &current.attribution),
+            profile: profile_deltas(baseline.profile.as_ref(), current.profile.as_ref()),
+            schema_skew: (baseline.schema() != current.schema())
+                .then(|| (baseline.schema().to_owned(), current.schema().to_owned())),
         }
     }
 
@@ -447,6 +535,30 @@ impl ManifestDiff {
                         p.cause.as_deref().unwrap_or("no misses"),
                     );
                 }
+            }
+        }
+        if !self.profile.is_empty() {
+            let _ = writeln!(out, "-- profile (sample-share blame) --");
+            let width = self
+                .profile
+                .iter()
+                .take(take(self.profile.len()))
+                .map(|p| p.path.len())
+                .max()
+                .unwrap_or(5)
+                .max(5);
+            for p in self.profile.iter().take(take(self.profile.len())) {
+                let _ = writeln!(
+                    out,
+                    "{:width$}  total {:>5.1}% -> {:>5.1}% ({:+.1}pp), self {:>5.1}% -> {:>5.1}% ({:+.1}pp)",
+                    p.path,
+                    100.0 * p.base_total,
+                    100.0 * p.cur_total,
+                    100.0 * p.delta_total(),
+                    100.0 * p.base_self,
+                    100.0 * p.cur_self,
+                    100.0 * p.delta_self(),
+                );
             }
         }
         let _ = writeln!(out, "-- derived --");
@@ -553,6 +665,27 @@ impl ManifestDiff {
                     100.0 * a.cur_effective,
                     100.0 * (a.cur_effective - a.base_effective),
                     guiltiest,
+                );
+            }
+            let _ = writeln!(out);
+        }
+        if !self.profile.is_empty() {
+            let _ = writeln!(
+                out,
+                "| profiled phase | total share | \u{394} total | self share | \u{394} self |"
+            );
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+            for p in self.profile.iter().take(take(self.profile.len())) {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {:.1}% \u{2192} {:.1}% | {:+.1}pp | {:.1}% \u{2192} {:.1}% | {:+.1}pp |",
+                    p.path,
+                    100.0 * p.base_total,
+                    100.0 * p.cur_total,
+                    100.0 * p.delta_total(),
+                    100.0 * p.base_self,
+                    100.0 * p.cur_self,
+                    100.0 * p.delta_self(),
                 );
             }
             let _ = writeln!(out);
@@ -670,6 +803,31 @@ impl ManifestDiff {
                 })
                 .collect();
             doc = doc.with("attribution", Json::Arr(runs));
+        }
+        if !self.profile.is_empty() {
+            let phases: Vec<Json> = self
+                .profile
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .with("path", p.path.as_str())
+                        .with("base_total", p.base_total)
+                        .with("cur_total", p.cur_total)
+                        .with("delta_total", p.delta_total())
+                        .with("base_self", p.base_self)
+                        .with("cur_self", p.cur_self)
+                        .with("delta_self", p.delta_self())
+                })
+                .collect();
+            doc = doc.with("profile", Json::Arr(phases));
+        }
+        if let Some((base, cur)) = &self.schema_skew {
+            doc = doc.with(
+                "schema_skew",
+                Json::obj()
+                    .with("base", base.as_str())
+                    .with("cur", cur.as_str()),
+            );
         }
         doc.to_string()
     }
@@ -878,5 +1036,109 @@ mod tests {
         assert!(diff.attribution.is_empty());
         assert!(!diff.render_table(0).contains("accuracy blame"));
         assert!(!diff.to_json().contains("\"attribution\""));
+    }
+
+    fn profiled(profile_share: f64) -> RunManifest {
+        use crate::manifest::{PhaseShare, ProfileSection};
+        let (base, _) = base_and_current();
+        base.with_profile(Some(ProfileSection {
+            hz: 99,
+            samples: 1000,
+            dropped: 0,
+            threads: 2,
+            hot_stacks: Vec::new(),
+            phases: vec![
+                PhaseShare {
+                    path: "run".to_owned(),
+                    self_share: 0.0,
+                    total_share: 1.0,
+                },
+                PhaseShare {
+                    path: "run/profile".to_owned(),
+                    self_share: profile_share,
+                    total_share: profile_share,
+                },
+                PhaseShare {
+                    path: "run/simulate".to_owned(),
+                    self_share: 1.0 - profile_share,
+                    total_share: 1.0 - profile_share,
+                },
+            ],
+        }))
+    }
+
+    #[test]
+    fn profile_blames_the_phase_that_grew() {
+        // "phase run/profile went from 12% to 31% of samples".
+        let diff = ManifestDiff::compute(&profiled(0.12), &profiled(0.31));
+        assert!(diff.schema_skew.is_none(), "both sides are v4");
+        assert_eq!(diff.profile.len(), 2, "the unmoved root is omitted");
+        let p = diff
+            .profile
+            .iter()
+            .find(|p| p.path == "run/profile")
+            .expect("the grown phase is blamed");
+        assert!((p.delta_total() - 0.19).abs() < 1e-9);
+        assert!((p.delta_self() - 0.19).abs() < 1e-9);
+
+        let table = diff.render_table(0);
+        assert!(table.contains("-- profile (sample-share blame) --"));
+        assert!(table.contains("12.0% ->  31.0% (+19.0pp)"));
+        let md = diff.render_markdown(0);
+        assert!(md.contains("| `run/profile` | 12.0% \u{2192} 31.0% | +19.0pp |"));
+        let json = Json::parse(&diff.to_json()).unwrap();
+        let rows = json.get("profile").and_then(Json::as_arr).unwrap();
+        assert!(rows
+            .iter()
+            .any(|r| r.get("path").and_then(Json::as_str) == Some("run/profile")));
+    }
+
+    #[test]
+    fn identical_profiles_diff_to_nothing() {
+        let diff = ManifestDiff::compute(&profiled(0.5), &profiled(0.5));
+        assert!(diff.profile.is_empty());
+        assert!(!diff.render_table(0).contains("sample-share blame"));
+        assert!(!diff.to_json().contains("\"profile\""));
+    }
+
+    #[test]
+    fn version_skew_downgrades_to_common_sections() {
+        // A v2 baseline (samples, no profile) against a v4 current: the
+        // diff must succeed, cover the shared sections, skip the profile
+        // blame, and record the skew for the caller's warning.
+        let (base, _) = base_and_current();
+        let v2_base = base.with_samples(vec![crate::sampler::Sample {
+            t_ms: 1.0,
+            counters: std::collections::BTreeMap::new(),
+            gauges: std::collections::BTreeMap::new(),
+        }]);
+        assert_eq!(v2_base.schema(), crate::manifest::SCHEMA_V2);
+        let v4_cur = profiled(0.5);
+        assert_eq!(v4_cur.schema(), crate::manifest::SCHEMA_V4);
+
+        let diff = ManifestDiff::compute(&v2_base, &v4_cur);
+        assert_eq!(
+            diff.schema_skew,
+            Some((
+                crate::manifest::SCHEMA_V2.to_owned(),
+                crate::manifest::SCHEMA_V4.to_owned()
+            ))
+        );
+        assert!(
+            diff.profile.is_empty(),
+            "an unprofiled side yields no share blame"
+        );
+        // Shared sections still diff (identical content → no movement).
+        assert!(diff.phases.iter().all(|p| p.delta_ms == 0.0));
+        let json = Json::parse(&diff.to_json()).unwrap();
+        let skew = json.get("schema_skew").expect("skew is serialised");
+        assert_eq!(
+            skew.get("base").and_then(Json::as_str),
+            Some(crate::manifest::SCHEMA_V2)
+        );
+        assert_eq!(
+            skew.get("cur").and_then(Json::as_str),
+            Some(crate::manifest::SCHEMA_V4)
+        );
     }
 }

@@ -83,7 +83,8 @@ pub fn render_table(manifest: &RunManifest) -> String {
     // was on and nothing was lost" is distinguishable from "not traced").
     let dropped = manifest.counters.get("trace.dropped_events");
     let discarded = manifest.counters.get("sampler.discarded_samples");
-    if dropped.is_some() || discarded.is_some() {
+    let prof_dropped = manifest.counters.get("profiler.dropped_samples");
+    if dropped.is_some() || discarded.is_some() || prof_dropped.is_some() {
         let _ = writeln!(out, "-- data loss --");
         if let Some(n) = dropped {
             let _ = writeln!(
@@ -102,6 +103,17 @@ pub fn render_table(manifest: &RunManifest) -> String {
                 "samples discarded     {n}{}",
                 if *n > 0 {
                     " (sampler at capacity; raise --sample-ms)"
+                } else {
+                    ""
+                }
+            );
+        }
+        if let Some(n) = prof_dropped {
+            let _ = writeln!(
+                out,
+                "profile samples lost  {n}{}",
+                if *n > 0 {
+                    " (profiler ring overflowed; oldest samples were lost)"
                 } else {
                     ""
                 }
@@ -192,6 +204,20 @@ mod tests {
         assert!(table.contains("trace events dropped  12 (ring overflowed"));
         // A recorded zero is shown plainly, without the loss hint.
         assert!(table.contains("samples discarded     0\n"));
+        // No profiler counter recorded: that loss channel is absent.
+        assert!(!table.contains("profile samples lost"));
+    }
+
+    #[test]
+    fn table_footer_surfaces_profiler_loss() {
+        let mut m = manifest();
+        m.counters.insert("profiler.dropped_samples".to_owned(), 7);
+        let table = render_table(&m);
+        assert!(table.contains("-- data loss --"));
+        assert!(table.contains("profile samples lost  7 (profiler ring overflowed"));
+        let mut m = manifest();
+        m.counters.insert("profiler.dropped_samples".to_owned(), 0);
+        assert!(render_table(&m).contains("profile samples lost  0\n"));
     }
 
     #[test]

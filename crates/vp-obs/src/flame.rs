@@ -1,0 +1,282 @@
+//! Zero-dependency flamegraph SVG renderer for collapsed stacks.
+//!
+//! Consumes the folded form the profiler produces (`a;b;c <count>`,
+//! see [`crate::profiler::Profile`]) and emits a self-contained SVG —
+//! no JavaScript, no external fonts, no network fetches — where each
+//! frame's width is proportional to its sample share. Layout is an
+//! *icicle* (root on top, callees growing downward) and fully
+//! deterministic: siblings are ordered lexicographically and colors are
+//! derived from an FNV hash of the frame name, so the same folded input
+//! renders byte-identical SVG on every run and every machine — the
+//! property the determinism test and CI artifact diffing rely on.
+//!
+//! Hover text is carried by `<title>` elements (native browser
+//! tooltips), so the rendered file stays inert data.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Rendered image width in CSS pixels.
+const WIDTH: f64 = 1200.0;
+/// Height of one stack frame in CSS pixels.
+const FRAME_HEIGHT: f64 = 18.0;
+/// Vertical space above the first frame row (the title band).
+const HEADER: f64 = 28.0;
+/// Frames narrower than this are still drawn (shares stay truthful)
+/// but get no text label.
+const MIN_LABEL_WIDTH: f64 = 35.0;
+/// Approximate glyph width of the embedded monospace font, used to
+/// truncate labels to their frame.
+const GLYPH_WIDTH: f64 = 7.2;
+
+/// One node of the stack trie.
+#[derive(Default)]
+struct Node {
+    total: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+fn build_trie(folded: &BTreeMap<String, u64>) -> Node {
+    let mut root = Node::default();
+    for (stack, &count) in folded {
+        root.total += count;
+        let mut node = &mut root;
+        for frame in stack.split(';') {
+            node = node.children.entry(frame.to_owned()).or_default();
+            node.total += count;
+        }
+    }
+    root
+}
+
+/// FNV-1a over the frame name; the basis of the deterministic palette.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Warm flame palette (red-orange-yellow band), keyed by name only —
+/// the same span name gets the same color in every graph.
+fn color(name: &str) -> String {
+    let h = fnv1a(name);
+    let r = 205 + (h % 50) as u8;
+    let g = 80 + ((h >> 8) % 130) as u8;
+    let b = ((h >> 16) % 55) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Escapes text for XML attribute and element content.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-float-ish coordinate formatting: two decimals, trailing
+/// zeros trimmed, so output bytes are stable across platforms.
+fn px(v: f64) -> String {
+    let s = format!("{v:.2}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+fn render_node(
+    out: &mut String,
+    name: &str,
+    path: &str,
+    node: &Node,
+    grand_total: u64,
+    x: f64,
+    depth: usize,
+) {
+    let width = WIDTH * node.total as f64 / grand_total as f64;
+    let y = HEADER + depth as f64 * FRAME_HEIGHT;
+    let share = 100.0 * node.total as f64 / grand_total as f64;
+    let _ = writeln!(
+        out,
+        "<g><title>{} — {} samples ({:.2}%)</title>",
+        escape(path),
+        node.total,
+        share
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" rx="1" stroke="white" stroke-width="0.5"/>"#,
+        px(x),
+        px(y),
+        px(width),
+        px(FRAME_HEIGHT - 1.0),
+        color(name),
+    );
+    if width >= MIN_LABEL_WIDTH {
+        let max_chars = ((width - 6.0) / GLYPH_WIDTH) as usize;
+        let label: String = if name.chars().count() > max_chars {
+            name.chars()
+                .take(max_chars.saturating_sub(2))
+                .collect::<String>()
+                + ".."
+        } else {
+            name.to_owned()
+        };
+        let _ = writeln!(
+            out,
+            r##"<text x="{}" y="{}" font-size="11" font-family="monospace" fill="#1a1a1a">{}</text>"##,
+            px(x + 3.0),
+            px(y + FRAME_HEIGHT - 6.0),
+            escape(&label),
+        );
+    }
+    out.push_str("</g>\n");
+    let mut child_x = x;
+    for (child_name, child) in &node.children {
+        let child_path = format!("{path};{child_name}");
+        render_node(
+            out,
+            child_name,
+            &child_path,
+            child,
+            grand_total,
+            child_x,
+            depth + 1,
+        );
+        child_x += WIDTH * child.total as f64 / grand_total as f64;
+    }
+}
+
+/// Renders collapsed stacks as a deterministic, self-contained
+/// flamegraph SVG (icicle layout; frame width ∝ sample share). The
+/// same `folded` map and `title` produce byte-identical output.
+#[must_use]
+pub fn flamegraph_svg(folded: &BTreeMap<String, u64>, title: &str) -> String {
+    let root = build_trie(folded);
+    let depth = if root.children.is_empty() {
+        1
+    } else {
+        root.depth() - 1 // the synthetic root row is not drawn
+    };
+    let height = HEADER + depth as f64 * FRAME_HEIGHT + 10.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        px(WIDTH),
+        px(height),
+        px(WIDTH),
+        px(height),
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{}" height="{}" fill="#f8f8f8"/>"##,
+        px(WIDTH),
+        px(height),
+    );
+    let _ = writeln!(
+        out,
+        r##"<text x="6" y="18" font-size="13" font-family="monospace" fill="#1a1a1a">{} — {} samples</text>"##,
+        escape(title),
+        root.total,
+    );
+    if root.total == 0 {
+        let _ = writeln!(
+            out,
+            r##"<text x="6" y="{}" font-size="11" font-family="monospace" fill="#777777">(no samples)</text>"##,
+            px(HEADER + 12.0),
+        );
+    } else {
+        let mut x = 0.0;
+        for (name, child) in &root.children {
+            render_node(&mut out, name, name, child, root.total, x, 0);
+            x += WIDTH * child.total as f64 / root.total as f64;
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn folded() -> BTreeMap<String, u64> {
+        let mut f = BTreeMap::new();
+        f.insert("run;profile".to_owned(), 60u64);
+        f.insert("run;predict;replay".to_owned(), 30u64);
+        f.insert("run".to_owned(), 10u64);
+        f
+    }
+
+    #[test]
+    fn renders_every_frame_with_proportional_width() {
+        let svg = flamegraph_svg(&folded(), "test");
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // `run` spans the full canvas (total share 1.0)...
+        assert!(svg.contains(r#"width="1200""#), "{svg}");
+        // ...`profile` takes 60%, `predict`/`replay` 30%.
+        assert!(svg.contains(r#"width="720""#));
+        assert!(svg.contains(r#"width="360""#));
+        assert!(svg.contains("run;profile — 60 samples (60.00%)"));
+        assert!(svg.contains("run;predict;replay — 30 samples (30.00%)"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let a = flamegraph_svg(&folded(), "test");
+        let b = flamegraph_svg(&folded(), "test");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn escapes_xml_metacharacters() {
+        let mut f = BTreeMap::new();
+        f.insert("a<b>&\"c\"".to_owned(), 5u64);
+        let svg = flamegraph_svg(&f, "ti<tle>&");
+        assert!(svg.contains("ti&lt;tle&gt;&amp;"));
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(!svg.contains("<b>"), "raw metacharacters must not leak");
+    }
+
+    #[test]
+    fn empty_input_renders_placeholder() {
+        let svg = flamegraph_svg(&BTreeMap::new(), "empty");
+        assert!(svg.contains("(no samples)"));
+        assert!(svg.contains("0 samples"));
+    }
+
+    #[test]
+    fn colors_are_stable_per_name() {
+        assert_eq!(color("predict"), color("predict"));
+        assert_ne!(color("predict"), color("profile"));
+    }
+
+    #[test]
+    fn px_trims_trailing_zeros() {
+        assert_eq!(px(1200.0), "1200");
+        assert_eq!(px(719.999), "720");
+        assert_eq!(px(0.5), "0.5");
+        assert_eq!(px(0.0), "0");
+    }
+}

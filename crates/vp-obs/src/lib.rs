@@ -35,6 +35,12 @@
 //!   counter/gauge registry mid-run, embedded as the `samples` series of
 //!   a `provp-run-manifest/v2` document (v1 documents stay valid and
 //!   byte-identical on round-trip).
+//! - **Profiling** ([`profiler`], [`flame`]) — a background thread
+//!   sampling every worker's open-span stack at `--profile-hz`, folded
+//!   on shutdown into collapsed stacks (`a;b;c <count>`), a
+//!   zero-dependency flamegraph SVG and the `profile` section of a
+//!   `provp-run-manifest/v4` document that `manifest-diff` can blame
+//!   and `metrics-check` can gate.
 //! - **Diffing** ([`diff`]) — attribution of wall-clock and counter
 //!   deltas between two manifests, powering the `manifest-diff` binary
 //!   and CI regression blame tables.
@@ -67,10 +73,12 @@ pub mod chrome;
 pub mod diff;
 pub mod events;
 pub mod export;
+pub mod flame;
 pub mod json;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
+pub mod profiler;
 pub mod registry;
 pub mod rss;
 pub mod sampler;
@@ -80,9 +88,13 @@ pub use attribution::{AttributionPc, AttributionRun, AttributionTotals};
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use diff::ManifestDiff;
 pub use export::{print_table, render_table, write_manifest};
+pub use flame::flamegraph_svg;
 pub use log::Level;
-pub use manifest::{RunManifest, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3};
+pub use manifest::{
+    HotStack, PhaseShare, ProfileSection, RunManifest, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
+};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use profiler::{Profile, Profiler};
 pub use registry::{global, Registry, Snapshot, SpanStat};
 pub use sampler::{Sample, Sampler};
 pub use span::{span, SpanGuard};

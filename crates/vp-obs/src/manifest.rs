@@ -14,7 +14,7 @@
 //!
 //! ## Versioning
 //!
-//! Three schema versions exist and the parser accepts all of them:
+//! Four schema versions exist and the parser accepts all of them:
 //!
 //! - **v1** (PR 2) — end-of-run aggregates only.
 //! - **v2** — adds the `samples` array: a mid-run time series of the
@@ -22,14 +22,18 @@
 //! - **v3** — adds the `attribution` array: per-PC misprediction
 //!   attribution and profile drift per predictor replay (see
 //!   [`crate::attribution`]).
+//! - **v4** — adds the `profile` object: folded span-stack samples from
+//!   the sampling profiler (see [`crate::profiler`]) — top-K hot stacks
+//!   and per-phase self/total sample shares.
 //!
-//! The version is *derived from content*: a manifest with attribution
-//! runs serialises as v3, one with samples (but no attribution) as v2,
-//! and one with neither as v1 — so documents produced before either
-//! layer existed re-serialise byte-identically, older documents parse
-//! as manifests with the newer arrays empty, and version-aware tooling
-//! (`manifest-diff`, `metrics-check`, `attribution-report`)
-//! transparently reads any of the three.
+//! The version is *derived from content*: a manifest with a profile
+//! section serialises as v4, one with attribution runs (but no profile)
+//! as v3, one with samples as v2, and one with none of them as v1 — so
+//! documents produced before any layer existed re-serialise
+//! byte-identically, older documents parse as manifests with the newer
+//! sections empty, and version-aware tooling (`manifest-diff`,
+//! `metrics-check`, `attribution-report`) transparently reads any of
+//! the four.
 
 use std::collections::BTreeMap;
 
@@ -49,6 +53,9 @@ pub const SCHEMA_V2: &str = "provp-run-manifest/v2";
 /// The v3 schema identifier (v2 plus the `attribution` array).
 pub const SCHEMA_V3: &str = "provp-run-manifest/v3";
 
+/// The v4 schema identifier (v3 plus the `profile` section).
+pub const SCHEMA_V4: &str = "provp-run-manifest/v4";
+
 /// The oldest schema identifier (kept for downstream code spelled
 /// against PR 2's single-version constant).
 pub const SCHEMA: &str = SCHEMA_V1;
@@ -66,6 +73,110 @@ pub struct PhaseEntry {
     pub min_ms: f64,
     /// Longest instance, milliseconds.
     pub max_ms: f64,
+}
+
+/// One hot collapsed stack in the manifest's `profile` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotStack {
+    /// Collapsed stack (`a;b;c`), one span name per frame.
+    pub stack: String,
+    /// Samples whose stack was exactly this.
+    pub count: u64,
+    /// `count` over all retained samples, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// One span path's sample shares in the `profile` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShare {
+    /// Slash-separated span path (same namespace as [`PhaseEntry`]).
+    pub path: String,
+    /// Share of samples whose stack ends exactly at this path.
+    pub self_share: f64,
+    /// Share of samples whose stack passes through this path (a
+    /// prefix's total share is >= the sum of its children's).
+    pub total_share: f64,
+}
+
+/// The folded sampling-profiler results embedded in a v4 manifest.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileSection {
+    /// Sampling cadence, Hz.
+    pub hz: u64,
+    /// Samples retained across all threads.
+    pub samples: u64,
+    /// Samples lost to ring overflow (drop-oldest).
+    pub dropped: u64,
+    /// Threads that contributed at least one sample.
+    pub threads: u64,
+    /// Hottest collapsed stacks, descending by count (top-K truncated).
+    pub hot_stacks: Vec<HotStack>,
+    /// Per-phase self/total sample shares, sorted by path.
+    pub phases: Vec<PhaseShare>,
+}
+
+impl ProfileSection {
+    /// Serialises the section (the `profile` value of a v4 document).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let hot_stacks: Vec<Json> = self
+            .hot_stacks
+            .iter()
+            .map(|h| {
+                Json::obj()
+                    .with("stack", h.stack.as_str())
+                    .with("count", h.count)
+                    .with("share", h.share)
+            })
+            .collect();
+        let phases: Vec<Json> = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("path", p.path.as_str())
+                    .with("self_share", p.self_share)
+                    .with("total_share", p.total_share)
+            })
+            .collect();
+        Json::obj()
+            .with("hz", self.hz)
+            .with("samples", self.samples)
+            .with("dropped", self.dropped)
+            .with("threads", self.threads)
+            .with("hot_stacks", Json::Arr(hot_stacks))
+            .with("phases", Json::Arr(phases))
+    }
+
+    /// Parses a `profile` value back into the section.
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing or mistyped fields, naming the field.
+    pub fn parse(v: &Json) -> Result<ProfileSection, ManifestError> {
+        let field = |k: &'static str| v.get(k).ok_or(ManifestError::Field(k));
+        let num = |k: &'static str| field(k)?.as_u64().ok_or_else(|| ManifestError::field(k));
+        let hot_stacks = field("hot_stacks")?
+            .as_arr()
+            .ok_or_else(|| ManifestError::field("hot_stacks"))?
+            .iter()
+            .map(parse_hot_stack)
+            .collect::<Result<Vec<_>, _>>()?;
+        let phases = field("phases")?
+            .as_arr()
+            .ok_or_else(|| ManifestError::field("profile phases"))?
+            .iter()
+            .map(parse_phase_share)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ProfileSection {
+            hz: num("hz")?,
+            samples: num("samples")?,
+            dropped: num("dropped")?,
+            threads: num("threads")?,
+            hot_stacks,
+            phases,
+        })
+    }
 }
 
 /// Everything one bench-binary run observed.
@@ -94,6 +205,9 @@ pub struct RunManifest {
     /// v1/v2 documents; a manifest with attribution serialises under
     /// the v3 schema).
     pub attribution: Vec<AttributionRun>,
+    /// Folded sampling-profiler results (absent below v4; a manifest
+    /// carrying one serialises under the v4 schema).
+    pub profile: Option<ProfileSection>,
 }
 
 const NS_PER_MS: f64 = 1_000_000.0;
@@ -132,6 +246,7 @@ impl RunManifest {
                 .collect(),
             samples: Vec::new(),
             attribution: Vec::new(),
+            profile: None,
         }
     }
 
@@ -151,12 +266,22 @@ impl RunManifest {
         self
     }
 
-    /// The schema version this manifest serialises under: v3 when it
-    /// carries attribution, v2 when it carries only samples, v1
-    /// otherwise (see the module docs).
+    /// Attaches (or removes) the profiler section (promoting the
+    /// manifest to the v4 schema when present).
+    #[must_use]
+    pub fn with_profile(mut self, profile: Option<ProfileSection>) -> RunManifest {
+        self.profile = profile;
+        self
+    }
+
+    /// The schema version this manifest serialises under: v4 when it
+    /// carries a profile section, v3 when it carries attribution, v2
+    /// when it carries only samples, v1 otherwise (see the module docs).
     #[must_use]
     pub fn schema(&self) -> &'static str {
-        if !self.attribution.is_empty() {
+        if self.profile.is_some() {
+            SCHEMA_V4
+        } else if !self.attribution.is_empty() {
             SCHEMA_V3
         } else if !self.samples.is_empty() {
             SCHEMA_V2
@@ -261,6 +386,9 @@ impl RunManifest {
                 ),
             );
         }
+        if let Some(profile) = &self.profile {
+            doc = doc.with("profile", profile.to_json());
+        }
         doc.with("derived", derived).to_string()
     }
 
@@ -278,7 +406,8 @@ impl RunManifest {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or_else(|| ManifestError::field("schema"))?;
-        if schema != SCHEMA_V1 && schema != SCHEMA_V2 && schema != SCHEMA_V3 {
+        if schema != SCHEMA_V1 && schema != SCHEMA_V2 && schema != SCHEMA_V3 && schema != SCHEMA_V4
+        {
             return Err(ManifestError::Schema(schema.to_owned()));
         }
         let field = |k: &'static str| doc.get(k).ok_or(ManifestError::Field(k));
@@ -340,6 +469,12 @@ impl RunManifest {
                 .map(AttributionRun::parse)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // `profile` is optional (absent below v4; a v4 document without
+        // it is treated as profiled-nothing).
+        let profile = match doc.get("profile") {
+            None => None,
+            Some(v) => Some(ProfileSection::parse(v)?),
+        };
         Ok(RunManifest {
             bin,
             args,
@@ -351,6 +486,7 @@ impl RunManifest {
             histograms,
             samples,
             attribution,
+            profile,
         })
     }
 
@@ -387,6 +523,38 @@ fn parse_phase(v: &Json) -> Result<PhaseEntry, ManifestError> {
         max_ms: field("max_ms")?
             .as_f64()
             .ok_or_else(|| ManifestError::field("max_ms"))?,
+    })
+}
+
+fn parse_hot_stack(v: &Json) -> Result<HotStack, ManifestError> {
+    let field = |k: &'static str| v.get(k).ok_or(ManifestError::Field(k));
+    Ok(HotStack {
+        stack: field("stack")?
+            .as_str()
+            .ok_or_else(|| ManifestError::field("stack"))?
+            .to_owned(),
+        count: field("count")?
+            .as_u64()
+            .ok_or_else(|| ManifestError::field("hot-stack count"))?,
+        share: field("share")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("share"))?,
+    })
+}
+
+fn parse_phase_share(v: &Json) -> Result<PhaseShare, ManifestError> {
+    let field = |k: &'static str| v.get(k).ok_or(ManifestError::Field(k));
+    Ok(PhaseShare {
+        path: field("path")?
+            .as_str()
+            .ok_or_else(|| ManifestError::field("phase-share path"))?
+            .to_owned(),
+        self_share: field("self_share")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("self_share"))?,
+        total_share: field("total_share")?
+            .as_f64()
+            .ok_or_else(|| ManifestError::field("total_share"))?,
     })
 }
 
@@ -453,7 +621,7 @@ impl std::fmt::Display for ManifestError {
             ManifestError::Schema(s) => {
                 write!(
                     f,
-                    "unknown manifest schema `{s}` (want `{SCHEMA_V1}`, `{SCHEMA_V2}` or `{SCHEMA_V3}`)"
+                    "unknown manifest schema `{s}` (want `{SCHEMA_V1}`, `{SCHEMA_V2}`, `{SCHEMA_V3}` or `{SCHEMA_V4}`)"
                 )
             }
             ManifestError::Field(name) => write!(f, "missing or mistyped manifest field `{name}`"),
@@ -504,6 +672,7 @@ mod tests {
             histograms,
             samples: Vec::new(),
             attribution: Vec::new(),
+            profile: None,
         }
     }
 
@@ -596,6 +765,69 @@ mod tests {
         let mut no_samples = m;
         no_samples.samples.clear();
         assert_eq!(no_samples.schema(), SCHEMA_V3);
+    }
+
+    fn sample_v4() -> RunManifest {
+        sample_v3().with_profile(Some(ProfileSection {
+            hz: 99,
+            samples: 100,
+            dropped: 3,
+            threads: 2,
+            hot_stacks: vec![HotStack {
+                stack: "repro-all;predict".to_owned(),
+                count: 60,
+                share: 0.6,
+            }],
+            phases: vec![
+                PhaseShare {
+                    path: "repro-all".to_owned(),
+                    self_share: 0.4,
+                    total_share: 1.0,
+                },
+                PhaseShare {
+                    path: "repro-all/predict".to_owned(),
+                    self_share: 0.6,
+                    total_share: 0.6,
+                },
+            ],
+        }))
+    }
+
+    #[test]
+    fn v4_round_trips_with_profile() {
+        let m = sample_v4();
+        assert_eq!(m.schema(), SCHEMA_V4);
+        let text = m.to_json();
+        assert!(text.contains(r#""schema":"provp-run-manifest/v4""#));
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        // Canonical: re-serialisation is byte-identical.
+        assert_eq!(back.to_json(), text);
+        // A profile without attribution or samples is still v4.
+        let mut lone = m;
+        lone.samples.clear();
+        lone.attribution.clear();
+        assert_eq!(lone.schema(), SCHEMA_V4);
+        let back = RunManifest::parse(&lone.to_json()).unwrap();
+        assert_eq!(back, lone);
+        // Dropping the profile demotes back to v3/v2/v1 rules.
+        assert_eq!(sample_v4().with_profile(None).schema(), SCHEMA_V3);
+    }
+
+    #[test]
+    fn profile_section_rejects_mistyped_fields() {
+        let good = sample_v4();
+        let text = good.to_json();
+        let broken = text.replace(r#""hz":99"#, r#""hz":"fast""#);
+        assert!(matches!(
+            RunManifest::parse(&broken).unwrap_err(),
+            ManifestError::Field("hz")
+        ));
+        let broken = text.replace(r#""hot_stacks""#, r#""hot_snacks""#);
+        assert!(matches!(
+            RunManifest::parse(&broken).unwrap_err(),
+            ManifestError::Field("hot_stacks")
+        ));
     }
 
     #[test]

@@ -1,19 +1,41 @@
-//! Peak resident-set-size introspection.
+//! Resident-set-size introspection (end-of-run peak and live value).
 
 /// Peak resident set size of this process in bytes, read from
 /// `/proc/self/status` (`VmHWM`). Returns 0 on platforms without procfs
 /// — callers treat 0 as "unavailable".
 #[must_use]
 pub fn peak_rss_bytes() -> u64 {
-    read_status_vmhwm(&std::fs::read_to_string("/proc/self/status").unwrap_or_default())
+    read_status_field(
+        &std::fs::read_to_string("/proc/self/status").unwrap_or_default(),
+        "VmHWM:",
+    )
+}
+
+/// Current resident set size of this process in bytes (`VmRSS`).
+/// Sampled on every profiler tick into the `rss.sampled_peak_bytes`
+/// max-gauge, so transient allocation peaks freed before process exit
+/// are still observable. Returns 0 without procfs.
+#[must_use]
+pub fn current_rss_bytes() -> u64 {
+    read_status_field(
+        &std::fs::read_to_string("/proc/self/status").unwrap_or_default(),
+        "VmRSS:",
+    )
 }
 
 /// Parses the `VmHWM` line of a `/proc/<pid>/status` document (kB →
 /// bytes).
 #[must_use]
 pub fn read_status_vmhwm(status: &str) -> u64 {
+    read_status_field(status, "VmHWM:")
+}
+
+/// Parses one kB-valued `/proc/<pid>/status` field (e.g. `VmHWM:`,
+/// `VmRSS:`) into bytes; 0 when absent or malformed.
+#[must_use]
+pub fn read_status_field(status: &str, field: &str) -> u64 {
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
+        if let Some(rest) = line.strip_prefix(field) {
             let kb: u64 = rest
                 .trim()
                 .trim_end_matches("kB")
@@ -36,6 +58,22 @@ mod tests {
         assert_eq!(read_status_vmhwm(status), 1234 * 1024);
         assert_eq!(read_status_vmhwm(""), 0);
         assert_eq!(read_status_vmhwm("VmHWM:\tgarbage kB\n"), 0);
+    }
+
+    #[test]
+    fn parses_vmrss_lines() {
+        let status = "VmHWM:\t  1234 kB\nVmRSS:\t 1000 kB\n";
+        assert_eq!(read_status_field(status, "VmRSS:"), 1000 * 1024);
+        assert_eq!(read_status_field(status, "VmSwap:"), 0);
+    }
+
+    #[test]
+    fn live_current_rss_is_sane_on_linux() {
+        let rss = current_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "a running process has a nonzero current RSS");
+            assert!(rss <= peak_rss_bytes(), "current RSS cannot exceed peak");
+        }
     }
 
     #[test]

@@ -40,15 +40,54 @@ pub struct Sample {
     pub gauges: BTreeMap<String, u64>,
 }
 
-struct Shared {
+/// Stop/wake plumbing shared by every background observation thread
+/// (the [`Sampler`] here and the [`crate::profiler::Profiler`]): a
+/// mutex-guarded stop flag plus a condvar so `stop()` interrupts the
+/// inter-tick sleep immediately instead of waiting out the interval.
+pub(crate) struct StopSignal {
     stop: Mutex<bool>,
     wake: Condvar,
+}
+
+impl StopSignal {
+    pub(crate) fn new() -> Arc<StopSignal> {
+        Arc::new(StopSignal {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Requests shutdown and wakes any thread sleeping in [`wait`].
+    ///
+    /// [`wait`]: StopSignal::wait
+    pub(crate) fn signal(&self) {
+        if let Ok(mut stop) = self.stop.lock() {
+            *stop = true;
+        }
+        self.wake.notify_all();
+    }
+
+    /// Sleeps for up to `interval` (woken early by [`signal`]); returns
+    /// `true` once shutdown has been requested.
+    ///
+    /// [`signal`]: StopSignal::signal
+    pub(crate) fn wait(&self, interval: Duration) -> bool {
+        let stop = self.stop.lock().expect("stop flag poisoned");
+        if *stop {
+            return true;
+        }
+        let (stop, _) = self
+            .wake
+            .wait_timeout(stop, interval)
+            .expect("stop flag poisoned");
+        *stop
+    }
 }
 
 /// A background registry sampler; collect the series with
 /// [`Sampler::stop`].
 pub struct Sampler {
-    shared: Arc<Shared>,
+    shared: Arc<StopSignal>,
     handle: Option<JoinHandle<Vec<Sample>>>,
 }
 
@@ -74,10 +113,7 @@ impl Sampler {
         hook: impl Fn() + Send + 'static,
     ) -> Sampler {
         let interval = interval.max(Duration::from_millis(1));
-        let shared = Arc::new(Shared {
-            stop: Mutex::new(false),
-            wake: Condvar::new(),
-        });
+        let shared = StopSignal::new();
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("vp-obs-sampler".to_owned())
@@ -92,18 +128,11 @@ impl Sampler {
     /// Stops the sampler, takes one final sample and returns the series.
     #[must_use]
     pub fn stop(mut self) -> Vec<Sample> {
-        self.signal_stop();
+        self.shared.signal();
         match self.handle.take() {
             Some(handle) => handle.join().unwrap_or_default(),
             None => Vec::new(),
         }
-    }
-
-    fn signal_stop(&self) {
-        if let Ok(mut stop) = self.shared.stop.lock() {
-            *stop = true;
-        }
-        self.shared.wake.notify_all();
     }
 }
 
@@ -111,7 +140,7 @@ impl Drop for Sampler {
     fn drop(&mut self) {
         // A dropped (not `stop`ped) sampler must not leave a thread
         // spinning; the series is discarded.
-        self.signal_stop();
+        self.shared.signal();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -119,7 +148,7 @@ impl Drop for Sampler {
 }
 
 fn run(
-    shared: &Shared,
+    shared: &StopSignal,
     interval: Duration,
     registry: &Registry,
     hook: &(impl Fn() + ?Sized),
@@ -144,15 +173,7 @@ fn run(
                 );
             }
         }
-        let stop = shared.stop.lock().expect("sampler stop flag poisoned");
-        if *stop {
-            break;
-        }
-        let (stop, _) = shared
-            .wake
-            .wait_timeout(stop, interval)
-            .expect("sampler stop flag poisoned");
-        if *stop {
+        if shared.wait(interval) {
             break;
         }
     }

@@ -44,6 +44,7 @@ pub fn current_path() -> Option<String> {
 #[must_use]
 pub fn span(name: &'static str) -> SpanGuard {
     STACK.with(|s| s.borrow_mut().push(name));
+    crate::profiler::stack_push(name);
     crate::events::emit(crate::events::EventKind::Begin, name, 0);
     SpanGuard {
         name,
@@ -67,6 +68,7 @@ impl Drop for SpanGuard {
         STACK.with(|s| {
             s.borrow_mut().pop();
         });
+        crate::profiler::stack_pop();
         if !path.is_empty() {
             global().record_span(&path, ns);
         }
@@ -80,6 +82,7 @@ impl Drop for SpanGuard {
 /// worker aggregate under the parent's hierarchy.
 #[must_use]
 pub fn adopt(path: Option<String>) -> AdoptGuard {
+    crate::profiler::stack_set_base(path.as_deref());
     let previous = BASE.with(|b| b.replace(path));
     AdoptGuard { previous }
 }
@@ -93,6 +96,7 @@ pub struct AdoptGuard {
 impl Drop for AdoptGuard {
     fn drop(&mut self) {
         let previous = self.previous.take();
+        crate::profiler::stack_set_base(previous.as_deref());
         BASE.with(|b| {
             *b.borrow_mut() = previous;
         });

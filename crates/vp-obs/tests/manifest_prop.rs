@@ -1,7 +1,7 @@
 //! Property tests for the run-manifest schema: arbitrary manifests must
 //! survive `to_json` → `parse` → `to_json` byte-identically (the format
 //! is canonical and the float formatting shortest-roundtrip), and the
-//! v1/v2/v3 versioning rules must hold for any content.
+//! v1/v2/v3/v4 versioning rules must hold for any content.
 //!
 //! Generated integers stay below 2^53: JSON numbers are f64 (in the
 //! in-tree parser and in every JavaScript consumer alike), so the
@@ -12,9 +12,9 @@
 use std::collections::BTreeMap;
 
 use vp_obs::attribution::{AttributionPc, AttributionRun, AttributionTotals, CAUSE_ORDER};
-use vp_obs::manifest::PhaseEntry;
+use vp_obs::manifest::{HotStack, PhaseEntry, PhaseShare, ProfileSection};
 use vp_obs::sampler::Sample;
-use vp_obs::{RunManifest, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3};
+use vp_obs::{RunManifest, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4};
 use vp_rng::{prop, Rng};
 
 const KEYS: &[&str] = &[
@@ -92,6 +92,32 @@ fn arb_attribution_run(rng: &mut Rng) -> AttributionRun {
     }
 }
 
+fn arb_profile(rng: &mut Rng) -> ProfileSection {
+    let stacks = ["run", "run;profile", "run;predict", "run;predict;replay"];
+    let hot_stacks = (0..rng.below(4))
+        .map(|i| HotStack {
+            stack: stacks[i as usize].to_owned(),
+            count: rng.below(1 << 30),
+            share: rng.gen_f64(),
+        })
+        .collect();
+    let phases = (0..rng.below(4))
+        .map(|i| PhaseShare {
+            path: stacks[i as usize].replace(';', "/"),
+            self_share: rng.gen_f64(),
+            total_share: rng.gen_f64(),
+        })
+        .collect();
+    ProfileSection {
+        hz: 1 + rng.below(1_000),
+        samples: rng.below(1 << 40),
+        dropped: rng.below(1 << 20),
+        threads: rng.below(64),
+        hot_stacks,
+        phases,
+    }
+}
+
 fn arb_manifest(rng: &mut Rng) -> RunManifest {
     let phases = (0..rng.below(4))
         .map(|i| {
@@ -130,6 +156,7 @@ fn arb_manifest(rng: &mut Rng) -> RunManifest {
         histograms,
         samples,
         attribution,
+        profile: (rng.below(2) == 0).then(|| arb_profile(rng)),
     }
 }
 
@@ -151,24 +178,37 @@ fn serialisation_is_canonical_for_arbitrary_manifests() {
 fn schema_version_is_derived_from_content() {
     prop::forall("manifest versioning", arb_manifest).check(|m| {
         let text = m.to_json();
-        if !m.attribution.is_empty() {
+        if m.profile.is_some() {
+            assert_eq!(m.schema(), SCHEMA_V4);
+            assert!(text.contains(SCHEMA_V4));
+        } else if !m.attribution.is_empty() {
             assert_eq!(m.schema(), SCHEMA_V3);
             assert!(text.contains(SCHEMA_V3));
+            assert!(!text.contains("\"profile\""));
         } else if m.samples.is_empty() {
             assert_eq!(m.schema(), SCHEMA_V1);
             assert!(text.contains(SCHEMA_V1));
             assert!(!text.contains("\"samples\""));
             assert!(!text.contains("\"attribution\""));
+            assert!(!text.contains("\"profile\""));
         } else {
             assert_eq!(m.schema(), SCHEMA_V2);
             assert!(text.contains(SCHEMA_V2));
             assert!(!text.contains("\"attribution\""));
+            assert!(!text.contains("\"profile\""));
         }
 
-        // Stripping the newer arrays always yields the older document
-        // form, which parses back with those arrays empty (backward
+        // Stripping the newer sections always yields the older document
+        // form, which parses back with those sections empty (backward
         // compatibility for any content).
-        let v2 = m.clone().with_attribution(Vec::new());
+        let v3 = m.clone().with_profile(None);
+        let v3_text = v3.to_json();
+        assert!(!v3_text.contains(SCHEMA_V4));
+        let back = RunManifest::parse(&v3_text).expect("v3 form parses");
+        assert!(back.profile.is_none());
+        assert_eq!(back, v3);
+
+        let v2 = v3.with_attribution(Vec::new());
         let v2_text = v2.to_json();
         assert!(!v2_text.contains(SCHEMA_V3));
         let back = RunManifest::parse(&v2_text).expect("v2 form parses");
