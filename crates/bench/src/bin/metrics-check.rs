@@ -8,7 +8,8 @@
 //!               [--phase=repro-all/classification/predict] \
 //!               [--max-phase-regression=0.25] \
 //!               [--max-accuracy-drop=0.005] \
-//!               [--max-phase-share-regression=0.15]
+//!               [--max-phase-share-regression=0.15] \
+//!               [--max-matrix-passes-per-trace=1]
 //! ```
 //!
 //! Accepts every manifest schema version (v1 aggregates-only, v2 with
@@ -34,6 +35,17 @@
 //! gate with a warning (refresh it to re-arm); a *current* manifest
 //! without one is a usage error (exit 2) because the gate was asked to
 //! check a run that never profiled.
+//!
+//! `--max-matrix-passes-per-trace=N` gates sweep *fusion*: the current
+//! manifest's `replay.matrix_passes` counter may not exceed `N` times
+//! its `replay.matrix_traces` counter (distinct reference traces swept
+//! by `replay_matrix`). CI runs with `N=1` — every trace fused into
+//! exactly one matrix pass — so a regression that silently falls back
+//! to per-cell replays (or primes the memo twice) fails even when the
+//! extra passes happen to stay inside the wall-time ceiling. A current
+//! manifest without the two counters, or one that swept no traces at
+//! all, is a usage error (exit 2): the gate was asked to check a run
+//! that never exercised the fused sweep.
 //!
 //! `--max-accuracy-drop=F` gates aggregate *prediction* accuracy: the
 //! run-wide effective accuracy (`predictor.speculated_correct /
@@ -73,6 +85,7 @@ struct Args {
     max_phase_regression: f64,
     max_accuracy_drop: Option<f64>,
     max_phase_share_regression: Option<f64>,
+    max_matrix_passes_per_trace: Option<u64>,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -80,6 +93,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let (mut phases, mut max_phase_regression) = (Vec::new(), 0.25_f64);
     let mut max_accuracy_drop = None;
     let mut max_phase_share_regression = None;
+    let mut max_matrix_passes_per_trace = None;
     for arg in provp_bench::args::normalize(args, &[])? {
         if let Some(p) = arg.strip_prefix("--manifest=") {
             manifest = Some(PathBuf::from(p));
@@ -119,11 +133,16 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                         format!("bad --max-phase-share-regression value `{v}` (want 0.0..=1.0)")
                     })?,
             );
+        } else if let Some(v) = arg.strip_prefix("--max-matrix-passes-per-trace=") {
+            max_matrix_passes_per_trace =
+                Some(v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("bad --max-matrix-passes-per-trace value `{v}` (want >= 1)")
+                })?);
         } else {
             return Err(format!(
                 "unknown argument `{arg}` (try --manifest=, --baseline=, --max-regression=, \
                  --phase=, --max-phase-regression=, --max-accuracy-drop=, \
-                 --max-phase-share-regression=)"
+                 --max-phase-share-regression=, --max-matrix-passes-per-trace=)"
             ));
         }
     }
@@ -135,7 +154,18 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         max_phase_regression,
         max_accuracy_drop,
         max_phase_share_regression,
+        max_matrix_passes_per_trace,
     })
+}
+
+/// The fused-sweep pass accounting from a manifest's counters: `(matrix
+/// passes, distinct traces swept)`. `None` when the counters are absent
+/// or the run swept no traces — the gate cannot judge a run that never
+/// exercised the fused sweep.
+fn matrix_pass_rate(m: &RunManifest) -> Option<(u64, u64)> {
+    let passes = *m.counters.get("replay.matrix_passes")?;
+    let traces = *m.counters.get("replay.matrix_traces")?;
+    (traces > 0).then_some((passes, traces))
 }
 
 /// Run-wide effective prediction accuracy from a manifest's counters
@@ -347,6 +377,36 @@ fn main() -> ExitCode {
                 obs_error!(
                     "--max-accuracy-drop given but the current manifest records no \
                      predictor.speculated* counters (was the run a predictor experiment?)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Sweep-fusion gate (opt-in via --max-matrix-passes-per-trace):
+    // catches a fallback to per-cell replays even when the extra passes
+    // stay inside the wall-time ceilings.
+    if let Some(max_per_trace) = args.max_matrix_passes_per_trace {
+        match matrix_pass_rate(&current) {
+            Some((passes, traces)) => {
+                println!(
+                    "metrics-check: {passes} matrix passes over {traces} swept traces \
+                     (limit {max_per_trace} per trace)"
+                );
+                if passes > max_per_trace.saturating_mul(traces) {
+                    obs_error!(
+                        "the fused sweep scanned traces {passes} times for {traces} distinct \
+                         traces (limit {max_per_trace} per trace) — is something replaying \
+                         per cell again?"
+                    );
+                    failed = true;
+                }
+            }
+            None => {
+                obs_error!(
+                    "--max-matrix-passes-per-trace given but the current manifest records \
+                     no replay.matrix_passes / replay.matrix_traces counters (or swept no \
+                     traces) — was the run a fused-sweep experiment?"
                 );
                 return ExitCode::from(2);
             }
@@ -602,6 +662,46 @@ mod tests {
             "--max-phase-share-regression=1.5".to_owned(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn matrix_pass_gate_flag_and_counters() {
+        let a = parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-matrix-passes-per-trace".to_owned(), // space-separated form
+            "1".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(a.max_matrix_passes_per_trace, Some(1));
+        let a = parse_args(["--manifest=m".to_owned(), "--baseline=b".to_owned()]).unwrap();
+        assert_eq!(a.max_matrix_passes_per_trace, None);
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-matrix-passes-per-trace=0".to_owned(),
+        ])
+        .is_err());
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-matrix-passes-per-trace=lots".to_owned(),
+        ])
+        .is_err());
+
+        let mut m = RunManifest {
+            bin: "x".to_owned(),
+            ..RunManifest::default()
+        };
+        // Counters absent -> the gate cannot judge the run.
+        assert_eq!(matrix_pass_rate(&m), None);
+        m.counters.insert("replay.matrix_passes".to_owned(), 9);
+        assert_eq!(matrix_pass_rate(&m), None);
+        // Counters present but no trace swept -> still unjudgeable.
+        m.counters.insert("replay.matrix_traces".to_owned(), 0);
+        assert_eq!(matrix_pass_rate(&m), None);
+        m.counters.insert("replay.matrix_traces".to_owned(), 9);
+        assert_eq!(matrix_pass_rate(&m), Some((9, 9)));
     }
 
     #[test]

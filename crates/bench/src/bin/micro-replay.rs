@@ -1,12 +1,15 @@
 //! Micro-benchmarks for the predictor replay path: AoS event replay vs
-//! the columnar value-event scan, and the 1/2/4/8-shard parallel merge.
+//! the columnar value-event scan, the 1/2/4/8-shard parallel merge, and
+//! the fused sweep matrix vs a per-cell replay loop.
 //!
 //! ```text
-//! cargo run --release -p provp-bench --bin micro-replay [workload]
+//! cargo run --release -p provp-bench --bin micro-replay -- \
+//!     [workload] [--jobs=N] [--trace-cache=DIR]
 //! ```
 //!
-//! Captures one reference-input trace, then replays it repeatedly through
-//! the §5.2 hardware-baseline predictor four ways:
+//! Captures one reference-input trace (reusing `--trace-cache=DIR`
+//! across runs when given), then replays it repeatedly through the §5.2
+//! hardware-baseline predictor four ways:
 //!
 //! - `aos`: materialised `Vec<TraceEvent>` through the full retirement
 //!   tracer glue (the pre-columnar path),
@@ -16,29 +19,117 @@
 //!   [`provp_core::replay_predictor`],
 //! - `columnar-Nshard`: the PC-sharded parallel scan at 2/4/8 shards.
 //!
+//! A second group compares sweeping a six-configuration matrix the old
+//! way — one [`provp_core::replay_predictor`] trace pass per cell —
+//! with the fused [`provp_core::replay_matrix`] kernel that decodes
+//! each value event once and updates every cell's predictor bank in
+//! blocks, sequentially and PC-sharded.
+//!
 //! Every variant's [`vp_predictor::PredictorStats`] are asserted equal
 //! before timing starts — the bench doubles as an end-to-end check that
-//! sharding is bit-identical to a sequential replay.
+//! sharding and matrix fusion are bit-identical to a sequential
+//! per-cell replay.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use provp_bench::args;
 use provp_bench::micro::{black_box, Group};
-use provp_core::{replay_predictor, PredictorTracer};
-use vp_predictor::PredictorConfig;
+use provp_core::{replay_matrix, replay_predictor, PredictorTracer, SweepPlan, TraceStore};
+use vp_obs::obs_error;
+use vp_predictor::{ClassifierKind, PredictorConfig, TableGeometry};
 use vp_sim::{replay, RunLimits, Trace, TraceEvent};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
 
+/// The sweep-matrix cells of the comparison group: the §5.2 baseline
+/// plus the scheme/capacity ablation configurations, all sharing the
+/// workload's own directive annotation.
+fn sweep_configs() -> Vec<PredictorConfig> {
+    let fsm = ClassifierKind::two_bit_counter();
+    let geometry = TableGeometry::SPEC_512_2WAY;
+    vec![
+        PredictorConfig::spec_table_stride_fsm(),
+        PredictorConfig::TableLastValue {
+            geometry,
+            classifier: fsm,
+        },
+        PredictorConfig::TableTwoDelta {
+            geometry,
+            classifier: fsm,
+        },
+        PredictorConfig::InfiniteStride { classifier: fsm },
+        PredictorConfig::InfiniteLastValue { classifier: fsm },
+        PredictorConfig::Hybrid {
+            stride: geometry,
+            last_value: geometry,
+        },
+    ]
+}
+
+struct Args {
+    kind: WorkloadKind,
+    jobs: usize,
+    trace_cache: Option<PathBuf>,
+}
+
+fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        kind: WorkloadKind::Compress,
+        jobs: provp_core::exec::default_jobs(),
+        trace_cache: None,
+    };
+    for arg in args::normalize(raw, &[])? {
+        if let Some(n) = arg.strip_prefix("--jobs=") {
+            parsed.jobs = match n {
+                "auto" => provp_core::exec::default_jobs(),
+                n => n
+                    .parse()
+                    .ok()
+                    .filter(|&j| j >= 1)
+                    .ok_or_else(|| format!("bad --jobs value `{n}` (want >= 1 or auto)"))?,
+            };
+        } else if let Some(dir) = arg.strip_prefix("--trace-cache=") {
+            if dir.is_empty() {
+                return Err("empty --trace-cache path".to_owned());
+            }
+            parsed.trace_cache = Some(PathBuf::from(dir));
+        } else if arg.starts_with("--") {
+            return Err(format!(
+                "unknown argument `{arg}` (try [workload] --jobs=, --trace-cache=)"
+            ));
+        } else {
+            parsed.kind =
+                WorkloadKind::from_name(&arg).ok_or_else(|| format!("unknown workload `{arg}`"))?;
+        }
+    }
+    Ok(parsed)
+}
+
 fn main() {
-    let kind = std::env::args()
-        .nth(1)
-        .map(|name| {
-            WorkloadKind::from_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"))
-        })
-        .unwrap_or(WorkloadKind::Compress);
+    let parsed = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            obs_error!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let Args {
+        kind,
+        jobs,
+        trace_cache,
+    } = parsed;
     let program = Workload::new(kind).program(&InputSet::reference());
-    let trace = Trace::capture(&program, RunLimits::default()).expect("capture");
+    let trace: Arc<Trace> = match &trace_cache {
+        Some(dir) => TraceStore::new()
+            .with_spill_dir(dir.clone())
+            .get(kind, InputSet::reference(), RunLimits::default())
+            .expect("capture"),
+        None => Arc::new(Trace::capture(&program, RunLimits::default()).expect("capture")),
+    };
     let events: Vec<TraceEvent> = trace.iter().collect();
     let config = PredictorConfig::spec_table_stride_fsm();
     println!(
-        "micro-replay: {kind}, {} events ({} with a destination value)",
+        "micro-replay: {kind}, {} events ({} with a destination value), {jobs} jobs",
         trace.len(),
         trace.columns().dest_count()
     );
@@ -48,7 +139,7 @@ fn main() {
     replay(&program, &events, &mut aos).expect("aos replay");
     let baseline = *aos.stats();
     for shards in [1usize, 2, 4, 8] {
-        let out = replay_predictor(&trace, &program, &config, shards, shards).expect("replay");
+        let out = replay_predictor(&trace, &program, &config, shards, jobs).expect("replay");
         assert_eq!(
             out.stats, baseline,
             "{shards}-shard replay diverged from the AoS baseline"
@@ -79,10 +170,73 @@ fn main() {
     for shards in [2usize, 4, 8] {
         group.bench(&format!("columnar-{shards}shard"), || {
             black_box(
-                replay_predictor(&trace, &program, &config, shards, shards)
+                replay_predictor(&trace, &program, &config, shards, jobs)
                     .expect("replay")
                     .stats
                     .hits,
+            )
+        });
+    }
+
+    // The fused-matrix comparison: one trace pass for all six cells vs
+    // one pass per cell. The equality assertion runs before timing.
+    let configs = sweep_configs();
+    let mut plan = SweepPlan::new();
+    let table = plan.add_directives(&program);
+    for &c in &configs {
+        plan.add_cell(c, table);
+    }
+    let per_cell: Vec<_> = configs
+        .iter()
+        .map(|c| {
+            replay_predictor(&trace, &program, c, 1, 1)
+                .expect("replay")
+                .stats
+        })
+        .collect();
+    for shards in [1usize, 4, 8] {
+        let fused = replay_matrix(&trace, &plan, shards, jobs).expect("matrix");
+        for (cell, (f, p)) in fused.iter().zip(&per_cell).enumerate() {
+            assert_eq!(
+                f.stats, *p,
+                "fused cell {cell} diverged from per-cell replay at {shards} shards"
+            );
+        }
+    }
+    println!(
+        "sweep matrix: {} cells, one fused trace pass vs {} per-cell passes",
+        plan.cells().len(),
+        configs.len()
+    );
+
+    let mut group = Group::new("sweep").samples(10);
+    group.bench("per-cell", || {
+        let mut hits = 0;
+        for c in &configs {
+            hits += replay_predictor(&trace, &program, c, 1, 1)
+                .expect("replay")
+                .stats
+                .hits;
+        }
+        black_box(hits)
+    });
+    group.bench("fused-1shard", || {
+        black_box(
+            replay_matrix(&trace, &plan, 1, 1)
+                .expect("matrix")
+                .iter()
+                .map(|o| o.stats.hits)
+                .sum::<u64>(),
+        )
+    });
+    for shards in [4usize, 8] {
+        group.bench(&format!("fused-{shards}shard"), || {
+            black_box(
+                replay_matrix(&trace, &plan, shards, jobs)
+                    .expect("matrix")
+                    .iter()
+                    .map(|o| o.stats.hits)
+                    .sum::<u64>(),
             )
         });
     }

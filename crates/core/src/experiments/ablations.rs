@@ -35,32 +35,41 @@ pub struct GeometryRow {
 }
 
 /// Sweeps prediction-table sizes for one workload at fixed associativity,
-/// comparing hardware and profile classification.
+/// comparing hardware and profile classification. The whole sweep (every
+/// geometry × both classifiers) replays as one fused matrix pass over the
+/// reference trace.
 pub fn geometry(suite: &Suite, kind: WorkloadKind, entries: &[usize]) -> Vec<GeometryRow> {
-    suite.par_map(entries, |&n| {
-        let geometry = TableGeometry::new(n, 2.min(n));
-        let fsm = suite.predictor_stats(
-            kind,
+    let geometries: Vec<TableGeometry> = entries
+        .iter()
+        .map(|&n| TableGeometry::new(n, 2.min(n)))
+        .collect();
+    let mut cells = Vec::with_capacity(2 * geometries.len());
+    for &geometry in &geometries {
+        cells.push((
             PredictorConfig::TableStride {
                 geometry,
                 classifier: ClassifierKind::two_bit_counter(),
             },
             None,
-        );
-        let profile = suite.predictor_stats(
-            kind,
+        ));
+        cells.push((
             PredictorConfig::TableStride {
                 geometry,
                 classifier: ClassifierKind::Directive,
             },
             Some(0.9),
-        );
-        GeometryRow {
+        ));
+    }
+    let grid = suite.predictor_stats_matrix(kind, &cells);
+    geometries
+        .iter()
+        .zip(grid.chunks_exact(2))
+        .map(|(&geometry, pair)| GeometryRow {
             geometry,
-            fsm,
-            profile,
-        }
-    })
+            fsm: pair[0],
+            profile: pair[1],
+        })
+        .collect()
 }
 
 /// Renders the geometry sweep.
@@ -148,24 +157,31 @@ pub struct HybridRow {
 
 /// Sweeps how a fixed entry budget is split between the hybrid's stride
 /// and last-value sides (threshold 70% so both directive kinds appear).
+/// All splits replay as one fused matrix pass over the reference trace.
 pub fn hybrid_split(suite: &Suite, kind: WorkloadKind, total: usize) -> Vec<HybridRow> {
     let splits = [total / 8, total / 4, total / 2, 3 * total / 4];
-    suite.par_map(&splits, |&stride_entries| {
-        let last_value_entries = total - stride_entries;
-        let stats = suite.predictor_stats(
-            kind,
-            PredictorConfig::Hybrid {
-                stride: TableGeometry::new(stride_entries, 2),
-                last_value: TableGeometry::new(last_value_entries, 2),
-            },
-            Some(0.7),
-        );
-        HybridRow {
+    let cells: Vec<(PredictorConfig, Option<f64>)> = splits
+        .iter()
+        .map(|&stride_entries| {
+            (
+                PredictorConfig::Hybrid {
+                    stride: TableGeometry::new(stride_entries, 2),
+                    last_value: TableGeometry::new(total - stride_entries, 2),
+                },
+                Some(0.7),
+            )
+        })
+        .collect();
+    let grid = suite.predictor_stats_matrix(kind, &cells);
+    splits
+        .iter()
+        .zip(grid)
+        .map(|(&stride_entries, stats)| HybridRow {
             stride_entries,
-            last_value_entries,
+            last_value_entries: total - stride_entries,
             stats,
-        }
-    })
+        })
+        .collect()
 }
 
 /// Renders the hybrid-split sweep.
@@ -197,7 +213,8 @@ pub struct CounterRow {
 
 /// Sweeps saturating-counter configurations (the hardware classifier's
 /// only tuning knobs: state count, prediction threshold, reset state) on
-/// the paper's 512-entry 2-way stride table.
+/// the paper's 512-entry 2-way stride table. All configurations replay as
+/// one fused matrix pass over the reference trace.
 pub fn counters(suite: &Suite, kind: WorkloadKind) -> Vec<CounterRow> {
     let configs: [(&'static str, SatCounter); 4] = [
         ("1-bit", SatCounter::new(0, 1, 1)),
@@ -205,17 +222,24 @@ pub fn counters(suite: &Suite, kind: WorkloadKind) -> Vec<CounterRow> {
         ("2-bit, predict==3", SatCounter::new(1, 3, 3)),
         ("3-bit, predict>=4", SatCounter::new(3, 7, 4)),
     ];
-    suite.par_map(&configs, |&(label, template)| CounterRow {
-        label,
-        stats: suite.predictor_stats(
-            kind,
-            PredictorConfig::TableStride {
-                geometry: TableGeometry::SPEC_512_2WAY,
-                classifier: ClassifierKind::SatCounter { template },
-            },
-            None,
-        ),
-    })
+    let cells: Vec<(PredictorConfig, Option<f64>)> = configs
+        .iter()
+        .map(|&(_, template)| {
+            (
+                PredictorConfig::TableStride {
+                    geometry: TableGeometry::SPEC_512_2WAY,
+                    classifier: ClassifierKind::SatCounter { template },
+                },
+                None,
+            )
+        })
+        .collect();
+    let grid = suite.predictor_stats_matrix(kind, &cells);
+    configs
+        .iter()
+        .zip(grid)
+        .map(|(&(label, _), stats)| CounterRow { label, stats })
+        .collect()
 }
 
 /// Renders the counter sweep.
@@ -312,36 +336,42 @@ pub struct SchemeRow {
 }
 
 /// Compares prediction schemes head-to-head on the paper's 512-entry 2-way
-/// table with saturating-counter classification.
+/// table with saturating-counter classification. The three schemes replay
+/// as one fused matrix pass per workload.
 pub fn schemes(suite: &Suite, kinds: &[WorkloadKind]) -> Vec<SchemeRow> {
     let geometry = TableGeometry::SPEC_512_2WAY;
     let classifier = ClassifierKind::two_bit_counter();
-    suite.par_map(kinds, |&kind| SchemeRow {
-        kind,
-        stride: suite.predictor_stats(
-            kind,
+    let cells = [
+        (
             PredictorConfig::TableStride {
                 geometry,
                 classifier,
             },
             None,
         ),
-        two_delta: suite.predictor_stats(
-            kind,
+        (
             PredictorConfig::TableTwoDelta {
                 geometry,
                 classifier,
             },
             None,
         ),
-        last_value: suite.predictor_stats(
-            kind,
+        (
             PredictorConfig::TableLastValue {
                 geometry,
                 classifier,
             },
             None,
         ),
+    ];
+    suite.par_map(kinds, |&kind| {
+        let grid = suite.predictor_stats_matrix(kind, &cells);
+        SchemeRow {
+            kind,
+            stride: grid[0],
+            two_delta: grid[1],
+            last_value: grid[2],
+        }
     })
 }
 

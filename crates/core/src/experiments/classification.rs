@@ -43,28 +43,38 @@ pub enum Which {
     CorrectPredictions,
 }
 
-/// Runs the experiment over the given workloads.
-pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Classification {
-    let rows = suite.par_map(kinds, |&kind| {
-        let fsm = suite.predictor_stats(
-            kind,
+/// The sweep-matrix cells this experiment requests per workload: the FSM
+/// baseline first, then one profile-classified cell per threshold of
+/// [`ThresholdPolicy::PAPER_SWEEP`]. Drivers use this to prime the fused
+/// matrix ([`Suite::prime_matrix`]) across experiments.
+#[must_use]
+pub fn matrix_cells() -> Vec<(PredictorConfig, Option<f64>)> {
+    let mut cells = vec![(
+        PredictorConfig::InfiniteStride {
+            classifier: ClassifierKind::two_bit_counter(),
+        },
+        None,
+    )];
+    cells.extend(ThresholdPolicy::PAPER_SWEEP.iter().map(|&th| {
+        (
             PredictorConfig::InfiniteStride {
-                classifier: ClassifierKind::two_bit_counter(),
+                classifier: ClassifierKind::Directive,
             },
-            None,
-        );
-        let profile = ThresholdPolicy::PAPER_SWEEP
-            .iter()
-            .map(|&th| {
-                suite.predictor_stats(
-                    kind,
-                    PredictorConfig::InfiniteStride {
-                        classifier: ClassifierKind::Directive,
-                    },
-                    Some(th),
-                )
-            })
-            .collect();
+            Some(th),
+        )
+    }));
+    cells
+}
+
+/// Runs the experiment over the given workloads. The whole per-workload
+/// sweep (FSM baseline + every threshold) replays as one fused matrix
+/// pass over the reference trace.
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Classification {
+    let cells = matrix_cells();
+    let rows = suite.par_map(kinds, |&kind| {
+        let mut grid = suite.predictor_stats_matrix(kind, &cells).into_iter();
+        let fsm = grid.next().expect("fsm cell");
+        let profile = grid.collect();
         Row { kind, fsm, profile }
     });
     Classification { rows }

@@ -85,16 +85,29 @@ pub enum Which {
     Incorrect,
 }
 
-/// Runs the experiment over the given workloads.
-pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> FiniteTable {
-    let rows = suite.par_map(kinds, |&kind| {
-        let fsm = suite.predictor_stats(kind, PredictorConfig::spec_table_stride_fsm(), None);
-        let profile = ThresholdPolicy::PAPER_SWEEP
+/// The sweep-matrix cells this experiment requests per workload: the FSM
+/// baseline first, then one profile-classified cell per threshold of
+/// [`ThresholdPolicy::PAPER_SWEEP`] (see [`Suite::prime_matrix`]).
+#[must_use]
+pub fn matrix_cells() -> Vec<(PredictorConfig, Option<f64>)> {
+    let mut cells = vec![(PredictorConfig::spec_table_stride_fsm(), None)];
+    cells.extend(
+        ThresholdPolicy::PAPER_SWEEP
             .iter()
-            .map(|&th| {
-                suite.predictor_stats(kind, PredictorConfig::spec_table_stride_profile(), Some(th))
-            })
-            .collect();
+            .map(|&th| (PredictorConfig::spec_table_stride_profile(), Some(th))),
+    );
+    cells
+}
+
+/// Runs the experiment over the given workloads. The whole per-workload
+/// sweep (FSM baseline + every threshold) replays as one fused matrix
+/// pass over the reference trace.
+pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> FiniteTable {
+    let cells = matrix_cells();
+    let rows = suite.par_map(kinds, |&kind| {
+        let mut grid = suite.predictor_stats_matrix(kind, &cells).into_iter();
+        let fsm = grid.next().expect("fsm cell");
+        let profile = grid.collect();
         Row { kind, fsm, profile }
     });
     FiniteTable { rows }

@@ -32,19 +32,28 @@ pub struct Table51 {
     pub rows: Vec<Row>,
 }
 
+/// The sweep-matrix cells this experiment requests per workload: the
+/// profile-classified finite table at each threshold of
+/// [`ThresholdPolicy::PAPER_SWEEP`] (see [`Suite::prime_matrix`]).
+#[must_use]
+pub fn matrix_cells() -> Vec<(PredictorConfig, Option<f64>)> {
+    ThresholdPolicy::PAPER_SWEEP
+        .iter()
+        .map(|&th| (PredictorConfig::spec_table_stride_profile(), Some(th)))
+        .collect()
+}
+
 /// Runs the experiment over the given workloads: counts, on the reference
 /// input, the dynamic value producers the finite-table directive predictor
-/// actually touches the table for.
+/// actually touches the table for. The per-workload threshold sweep
+/// replays as one fused matrix pass over the reference trace.
 pub fn run(suite: &Suite, kinds: &[WorkloadKind]) -> Table51 {
+    let cells = matrix_cells();
     let rows = suite.par_map(kinds, |&kind| {
-        let fractions = ThresholdPolicy::PAPER_SWEEP
+        let fractions = suite
+            .predictor_stats_matrix(kind, &cells)
             .iter()
-            .map(|&th| {
-                let stats = suite.predictor_stats(
-                    kind,
-                    PredictorConfig::spec_table_stride_profile(),
-                    Some(th),
-                );
+            .map(|stats| {
                 // Admitted = table was consulted (hit or allocation).
                 let admitted = stats.hits + stats.allocations;
                 if stats.accesses == 0 {

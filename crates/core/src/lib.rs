@@ -37,6 +37,9 @@ pub mod trace_store;
 pub use exec::parallel_map;
 pub use harness::PredictorTracer;
 pub use pipeline::{PipelineConfig, PipelineError, PipelineOutcome, ProfileGuidedPipeline};
-pub use replay::{auto_shards, replay_predictor, replay_predictor_attributed, ReplayOutcome};
+pub use replay::{
+    auto_shards, replay_matrix, replay_matrix_attributed, replay_predictor,
+    replay_predictor_attributed, MatrixCell, ReplayOutcome, SweepPlan,
+};
 pub use suite::Suite;
 pub use trace_store::{TraceError, TraceKey, TraceStore, TraceStoreStats};

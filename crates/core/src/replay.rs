@@ -19,12 +19,24 @@
 //! ([`crate::exec::parallel_map`]), and [`auto_shards`] degrades to a
 //! single shard inside an already-parallel grid worker so nested fan-out
 //! never oversubscribes the machine.
+//!
+//! On top of the per-cell replay sits the **fused sweep matrix**
+//! ([`replay_matrix`]): every headline figure of the paper is a sweep —
+//! several predictor configurations × several profiling thresholds over
+//! the *same* trace — and replaying per cell scans the identical value
+//! stream `cells` times. The fused engine streams the trace once,
+//! resolves each distinct directive annotation's per-PC row once per
+//! block, and feeds the block to a bank of predictors
+//! ([`vp_predictor::ValuePredictor::access_batch`]), sharding by the
+//! *joint* state-partition key (gcd of the cells' moduli) so every cell's
+//! grid entry stays bit-identical to its sequential per-cell replay.
 
+use std::collections::HashMap;
 use std::io;
 use std::time::Instant;
 
-use vp_isa::{Directive, Program};
-use vp_predictor::{AttributionTable, PredictorConfig, PredictorStats};
+use vp_isa::{Directive, InstrAddr, Program};
+use vp_predictor::{AttributionTable, PredictorConfig, PredictorStats, ValuePredictor};
 use vp_sim::Trace;
 
 use crate::exec::{in_worker, parallel_map};
@@ -228,6 +240,396 @@ pub fn replay_predictor_attributed(
         shards,
     };
     Ok((outcome, table))
+}
+
+/// Events per fused-kernel block: long enough to amortise the one virtual
+/// `access_batch` call per (block, cell) and keep each predictor's tables
+/// hot across the block, short enough that the scratch columns (addresses,
+/// values, one directive row per distinct annotation) stay cache-resident.
+const MATRIX_BLOCK: usize = 1024;
+
+/// One cell of a [`SweepPlan`]: a predictor configuration replayed under
+/// one of the plan's directive annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixCell {
+    /// The predictor + classifier to replay.
+    pub config: PredictorConfig,
+    /// Index of the directive table (from [`SweepPlan::add_directives`])
+    /// this cell reads its per-PC directives from. Cells sharing a table
+    /// share its resolved directive row — the sweep's "compute each
+    /// threshold's annotation once" cache.
+    pub directives: usize,
+}
+
+/// The full sweep matrix for one trace: a set of directive annotations
+/// (one per distinct profiling threshold, plus the bare program) and the
+/// `(PredictorConfig, annotation)` cells to replay under them.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    tables: Vec<Vec<Directive>>,
+    cells: Vec<MatrixCell>,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepPlan::default()
+    }
+
+    /// Registers `program`'s directive annotation as a table and returns
+    /// its index for [`SweepPlan::add_cell`]. Identical annotations (e.g.
+    /// two thresholds that saturate to the same tagging) dedupe to one
+    /// table, so the kernel resolves their directive row once.
+    pub fn add_directives(&mut self, program: &Program) -> usize {
+        let table: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
+        if let Some(i) = self.tables.iter().position(|t| *t == table) {
+            return i;
+        }
+        self.tables.push(table);
+        self.tables.len() - 1
+    }
+
+    /// Adds a cell replaying `config` under directive table `directives`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `directives` was not returned by
+    /// [`SweepPlan::add_directives`] on this plan.
+    pub fn add_cell(&mut self, config: PredictorConfig, directives: usize) {
+        assert!(
+            directives < self.tables.len(),
+            "directive table {directives} not registered (plan has {})",
+            self.tables.len()
+        );
+        self.cells.push(MatrixCell { config, directives });
+    }
+
+    /// The cells in request order.
+    #[must_use]
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+
+    /// Whether the plan has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Greatest common divisor (Euclid); used for the joint shard modulus.
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+/// The coarsest state partition compatible with *every* cell of the plan:
+/// the gcd of the finite cells' [`PredictorConfig::shard_modulus`] values.
+///
+/// `g` divides each finite cell's modulus `m`, so two addresses sharing
+/// state in that cell (`a ≡ b mod m`) also share a shard (`a ≡ b mod g`);
+/// infinite cells keep purely per-address state, which any function of the
+/// address respects. `None` (an all-infinite plan) shards by raw address.
+fn joint_shard_modulus(cells: &[MatrixCell]) -> Option<u64> {
+    let mut joint: Option<u64> = None;
+    for cell in cells {
+        if let Some(m) = cell.config.shard_modulus() {
+            joint = Some(match joint {
+                Some(g) => gcd(g, m),
+                None => m,
+            });
+        }
+    }
+    joint
+}
+
+/// Dedupes the plan's cells: returns the distinct cells (the predictor
+/// bank's slots) and, per request cell, the slot it maps to.
+fn dedupe_cells(cells: &[MatrixCell]) -> (Vec<MatrixCell>, Vec<usize>) {
+    let mut slots = Vec::new();
+    let mut slot_of = Vec::with_capacity(cells.len());
+    let mut index: HashMap<MatrixCell, usize> = HashMap::new();
+    for &cell in cells {
+        let slot = *index.entry(cell).or_insert_with(|| {
+            slots.push(cell);
+            slots.len() - 1
+        });
+        slot_of.push(slot);
+    }
+    (slots, slot_of)
+}
+
+/// The distinct directive tables the slots actually read, ascending.
+fn used_tables(slots: &[MatrixCell]) -> Vec<usize> {
+    let mut used: Vec<usize> = slots.iter().map(|c| c.directives).collect();
+    used.sort_unstable();
+    used.dedup();
+    used
+}
+
+/// The fused single-pass kernel: streams `events` once, resolving each
+/// block's directive row once per distinct annotation and feeding the
+/// whole block to every predictor in the bank via
+/// [`ValuePredictor::access_batch`] (one virtual call per block per cell,
+/// statically dispatched inside).
+fn matrix_scan<I>(
+    events: I,
+    tables: &[Vec<Directive>],
+    slots: &[MatrixCell],
+) -> io::Result<Vec<(PredictorStats, usize)>>
+where
+    I: Iterator<Item = (InstrAddr, u64)>,
+{
+    let mut banks: Vec<Box<dyn ValuePredictor>> = slots.iter().map(|c| c.config.build()).collect();
+    let used = used_tables(slots);
+    let mut addrs: Vec<InstrAddr> = Vec::with_capacity(MATRIX_BLOCK);
+    let mut values: Vec<u64> = Vec::with_capacity(MATRIX_BLOCK);
+    let mut rows: Vec<Vec<Directive>> = tables
+        .iter()
+        .map(|_| Vec::with_capacity(MATRIX_BLOCK))
+        .collect();
+    let mut events = events.fuse();
+    loop {
+        addrs.clear();
+        values.clear();
+        while addrs.len() < MATRIX_BLOCK {
+            let Some((addr, value)) = events.next() else {
+                break;
+            };
+            addrs.push(addr);
+            values.push(value);
+        }
+        if addrs.is_empty() {
+            break;
+        }
+        for &t in &used {
+            let table = &tables[t];
+            let row = &mut rows[t];
+            row.clear();
+            for &addr in &addrs {
+                row.push(
+                    *table
+                        .get(addr.index() as usize)
+                        .ok_or_else(|| outside_text(addr))?,
+                );
+            }
+        }
+        for (bank, cell) in banks.iter_mut().zip(slots) {
+            bank.access_batch(&addrs, &rows[cell.directives], &values);
+        }
+    }
+    Ok(banks.iter().map(|b| (*b.stats(), b.occupancy())).collect())
+}
+
+/// [`matrix_scan`] with per-access attribution observation. Attribution
+/// consumes each access outcome, so this variant runs event-at-a-time —
+/// it exists to keep `--attribution` runs on the fused path (one trace
+/// scan) without perturbing the plain kernel.
+fn matrix_scan_attributed<I>(
+    events: I,
+    tables: &[Vec<Directive>],
+    slots: &[MatrixCell],
+) -> io::Result<Vec<(PredictorStats, usize, AttributionTable)>>
+where
+    I: Iterator<Item = (InstrAddr, u64)>,
+{
+    let mut banks: Vec<Box<dyn ValuePredictor>> = slots.iter().map(|c| c.config.build()).collect();
+    let mut attributions: Vec<AttributionTable> =
+        slots.iter().map(|_| AttributionTable::new()).collect();
+    let used = used_tables(slots);
+    let mut dirs: Vec<Directive> = vec![Directive::None; tables.len()];
+    for (addr, value) in events {
+        for &t in &used {
+            dirs[t] = *tables[t]
+                .get(addr.index() as usize)
+                .ok_or_else(|| outside_text(addr))?;
+        }
+        for ((bank, cell), table) in banks.iter_mut().zip(slots).zip(attributions.iter_mut()) {
+            let directive = dirs[cell.directives];
+            let access = bank.access(addr, directive, value);
+            table.observe(addr, directive, &access, value);
+        }
+    }
+    Ok(banks
+        .iter()
+        .zip(attributions)
+        .map(|(b, t)| (*b.stats(), b.occupancy(), t))
+        .collect())
+}
+
+/// Replays `trace`'s value events through *every* cell of `plan` in a
+/// single pass, sharded `shards` ways by the plan's joint state-partition
+/// key and fanned out over up to `jobs` worker threads.
+///
+/// The per-cell results are **bit-identical** to calling
+/// [`replay_predictor`] once per cell against a program carrying the
+/// cell's directive table — at any shard/job count (property-tested and
+/// fuzzed via the vp-verify oracle). Duplicate cells are deduped into one
+/// predictor-bank slot and share one replay.
+///
+/// Observability: one `matrix` span per call; `replay.matrix_passes` +1,
+/// `replay.fused_cells` += distinct cells, `replay.shards` += shards.
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` when a value event's address lies
+/// outside a used directive table (a foreign trace).
+pub fn replay_matrix(
+    trace: &Trace,
+    plan: &SweepPlan,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<Vec<ReplayOutcome>> {
+    if plan.cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    let _span = vp_obs::span("matrix");
+    let (slots, slot_of) = dedupe_cells(&plan.cells);
+    vp_obs::counter("replay.matrix_passes").add(1);
+    vp_obs::counter("replay.fused_cells").add(slots.len() as u64);
+    let shards = shards.max(1);
+    let cols = trace.columns();
+
+    if shards == 1 {
+        let per_slot = matrix_scan(cols.value_events(), &plan.tables, &slots)?;
+        vp_obs::counter("replay.shards").add(1);
+        return Ok(slot_of
+            .iter()
+            .map(|&s| ReplayOutcome {
+                stats: per_slot[s].0,
+                occupancy: per_slot[s].1,
+                shards: 1,
+            })
+            .collect());
+    }
+
+    let modulus = joint_shard_modulus(&slots);
+    let views = cols.shard_by_pc(shards, move |addr| match modulus {
+        Some(g) => u64::from(addr.index()) % g,
+        None => u64::from(addr.index()),
+    });
+    let parts = parallel_map(jobs.max(1), &views, |shard| -> io::Result<_> {
+        let started = Instant::now();
+        let per_slot = matrix_scan(shard.values(), &plan.tables, &slots)?;
+        Ok((per_slot, started.elapsed().as_micros() as u64))
+    });
+
+    let mut merged = vec![(PredictorStats::new(), 0usize); slots.len()];
+    let (mut fastest, mut slowest) = (u64::MAX, 0u64);
+    for part in parts {
+        let (per_slot, micros) = part?;
+        for (acc, part) in merged.iter_mut().zip(per_slot) {
+            acc.0.merge(&part.0);
+            acc.1 += part.1;
+        }
+        fastest = fastest.min(micros);
+        slowest = slowest.max(micros);
+    }
+    let skew_us = slowest.saturating_sub(fastest);
+    vp_obs::counter("replay.shards").add(shards as u64);
+    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
+    vp_obs::events::instant("replay.shard_skew", skew_us);
+    Ok(slot_of
+        .iter()
+        .map(|&s| ReplayOutcome {
+            stats: merged[s].0,
+            occupancy: merged[s].1,
+            shards,
+        })
+        .collect())
+}
+
+/// Like [`replay_matrix`], additionally producing a per-PC
+/// [`AttributionTable`] per cell (duplicate cells receive clones of the
+/// shared slot's table). The stats and tables are bit-identical to
+/// per-cell [`replay_predictor_attributed`] at any shard/job count.
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` when a value event's address lies
+/// outside a used directive table (a foreign trace).
+pub fn replay_matrix_attributed(
+    trace: &Trace,
+    plan: &SweepPlan,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<Vec<(ReplayOutcome, AttributionTable)>> {
+    if plan.cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    let _span = vp_obs::span("matrix");
+    let (slots, slot_of) = dedupe_cells(&plan.cells);
+    vp_obs::counter("replay.matrix_passes").add(1);
+    vp_obs::counter("replay.fused_cells").add(slots.len() as u64);
+    let shards = shards.max(1);
+    let cols = trace.columns();
+
+    if shards == 1 {
+        let per_slot = matrix_scan_attributed(cols.value_events(), &plan.tables, &slots)?;
+        vp_obs::counter("replay.shards").add(1);
+        return Ok(slot_of
+            .iter()
+            .map(|&s| {
+                let (stats, occupancy, ref table) = per_slot[s];
+                (
+                    ReplayOutcome {
+                        stats,
+                        occupancy,
+                        shards: 1,
+                    },
+                    table.clone(),
+                )
+            })
+            .collect());
+    }
+
+    let modulus = joint_shard_modulus(&slots);
+    let views = cols.shard_by_pc(shards, move |addr| match modulus {
+        Some(g) => u64::from(addr.index()) % g,
+        None => u64::from(addr.index()),
+    });
+    let parts = parallel_map(jobs.max(1), &views, |shard| -> io::Result<_> {
+        let started = Instant::now();
+        let per_slot = matrix_scan_attributed(shard.values(), &plan.tables, &slots)?;
+        Ok((per_slot, started.elapsed().as_micros() as u64))
+    });
+
+    let mut merged: Vec<(PredictorStats, usize, AttributionTable)> = slots
+        .iter()
+        .map(|_| (PredictorStats::new(), 0usize, AttributionTable::new()))
+        .collect();
+    let (mut fastest, mut slowest) = (u64::MAX, 0u64);
+    for part in parts {
+        let (per_slot, micros) = part?;
+        for (acc, (stats, occupancy, table)) in merged.iter_mut().zip(per_slot) {
+            acc.0.merge(&stats);
+            acc.1 += occupancy;
+            acc.2.merge(&table);
+        }
+        fastest = fastest.min(micros);
+        slowest = slowest.max(micros);
+    }
+    let skew_us = slowest.saturating_sub(fastest);
+    vp_obs::counter("replay.shards").add(shards as u64);
+    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
+    vp_obs::events::instant("replay.shard_skew", skew_us);
+    Ok(slot_of
+        .iter()
+        .map(|&s| {
+            let (stats, occupancy, ref table) = merged[s];
+            (
+                ReplayOutcome {
+                    stats,
+                    occupancy,
+                    shards,
+                },
+                table.clone(),
+            )
+        })
+        .collect())
 }
 
 fn outside_text(addr: vp_isa::InstrAddr) -> io::Error {

@@ -20,17 +20,83 @@ use std::sync::{Arc, Condvar, Mutex};
 use vp_compiler::{annotate, AnnotationSummary, ThresholdPolicy};
 use vp_ilp::{IlpAnalyzer, IlpConfig, IlpResult};
 use vp_isa::Program;
-use vp_predictor::{PredictorConfig, PredictorStats};
+use vp_predictor::{AttributionTable, PredictorConfig, PredictorStats};
 use vp_profile::{merge, ProfileCollector, ProfileImage};
 use vp_sim::{run, RunLimits, Trace};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
 
 use crate::exec::parallel_map;
+use crate::replay::SweepPlan;
 use crate::trace_store::{TraceError, TraceKey, TraceStore, TraceStoreStats};
 
 /// Threshold key with stable hashing (per-mille accuracy).
 fn th_key(threshold: f64) -> u32 {
     (threshold * 1000.0).round() as u32
+}
+
+/// Identity of one sweep-matrix cell: configuration × annotation
+/// threshold, for one workload's reference trace.
+type CellKey = (WorkloadKind, PredictorConfig, Option<u32>);
+
+/// The memoised result of one sweep-matrix cell. Attribution is captured
+/// at compute time (when the process has it enabled) so later requests
+/// for the same cell can record their run without replaying.
+#[derive(Clone)]
+struct CellResult {
+    stats: PredictorStats,
+    occupancy: usize,
+    attribution: Option<Arc<AttributionTable>>,
+}
+
+/// The per-trace sweep memo: like [`Memo`], but claims are made in
+/// *batches* so one fused [`crate::replay::replay_matrix`] pass computes
+/// every missing cell of a request at once.
+struct SweepMemo {
+    state: Mutex<SweepState>,
+    available: Condvar,
+}
+
+struct SweepState {
+    done: HashMap<CellKey, CellResult>,
+    running: HashSet<CellKey>,
+    /// Kinds whose reference trace has been matrix-replayed at least
+    /// once (drives the `replay.matrix_traces` counter, the denominator
+    /// of the CI `matrix_passes per trace` gate).
+    swept: HashSet<WorkloadKind>,
+}
+
+impl SweepMemo {
+    fn new() -> Self {
+        SweepMemo {
+            state: Mutex::new(SweepState {
+                done: HashMap::new(),
+                running: HashSet::new(),
+                swept: HashSet::new(),
+            }),
+            available: Condvar::new(),
+        }
+    }
+}
+
+/// Clears a batch of running marks even if the compute panicked, so
+/// waiters retry (re-claim) instead of deadlocking.
+struct SweepRunningGuard<'a> {
+    memo: &'a SweepMemo,
+    keys: Vec<CellKey>,
+}
+
+impl Drop for SweepRunningGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = match self.memo.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for key in &self.keys {
+            state.running.remove(key);
+        }
+        drop(state);
+        self.memo.available.notify_all();
+    }
 }
 
 /// A thread-safe get-or-compute cache with in-flight deduplication: when
@@ -116,6 +182,7 @@ pub struct Suite {
     reference_images: Memo<WorkloadKind, ProfileImage>,
     phase_images: Memo<WorkloadKind, (ProfileImage, ProfileImage)>,
     annotated: Memo<(WorkloadKind, u32), (Program, AnnotationSummary)>,
+    sweep: SweepMemo,
 }
 
 impl Suite {
@@ -139,6 +206,7 @@ impl Suite {
             reference_images: Memo::new(),
             phase_images: Memo::new(),
             annotated: Memo::new(),
+            sweep: SweepMemo::new(),
         }
     }
 
@@ -331,12 +399,190 @@ impl Suite {
         config: PredictorConfig,
         threshold: Option<f64>,
     ) -> PredictorStats {
-        let program = self.reference_program(kind, threshold);
-        // Materialise (or fetch) the memoised trace first, outside the
-        // predict phase: capture cost is accounted to its own `capture`
-        // span, and the replay below touches only the columnar value
-        // events — no instruction fetch, no retirement reconstruction.
+        self.predictor_stats_matrix(kind, &[(config, threshold)])
+            .pop()
+            .expect("singleton matrix returns one cell")
+    }
+
+    /// [`Suite::predictor_stats`] for a whole sweep at once: every
+    /// requested `(config, threshold)` cell of `kind`'s reference trace,
+    /// in request order.
+    ///
+    /// Missing cells are computed by **one** fused
+    /// [`crate::replay::replay_matrix`] pass over the memoised reference
+    /// trace (duplicate cells dedupe, already-memoised cells are reused),
+    /// so a 6-configuration × 5-threshold sweep scans the trace once
+    /// instead of 30 times. Results are bit-identical to per-cell
+    /// [`Suite::predictor_stats`] calls.
+    ///
+    /// Observability is per *request*, exactly as for the singleton path:
+    /// every returned cell folds its stats into the `predictor.*`
+    /// counters and (with attribution enabled) records one attribution
+    /// run, whether it was a memo hit or freshly computed — so
+    /// attribution run totals stay in exact 1:1 agreement with the
+    /// counters.
+    pub fn predictor_stats_matrix(
+        &self,
+        kind: WorkloadKind,
+        cells: &[(PredictorConfig, Option<f64>)],
+    ) -> Vec<PredictorStats> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let results = self.sweep_cells(kind, cells);
+        let mut grid = Vec::with_capacity(cells.len());
+        for (&(config, threshold), result) in cells.iter().zip(&results) {
+            if let Some(table) = &result.attribution {
+                // Drift compares the Phase-2 training profile's promised
+                // accuracy against what the reference replay observed;
+                // merged_image is memoised, so this costs one lookup per
+                // exported PC (outside the predict span either way).
+                let top = crate::attribution::top_k().unwrap_or(0);
+                let merged = self.merged_image(kind);
+                crate::attribution::record(crate::attribution::run_from_table(
+                    Workload::new(kind).name(),
+                    &config.label(),
+                    threshold,
+                    table,
+                    top,
+                    |addr, directive| merged.get(addr).map(|p| p.profiled_accuracy(directive)),
+                ));
+            }
+            vp_obs::gauge("predictor.occupancy.max").set_max(result.occupancy as u64);
+            publish_predictor_metrics(&result.stats);
+            grid.push(result.stats);
+        }
+        grid
+    }
+
+    /// Computes (and memoises) sweep cells for each of `kinds` without
+    /// publishing any per-request observability — no `predictor.*`
+    /// counters, no attribution runs. Later [`Suite::predictor_stats`] /
+    /// [`Suite::predictor_stats_matrix`] requests for the primed cells
+    /// become memo hits, so a driver like `repro-all` can fuse the whole
+    /// paper sweep into one matrix pass per trace up front while every
+    /// experiment still accounts its own requests exactly as before.
+    pub fn prime_matrix(&self, kinds: &[WorkloadKind], cells: &[(PredictorConfig, Option<f64>)]) {
+        if cells.is_empty() {
+            return;
+        }
+        self.par_map(kinds, |&kind| {
+            let _ = self.sweep_cells(kind, cells);
+        });
+    }
+
+    /// Batch get-or-compute over the sweep memo: claims every cell of the
+    /// request that nobody has computed or claimed, computes the claimed
+    /// set with one fused matrix pass, and waits for cells claimed by
+    /// other threads. Panic-safe: a claimer that dies releases its claims
+    /// and waiters re-claim.
+    fn sweep_cells(
+        &self,
+        kind: WorkloadKind,
+        cells: &[(PredictorConfig, Option<f64>)],
+    ) -> Vec<CellResult> {
+        let keys: Vec<CellKey> = cells
+            .iter()
+            .map(|&(config, th)| (kind, config, th.map(th_key)))
+            .collect();
+        let mut results: Vec<Option<CellResult>> = vec![None; cells.len()];
+        loop {
+            // Under the lock: harvest finished cells, then claim every
+            // remaining cell that is neither done nor running. Wait only
+            // when something is missing and there is nothing to claim.
+            let mut claimed: Vec<usize> = Vec::new();
+            {
+                let mut state = self.sweep.state.lock().expect("sweep memo poisoned");
+                loop {
+                    claimed.clear();
+                    let mut all_done = true;
+                    let mut claiming: HashSet<CellKey> = HashSet::new();
+                    for (i, key) in keys.iter().enumerate() {
+                        if results[i].is_some() {
+                            continue;
+                        }
+                        if let Some(v) = state.done.get(key) {
+                            results[i] = Some(v.clone());
+                            continue;
+                        }
+                        all_done = false;
+                        if claiming.contains(key) {
+                            continue;
+                        }
+                        if state.running.insert(*key) {
+                            claiming.insert(*key);
+                            claimed.push(i);
+                        }
+                    }
+                    if all_done {
+                        return results.into_iter().map(|r| r.expect("filled")).collect();
+                    }
+                    if !claimed.is_empty() {
+                        break;
+                    }
+                    state = self
+                        .sweep
+                        .available
+                        .wait(state)
+                        .expect("sweep memo poisoned");
+                }
+            }
+            let guard = SweepRunningGuard {
+                memo: &self.sweep,
+                keys: claimed.iter().map(|&i| keys[i]).collect(),
+            };
+            let plan_cells: Vec<(PredictorConfig, Option<f64>)> =
+                claimed.iter().map(|&i| cells[i]).collect();
+            let computed = self.compute_matrix(kind, &plan_cells);
+            let mut state = self.sweep.state.lock().expect("sweep memo poisoned");
+            for (&i, result) in claimed.iter().zip(&computed) {
+                state.done.insert(keys[i], result.clone());
+                results[i] = Some(result.clone());
+            }
+            drop(state);
+            drop(guard);
+        }
+    }
+
+    /// One fused matrix pass over `kind`'s reference trace for `cells`
+    /// (assumed distinct). Quiet: publishes nothing per cell — callers
+    /// account requests themselves.
+    fn compute_matrix(
+        &self,
+        kind: WorkloadKind,
+        cells: &[(PredictorConfig, Option<f64>)],
+    ) -> Vec<CellResult> {
+        // Resolve each distinct threshold's annotated program into a
+        // directive table of the plan (annotation/merge cost lands in
+        // their own spans, outside `predict`).
+        let mut plan = SweepPlan::new();
+        let mut table_of: HashMap<Option<u32>, usize> = HashMap::new();
+        let mut plan_tables = Vec::with_capacity(cells.len());
+        for &(_, threshold) in cells {
+            let key = threshold.map(th_key);
+            let table = match table_of.get(&key) {
+                Some(&t) => t,
+                None => {
+                    let program = self.reference_program(kind, threshold);
+                    let t = plan.add_directives(&program);
+                    table_of.insert(key, t);
+                    t
+                }
+            };
+            plan_tables.push(table);
+        }
+        for (&(config, _), &table) in cells.iter().zip(&plan_tables) {
+            plan.add_cell(config, table);
+        }
+        // Materialise (or fetch) the memoised trace outside the predict
+        // phase: capture cost is accounted to its own `capture` span.
         let trace = self.trace(kind, InputSet::reference());
+        {
+            let mut state = self.sweep.state.lock().expect("sweep memo poisoned");
+            if state.swept.insert(kind) {
+                vp_obs::counter("replay.matrix_traces").add(1);
+            }
+        }
         let replay_panic = |source| -> ! {
             panic!(
                 "{}",
@@ -346,44 +592,33 @@ impl Suite {
                 }
             )
         };
-        // The attributed replay is a separate code path so that with
-        // attribution off the hot loop runs the exact seed instruction
+        let _span = vp_obs::span("predict");
+        let shards = crate::replay::auto_shards(self.jobs, trace.len());
+        // The attributed kernel is a separate code path so that with
+        // attribution off the hot loop runs the exact batched instruction
         // stream (observation-only contract: byte-identical stdout,
         // negligible wall-clock delta).
-        let (outcome, table) = {
-            let _span = vp_obs::span("predict");
-            let shards = crate::replay::auto_shards(self.jobs, trace.len());
-            if crate::attribution::enabled() {
-                crate::replay::replay_predictor_attributed(
-                    &trace, &program, &config, shards, self.jobs,
-                )
-                .map(|(o, t)| (o, Some(t)))
+        if crate::attribution::enabled() {
+            crate::replay::replay_matrix_attributed(&trace, &plan, shards, self.jobs)
                 .unwrap_or_else(|source| replay_panic(source))
-            } else {
-                crate::replay::replay_predictor(&trace, &program, &config, shards, self.jobs)
-                    .map(|o| (o, None))
-                    .unwrap_or_else(|source| replay_panic(source))
-            }
-        };
-        if let Some(table) = table {
-            // Drift compares the Phase-2 training profile's promised
-            // accuracy against what the reference replay observed;
-            // merged_image is memoised, so this costs one lookup per
-            // exported PC (outside the predict span either way).
-            let top = crate::attribution::top_k().unwrap_or(0);
-            let merged = self.merged_image(kind);
-            crate::attribution::record(crate::attribution::run_from_table(
-                Workload::new(kind).name(),
-                &config.label(),
-                threshold,
-                &table,
-                top,
-                |addr, directive| merged.get(addr).map(|p| p.profiled_accuracy(directive)),
-            ));
+                .into_iter()
+                .map(|(outcome, table)| CellResult {
+                    stats: outcome.stats,
+                    occupancy: outcome.occupancy,
+                    attribution: Some(Arc::new(table)),
+                })
+                .collect()
+        } else {
+            crate::replay::replay_matrix(&trace, &plan, shards, self.jobs)
+                .unwrap_or_else(|source| replay_panic(source))
+                .into_iter()
+                .map(|outcome| CellResult {
+                    stats: outcome.stats,
+                    occupancy: outcome.occupancy,
+                    attribution: None,
+                })
+                .collect()
         }
-        vp_obs::gauge("predictor.occupancy.max").set_max(outcome.occupancy as u64);
-        publish_predictor_metrics(&outcome.stats);
-        outcome.stats
     }
 
     /// Replays the reference input through the abstract ILP machine.

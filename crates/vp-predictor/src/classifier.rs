@@ -15,7 +15,7 @@ use vp_isa::Directive;
 ///
 /// [`ClassifierKind::Always`] (no classification) is the unclassified
 /// baseline used by ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassifierKind {
     /// Per-entry saturating counters; `template` sets bits/threshold/reset
     /// state for newly allocated entries.

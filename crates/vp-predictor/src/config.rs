@@ -13,7 +13,7 @@ use crate::{
 };
 
 /// A predictor + classifier configuration, as data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum PredictorConfig {
     /// Unbounded stride predictor (§5.1's idealisation).
@@ -133,6 +133,32 @@ impl PredictorConfig {
             | PredictorConfig::TableTwoDelta { geometry, .. } => geometry.set_of(a) as u64,
             PredictorConfig::Hybrid { stride, last_value } => {
                 a % gcd(stride.sets() as u64, last_value.sets() as u64)
+            }
+        }
+    }
+
+    /// The modulus of this configuration's state partition, or `None`
+    /// when every static address has fully independent state (infinite
+    /// predictors).
+    ///
+    /// Two addresses can share state only if they are congruent modulo
+    /// this value; [`PredictorConfig::shard_key`] is `addr % modulus`
+    /// (or the raw address for `None`). A fused multi-config replay can
+    /// therefore shard by `addr % g` where `g` is the gcd of every
+    /// cell's modulus: `g` divides each modulus `m`, so congruence mod
+    /// `g` is implied by congruence mod `m` and each cell's state
+    /// partition lands wholly inside one shard.
+    #[must_use]
+    pub fn shard_modulus(&self) -> Option<u64> {
+        match *self {
+            PredictorConfig::InfiniteStride { .. } | PredictorConfig::InfiniteLastValue { .. } => {
+                None
+            }
+            PredictorConfig::TableStride { geometry, .. }
+            | PredictorConfig::TableLastValue { geometry, .. }
+            | PredictorConfig::TableTwoDelta { geometry, .. } => Some(geometry.sets() as u64),
+            PredictorConfig::Hybrid { stride, last_value } => {
+                Some(gcd(stride.sets() as u64, last_value.sets() as u64))
             }
         }
     }

@@ -19,7 +19,7 @@
 /// c.record(false);
 /// assert!(!c.predicts());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SatCounter {
     value: u8,
     max: u8,

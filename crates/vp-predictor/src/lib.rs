@@ -75,6 +75,27 @@ pub trait ValuePredictor {
     /// hardware did, and trains the predictor.
     fn access(&mut self, addr: InstrAddr, directive: Directive, actual: u64) -> Access;
 
+    /// Presents a block of dynamic instances at once, discarding the
+    /// per-access outcomes (cumulative [`ValuePredictor::stats`] still
+    /// advance). Semantically identical to calling
+    /// [`ValuePredictor::access`] in slice order.
+    ///
+    /// The default body is monomorphised per implementing type, so the
+    /// inner `access` calls dispatch statically: fused sweep kernels pay
+    /// one virtual call per *block* per predictor instead of one per
+    /// event (see `provp_core::replay::replay_matrix`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices have different lengths.
+    fn access_batch(&mut self, addrs: &[InstrAddr], directives: &[Directive], values: &[u64]) {
+        assert_eq!(addrs.len(), directives.len());
+        assert_eq!(addrs.len(), values.len());
+        for i in 0..addrs.len() {
+            self.access(addrs[i], directives[i], values[i]);
+        }
+    }
+
     /// Cumulative statistics over every access so far.
     fn stats(&self) -> &PredictorStats;
 

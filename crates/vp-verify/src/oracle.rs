@@ -22,13 +22,18 @@
 //!    [`vp_predictor::AttributionTable`] at any shard/job count, and its
 //!    totals must reconcile *exactly* with the [`PredictorStats`]
 //!    (every access accounted, every raw miss charged to one cause).
+//! 5. **Matrix oracle** — the fused sweep ([`replay_matrix`]) over every
+//!    oracle configuration (with a duplicate cell and a second,
+//!    directive-stripped annotation table in the plan) must return, at
+//!    any shard count, exactly the grid that per-cell
+//!    [`replay_predictor`] runs produce.
 //!
 //! Any mismatch is returned as a typed [`Divergence`]; `Ok` carries the
 //! captured trace so the fuzz loop can fold it into coverage.
 
 use std::fmt;
 
-use provp_core::{replay_predictor, replay_predictor_attributed};
+use provp_core::{replay_matrix, replay_predictor, replay_predictor_attributed, SweepPlan};
 use vp_isa::{Directive, InstrAddr, Program, Reg, RegClass};
 use vp_predictor::{ClassifierKind, PredictorConfig, PredictorStats, TableGeometry};
 use vp_sim::record::{first_divergence, TraceDivergence, TraceRecorder};
@@ -90,6 +95,16 @@ pub enum Divergence {
         /// Human-readable detail.
         detail: String,
     },
+    /// The fused sweep matrix diverged from per-cell replays.
+    Matrix {
+        /// `PredictorConfig::label()` of the diverging cell's
+        /// configuration, with its plan position and annotation table.
+        label: String,
+        /// Shard count the fused replay ran at.
+        shards: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -131,6 +146,14 @@ impl fmt::Display for Divergence {
             Divergence::Attribution { label, detail } => {
                 write!(f, "attribution for `{label}` diverges: {detail}")
             }
+            Divergence::Matrix {
+                label,
+                shards,
+                detail,
+            } => write!(
+                f,
+                "fused matrix cell `{label}` ({shards} shards) diverges: {detail}"
+            ),
         }
     }
 }
@@ -334,6 +357,81 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
         }
     }
 
+    // --- 5. matrix oracle ---
+    // One fused pass over every oracle configuration, with a duplicate
+    // cell (exercising the dedup path) and a second annotation table
+    // (the directive-stripped program), checked cell by cell against
+    // independent per-cell replays at each shard count.
+    let stripped = program.without_directives();
+    let mut plan = SweepPlan::new();
+    let tagged_table = plan.add_directives(program);
+    let stripped_table = plan.add_directives(&stripped);
+    let configs = oracle_configs();
+    // (config, annotation table, per-cell reference program).
+    let mut matrix_cells: Vec<(PredictorConfig, usize, &Program)> = configs
+        .iter()
+        .map(|&c| (c, tagged_table, program))
+        .collect();
+    matrix_cells.push((configs[0], tagged_table, program));
+    matrix_cells.push((configs[0], stripped_table, &stripped));
+    matrix_cells.push((configs[1], stripped_table, &stripped));
+    for &(config, table, _) in &matrix_cells {
+        plan.add_cell(config, table);
+    }
+    let expected: Vec<_> = matrix_cells
+        .iter()
+        .map(|(config, _, cell_program)| replay_predictor(&trace, cell_program, config, 1, 1))
+        .collect::<Result<_, _>>()
+        .map_err(|e| Divergence::Matrix {
+            label: "per-cell reference".into(),
+            shards: 1,
+            detail: format!("replay failed: {e}"),
+        })?;
+    for shards in [1usize, 3] {
+        let cell_label = |i: usize| {
+            let (config, table, _) = &matrix_cells[i];
+            format!("{} (cell {i}, table {table})", config.label())
+        };
+        let fused = replay_matrix(&trace, &plan, shards, 2).map_err(|e| Divergence::Matrix {
+            label: "whole plan".into(),
+            shards,
+            detail: format!("fused replay failed: {e}"),
+        })?;
+        if fused.len() != matrix_cells.len() {
+            return Err(Divergence::Matrix {
+                label: "whole plan".into(),
+                shards,
+                detail: format!(
+                    "fused replay returned {} outcomes for {} cells",
+                    fused.len(),
+                    matrix_cells.len()
+                ),
+            });
+        }
+        for (i, (f, e)) in fused.iter().zip(&expected).enumerate() {
+            if f.stats != e.stats {
+                return Err(Divergence::Matrix {
+                    label: cell_label(i),
+                    shards,
+                    detail: format!(
+                        "stats differ:\nfused {:#?}\nper-cell {:#?}",
+                        f.stats, e.stats
+                    ),
+                });
+            }
+            if f.occupancy != e.occupancy {
+                return Err(Divergence::Matrix {
+                    label: cell_label(i),
+                    shards,
+                    detail: format!(
+                        "occupancy differs: fused {}, per-cell {}",
+                        f.occupancy, e.occupancy
+                    ),
+                });
+            }
+        }
+    }
+
     Ok(trace)
 }
 
@@ -393,6 +491,33 @@ mod tests {
             if let Err(d) = run_case(&p, 100_000) {
                 panic!("oracle diverged at seed {seed}: {d}\n{p}");
             }
+        }
+    }
+
+    #[test]
+    fn matrix_divergence_renders_with_cell_and_shards() {
+        let d = Divergence::Matrix {
+            label: "stride (cell 2, table 0)".into(),
+            shards: 3,
+            detail: "stats differ".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("cell 2"), "{s}");
+        assert!(s.contains("3 shards"), "{s}");
+        assert!(s.contains("stats differ"), "{s}");
+    }
+
+    /// A directive-tagged kernel keeps the matrix oracle's two annotation
+    /// tables distinct (the stripped program really differs), so the
+    /// multi-table fused path is exercised, not just deduped away.
+    #[test]
+    fn matrix_oracle_covers_distinct_annotation_tables() {
+        let src = "li r1, 0\nli r2, 9\ntop: addi.st r3, r3, 4\nsd r3, 3(r1)\n\
+                   ld.lv r4, 3(r1)\naddi r1, r1, 1\nbne r1, r2, top\nhalt\n";
+        let p = vp_isa::asm::assemble(src).unwrap();
+        assert_ne!(p, p.without_directives(), "kernel must carry directives");
+        if let Err(d) = run_case(&p, 5_000) {
+            panic!("oracle diverged on the tagged kernel: {d}\n{p}");
         }
     }
 

@@ -19,7 +19,8 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use provp::core::experiments::{
-    classification, fig_2_2, fig_2_3, fig_4, finite_table, table_2_1, table_5_1, table_5_2,
+    ablations, classification, fig_2_2, fig_2_3, fig_4, finite_table, table_2_1, table_5_1,
+    table_5_2,
 };
 use provp::core::Suite;
 use provp::workloads::WorkloadKind;
@@ -161,6 +162,43 @@ fn golden_finite_table() {
 #[test]
 fn golden_table_5_2() {
     check("table_5_2", &table_5_2::run(suite(), &KINDS).render());
+}
+
+// The four sweep ablations below all replay through the fused matrix
+// kernel (`provp_core::replay_matrix`), so these snapshots pin the
+// fused path's output byte-for-byte against the pre-fusion renders.
+
+#[test]
+fn golden_ablation_schemes() {
+    let rows = ablations::schemes(suite(), &KINDS);
+    check("ablation_schemes", &ablations::render_schemes(&rows));
+}
+
+#[test]
+fn golden_ablation_geometry() {
+    let kind = KINDS[0];
+    let rows = ablations::geometry(suite(), kind, &[64, 128, 256, 512, 1024, 2048]);
+    check(
+        "ablation_geometry",
+        &ablations::render_geometry(kind, &rows),
+    );
+}
+
+#[test]
+fn golden_ablation_hybrid() {
+    let kind = KINDS[0];
+    let rows = ablations::hybrid_split(suite(), kind, 512);
+    check("ablation_hybrid", &ablations::render_hybrid(kind, &rows));
+}
+
+#[test]
+fn golden_ablation_counters() {
+    let kind = KINDS[0];
+    let rows = ablations::counters(suite(), kind);
+    check(
+        "ablation_counters",
+        &ablations::render_counters(kind, &rows),
+    );
 }
 
 #[test]
