@@ -9,7 +9,8 @@
 //!               [--max-phase-regression=0.25] \
 //!               [--max-accuracy-drop=0.005] \
 //!               [--max-phase-share-regression=0.15] \
-//!               [--max-matrix-passes-per-trace=1]
+//!               [--max-matrix-passes-per-trace=1] \
+//!               [--max-peak-rss-regression=0.25]
 //! ```
 //!
 //! Accepts every manifest schema version (v1 aggregates-only, v2 with
@@ -39,13 +40,26 @@
 //! `--max-matrix-passes-per-trace=N` gates sweep *fusion*: the current
 //! manifest's `replay.matrix_passes` counter may not exceed `N` times
 //! its `replay.matrix_traces` counter (distinct reference traces swept
-//! by `replay_matrix`). CI runs with `N=1` — every trace fused into
+//! by the fused sweep). CI runs with `N=1` — every trace fused into
 //! exactly one matrix pass — so a regression that silently falls back
 //! to per-cell replays (or primes the memo twice) fails even when the
 //! extra passes happen to stay inside the wall-time ceiling. A current
 //! manifest without the two counters, or one that swept no traces at
 //! all, is a usage error (exit 2): the gate was asked to check a run
 //! that never exercised the fused sweep.
+//!
+//! `--max-peak-rss-regression=F` gates peak memory: the current run's
+//! peak resident set size may not exceed the baseline's by more than `F`
+//! (a fraction of the baseline, e.g. `0.25` = 25%). The reading prefers
+//! the `rss.sampled_peak_bytes` max-gauge (populated on every profiler
+//! tick under `--profile-hz=`, so it sees transient peaks freed before
+//! exit) and falls back to the end-of-run `peak_rss_bytes` (`VmHWM`)
+//! when the run was not profiled. This is the gate that keeps the
+//! bounded-memory streaming pipeline honest: a change that quietly
+//! re-materialises the trace shows up as an RSS step no wall-time gate
+//! notices. A baseline recording no RSS skips the gate with a warning
+//! (refresh it to re-arm); a *current* manifest recording none is a
+//! usage error (exit 2).
 //!
 //! `--max-accuracy-drop=F` gates aggregate *prediction* accuracy: the
 //! run-wide effective accuracy (`predictor.speculated_correct /
@@ -86,6 +100,7 @@ struct Args {
     max_accuracy_drop: Option<f64>,
     max_phase_share_regression: Option<f64>,
     max_matrix_passes_per_trace: Option<u64>,
+    max_peak_rss_regression: Option<f64>,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -94,6 +109,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut max_accuracy_drop = None;
     let mut max_phase_share_regression = None;
     let mut max_matrix_passes_per_trace = None;
+    let mut max_peak_rss_regression = None;
     for arg in provp_bench::args::normalize(args, &[])? {
         if let Some(p) = arg.strip_prefix("--manifest=") {
             manifest = Some(PathBuf::from(p));
@@ -138,11 +154,17 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 Some(v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
                     format!("bad --max-matrix-passes-per-trace value `{v}` (want >= 1)")
                 })?);
+        } else if let Some(v) = arg.strip_prefix("--max-peak-rss-regression=") {
+            max_peak_rss_regression =
+                Some(v.parse().ok().filter(|r| *r >= 0.0).ok_or_else(|| {
+                    format!("bad --max-peak-rss-regression value `{v}` (want >= 0.0)")
+                })?);
         } else {
             return Err(format!(
                 "unknown argument `{arg}` (try --manifest=, --baseline=, --max-regression=, \
                  --phase=, --max-phase-regression=, --max-accuracy-drop=, \
-                 --max-phase-share-regression=, --max-matrix-passes-per-trace=)"
+                 --max-phase-share-regression=, --max-matrix-passes-per-trace=, \
+                 --max-peak-rss-regression=)"
             ));
         }
     }
@@ -155,6 +177,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         max_accuracy_drop,
         max_phase_share_regression,
         max_matrix_passes_per_trace,
+        max_peak_rss_regression,
     })
 }
 
@@ -166,6 +189,18 @@ fn matrix_pass_rate(m: &RunManifest) -> Option<(u64, u64)> {
     let passes = *m.counters.get("replay.matrix_passes")?;
     let traces = *m.counters.get("replay.matrix_traces")?;
     (traces > 0).then_some((passes, traces))
+}
+
+/// The best available peak-RSS reading from a manifest: the
+/// `rss.sampled_peak_bytes` max-gauge when the run was profiled (it sees
+/// transient peaks freed before exit), else the end-of-run `VmHWM`
+/// snapshot. `None` when the run recorded neither (e.g. no procfs).
+fn peak_rss(m: &RunManifest) -> Option<u64> {
+    m.gauges
+        .get("rss.sampled_peak_bytes")
+        .copied()
+        .filter(|&b| b > 0)
+        .or_else(|| (m.peak_rss_bytes > 0).then_some(m.peak_rss_bytes))
 }
 
 /// Run-wide effective prediction accuracy from a manifest's counters
@@ -377,6 +412,46 @@ fn main() -> ExitCode {
                 obs_error!(
                     "--max-accuracy-drop given but the current manifest records no \
                      predictor.speculated* counters (was the run a predictor experiment?)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Peak-memory gate (opt-in via --max-peak-rss-regression): keeps the
+    // bounded-memory streaming pipeline honest — re-materialising the
+    // trace shows up here even when wall time stays flat.
+    if let Some(max_growth) = args.max_peak_rss_regression {
+        match (peak_rss(&baseline), peak_rss(&current)) {
+            (Some(base_rss), Some(cur_rss)) => {
+                let ceiling = base_rss as f64 * (1.0 + max_growth);
+                println!(
+                    "metrics-check: peak RSS {:.1} MiB vs baseline {:.1} MiB \
+                     (ceiling {:.1} MiB, max regression {:.0}%)",
+                    cur_rss as f64 / (1024.0 * 1024.0),
+                    base_rss as f64 / (1024.0 * 1024.0),
+                    ceiling / (1024.0 * 1024.0),
+                    100.0 * max_growth
+                );
+                if cur_rss as f64 > ceiling {
+                    obs_error!(
+                        "peak RSS regressed {:.1}% (limit {:.0}%) — did something \
+                         re-materialise a trace the streaming path used to bound?",
+                        100.0 * (cur_rss as f64 / base_rss as f64 - 1.0),
+                        100.0 * max_growth
+                    );
+                    failed = true;
+                }
+            }
+            (None, _) => obs_warn!(
+                "baseline records no peak RSS (neither rss.sampled_peak_bytes nor \
+                 peak_rss_bytes); skipping the peak-RSS gate (refresh \
+                 BENCH_baseline.json to re-arm it)"
+            ),
+            (_, None) => {
+                obs_error!(
+                    "--max-peak-rss-regression given but the current manifest records \
+                     no peak RSS (no procfs? rerun with --profile-hz= to sample it)"
                 );
                 return ExitCode::from(2);
             }
@@ -702,6 +777,45 @@ mod tests {
         assert_eq!(matrix_pass_rate(&m), None);
         m.counters.insert("replay.matrix_traces".to_owned(), 9);
         assert_eq!(matrix_pass_rate(&m), Some((9, 9)));
+    }
+
+    #[test]
+    fn peak_rss_gate_flag_and_readings() {
+        let a = parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-peak-rss-regression".to_owned(), // space-separated form
+            "0.25".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(a.max_peak_rss_regression, Some(0.25));
+        let a = parse_args(["--manifest=m".to_owned(), "--baseline=b".to_owned()]).unwrap();
+        assert_eq!(a.max_peak_rss_regression, None);
+        assert!(parse_args([
+            "--manifest=m".to_owned(),
+            "--baseline=b".to_owned(),
+            "--max-peak-rss-regression=-0.1".to_owned(),
+        ])
+        .is_err());
+
+        let mut m = RunManifest {
+            bin: "x".to_owned(),
+            peak_rss_bytes: 0,
+            ..RunManifest::default()
+        };
+        // Neither reading recorded -> the gate cannot judge the run.
+        assert_eq!(peak_rss(&m), None);
+        // End-of-run VmHWM alone is enough...
+        m.peak_rss_bytes = 64 << 20;
+        assert_eq!(peak_rss(&m), Some(64 << 20));
+        // ...but the sampled max-gauge wins when present (it sees
+        // transient peaks the exit snapshot can miss across processes).
+        m.gauges
+            .insert("rss.sampled_peak_bytes".to_owned(), 48 << 20);
+        assert_eq!(peak_rss(&m), Some(48 << 20));
+        // A zero gauge (sampler never ticked) falls back again.
+        m.gauges.insert("rss.sampled_peak_bytes".to_owned(), 0);
+        assert_eq!(peak_rss(&m), Some(64 << 20));
     }
 
     #[test]

@@ -15,15 +15,16 @@
 //!   tracer glue (the pre-columnar path),
 //! - `columnar-replay`: the columnar trace through the same tracer glue
 //!   (reconstruction cost without the `Vec<TraceEvent>` materialisation),
-//! - `columnar-1shard`: the sequential value-event scan of
-//!   [`provp_core::replay_predictor`],
+//! - `columnar-1shard`: the sequential value-event scan of a
+//!   [`provp_core::ReplayRequest`],
 //! - `columnar-Nshard`: the PC-sharded parallel scan at 2/4/8 shards.
 //!
 //! A second group compares sweeping a six-configuration matrix the old
-//! way — one [`provp_core::replay_predictor`] trace pass per cell —
-//! with the fused [`provp_core::replay_matrix`] kernel that decodes
-//! each value event once and updates every cell's predictor bank in
-//! blocks, sequentially and PC-sharded.
+//! way — one [`provp_core::ReplayRequest`] trace pass per cell — with
+//! the fused kernel that decodes each value event once and updates
+//! every cell's predictor bank in blocks, sequentially, PC-sharded,
+//! and in bounded-memory streaming mode (`fused-stream`, which
+//! re-simulates the program instead of touching the resident trace).
 //!
 //! Every variant's [`vp_predictor::PredictorStats`] are asserted equal
 //! before timing starts — the bench doubles as an end-to-end check that
@@ -35,7 +36,7 @@ use std::sync::Arc;
 
 use provp_bench::args;
 use provp_bench::micro::{black_box, Group};
-use provp_core::{replay_matrix, replay_predictor, PredictorTracer, SweepPlan, TraceStore};
+use provp_core::{PredictorTracer, ReplayRequest, SweepPlan, TraceStore};
 use vp_obs::obs_error;
 use vp_predictor::{ClassifierKind, PredictorConfig, TableGeometry};
 use vp_sim::{replay, RunLimits, Trace, TraceEvent};
@@ -134,12 +135,23 @@ fn main() {
         trace.columns().dest_count()
     );
 
+    let single = |shards: usize, jobs: usize| {
+        ReplayRequest::batch(&trace)
+            .single(&program, config)
+            .shards(shards)
+            .jobs(jobs)
+            .run()
+            .expect("replay")
+            .into_single()
+            .outcome
+    };
+
     // Cross-check first: every variant must produce identical statistics.
     let mut aos = PredictorTracer::new(config.build());
     replay(&program, &events, &mut aos).expect("aos replay");
     let baseline = *aos.stats();
     for shards in [1usize, 2, 4, 8] {
-        let out = replay_predictor(&trace, &program, &config, shards, jobs).expect("replay");
+        let out = single(shards, jobs);
         assert_eq!(
             out.stats, baseline,
             "{shards}-shard replay diverged from the AoS baseline"
@@ -159,22 +171,10 @@ fn main() {
             .expect("columnar replay");
         black_box(tracer.stats().hits)
     });
-    group.bench("columnar-1shard", || {
-        black_box(
-            replay_predictor(&trace, &program, &config, 1, 1)
-                .expect("replay")
-                .stats
-                .hits,
-        )
-    });
+    group.bench("columnar-1shard", || black_box(single(1, 1).stats.hits));
     for shards in [2usize, 4, 8] {
         group.bench(&format!("columnar-{shards}shard"), || {
-            black_box(
-                replay_predictor(&trace, &program, &config, shards, jobs)
-                    .expect("replay")
-                    .stats
-                    .hits,
-            )
+            black_box(single(shards, jobs).stats.hits)
         });
     }
 
@@ -186,20 +186,46 @@ fn main() {
     for &c in &configs {
         plan.add_cell(c, table);
     }
-    let per_cell: Vec<_> = configs
-        .iter()
-        .map(|c| {
-            replay_predictor(&trace, &program, c, 1, 1)
-                .expect("replay")
-                .stats
-        })
-        .collect();
+    let cell_of = |c: &PredictorConfig| {
+        ReplayRequest::batch(&trace)
+            .single(&program, *c)
+            .run()
+            .expect("replay")
+            .into_single()
+            .outcome
+            .stats
+    };
+    let fused_at = |shards: usize, jobs: usize| {
+        ReplayRequest::batch(&trace)
+            .plan(plan.clone())
+            .shards(shards)
+            .jobs(jobs)
+            .run()
+            .expect("matrix")
+            .outcomes()
+    };
+    let streamed_at = |shards: usize| {
+        ReplayRequest::stream(&program, RunLimits::default())
+            .plan(plan.clone())
+            .shards(shards)
+            .run()
+            .expect("stream")
+            .outcomes()
+    };
+    let per_cell: Vec<_> = configs.iter().map(cell_of).collect();
     for shards in [1usize, 4, 8] {
-        let fused = replay_matrix(&trace, &plan, shards, jobs).expect("matrix");
+        let fused = fused_at(shards, jobs);
         for (cell, (f, p)) in fused.iter().zip(&per_cell).enumerate() {
             assert_eq!(
                 f.stats, *p,
                 "fused cell {cell} diverged from per-cell replay at {shards} shards"
+            );
+        }
+        let streamed = streamed_at(shards);
+        for (cell, (s, p)) in streamed.iter().zip(&per_cell).enumerate() {
+            assert_eq!(
+                s.stats, *p,
+                "streamed cell {cell} diverged from per-cell replay at {shards} shards"
             );
         }
     }
@@ -211,33 +237,30 @@ fn main() {
 
     let mut group = Group::new("sweep").samples(10);
     group.bench("per-cell", || {
-        let mut hits = 0;
-        for c in &configs {
-            hits += replay_predictor(&trace, &program, c, 1, 1)
-                .expect("replay")
-                .stats
-                .hits;
-        }
-        black_box(hits)
+        black_box(configs.iter().map(|c| cell_of(c).hits).sum::<u64>())
     });
     group.bench("fused-1shard", || {
-        black_box(
-            replay_matrix(&trace, &plan, 1, 1)
-                .expect("matrix")
-                .iter()
-                .map(|o| o.stats.hits)
-                .sum::<u64>(),
-        )
+        black_box(fused_at(1, 1).iter().map(|o| o.stats.hits).sum::<u64>())
     });
     for shards in [4usize, 8] {
         group.bench(&format!("fused-{shards}shard"), || {
             black_box(
-                replay_matrix(&trace, &plan, shards, jobs)
-                    .expect("matrix")
+                fused_at(shards, jobs)
                     .iter()
                     .map(|o| o.stats.hits)
                     .sum::<u64>(),
             )
         });
     }
+    // Streaming pays a fresh simulation per pass but holds no trace:
+    // this is the "trace larger than RAM" configuration, timed against
+    // the batch kernel on the same plan.
+    group.bench(&format!("fused-stream-{jobs}shard"), || {
+        black_box(
+            streamed_at(jobs.max(2))
+                .iter()
+                .map(|o| o.stats.hits)
+                .sum::<u64>(),
+        )
+    });
 }

@@ -3,7 +3,7 @@
 //!
 //! Before the predictor experiments run, the union of their sweep cells
 //! is primed into the suite's fused matrix memo (the `sweep` phase): one
-//! `replay_matrix` pass per reference trace computes every cell that
+//! fused matrix pass per reference trace computes every cell that
 //! classification, Table 5.1 and the finite-table figures will request,
 //! so `replay.matrix_passes` stays at one per trace and the sweep's wall
 //! time is attributed to a single gateable phase.

@@ -21,6 +21,15 @@
 //! --jobs=N                   worker threads for the experiment grid
 //!                            (default: 1; output is byte-identical at
 //!                            any job count)
+//! --stream                   run predictor sweeps in streaming mode: the
+//!                            reference simulation feeds the replay
+//!                            kernel through a bounded block channel and
+//!                            the trace is never materialised (peak RSS
+//!                            independent of trace length; results
+//!                            byte-identical to batch)
+//! --block-pool=N             block buffers circulating in the streaming
+//!                            channel (default 8, min 2); implies nothing
+//!                            without --stream
 //! --trace-cache=DIR          spill captured simulation traces to DIR and
 //!                            reuse them on later runs
 //! --metrics-out=FILE         write a JSON run manifest (phase wall times,
@@ -82,6 +91,10 @@ pub struct Options {
     pub train_runs: u32,
     /// Worker threads for the experiment grid (1 = serial).
     pub jobs: usize,
+    /// Whether predictor sweeps run in streaming (bounded-memory) mode.
+    pub stream: bool,
+    /// Block-pool size for the streaming channel (min 2).
+    pub block_pool: usize,
     /// On-disk trace cache directory, if any.
     pub trace_cache: Option<PathBuf>,
     /// Where to write the JSON run manifest, if anywhere.
@@ -115,6 +128,8 @@ impl Default for Options {
             kinds: WorkloadKind::ALL.to_vec(),
             train_runs: 5,
             jobs: 1,
+            stream: false,
+            block_pool: provp_core::replay::stream::DEFAULT_BLOCK_POOL,
             trace_cache: None,
             metrics_out: None,
             metrics_table: false,
@@ -137,7 +152,7 @@ impl Options {
     /// names.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
         let mut opts = Options::default();
-        for arg in args::normalize(args, &["--metrics-table", "--attribution"])? {
+        for arg in args::normalize(args, &["--metrics-table", "--attribution", "--stream"])? {
             if let Some(list) = arg.strip_prefix("--workloads=") {
                 opts.kinds = list
                     .split(',')
@@ -159,6 +174,19 @@ impl Options {
                         .filter(|&j| j >= 1)
                         .ok_or_else(|| format!("bad --jobs value `{n}` (want >= 1 or auto)"))?,
                 };
+            } else if arg == "--stream" {
+                opts.stream = true;
+            } else if let Some(n) = arg.strip_prefix("--block-pool=") {
+                opts.block_pool = n
+                    .parse()
+                    .ok()
+                    .filter(|&b| b >= provp_core::replay::stream::MIN_BLOCK_POOL)
+                    .ok_or_else(|| {
+                        format!(
+                            "bad --block-pool value `{n}` (want >= {})",
+                            provp_core::replay::stream::MIN_BLOCK_POOL
+                        )
+                    })?;
             } else if let Some(dir) = arg.strip_prefix("--trace-cache=") {
                 if dir.is_empty() {
                     return Err("empty --trace-cache path".to_owned());
@@ -204,9 +232,10 @@ impl Options {
             } else {
                 return Err(format!(
                     "unknown argument `{arg}` (try --workloads=, --train-runs=, \
-                     --jobs=, --trace-cache=, --metrics-out=, --metrics-table, \
-                     --trace-out=, --sample-ms=, --attribution, --attribution-top=, \
-                     --profile-hz=, --profile-out=)"
+                     --jobs=, --stream, --block-pool=, --trace-cache=, \
+                     --metrics-out=, --metrics-table, --trace-out=, --sample-ms=, \
+                     --attribution, --attribution-top=, --profile-hz=, \
+                     --profile-out=)"
                 ));
             }
         }
@@ -234,7 +263,10 @@ impl Options {
     /// Builds the experiment suite for these options.
     #[must_use]
     pub fn suite(&self) -> Suite {
-        let suite = Suite::with_train_runs(self.train_runs).with_jobs(self.jobs);
+        let mut suite = Suite::with_train_runs(self.train_runs).with_jobs(self.jobs);
+        if self.stream {
+            suite = suite.with_streaming(self.block_pool);
+        }
         match &self.trace_cache {
             Some(dir) => suite.with_trace_dir(dir.clone()),
             None => suite,
@@ -475,6 +507,21 @@ mod tests {
         assert!(Options::parse(["--trace-out=".into()]).is_err());
         assert!(Options::parse(["--sample-ms=0".into()]).is_err());
         assert!(Options::parse(["--sample-ms=soon".into()]).is_err());
+    }
+
+    #[test]
+    fn parses_streaming_flags() {
+        let o = Options::parse([]).unwrap();
+        assert!(!o.stream);
+        assert_eq!(o.block_pool, provp_core::replay::stream::DEFAULT_BLOCK_POOL);
+        let o = Options::parse(["--stream".into(), "--block-pool=4".into()]).unwrap();
+        assert!(o.stream);
+        assert_eq!(o.block_pool, 4);
+        // Space-separated value form works through the switch list.
+        let o = Options::parse(["--stream".into(), "--block-pool".into(), "16".into()]).unwrap();
+        assert_eq!(o.block_pool, 16);
+        assert!(Options::parse(["--block-pool=1".into()]).is_err());
+        assert!(Options::parse(["--block-pool=many".into()]).is_err());
     }
 
     #[test]

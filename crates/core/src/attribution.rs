@@ -4,7 +4,7 @@
 //! binaries run their exact seed instruction stream unless a caller
 //! [`enable`]s the sink, at which point [`crate::Suite::predictor_stats`]
 //! switches to the attributed replay
-//! ([`crate::replay::replay_predictor_attributed`]) and [`record`]s one
+//! (a [`crate::replay::ReplayRequest`] with attribution on) and [`record`]s one
 //! [`AttributionRun`] per `(workload, config, threshold)` replay. At exit
 //! the bench harness [`drain`]s the sink into the run manifest's
 //! `attribution` array (`provp-run-manifest/v3`).

@@ -38,6 +38,15 @@ pub fn in_worker() -> bool {
     IN_WORKER.with(Cell::get)
 }
 
+/// Marks the current thread as a worker for [`in_worker`]. The streaming
+/// replay consumers (`crate::replay::stream`) call this on their threads
+/// so code running inside them degrades nested fan-out exactly as it
+/// would inside a [`parallel_map`] worker. The flag dies with the thread,
+/// so it needs no reset.
+pub(crate) fn mark_worker_thread() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
 /// Maps `f` over `items` on up to `jobs` threads, returning results in
 /// input order.
 ///

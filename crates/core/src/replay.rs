@@ -20,16 +20,30 @@
 //! single shard inside an already-parallel grid worker so nested fan-out
 //! never oversubscribes the machine.
 //!
-//! On top of the per-cell replay sits the **fused sweep matrix**
-//! ([`replay_matrix`]): every headline figure of the paper is a sweep —
-//! several predictor configurations × several profiling thresholds over
-//! the *same* trace — and replaying per cell scans the identical value
-//! stream `cells` times. The fused engine streams the trace once,
-//! resolves each distinct directive annotation's per-PC row once per
-//! block, and feeds the block to a bank of predictors
-//! ([`vp_predictor::ValuePredictor::access_batch`]), sharding by the
-//! *joint* state-partition key (gcd of the cells' moduli) so every cell's
-//! grid entry stays bit-identical to its sequential per-cell replay.
+//! On top of the per-cell replay sits the **fused sweep matrix**: every
+//! headline figure of the paper is a sweep — several predictor
+//! configurations × several profiling thresholds over the *same* trace —
+//! and replaying per cell scans the identical value stream `cells` times.
+//! The fused engine streams the trace once, resolves each distinct
+//! directive annotation's per-PC row once per block, and feeds the block
+//! to a bank of predictors ([`vp_predictor::ValuePredictor::access_batch`]),
+//! sharding by the *joint* state-partition key (gcd of the cells' moduli)
+//! so every cell's grid entry stays bit-identical to its sequential
+//! per-cell replay.
+//!
+//! ## Entry point
+//!
+//! All replays go through one builder, [`ReplayRequest`]: pick a source
+//! ([`ReplayRequest::batch`] for a resident [`Trace`],
+//! [`ReplayRequest::stream`] to simulate and predict concurrently without
+//! ever materialising the trace — see [`stream`]), describe the cells
+//! ([`ReplayRequest::plan`] / [`ReplayRequest::single`]), and [`run`]
+//! it. The four pre-builder entry points (`replay_predictor`,
+//! `replay_predictor_attributed`, `replay_matrix`,
+//! `replay_matrix_attributed`) survive as thin deprecated wrappers; see
+//! DESIGN.md for the migration table.
+//!
+//! [`run`]: ReplayRequest::run
 
 use std::collections::HashMap;
 use std::io;
@@ -37,9 +51,11 @@ use std::time::Instant;
 
 use vp_isa::{Directive, InstrAddr, Program};
 use vp_predictor::{AttributionTable, PredictorConfig, PredictorStats, ValuePredictor};
-use vp_sim::Trace;
+use vp_sim::{RunLimits, Trace};
 
 use crate::exec::{in_worker, parallel_map};
+
+pub mod stream;
 
 /// Traces below this many events are replayed unsharded: the per-shard
 /// flag-column rescan and thread hand-off would cost more than they save.
@@ -61,6 +77,9 @@ pub struct ReplayOutcome {
 /// 1 when it cannot (serial run, tiny trace) or must not (already inside a
 /// [`parallel_map`] worker, where nested fan-out would oversubscribe the
 /// pool). Output never depends on the choice — only wall-clock does.
+///
+/// For a streaming replay the event count is unknown up front; pass
+/// [`usize::MAX`] to let `jobs` and worker-nesting decide alone.
 #[must_use]
 pub fn auto_shards(jobs: usize, events: usize) -> usize {
     if jobs <= 1 || events < MIN_SHARD_EVENTS || in_worker() {
@@ -70,183 +89,11 @@ pub fn auto_shards(jobs: usize, events: usize) -> usize {
     }
 }
 
-/// Replays `trace`'s value events through `config`'s predictor, sharded
-/// `shards` ways by the configuration's state-partition key and fanned
-/// out over up to `jobs` worker threads.
-///
-/// Directives are pre-resolved from `program` into a dense table once, so
-/// the per-event work is a columnar scan plus the predictor access — no
-/// instruction fetch, no retirement reconstruction.
-///
-/// With `shards == 1` the replay is a plain sequential scan (no pool, no
-/// partition filter); any `shards >= 1` produces bit-identical
-/// [`ReplayOutcome::stats`].
-///
-/// # Errors
-///
-/// [`io::Error`] of kind `InvalidData` when a value event's address does
-/// not name an instruction of `program` (a foreign trace).
-pub fn replay_predictor(
-    trace: &Trace,
-    program: &Program,
-    config: &PredictorConfig,
-    shards: usize,
-    jobs: usize,
-) -> io::Result<ReplayOutcome> {
-    let _span = vp_obs::span("replay");
-    let directives: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
-    let shards = shards.max(1);
-    let cols = trace.columns();
-
-    if shards == 1 {
-        let mut predictor = config.build();
-        for (addr, value) in cols.value_events() {
-            let directive = *directives
-                .get(addr.index() as usize)
-                .ok_or_else(|| outside_text(addr))?;
-            predictor.access(addr, directive, value);
-        }
-        vp_obs::counter("replay.shards").add(1);
-        return Ok(ReplayOutcome {
-            stats: *predictor.stats(),
-            occupancy: predictor.occupancy(),
-            shards: 1,
-        });
-    }
-
-    let views = cols.shard_by_pc(shards, |addr| config.shard_key(addr));
-    let parts = parallel_map(jobs.max(1), &views, |shard| -> io::Result<_> {
-        let started = Instant::now();
-        let mut predictor = config.build();
-        for (addr, value) in shard.values() {
-            let directive = *directives
-                .get(addr.index() as usize)
-                .ok_or_else(|| outside_text(addr))?;
-            predictor.access(addr, directive, value);
-        }
-        Ok((
-            *predictor.stats(),
-            predictor.occupancy(),
-            started.elapsed().as_micros() as u64,
-        ))
-    });
-
-    let mut stats = PredictorStats::new();
-    let mut occupancy = 0usize;
-    let (mut fastest, mut slowest) = (u64::MAX, 0u64);
-    for part in parts {
-        let (shard_stats, shard_occupancy, micros) = part?;
-        stats.merge(&shard_stats);
-        occupancy += shard_occupancy;
-        fastest = fastest.min(micros);
-        slowest = slowest.max(micros);
-    }
-    let skew_us = slowest.saturating_sub(fastest);
-    vp_obs::counter("replay.shards").add(shards as u64);
-    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
-    vp_obs::events::instant("replay.shard_skew", skew_us);
-    Ok(ReplayOutcome {
-        stats,
-        occupancy,
-        shards,
-    })
-}
-
-/// Like [`replay_predictor`], additionally observing every access into a
-/// per-PC [`AttributionTable`].
-///
-/// This is a separate function (rather than a flag) so the unattributed
-/// hot path keeps its exact instruction stream: with attribution off,
-/// nothing here runs. The attribution contract mirrors the stats one —
-/// PC-sharding routes each static address wholly into one shard, so the
-/// merged table is **bit-identical** to a sequential replay's at any
-/// shard/job count, and [`AttributionTable::reconcile`] holds against the
-/// merged [`ReplayOutcome::stats`].
-///
-/// # Errors
-///
-/// [`io::Error`] of kind `InvalidData` when a value event's address does
-/// not name an instruction of `program` (a foreign trace).
-pub fn replay_predictor_attributed(
-    trace: &Trace,
-    program: &Program,
-    config: &PredictorConfig,
-    shards: usize,
-    jobs: usize,
-) -> io::Result<(ReplayOutcome, AttributionTable)> {
-    let _span = vp_obs::span("replay");
-    let directives: Vec<Directive> = program.text().iter().map(|i| i.directive).collect();
-    let shards = shards.max(1);
-    let cols = trace.columns();
-
-    if shards == 1 {
-        let mut predictor = config.build();
-        let mut table = AttributionTable::new();
-        for (addr, value) in cols.value_events() {
-            let directive = *directives
-                .get(addr.index() as usize)
-                .ok_or_else(|| outside_text(addr))?;
-            let access = predictor.access(addr, directive, value);
-            table.observe(addr, directive, &access, value);
-        }
-        vp_obs::counter("replay.shards").add(1);
-        let outcome = ReplayOutcome {
-            stats: *predictor.stats(),
-            occupancy: predictor.occupancy(),
-            shards: 1,
-        };
-        return Ok((outcome, table));
-    }
-
-    let views = cols.shard_by_pc(shards, |addr| config.shard_key(addr));
-    let parts = parallel_map(jobs.max(1), &views, |shard| -> io::Result<_> {
-        let started = Instant::now();
-        let mut predictor = config.build();
-        let mut table = AttributionTable::new();
-        for (addr, value) in shard.values() {
-            let directive = *directives
-                .get(addr.index() as usize)
-                .ok_or_else(|| outside_text(addr))?;
-            let access = predictor.access(addr, directive, value);
-            table.observe(addr, directive, &access, value);
-        }
-        Ok((
-            *predictor.stats(),
-            predictor.occupancy(),
-            table,
-            started.elapsed().as_micros() as u64,
-        ))
-    });
-
-    let mut stats = PredictorStats::new();
-    let mut occupancy = 0usize;
-    let mut table = AttributionTable::new();
-    let (mut fastest, mut slowest) = (u64::MAX, 0u64);
-    for part in parts {
-        let (shard_stats, shard_occupancy, shard_table, micros) = part?;
-        stats.merge(&shard_stats);
-        occupancy += shard_occupancy;
-        table.merge(&shard_table);
-        fastest = fastest.min(micros);
-        slowest = slowest.max(micros);
-    }
-    let skew_us = slowest.saturating_sub(fastest);
-    vp_obs::counter("replay.shards").add(shards as u64);
-    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
-    vp_obs::events::instant("replay.shard_skew", skew_us);
-    let outcome = ReplayOutcome {
-        stats,
-        occupancy,
-        shards,
-    };
-    Ok((outcome, table))
-}
-
 /// Events per fused-kernel block: long enough to amortise the one virtual
 /// `access_batch` call per (block, cell) and keep each predictor's tables
 /// hot across the block, short enough that the scratch columns (addresses,
 /// values, one directive row per distinct annotation) stay cache-resident.
-const MATRIX_BLOCK: usize = 1024;
+pub(crate) const MATRIX_BLOCK: usize = 1024;
 
 /// One cell of a [`SweepPlan`]: a predictor configuration replayed under
 /// one of the plan's directive annotations.
@@ -311,6 +158,11 @@ impl SweepPlan {
         &self.cells
     }
 
+    /// The registered directive tables, in registration order.
+    pub(crate) fn tables(&self) -> &[Vec<Directive>] {
+        &self.tables
+    }
+
     /// Whether the plan has no cells.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -333,7 +185,7 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 /// state in that cell (`a ≡ b mod m`) also share a shard (`a ≡ b mod g`);
 /// infinite cells keep purely per-address state, which any function of the
 /// address respects. `None` (an all-infinite plan) shards by raw address.
-fn joint_shard_modulus(cells: &[MatrixCell]) -> Option<u64> {
+pub(crate) fn joint_shard_modulus(cells: &[MatrixCell]) -> Option<u64> {
     let mut joint: Option<u64> = None;
     for cell in cells {
         if let Some(m) = cell.config.shard_modulus() {
@@ -348,7 +200,7 @@ fn joint_shard_modulus(cells: &[MatrixCell]) -> Option<u64> {
 
 /// Dedupes the plan's cells: returns the distinct cells (the predictor
 /// bank's slots) and, per request cell, the slot it maps to.
-fn dedupe_cells(cells: &[MatrixCell]) -> (Vec<MatrixCell>, Vec<usize>) {
+pub(crate) fn dedupe_cells(cells: &[MatrixCell]) -> (Vec<MatrixCell>, Vec<usize>) {
     let mut slots = Vec::new();
     let mut slot_of = Vec::with_capacity(cells.len());
     let mut index: HashMap<MatrixCell, usize> = HashMap::new();
@@ -370,11 +222,141 @@ fn used_tables(slots: &[MatrixCell]) -> Vec<usize> {
     used
 }
 
-/// The fused single-pass kernel: streams `events` once, resolving each
-/// block's directive row once per distinct annotation and feeding the
-/// whole block to every predictor in the bank via
-/// [`ValuePredictor::access_batch`] (one virtual call per block per cell,
-/// statically dispatched inside).
+/// The push-based fused kernel: accumulates one shard's value events into
+/// [`MATRIX_BLOCK`]-sized scratch columns, resolves each full block's
+/// directive row once per distinct annotation and feeds the block to
+/// every predictor in the bank via [`ValuePredictor::access_batch`] (one
+/// virtual call per block per cell, statically dispatched inside).
+///
+/// Both the batch scan (an iterator drained into `push`) and the
+/// streaming consumers ([`stream`]) drive this same kernel, so their
+/// per-event instruction streams — and therefore their results — cannot
+/// drift apart: the block boundaries a consumer happens to deliver never
+/// matter, only the accumulated [`MATRIX_BLOCK`] chunking here does.
+pub(crate) struct MatrixScanner<'p> {
+    banks: Vec<Box<dyn ValuePredictor>>,
+    tables: &'p [Vec<Directive>],
+    slots: &'p [MatrixCell],
+    used: Vec<usize>,
+    addrs: Vec<InstrAddr>,
+    values: Vec<u64>,
+    rows: Vec<Vec<Directive>>,
+}
+
+impl<'p> MatrixScanner<'p> {
+    pub(crate) fn new(tables: &'p [Vec<Directive>], slots: &'p [MatrixCell]) -> Self {
+        MatrixScanner {
+            banks: slots.iter().map(|c| c.config.build()).collect(),
+            tables,
+            slots,
+            used: used_tables(slots),
+            addrs: Vec::with_capacity(MATRIX_BLOCK),
+            values: Vec::with_capacity(MATRIX_BLOCK),
+            rows: tables
+                .iter()
+                .map(|_| Vec::with_capacity(MATRIX_BLOCK))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, addr: InstrAddr, value: u64) -> io::Result<()> {
+        self.addrs.push(addr);
+        self.values.push(value);
+        if self.addrs.len() == MATRIX_BLOCK {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.addrs.is_empty() {
+            return Ok(());
+        }
+        for &t in &self.used {
+            let table = &self.tables[t];
+            let row = &mut self.rows[t];
+            row.clear();
+            for &addr in &self.addrs {
+                row.push(
+                    *table
+                        .get(addr.index() as usize)
+                        .ok_or_else(|| outside_text(addr))?,
+                );
+            }
+        }
+        for (bank, cell) in self.banks.iter_mut().zip(self.slots) {
+            bank.access_batch(&self.addrs, &self.rows[cell.directives], &self.values);
+        }
+        self.addrs.clear();
+        self.values.clear();
+        Ok(())
+    }
+
+    pub(crate) fn finish(mut self) -> io::Result<Vec<(PredictorStats, usize)>> {
+        self.flush()?;
+        Ok(self
+            .banks
+            .iter()
+            .map(|b| (*b.stats(), b.occupancy()))
+            .collect())
+    }
+}
+
+/// [`MatrixScanner`] with per-access attribution observation. Attribution
+/// consumes each access outcome, so this variant runs event-at-a-time —
+/// it exists to keep `--attribution` runs on the fused path (one trace
+/// scan) without perturbing the plain kernel.
+pub(crate) struct MatrixScannerAttributed<'p> {
+    banks: Vec<Box<dyn ValuePredictor>>,
+    attributions: Vec<AttributionTable>,
+    tables: &'p [Vec<Directive>],
+    slots: &'p [MatrixCell],
+    used: Vec<usize>,
+    dirs: Vec<Directive>,
+}
+
+impl<'p> MatrixScannerAttributed<'p> {
+    pub(crate) fn new(tables: &'p [Vec<Directive>], slots: &'p [MatrixCell]) -> Self {
+        MatrixScannerAttributed {
+            banks: slots.iter().map(|c| c.config.build()).collect(),
+            attributions: slots.iter().map(|_| AttributionTable::new()).collect(),
+            tables,
+            slots,
+            used: used_tables(slots),
+            dirs: vec![Directive::None; tables.len()],
+        }
+    }
+
+    pub(crate) fn push(&mut self, addr: InstrAddr, value: u64) -> io::Result<()> {
+        for &t in &self.used {
+            self.dirs[t] = *self.tables[t]
+                .get(addr.index() as usize)
+                .ok_or_else(|| outside_text(addr))?;
+        }
+        for ((bank, cell), table) in self
+            .banks
+            .iter_mut()
+            .zip(self.slots)
+            .zip(self.attributions.iter_mut())
+        {
+            let directive = self.dirs[cell.directives];
+            let access = bank.access(addr, directive, value);
+            table.observe(addr, directive, &access, value);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(self) -> io::Result<Vec<(PredictorStats, usize, AttributionTable)>> {
+        Ok(self
+            .banks
+            .iter()
+            .zip(self.attributions)
+            .map(|(b, t)| (*b.stats(), b.occupancy(), t))
+            .collect())
+    }
+}
+
+/// Drains `events` through a [`MatrixScanner`].
 fn matrix_scan<I>(
     events: I,
     tables: &[Vec<Directive>],
@@ -383,51 +365,14 @@ fn matrix_scan<I>(
 where
     I: Iterator<Item = (InstrAddr, u64)>,
 {
-    let mut banks: Vec<Box<dyn ValuePredictor>> = slots.iter().map(|c| c.config.build()).collect();
-    let used = used_tables(slots);
-    let mut addrs: Vec<InstrAddr> = Vec::with_capacity(MATRIX_BLOCK);
-    let mut values: Vec<u64> = Vec::with_capacity(MATRIX_BLOCK);
-    let mut rows: Vec<Vec<Directive>> = tables
-        .iter()
-        .map(|_| Vec::with_capacity(MATRIX_BLOCK))
-        .collect();
-    let mut events = events.fuse();
-    loop {
-        addrs.clear();
-        values.clear();
-        while addrs.len() < MATRIX_BLOCK {
-            let Some((addr, value)) = events.next() else {
-                break;
-            };
-            addrs.push(addr);
-            values.push(value);
-        }
-        if addrs.is_empty() {
-            break;
-        }
-        for &t in &used {
-            let table = &tables[t];
-            let row = &mut rows[t];
-            row.clear();
-            for &addr in &addrs {
-                row.push(
-                    *table
-                        .get(addr.index() as usize)
-                        .ok_or_else(|| outside_text(addr))?,
-                );
-            }
-        }
-        for (bank, cell) in banks.iter_mut().zip(slots) {
-            bank.access_batch(&addrs, &rows[cell.directives], &values);
-        }
+    let mut scanner = MatrixScanner::new(tables, slots);
+    for (addr, value) in events {
+        scanner.push(addr, value)?;
     }
-    Ok(banks.iter().map(|b| (*b.stats(), b.occupancy())).collect())
+    scanner.finish()
 }
 
-/// [`matrix_scan`] with per-access attribution observation. Attribution
-/// consumes each access outcome, so this variant runs event-at-a-time —
-/// it exists to keep `--attribution` runs on the fused path (one trace
-/// scan) without perturbing the plain kernel.
+/// Drains `events` through a [`MatrixScannerAttributed`].
 fn matrix_scan_attributed<I>(
     events: I,
     tables: &[Vec<Directive>],
@@ -436,56 +381,28 @@ fn matrix_scan_attributed<I>(
 where
     I: Iterator<Item = (InstrAddr, u64)>,
 {
-    let mut banks: Vec<Box<dyn ValuePredictor>> = slots.iter().map(|c| c.config.build()).collect();
-    let mut attributions: Vec<AttributionTable> =
-        slots.iter().map(|_| AttributionTable::new()).collect();
-    let used = used_tables(slots);
-    let mut dirs: Vec<Directive> = vec![Directive::None; tables.len()];
+    let mut scanner = MatrixScannerAttributed::new(tables, slots);
     for (addr, value) in events {
-        for &t in &used {
-            dirs[t] = *tables[t]
-                .get(addr.index() as usize)
-                .ok_or_else(|| outside_text(addr))?;
-        }
-        for ((bank, cell), table) in banks.iter_mut().zip(slots).zip(attributions.iter_mut()) {
-            let directive = dirs[cell.directives];
-            let access = bank.access(addr, directive, value);
-            table.observe(addr, directive, &access, value);
-        }
+        scanner.push(addr, value)?;
     }
-    Ok(banks
-        .iter()
-        .zip(attributions)
-        .map(|(b, t)| (*b.stats(), b.occupancy(), t))
-        .collect())
+    scanner.finish()
 }
 
-/// Replays `trace`'s value events through *every* cell of `plan` in a
-/// single pass, sharded `shards` ways by the plan's joint state-partition
-/// key and fanned out over up to `jobs` worker threads.
-///
-/// The per-cell results are **bit-identical** to calling
-/// [`replay_predictor`] once per cell against a program carrying the
-/// cell's directive table — at any shard/job count (property-tested and
-/// fuzzed via the vp-verify oracle). Duplicate cells are deduped into one
-/// predictor-bank slot and share one replay.
-///
-/// Observability: one `matrix` span per call; `replay.matrix_passes` +1,
-/// `replay.fused_cells` += distinct cells, `replay.shards` += shards.
-///
-/// # Errors
-///
-/// [`io::Error`] of kind `InvalidData` when a value event's address lies
-/// outside a used directive table (a foreign trace).
-pub fn replay_matrix(
+/// Publishes the per-replay shard counters shared by the batch engines.
+fn publish_shard_skew(shards: usize, fastest: u64, slowest: u64) {
+    let skew_us = slowest.saturating_sub(fastest);
+    vp_obs::counter("replay.shards").add(shards as u64);
+    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
+    vp_obs::events::instant("replay.shard_skew", skew_us);
+}
+
+/// The batch fused engine behind [`ReplayRequest::run`] (plain variant).
+fn batch_matrix(
     trace: &Trace,
     plan: &SweepPlan,
     shards: usize,
     jobs: usize,
 ) -> io::Result<Vec<ReplayOutcome>> {
-    if plan.cells.is_empty() {
-        return Ok(Vec::new());
-    }
     let _span = vp_obs::span("matrix");
     let (slots, slot_of) = dedupe_cells(&plan.cells);
     vp_obs::counter("replay.matrix_passes").add(1);
@@ -528,10 +445,7 @@ pub fn replay_matrix(
         fastest = fastest.min(micros);
         slowest = slowest.max(micros);
     }
-    let skew_us = slowest.saturating_sub(fastest);
-    vp_obs::counter("replay.shards").add(shards as u64);
-    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
-    vp_obs::events::instant("replay.shard_skew", skew_us);
+    publish_shard_skew(shards, fastest, slowest);
     Ok(slot_of
         .iter()
         .map(|&s| ReplayOutcome {
@@ -542,24 +456,13 @@ pub fn replay_matrix(
         .collect())
 }
 
-/// Like [`replay_matrix`], additionally producing a per-PC
-/// [`AttributionTable`] per cell (duplicate cells receive clones of the
-/// shared slot's table). The stats and tables are bit-identical to
-/// per-cell [`replay_predictor_attributed`] at any shard/job count.
-///
-/// # Errors
-///
-/// [`io::Error`] of kind `InvalidData` when a value event's address lies
-/// outside a used directive table (a foreign trace).
-pub fn replay_matrix_attributed(
+/// The batch fused engine behind [`ReplayRequest::run`] (attributed).
+fn batch_matrix_attributed(
     trace: &Trace,
     plan: &SweepPlan,
     shards: usize,
     jobs: usize,
 ) -> io::Result<Vec<(ReplayOutcome, AttributionTable)>> {
-    if plan.cells.is_empty() {
-        return Ok(Vec::new());
-    }
     let _span = vp_obs::span("matrix");
     let (slots, slot_of) = dedupe_cells(&plan.cells);
     vp_obs::counter("replay.matrix_passes").add(1);
@@ -612,10 +515,7 @@ pub fn replay_matrix_attributed(
         fastest = fastest.min(micros);
         slowest = slowest.max(micros);
     }
-    let skew_us = slowest.saturating_sub(fastest);
-    vp_obs::counter("replay.shards").add(shards as u64);
-    vp_obs::gauge("replay.shard_skew_ms").set_max(skew_us.div_ceil(1000));
-    vp_obs::events::instant("replay.shard_skew", skew_us);
+    publish_shard_skew(shards, fastest, slowest);
     Ok(slot_of
         .iter()
         .map(|&s| {
@@ -632,7 +532,356 @@ pub fn replay_matrix_attributed(
         .collect())
 }
 
-fn outside_text(addr: vp_isa::InstrAddr) -> io::Error {
+/// Where a [`ReplayRequest`] reads its value events from.
+#[derive(Debug, Clone, Copy)]
+pub enum ReplaySource<'a> {
+    /// Replay a fully materialised in-memory [`Trace`] (the classic
+    /// path: capture once via [`crate::TraceStore`], replay many times).
+    Batch(&'a Trace),
+    /// Simulate `program` under `limits` and feed its value events
+    /// straight into the predictor workers through a bounded block
+    /// channel — the trace is never resident. See [`stream`].
+    Stream {
+        /// The program to simulate (directive annotations are irrelevant
+        /// to execution; the plan's tables supply the directives).
+        program: &'a Program,
+        /// Instruction budget for the simulation.
+        limits: RunLimits,
+    },
+}
+
+/// One cell's result from a [`ReplayRequest`]: the replay outcome plus,
+/// when attribution was requested, its per-PC [`AttributionTable`]
+/// (duplicate cells receive clones of the shared slot's table).
+#[derive(Debug, Clone)]
+pub struct ReplayCellOutcome {
+    /// Stats, occupancy and shard count — bit-identical to a sequential
+    /// per-cell replay at any shard/job/block-pool count.
+    pub outcome: ReplayOutcome,
+    /// The per-PC attribution table, if [`ReplayRequest::attribution`]
+    /// asked for one.
+    pub attribution: Option<AttributionTable>,
+}
+
+/// The per-cell results of a [`ReplayRequest`], in plan order.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayResponse {
+    /// One entry per plan cell, in [`SweepPlan::cells`] order.
+    pub cells: Vec<ReplayCellOutcome>,
+}
+
+impl ReplayResponse {
+    /// The plain outcomes in plan order (convenience for callers that
+    /// don't use attribution).
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<ReplayOutcome> {
+        self.cells.iter().map(|c| c.outcome).collect()
+    }
+
+    /// Unwraps a single-cell response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response does not hold exactly one cell.
+    #[must_use]
+    pub fn into_single(mut self) -> ReplayCellOutcome {
+        assert_eq!(
+            self.cells.len(),
+            1,
+            "response holds {} cells",
+            self.cells.len()
+        );
+        self.cells.pop().expect("one cell")
+    }
+}
+
+/// A builder describing one replay: which cells to evaluate
+/// ([`SweepPlan`]), whether to attribute mispredictions, how to shard and
+/// fan out, and where the value events come from ([`ReplaySource`]).
+///
+/// This is the single entry point subsuming the four older functions
+/// (`replay_predictor[_attributed]`, `replay_matrix[_attributed]`, all
+/// now thin deprecated wrappers):
+///
+/// ```
+/// use provp_core::replay::ReplayRequest;
+/// use vp_isa::asm::assemble;
+/// use vp_predictor::PredictorConfig;
+/// use vp_sim::{RunLimits, Trace};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let p = assemble("li r1, 0\nli r2, 9\ntop: addi r1, r1, 1\nbne r1, r2, top\nhalt\n").unwrap();
+/// let trace = Trace::capture(&p, RunLimits::default()).unwrap();
+///
+/// // Batch: replay the captured trace.
+/// let batch = ReplayRequest::batch(&trace)
+///     .single(&p, PredictorConfig::spec_table_stride_fsm())
+///     .run()?
+///     .into_single();
+///
+/// // Streaming: same result, no resident trace.
+/// let streamed = ReplayRequest::stream(&p, RunLimits::default())
+///     .single(&p, PredictorConfig::spec_table_stride_fsm())
+///     .run()?
+///     .into_single();
+/// assert_eq!(batch.outcome.stats, streamed.outcome.stats);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayRequest<'a> {
+    plan: SweepPlan,
+    source: ReplaySource<'a>,
+    attribution: bool,
+    shards: usize,
+    jobs: usize,
+    block_pool: usize,
+}
+
+impl<'a> ReplayRequest<'a> {
+    /// A request reading value events from `source`.
+    #[must_use]
+    pub fn new(source: ReplaySource<'a>) -> Self {
+        ReplayRequest {
+            plan: SweepPlan::new(),
+            source,
+            attribution: false,
+            shards: 1,
+            jobs: 1,
+            block_pool: stream::DEFAULT_BLOCK_POOL,
+        }
+    }
+
+    /// A request replaying the materialised `trace`.
+    #[must_use]
+    pub fn batch(trace: &'a Trace) -> Self {
+        ReplayRequest::new(ReplaySource::Batch(trace))
+    }
+
+    /// A request simulating `program` and predicting concurrently,
+    /// without materialising a trace.
+    #[must_use]
+    pub fn stream(program: &'a Program, limits: RunLimits) -> Self {
+        ReplayRequest::new(ReplaySource::Stream { program, limits })
+    }
+
+    /// Replaces the request's sweep plan wholesale.
+    #[must_use]
+    pub fn plan(mut self, plan: SweepPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Appends a single cell: `config` replayed under `program`'s
+    /// directive annotation (registered as a plan table, deduped).
+    #[must_use]
+    pub fn single(mut self, program: &Program, config: PredictorConfig) -> Self {
+        let table = self.plan.add_directives(program);
+        self.plan.add_cell(config, table);
+        self
+    }
+
+    /// Whether to additionally build a per-PC [`AttributionTable`] per
+    /// cell (observation-only; stats stay bit-identical).
+    #[must_use]
+    pub fn attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
+    }
+
+    /// Shard count for the state-partitioned replay (see [`auto_shards`]).
+    /// Results are bit-identical at any value; only wall-clock changes.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Worker-thread cap for a batch replay's shard fan-out. A streaming
+    /// replay always runs one thread per shard plus the producer (its
+    /// shards *are* its workers), so pick `shards` from `jobs` there.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Block-pool size for a streaming replay: the fixed number of
+    /// [`vp_sim::VALUE_BLOCK`]-event buffers circulating between producer
+    /// and consumers (clamped to at least
+    /// [`stream::MIN_BLOCK_POOL`]). Ignored by batch replays.
+    #[must_use]
+    pub fn block_pool(mut self, blocks: usize) -> Self {
+        self.block_pool = blocks.max(stream::MIN_BLOCK_POOL);
+        self
+    }
+
+    /// Runs the replay and returns per-cell results in plan order.
+    ///
+    /// Duplicate cells are deduped into one predictor-bank slot and share
+    /// one replay; the results are **bit-identical** to per-cell
+    /// sequential replays at any shard/job/block-pool count
+    /// (property-tested and fuzzed via the vp-verify oracle, including a
+    /// streaming ≡ batch stage).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] of kind `InvalidData` when a value event's address
+    /// lies outside a used directive table (a foreign trace or program);
+    /// for streaming sources, any [`vp_sim::SimError`] fault surfaces as
+    /// an [`io::Error`] with the fault as its [`source`].
+    ///
+    /// [`source`]: std::error::Error::source
+    pub fn run(self) -> io::Result<ReplayResponse> {
+        if self.plan.is_empty() {
+            return Ok(ReplayResponse::default());
+        }
+        let cells = match (self.source, self.attribution) {
+            (ReplaySource::Batch(trace), false) => {
+                batch_matrix(trace, &self.plan, self.shards, self.jobs)?
+                    .into_iter()
+                    .map(|outcome| ReplayCellOutcome {
+                        outcome,
+                        attribution: None,
+                    })
+                    .collect()
+            }
+            (ReplaySource::Batch(trace), true) => {
+                batch_matrix_attributed(trace, &self.plan, self.shards, self.jobs)?
+                    .into_iter()
+                    .map(|(outcome, table)| ReplayCellOutcome {
+                        outcome,
+                        attribution: Some(table),
+                    })
+                    .collect()
+            }
+            (ReplaySource::Stream { program, limits }, false) => {
+                stream::stream_matrix(program, limits, &self.plan, self.shards, self.block_pool)?
+                    .into_iter()
+                    .map(|outcome| ReplayCellOutcome {
+                        outcome,
+                        attribution: None,
+                    })
+                    .collect()
+            }
+            (ReplaySource::Stream { program, limits }, true) => stream::stream_matrix_attributed(
+                program,
+                limits,
+                &self.plan,
+                self.shards,
+                self.block_pool,
+            )?
+            .into_iter()
+            .map(|(outcome, table)| ReplayCellOutcome {
+                outcome,
+                attribution: Some(table),
+            })
+            .collect(),
+        };
+        Ok(ReplayResponse { cells })
+    }
+}
+
+/// Replays `trace`'s value events through `config`'s predictor.
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` for foreign traces.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ReplayRequest::batch(trace).single(program, *config) instead"
+)]
+pub fn replay_predictor(
+    trace: &Trace,
+    program: &Program,
+    config: &PredictorConfig,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<ReplayOutcome> {
+    Ok(ReplayRequest::batch(trace)
+        .single(program, *config)
+        .shards(shards)
+        .jobs(jobs)
+        .run()?
+        .into_single()
+        .outcome)
+}
+
+/// Like `replay_predictor`, additionally observing every access into a
+/// per-PC [`AttributionTable`].
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` for foreign traces.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ReplayRequest::batch(trace).single(program, *config).attribution(true) instead"
+)]
+pub fn replay_predictor_attributed(
+    trace: &Trace,
+    program: &Program,
+    config: &PredictorConfig,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<(ReplayOutcome, AttributionTable)> {
+    let cell = ReplayRequest::batch(trace)
+        .single(program, *config)
+        .attribution(true)
+        .shards(shards)
+        .jobs(jobs)
+        .run()?
+        .into_single();
+    Ok((
+        cell.outcome,
+        cell.attribution.expect("attribution requested"),
+    ))
+}
+
+/// Replays `trace`'s value events through *every* cell of `plan` in a
+/// single fused pass.
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` for foreign traces.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ReplayRequest::batch(trace).plan(plan.clone()) instead"
+)]
+pub fn replay_matrix(
+    trace: &Trace,
+    plan: &SweepPlan,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<Vec<ReplayOutcome>> {
+    if plan.is_empty() {
+        return Ok(Vec::new());
+    }
+    batch_matrix(trace, plan, shards, jobs)
+}
+
+/// Like `replay_matrix`, additionally producing a per-PC
+/// [`AttributionTable`] per cell.
+///
+/// # Errors
+///
+/// [`io::Error`] of kind `InvalidData` for foreign traces.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ReplayRequest::batch(trace).plan(plan.clone()).attribution(true) instead"
+)]
+pub fn replay_matrix_attributed(
+    trace: &Trace,
+    plan: &SweepPlan,
+    shards: usize,
+    jobs: usize,
+) -> io::Result<Vec<(ReplayOutcome, AttributionTable)>> {
+    if plan.is_empty() {
+        return Ok(Vec::new());
+    }
+    batch_matrix_attributed(trace, plan, shards, jobs)
+}
+
+pub(crate) fn outside_text(addr: vp_isa::InstrAddr) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("trace event at {addr} outside program text"),
@@ -644,7 +893,6 @@ mod tests {
     use super::*;
     use vp_isa::asm::assemble;
     use vp_predictor::{ClassifierKind, TableGeometry};
-    use vp_sim::RunLimits;
 
     fn sample() -> (Program, Trace) {
         let p = assemble(
@@ -654,6 +902,23 @@ mod tests {
         .unwrap();
         let trace = Trace::capture(&p, RunLimits::default()).unwrap();
         (p, trace)
+    }
+
+    fn single_outcome(
+        trace: &Trace,
+        p: &Program,
+        config: &PredictorConfig,
+        shards: usize,
+        jobs: usize,
+    ) -> ReplayOutcome {
+        ReplayRequest::batch(trace)
+            .single(p, *config)
+            .shards(shards)
+            .jobs(jobs)
+            .run()
+            .unwrap()
+            .into_single()
+            .outcome
     }
 
     #[test]
@@ -670,10 +935,10 @@ mod tests {
                 last_value: TableGeometry::new(12, 2),
             },
         ] {
-            let seq = replay_predictor(&trace, &p, &config, 1, 1).unwrap();
+            let seq = single_outcome(&trace, &p, &config, 1, 1);
             for shards in [2usize, 3, 4, 8] {
                 for jobs in [1usize, 4] {
-                    let par = replay_predictor(&trace, &p, &config, shards, jobs).unwrap();
+                    let par = single_outcome(&trace, &p, &config, shards, jobs);
                     assert_eq!(
                         par.stats,
                         seq.stats,
@@ -698,20 +963,32 @@ mod tests {
                 last_value: TableGeometry::new(12, 2),
             },
         ] {
-            let plain = replay_predictor(&trace, &p, &config, 1, 1).unwrap();
-            let (seq, seq_table) = replay_predictor_attributed(&trace, &p, &config, 1, 1).unwrap();
+            let plain = single_outcome(&trace, &p, &config, 1, 1);
+            let seq = ReplayRequest::batch(&trace)
+                .single(&p, config)
+                .attribution(true)
+                .run()
+                .unwrap()
+                .into_single();
+            let seq_table = seq.attribution.expect("attribution requested");
             // Observation-only: attribution never perturbs the stats.
-            assert_eq!(seq.stats, plain.stats, "{}", config.label());
-            assert_eq!(seq.occupancy, plain.occupancy);
+            assert_eq!(seq.outcome.stats, plain.stats, "{}", config.label());
+            assert_eq!(seq.outcome.occupancy, plain.occupancy);
             seq_table
-                .reconcile(&seq.stats)
+                .reconcile(&seq.outcome.stats)
                 .unwrap_or_else(|e| panic!("{}: {e}", config.label()));
             for shards in [2usize, 3, 8] {
-                let (par, par_table) =
-                    replay_predictor_attributed(&trace, &p, &config, shards, 4).unwrap();
-                assert_eq!(par.stats, seq.stats, "{}", config.label());
+                let par = ReplayRequest::batch(&trace)
+                    .single(&p, config)
+                    .attribution(true)
+                    .shards(shards)
+                    .jobs(4)
+                    .run()
+                    .unwrap()
+                    .into_single();
+                assert_eq!(par.outcome.stats, seq.outcome.stats, "{}", config.label());
                 assert_eq!(
-                    par_table,
+                    par.attribution.expect("attribution requested"),
                     seq_table,
                     "{} attribution diverged at {shards} shards",
                     config.label()
@@ -726,7 +1003,12 @@ mod tests {
         let other = assemble("halt\n").unwrap();
         let cfg = PredictorConfig::spec_table_stride_fsm();
         for shards in [1usize, 4] {
-            let e = replay_predictor(&trace, &other, &cfg, shards, 2).unwrap_err();
+            let e = ReplayRequest::batch(&trace)
+                .single(&other, cfg)
+                .shards(shards)
+                .jobs(2)
+                .run()
+                .unwrap_err();
             assert_eq!(e.kind(), io::ErrorKind::InvalidData);
         }
     }
@@ -738,8 +1020,51 @@ mod tests {
         assert_eq!(auto_shards(8, MIN_SHARD_EVENTS - 1), 1);
         // Parallel runs over big traces shard by jobs.
         assert_eq!(auto_shards(4, MIN_SHARD_EVENTS), 4);
+        // Streaming replays (unknown event count) shard by jobs alone.
+        assert_eq!(auto_shards(4, usize::MAX), 4);
         // Inside a grid worker: degrade to one shard.
         let nested = parallel_map(2, &[0u8; 4], |_| auto_shards(4, MIN_SHARD_EVENTS));
         assert!(nested.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn empty_plan_returns_no_cells() {
+        let (_, trace) = sample();
+        let response = ReplayRequest::batch(&trace).run().unwrap();
+        assert!(response.cells.is_empty());
+    }
+
+    /// The deprecated wrappers must stay bit-identical to the builder.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let (p, trace) = sample();
+        let cfg = PredictorConfig::spec_table_stride_profile();
+        let via_builder = single_outcome(&trace, &p, &cfg, 3, 2);
+        let via_wrapper = replay_predictor(&trace, &p, &cfg, 3, 2).unwrap();
+        assert_eq!(via_wrapper.stats, via_builder.stats);
+        assert_eq!(via_wrapper.occupancy, via_builder.occupancy);
+
+        let mut plan = SweepPlan::new();
+        let t = plan.add_directives(&p);
+        plan.add_cell(cfg, t);
+        plan.add_cell(PredictorConfig::spec_table_stride_fsm(), t);
+        let grid = replay_matrix(&trace, &plan, 2, 2).unwrap();
+        let response = ReplayRequest::batch(&trace)
+            .plan(plan.clone())
+            .shards(2)
+            .jobs(2)
+            .run()
+            .unwrap();
+        assert_eq!(grid.len(), response.cells.len());
+        for (w, b) in grid.iter().zip(&response.cells) {
+            assert_eq!(w.stats, b.outcome.stats);
+            assert_eq!(w.occupancy, b.outcome.occupancy);
+        }
+
+        let (out, table) = replay_predictor_attributed(&trace, &p, &cfg, 2, 2).unwrap();
+        let attributed = replay_matrix_attributed(&trace, &plan, 2, 2).unwrap();
+        assert_eq!(attributed[0].0.stats, out.stats);
+        assert_eq!(attributed[0].1, table);
     }
 }

@@ -26,7 +26,7 @@ use vp_sim::{run, RunLimits, Trace};
 use vp_workloads::{InputSet, Workload, WorkloadKind};
 
 use crate::exec::parallel_map;
-use crate::replay::SweepPlan;
+use crate::replay::{ReplayRequest, SweepPlan};
 use crate::trace_store::{TraceError, TraceKey, TraceStore, TraceStoreStats};
 
 /// Threshold key with stable hashing (per-mille accuracy).
@@ -49,8 +49,8 @@ struct CellResult {
 }
 
 /// The per-trace sweep memo: like [`Memo`], but claims are made in
-/// *batches* so one fused [`crate::replay::replay_matrix`] pass computes
-/// every missing cell of a request at once.
+/// *batches* so one fused [`ReplayRequest`] pass computes every missing
+/// cell of a request at once.
 struct SweepMemo {
     state: Mutex<SweepState>,
     available: Condvar,
@@ -177,6 +177,7 @@ pub struct Suite {
     limits: RunLimits,
     train_runs: u32,
     jobs: usize,
+    streaming: Option<usize>,
     traces: Arc<TraceStore>,
     train_images: Memo<WorkloadKind, Vec<ProfileImage>>,
     reference_images: Memo<WorkloadKind, ProfileImage>,
@@ -201,6 +202,7 @@ impl Suite {
             limits: RunLimits::default(),
             train_runs,
             jobs: 1,
+            streaming: None,
             traces: Arc::new(TraceStore::new()),
             train_images: Memo::new(),
             reference_images: Memo::new(),
@@ -231,6 +233,20 @@ impl Suite {
     #[must_use]
     pub fn with_trace_store(mut self, traces: Arc<TraceStore>) -> Self {
         self.traces = traces;
+        self
+    }
+
+    /// Runs predictor sweeps in **streaming** mode with a `blocks`-buffer
+    /// block pool: the reference simulation feeds the fused replay
+    /// kernel through a bounded channel ([`crate::replay::stream`]) and
+    /// the trace is never materialised, so peak RSS stays independent of
+    /// trace length. Results are bit-identical to batch mode. Consumers
+    /// that need a full trace (profiling, ILP, trace export) still
+    /// capture one through the [`TraceStore`] as before — full traces
+    /// become an optional cache policy, not a requirement of the sweep.
+    #[must_use]
+    pub fn with_streaming(mut self, blocks: usize) -> Self {
+        self.streaming = Some(blocks.max(crate::replay::stream::MIN_BLOCK_POOL));
         self
     }
 
@@ -408,12 +424,14 @@ impl Suite {
     /// requested `(config, threshold)` cell of `kind`'s reference trace,
     /// in request order.
     ///
-    /// Missing cells are computed by **one** fused
-    /// [`crate::replay::replay_matrix`] pass over the memoised reference
-    /// trace (duplicate cells dedupe, already-memoised cells are reused),
-    /// so a 6-configuration × 5-threshold sweep scans the trace once
-    /// instead of 30 times. Results are bit-identical to per-cell
-    /// [`Suite::predictor_stats`] calls.
+    /// Missing cells are computed by **one** fused [`ReplayRequest`]
+    /// pass over the reference value stream — the memoised trace, or, in
+    /// [`Suite::with_streaming`] mode, a live simulation feeding the
+    /// kernel through a bounded channel (duplicate cells dedupe,
+    /// already-memoised cells are reused) — so a 6-configuration ×
+    /// 5-threshold sweep scans the stream once instead of 30 times.
+    /// Results are bit-identical to per-cell [`Suite::predictor_stats`]
+    /// calls in either mode.
     ///
     /// Observability is per *request*, exactly as for the singleton path:
     /// every returned cell folds its stats into the `predictor.*`
@@ -574,9 +592,6 @@ impl Suite {
         for (&(config, _), &table) in cells.iter().zip(&plan_tables) {
             plan.add_cell(config, table);
         }
-        // Materialise (or fetch) the memoised trace outside the predict
-        // phase: capture cost is accounted to its own `capture` span.
-        let trace = self.trace(kind, InputSet::reference());
         {
             let mut state = self.sweep.state.lock().expect("sweep memo poisoned");
             if state.swept.insert(kind) {
@@ -592,33 +607,49 @@ impl Suite {
                 }
             )
         };
-        let _span = vp_obs::span("predict");
-        let shards = crate::replay::auto_shards(self.jobs, trace.len());
-        // The attributed kernel is a separate code path so that with
-        // attribution off the hot loop runs the exact batched instruction
-        // stream (observation-only contract: byte-identical stdout,
-        // negligible wall-clock delta).
-        if crate::attribution::enabled() {
-            crate::replay::replay_matrix_attributed(&trace, &plan, shards, self.jobs)
+        // The attributed kernel is a separate code path inside the
+        // request so that with attribution off the hot loop runs the
+        // exact batched instruction stream (observation-only contract:
+        // byte-identical stdout, negligible wall-clock delta).
+        let attribution = crate::attribution::enabled();
+        let response = if let Some(pool) = self.streaming {
+            // Streaming: simulate the bare reference program (directive
+            // annotations never influence execution — the plan's tables
+            // carry them) and predict concurrently; no resident trace.
+            let program = self.reference_program(kind, None);
+            let _span = vp_obs::span("predict");
+            let shards = crate::replay::auto_shards(self.jobs, usize::MAX);
+            ReplayRequest::stream(&program, self.limits)
+                .plan(plan)
+                .attribution(attribution)
+                .shards(shards)
+                .block_pool(pool)
+                .run()
                 .unwrap_or_else(|source| replay_panic(source))
-                .into_iter()
-                .map(|(outcome, table)| CellResult {
-                    stats: outcome.stats,
-                    occupancy: outcome.occupancy,
-                    attribution: Some(Arc::new(table)),
-                })
-                .collect()
         } else {
-            crate::replay::replay_matrix(&trace, &plan, shards, self.jobs)
+            // Materialise (or fetch) the memoised trace outside the
+            // predict phase: capture cost is accounted to its own
+            // `capture` span.
+            let trace = self.trace(kind, InputSet::reference());
+            let _span = vp_obs::span("predict");
+            let shards = crate::replay::auto_shards(self.jobs, trace.len());
+            ReplayRequest::batch(&trace)
+                .plan(plan)
+                .attribution(attribution)
+                .shards(shards)
+                .jobs(self.jobs)
+                .run()
                 .unwrap_or_else(|source| replay_panic(source))
-                .into_iter()
-                .map(|outcome| CellResult {
-                    stats: outcome.stats,
-                    occupancy: outcome.occupancy,
-                    attribution: None,
-                })
-                .collect()
-        }
+        };
+        response
+            .cells
+            .into_iter()
+            .map(|cell| CellResult {
+                stats: cell.outcome.stats,
+                occupancy: cell.outcome.occupancy,
+                attribution: cell.attribution.map(Arc::new),
+            })
+            .collect()
     }
 
     /// Replays the reference input through the abstract ILP machine.
@@ -736,6 +767,23 @@ mod tests {
         // the memoised trace from memory.
         assert_eq!(stats.captures, 1);
         assert!(stats.memory_hits >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn streaming_suite_matches_batch_suite() {
+        let batch = Suite::with_train_runs(1);
+        let streamed = Suite::with_train_runs(1).with_jobs(2).with_streaming(4);
+        let kind = WorkloadKind::Compress;
+        let cells = [
+            (PredictorConfig::spec_table_stride_fsm(), None),
+            (PredictorConfig::spec_table_stride_profile(), Some(0.9)),
+        ];
+        assert_eq!(
+            batch.predictor_stats_matrix(kind, &cells),
+            streamed.predictor_stats_matrix(kind, &cells),
+        );
+        // Streaming sweeps never materialise the reference trace.
+        assert_eq!(streamed.trace_stats().captures, 0);
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub trait ValuePredictor {
     /// The default body is monomorphised per implementing type, so the
     /// inner `access` calls dispatch statically: fused sweep kernels pay
     /// one virtual call per *block* per predictor instead of one per
-    /// event (see `provp_core::replay::replay_matrix`).
+    /// event (see the fused sweep in `provp_core::replay::ReplayRequest`).
     ///
     /// # Panics
     ///

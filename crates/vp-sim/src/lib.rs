@@ -47,6 +47,7 @@ pub mod memory;
 pub mod mix;
 pub mod record;
 pub mod runner;
+pub mod stream;
 pub mod tracer;
 
 pub use columns::{PcShard, TraceColumns};
@@ -60,4 +61,5 @@ pub use record::{
     TraceDivergence, TraceError, TraceEvent, TraceRecorder, MAX_TRACE_EVENTS,
 };
 pub use runner::{run, RunLimits, RunStatus, RunSummary};
+pub use stream::{ValueBlockSink, ValueBlockTracer, VALUE_BLOCK};
 pub use tracer::{ChainTracer, FnTracer, NullTracer, Tracer};

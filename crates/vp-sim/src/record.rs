@@ -421,6 +421,8 @@ impl fmt::Display for TraceDivergence {
     }
 }
 
+impl std::error::Error for TraceDivergence {}
+
 /// Finds the first event where two retirement streams differ, or `None`
 /// when they are identical (including length).
 ///

@@ -1,0 +1,160 @@
+//! Incremental columnar value-event emission.
+//!
+//! The batch pipeline captures a whole [`crate::Trace`] before anything
+//! replays it; a streaming pipeline instead consumes the value-event
+//! column *while the simulation runs*. [`ValueBlockTracer`] is the
+//! producer half of that pipeline: a [`Tracer`] that packs each retired
+//! destination write into a pair of columnar buffers and hands every
+//! full block of [`VALUE_BLOCK`] events to a [`ValueBlockSink`].
+//!
+//! The sink returns an *empty* buffer pair in exchange for each full one,
+//! so a fixed pool of buffers circulates between producer and consumer —
+//! no per-block allocation, and (with a bounded sink) no unbounded
+//! queueing. A blocking `submit` is the backpressure mechanism: the
+//! simulation simply stalls inside [`Tracer::retire`] until the consumer
+//! frees a buffer.
+//!
+//! The emitted event stream is exactly the trace's value-event column:
+//! concatenating the submitted blocks (including the partial block from
+//! [`ValueBlockTracer::finish`]) yields the same `(addr, value)` sequence
+//! as [`crate::TraceColumns::value_events`] on a captured trace of the
+//! same run.
+
+use vp_isa::InstrAddr;
+
+use crate::{Retirement, Tracer};
+
+/// Value events per emitted block. Matches the fused replay kernel's
+/// block size so a streamed block feeds one `access_batch` call per
+/// predictor without re-buffering.
+pub const VALUE_BLOCK: usize = 1024;
+
+/// Receives full value-event blocks from a [`ValueBlockTracer`].
+///
+/// `submit` consumes a filled `(addrs, values)` pair (equal lengths, at
+/// most [`VALUE_BLOCK`] events — shorter only for the final flush) and
+/// returns an empty pair for the tracer to fill next. Implementations
+/// that bound their queue block inside `submit` until a buffer frees up;
+/// that stall propagates straight into the simulation loop.
+pub trait ValueBlockSink {
+    /// Accepts a filled block, returns a recycled empty buffer pair.
+    fn submit(&mut self, addrs: Vec<InstrAddr>, values: Vec<u64>) -> (Vec<InstrAddr>, Vec<u64>);
+}
+
+impl<S: ValueBlockSink + ?Sized> ValueBlockSink for &mut S {
+    fn submit(&mut self, addrs: Vec<InstrAddr>, values: Vec<u64>) -> (Vec<InstrAddr>, Vec<u64>) {
+        (**self).submit(addrs, values)
+    }
+}
+
+/// A [`Tracer`] that emits the run's destination writes as columnar
+/// blocks instead of recording a resident trace.
+///
+/// Attach to [`crate::run`] (or chain with other tracers), then call
+/// [`ValueBlockTracer::finish`] to flush the final partial block.
+#[derive(Debug)]
+pub struct ValueBlockTracer<S: ValueBlockSink> {
+    sink: S,
+    addrs: Vec<InstrAddr>,
+    values: Vec<u64>,
+}
+
+impl<S: ValueBlockSink> ValueBlockTracer<S> {
+    /// A tracer emitting into `sink`.
+    pub fn new(sink: S) -> Self {
+        ValueBlockTracer {
+            sink,
+            addrs: Vec::with_capacity(VALUE_BLOCK),
+            values: Vec::with_capacity(VALUE_BLOCK),
+        }
+    }
+
+    /// Flushes the trailing partial block (if any) and returns the sink.
+    pub fn finish(mut self) -> S {
+        if !self.addrs.is_empty() {
+            let addrs = std::mem::take(&mut self.addrs);
+            let values = std::mem::take(&mut self.values);
+            let _ = self.sink.submit(addrs, values);
+        }
+        self.sink
+    }
+}
+
+impl<S: ValueBlockSink> Tracer for ValueBlockTracer<S> {
+    fn retire(&mut self, ev: &Retirement<'_>) {
+        let Some((_, _, value)) = ev.dest else { return };
+        self.addrs.push(ev.addr);
+        self.values.push(value);
+        if self.addrs.len() == VALUE_BLOCK {
+            let addrs = std::mem::take(&mut self.addrs);
+            let values = std::mem::take(&mut self.values);
+            let (mut addrs, mut values) = self.sink.submit(addrs, values);
+            addrs.clear();
+            values.clear();
+            self.addrs = addrs;
+            self.values = values;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, RunLimits, Trace};
+    use vp_isa::asm::assemble;
+
+    /// Collects every submitted block, recycling one spare buffer pair.
+    #[derive(Default)]
+    struct Collect {
+        blocks: Vec<(Vec<InstrAddr>, Vec<u64>)>,
+    }
+
+    impl ValueBlockSink for Collect {
+        fn submit(
+            &mut self,
+            addrs: Vec<InstrAddr>,
+            values: Vec<u64>,
+        ) -> (Vec<InstrAddr>, Vec<u64>) {
+            self.blocks.push((addrs, values));
+            (Vec::new(), Vec::new())
+        }
+    }
+
+    #[test]
+    fn streamed_blocks_equal_captured_value_events() {
+        // ~3k value events: several full blocks plus a partial tail.
+        let p = assemble(
+            "li r1, 0\nli r2, 1500\n\
+             top: addi r1, r1, 1\nadd r3, r1, r2\nbne r1, r2, top\nhalt\n",
+        )
+        .unwrap();
+        let limits = RunLimits::default();
+        let trace = Trace::capture(&p, limits).unwrap();
+
+        let mut tracer = ValueBlockTracer::new(Collect::default());
+        run(&p, &mut tracer, limits).unwrap();
+        let sink = tracer.finish();
+
+        let mut streamed: Vec<(InstrAddr, u64)> = Vec::new();
+        for (i, (addrs, values)) in sink.blocks.iter().enumerate() {
+            assert_eq!(addrs.len(), values.len());
+            assert!(addrs.len() <= VALUE_BLOCK);
+            if i + 1 < sink.blocks.len() {
+                assert_eq!(addrs.len(), VALUE_BLOCK, "only the tail may be partial");
+            }
+            streamed.extend(addrs.iter().copied().zip(values.iter().copied()));
+        }
+        let captured: Vec<(InstrAddr, u64)> = trace.columns().value_events().collect();
+        assert_eq!(streamed, captured);
+        assert!(sink.blocks.len() >= 2, "test must exercise multiple blocks");
+    }
+
+    #[test]
+    fn finish_without_events_submits_nothing() {
+        let p = assemble("halt\n").unwrap();
+        let mut tracer = ValueBlockTracer::new(Collect::default());
+        run(&p, &mut tracer, RunLimits::default()).unwrap();
+        let sink = tracer.finish();
+        assert!(sink.blocks.is_empty());
+    }
+}

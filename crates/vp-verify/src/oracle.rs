@@ -13,27 +13,33 @@
 //!    encoder and its checksum are on this path).
 //! 3. **Predictor differential** — for a panel of predictor
 //!    configurations, the naive [`ref_predict`](crate::refpred::ref_predict)
-//!    models against (a) the real predictor fed directly, (b) sequential
-//!    [`replay_predictor`], and (c) PC-sharded parallel
-//!    [`replay_predictor`]: identical [`PredictorStats`] and occupancy.
+//!    models against (a) the real predictor fed directly, (b) a
+//!    sequential [`ReplayRequest`] replay, and (c) a PC-sharded parallel
+//!    one: identical [`PredictorStats`] and occupancy.
 //! 4. **Attribution oracle** — the attributed replay
-//!    ([`replay_predictor_attributed`]) must leave the stats untouched
+//!    ([`ReplayRequest::attribution`]) must leave the stats untouched
 //!    (observation-only), produce a bit-identical per-PC
 //!    [`vp_predictor::AttributionTable`] at any shard/job count, and its
 //!    totals must reconcile *exactly* with the [`PredictorStats`]
 //!    (every access accounted, every raw miss charged to one cause).
-//! 5. **Matrix oracle** — the fused sweep ([`replay_matrix`]) over every
-//!    oracle configuration (with a duplicate cell and a second,
-//!    directive-stripped annotation table in the plan) must return, at
-//!    any shard count, exactly the grid that per-cell
-//!    [`replay_predictor`] runs produce.
+//! 5. **Matrix oracle** — the fused sweep ([`ReplayRequest`] over the
+//!    whole plan) over every oracle configuration (with a duplicate cell
+//!    and a second, directive-stripped annotation table in the plan)
+//!    must return, at any shard count, exactly the grid that per-cell
+//!    replays produce.
+//! 6. **Streaming oracle** — the bounded-memory streaming engine
+//!    ([`ReplayRequest::stream`]), which re-simulates the program and
+//!    predicts concurrently without a resident trace, must reproduce the
+//!    batch grid bit-identically at every tested shard × block-pool
+//!    combination, including attribution tables.
 //!
 //! Any mismatch is returned as a typed [`Divergence`]; `Ok` carries the
 //! captured trace so the fuzz loop can fold it into coverage.
 
+use std::error::Error;
 use std::fmt;
 
-use provp_core::{replay_matrix, replay_predictor, replay_predictor_attributed, SweepPlan};
+use provp_core::{ReplayRequest, SweepPlan};
 use vp_isa::{Directive, InstrAddr, Program, Reg, RegClass};
 use vp_predictor::{ClassifierKind, PredictorConfig, PredictorStats, TableGeometry};
 use vp_sim::record::{first_divergence, TraceDivergence, TraceRecorder};
@@ -75,7 +81,14 @@ pub enum Divergence {
         reference: u64,
     },
     /// The trace did not survive a serialisation round trip.
-    Serialization(String),
+    Serialization {
+        /// What went wrong, rendered for humans.
+        detail: String,
+        /// The underlying codec error, when one exists (pure value
+        /// mismatches have none); exposed through
+        /// [`std::error::Error::source`].
+        source: Option<Box<dyn Error + Send + Sync>>,
+    },
     /// A predictor's statistics or occupancy differ from the reference
     /// model.
     Predictor {
@@ -102,6 +115,18 @@ pub enum Divergence {
         label: String,
         /// Shard count the fused replay ran at.
         shards: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The streaming replay engine diverged from batch replay.
+    Stream {
+        /// `PredictorConfig::label()` of the diverging cell's
+        /// configuration, with its plan position — or "whole plan".
+        label: String,
+        /// Shard (consumer) count the streamed replay ran at.
+        shards: usize,
+        /// Block-pool size the streamed replay ran with.
+        pool: usize,
         /// Human-readable detail.
         detail: String,
     },
@@ -135,7 +160,7 @@ impl fmt::Display for Divergence {
                 f,
                 "memory word {addr:#x} diverges: optimized {optimized:#x}, reference {reference:#x}"
             ),
-            Divergence::Serialization(detail) => {
+            Divergence::Serialization { detail, .. } => {
                 write!(f, "trace serialisation diverges: {detail}")
             }
             Divergence::Predictor {
@@ -154,11 +179,30 @@ impl fmt::Display for Divergence {
                 f,
                 "fused matrix cell `{label}` ({shards} shards) diverges: {detail}"
             ),
+            Divergence::Stream {
+                label,
+                shards,
+                pool,
+                detail,
+            } => write!(
+                f,
+                "streamed replay of `{label}` ({shards} shards, pool {pool}) diverges: {detail}"
+            ),
         }
     }
 }
 
-impl std::error::Error for Divergence {}
+impl Error for Divergence {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Divergence::Events(d) => Some(&**d),
+            Divergence::Serialization {
+                source: Some(e), ..
+            } => Some(&**e as &(dyn Error + 'static)),
+            _ => None,
+        }
+    }
+}
 
 /// The predictor configurations every fuzz case is checked under: both
 /// paper baselines, infinite tables under both classification mechanisms,
@@ -266,16 +310,25 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
     let trace = Trace::from_columns(cols);
     let mut bytes = Vec::new();
     if let Err(e) = trace.write_to(&mut bytes) {
-        return Err(Divergence::Serialization(format!("write failed: {e}")));
+        return Err(Divergence::Serialization {
+            detail: format!("write failed: {e}"),
+            source: Some(Box::new(e)),
+        });
     }
     match Trace::read_from(bytes.as_slice()) {
         Ok(back) if back.columns() == trace.columns() => {}
         Ok(_) => {
-            return Err(Divergence::Serialization(
-                "round trip decoded different columns".into(),
-            ))
+            return Err(Divergence::Serialization {
+                detail: "round trip decoded different columns".into(),
+                source: None,
+            })
         }
-        Err(e) => return Err(Divergence::Serialization(format!("read failed: {e}"))),
+        Err(e) => {
+            return Err(Divergence::Serialization {
+                detail: format!("read failed: {e}"),
+                source: Some(Box::new(e)),
+            })
+        }
     }
 
     // --- 3. predictor differential ---
@@ -283,10 +336,13 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
     let values: Vec<(InstrAddr, u64)> = trace.columns().value_events().collect();
     let expected_values = reference.events.iter().filter(|e| e.dest.is_some()).count();
     if values.len() != expected_values {
-        return Err(Divergence::Serialization(format!(
-            "value_events yields {} events, reference saw {expected_values} dest writes",
-            values.len()
-        )));
+        return Err(Divergence::Serialization {
+            detail: format!(
+                "value_events yields {} events, reference saw {expected_values} dest writes",
+                values.len()
+            ),
+            source: None,
+        });
     }
 
     for config in oracle_configs() {
@@ -310,14 +366,18 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
 
         // (b) sequential replay, (c) PC-sharded parallel replay.
         for (mode, shards, jobs) in [("replay", 1usize, 1usize), ("sharded-replay", 3, 2)] {
-            let outcome =
-                replay_predictor(&trace, program, &config, shards, jobs).map_err(|e| {
-                    Divergence::Predictor {
-                        label: config.label(),
-                        mode,
-                        detail: format!("replay failed: {e}"),
-                    }
-                })?;
+            let outcome = ReplayRequest::batch(&trace)
+                .single(program, config)
+                .shards(shards)
+                .jobs(jobs)
+                .run()
+                .map_err(|e| Divergence::Predictor {
+                    label: config.label(),
+                    mode,
+                    detail: format!("replay failed: {e}"),
+                })?
+                .into_single()
+                .outcome;
             check_predictor(
                 &config,
                 mode,
@@ -331,8 +391,20 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
             label: config.label(),
             detail,
         };
-        let (seq_out, seq_table) = replay_predictor_attributed(&trace, program, &config, 1, 1)
-            .map_err(|e| attr_err(format!("attributed replay failed: {e}")))?;
+        let attributed = |shards: usize, jobs: usize| {
+            ReplayRequest::batch(&trace)
+                .single(program, config)
+                .attribution(true)
+                .shards(shards)
+                .jobs(jobs)
+                .run()
+                .map(|r| {
+                    let cell = r.into_single();
+                    (cell.outcome, cell.attribution.expect("attribution on"))
+                })
+        };
+        let (seq_out, seq_table) =
+            attributed(1, 1).map_err(|e| attr_err(format!("attributed replay failed: {e}")))?;
         // Observation-only: attribution must not perturb the replay.
         check_predictor(
             &config,
@@ -343,7 +415,7 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
         seq_table
             .reconcile(&seq_out.stats)
             .map_err(|e| attr_err(format!("totals fail to reconcile with stats: {e}")))?;
-        let (par_out, par_table) = replay_predictor_attributed(&trace, program, &config, 3, 2)
+        let (par_out, par_table) = attributed(3, 2)
             .map_err(|e| attr_err(format!("sharded attributed replay failed: {e}")))?;
         if par_out.stats != seq_out.stats {
             return Err(attr_err(
@@ -380,23 +452,34 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
     }
     let expected: Vec<_> = matrix_cells
         .iter()
-        .map(|(config, _, cell_program)| replay_predictor(&trace, cell_program, config, 1, 1))
+        .map(|(config, _, cell_program)| {
+            ReplayRequest::batch(&trace)
+                .single(cell_program, *config)
+                .run()
+                .map(|r| r.into_single().outcome)
+        })
         .collect::<Result<_, _>>()
         .map_err(|e| Divergence::Matrix {
             label: "per-cell reference".into(),
             shards: 1,
             detail: format!("replay failed: {e}"),
         })?;
+    let cell_label = |i: usize| {
+        let (config, table, _) = &matrix_cells[i];
+        format!("{} (cell {i}, table {table})", config.label())
+    };
     for shards in [1usize, 3] {
-        let cell_label = |i: usize| {
-            let (config, table, _) = &matrix_cells[i];
-            format!("{} (cell {i}, table {table})", config.label())
-        };
-        let fused = replay_matrix(&trace, &plan, shards, 2).map_err(|e| Divergence::Matrix {
-            label: "whole plan".into(),
-            shards,
-            detail: format!("fused replay failed: {e}"),
-        })?;
+        let fused = ReplayRequest::batch(&trace)
+            .plan(plan.clone())
+            .shards(shards)
+            .jobs(2)
+            .run()
+            .map(|r| r.outcomes())
+            .map_err(|e| Divergence::Matrix {
+                label: "whole plan".into(),
+                shards,
+                detail: format!("fused replay failed: {e}"),
+            })?;
         if fused.len() != matrix_cells.len() {
             return Err(Divergence::Matrix {
                 label: "whole plan".into(),
@@ -429,6 +512,105 @@ pub fn run_case(program: &Program, max_instructions: u64) -> Result<Trace, Diver
                     ),
                 });
             }
+        }
+    }
+
+    // --- 6. streaming oracle ---
+    // The bounded-memory streaming engine re-simulates the program and
+    // feeds the same fused kernel through a bounded block channel; its
+    // grid must be bit-identical to the batch grid at every tested shard
+    // (consumer) count × block-pool size — including a pool of 2, where
+    // the producer stalls on every other block. Faulting programs are
+    // excluded: a streamed replay surfaces the simulator fault as an
+    // error (there is no well-defined full stream), while the batch path
+    // above replays the pre-fault prefix that the recorder captured.
+    if optimized.is_err() {
+        return Ok(trace);
+    }
+    for (shards, pool) in [(1usize, 2usize), (3, 2), (3, 8)] {
+        let stream_err = |label: String, detail: String| Divergence::Stream {
+            label,
+            shards,
+            pool,
+            detail,
+        };
+        let streamed = ReplayRequest::stream(program, limits)
+            .plan(plan.clone())
+            .shards(shards)
+            .block_pool(pool)
+            .run()
+            .map_err(|e| stream_err("whole plan".into(), format!("streamed replay failed: {e}")))?;
+        if streamed.cells.len() != matrix_cells.len() {
+            return Err(stream_err(
+                "whole plan".into(),
+                format!(
+                    "streamed replay returned {} outcomes for {} cells",
+                    streamed.cells.len(),
+                    matrix_cells.len()
+                ),
+            ));
+        }
+        for (i, (s, e)) in streamed.cells.iter().zip(&expected).enumerate() {
+            if s.outcome.stats != e.stats {
+                return Err(stream_err(
+                    cell_label(i),
+                    format!(
+                        "stats differ:\nstreamed {:#?}\nbatch {:#?}",
+                        s.outcome.stats, e.stats
+                    ),
+                ));
+            }
+            if s.outcome.occupancy != e.occupancy {
+                return Err(stream_err(
+                    cell_label(i),
+                    format!(
+                        "occupancy differs: streamed {}, batch {}",
+                        s.outcome.occupancy, e.occupancy
+                    ),
+                ));
+            }
+        }
+    }
+    // Attributed streaming: tables must match batch attribution exactly.
+    let attributed_of = |request: ReplayRequest<'_>| {
+        request
+            .plan(plan.clone())
+            .attribution(true)
+            .shards(3)
+            .jobs(2)
+            .block_pool(2)
+            .run()
+    };
+    let batch_attr =
+        attributed_of(ReplayRequest::batch(&trace)).map_err(|e| Divergence::Stream {
+            label: "whole plan (attributed batch)".into(),
+            shards: 3,
+            pool: 2,
+            detail: format!("attributed batch replay failed: {e}"),
+        })?;
+    let stream_attr =
+        attributed_of(ReplayRequest::stream(program, limits)).map_err(|e| Divergence::Stream {
+            label: "whole plan (attributed)".into(),
+            shards: 3,
+            pool: 2,
+            detail: format!("attributed streamed replay failed: {e}"),
+        })?;
+    for (i, (s, b)) in stream_attr.cells.iter().zip(&batch_attr.cells).enumerate() {
+        let stream_err = |detail: String| Divergence::Stream {
+            label: cell_label(i),
+            shards: 3,
+            pool: 2,
+            detail,
+        };
+        if s.outcome.stats != b.outcome.stats {
+            return Err(stream_err(
+                "attributed streamed stats differ from batch".into(),
+            ));
+        }
+        if s.attribution != b.attribution {
+            return Err(stream_err(
+                "attribution table differs between streamed and batch replay".into(),
+            ));
         }
     }
 
@@ -492,6 +674,37 @@ mod tests {
                 panic!("oracle diverged at seed {seed}: {d}\n{p}");
             }
         }
+    }
+
+    #[test]
+    fn stream_divergence_renders_with_shards_and_pool() {
+        let d = Divergence::Stream {
+            label: "stride (cell 1, table 0)".into(),
+            shards: 3,
+            pool: 2,
+            detail: "stats differ".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("3 shards"), "{s}");
+        assert!(s.contains("pool 2"), "{s}");
+        assert!(s.contains("stats differ"), "{s}");
+    }
+
+    #[test]
+    fn serialization_divergence_chains_its_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let d = Divergence::Serialization {
+            detail: format!("read failed: {inner}"),
+            source: Some(Box::new(inner)),
+        };
+        let source = d.source().expect("typed source must be exposed");
+        assert!(source.to_string().contains("short read"));
+        // Pure value mismatches have no cause.
+        let bare = Divergence::Serialization {
+            detail: "round trip decoded different columns".into(),
+            source: None,
+        };
+        assert!(bare.source().is_none());
     }
 
     #[test]

@@ -11,10 +11,7 @@
 //! (directives) and a 128-stride + 384-last-value hybrid — showing how the
 //! split spends the stride fields only where they pay.
 
-use provp::core::{PredictorTracer, Suite};
-use provp::predictor::{PredictorConfig, TableGeometry, ValuePredictor};
-use provp::sim::{run, RunLimits};
-use provp::workloads::WorkloadKind;
+use provp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kind = std::env::args()

@@ -9,11 +9,10 @@
 //! per-instruction accuracy vectors, and prints the M(V)max and M(V)average
 //! coordinate histograms — plus the per-instruction worst disagreement.
 
-use provp::core::Suite;
+use provp::prelude::*;
 use provp::profile::AlignedVectors;
 use provp::stats::metrics::{average_distance, max_distance};
 use provp::stats::DecileHistogram;
-use provp::workloads::WorkloadKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kind = std::env::args()

@@ -11,10 +11,7 @@
 //! profile-guided classifier admits only directive-tagged instructions and
 //! keeps the table clean.
 
-use provp::core::{PredictorTracer, Suite};
-use provp::predictor::PredictorConfig;
-use provp::sim::{run, RunLimits};
-use provp::workloads::WorkloadKind;
+use provp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kind = std::env::args()

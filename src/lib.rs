@@ -39,8 +39,37 @@ pub use provp_core as core;
 pub use vp_compiler as compiler;
 pub use vp_ilp as ilp;
 pub use vp_isa as isa;
+pub use vp_obs as obs;
 pub use vp_predictor as predictor;
 pub use vp_profile as profile;
 pub use vp_sim as sim;
 pub use vp_stats as stats;
 pub use vp_workloads as workloads;
+
+/// One-line import for the experiment-facing API.
+///
+/// ```
+/// use provp::prelude::*;
+/// ```
+///
+/// pulls in everything a typical experiment touches: the [`Suite`]
+/// front-end, the [`ReplayRequest`] replay builder (batch over a captured
+/// [`Trace`] or bounded-memory streaming straight off the simulator),
+/// predictor configuration, workload selection and the run-manifest
+/// types. Deliberately excluded: the deprecated pre-`ReplayRequest`
+/// replay functions (use the builder) and crate internals — reach
+/// through the per-subsystem modules (`provp::sim`, `provp::predictor`,
+/// ...) when you need those.
+pub mod prelude {
+    pub use provp_core::replay::stream::{DEFAULT_BLOCK_POOL, MIN_BLOCK_POOL};
+    pub use provp_core::{
+        PredictorTracer, ReplayCellOutcome, ReplayOutcome, ReplayRequest, ReplayResponse,
+        ReplaySource, Suite, SweepPlan, TraceStore,
+    };
+    pub use vp_obs::{HotStack, PhaseShare, ProfileSection, RunManifest};
+    pub use vp_predictor::{
+        ClassifierKind, PredictorConfig, PredictorStats, TableGeometry, ValuePredictor,
+    };
+    pub use vp_sim::{run, RunLimits, Trace};
+    pub use vp_workloads::{InputSet, Workload, WorkloadKind};
+}

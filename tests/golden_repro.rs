@@ -165,7 +165,7 @@ fn golden_table_5_2() {
 }
 
 // The four sweep ablations below all replay through the fused matrix
-// kernel (`provp_core::replay_matrix`), so these snapshots pin the
+// kernel (`provp_core::ReplayRequest`), so these snapshots pin the
 // fused path's output byte-for-byte against the pre-fusion renders.
 
 #[test]
@@ -199,6 +199,32 @@ fn golden_ablation_counters() {
         "ablation_counters",
         &ablations::render_counters(kind, &rows),
     );
+}
+
+// Streaming is an execution strategy, never a result change: the same
+// experiment through a bounded-memory streaming suite must render
+// byte-identically to the batch suite (which `golden_classification`
+// pins to the snapshot — equality here transitively pins the streamed
+// stdout too, without racing UPDATE_GOLDEN over one file).
+// Classification is the most replay-heavy experiment in the suite.
+#[test]
+fn golden_classification_streamed() {
+    let streamed = Suite::with_train_runs(TRAIN_RUNS).with_streaming(4);
+    let render = |s: &Suite| {
+        let cls = classification::run(s, &KINDS);
+        let mut out = String::new();
+        out.push_str(&cls.render(classification::Which::Mispredictions));
+        out.push('\n');
+        out.push_str(&cls.render(classification::Which::CorrectPredictions));
+        out
+    };
+    let (batch, streamed) = (render(suite()), render(&streamed));
+    if batch != streamed {
+        panic!(
+            "{}",
+            diff_report("classification (streamed)", &batch, &streamed)
+        );
+    }
 }
 
 #[test]
